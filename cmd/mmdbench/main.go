@@ -1,0 +1,49 @@
+// Command mmdbench runs the full experiment suite (E1-E10 plus the
+// ablations A1-A3, see DESIGN.md section 4) and prints the results as
+// Markdown — the tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mmdbench            # run everything
+//	mmdbench -only E5   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E10, A1..A3)")
+	flag.Parse()
+	if err := run(*only); err != nil {
+		fmt.Fprintln(os.Stderr, "mmdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string) error {
+	start := time.Now()
+	tables, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for _, t := range tables {
+		if only != "" && !strings.EqualFold(t.ID, only) {
+			continue
+		}
+		fmt.Println(t.Markdown())
+		printed++
+	}
+	if only != "" && printed == 0 {
+		return fmt.Errorf("no experiment named %q", only)
+	}
+	fmt.Printf("---\n%d experiments in %v\n", printed, time.Since(start).Round(time.Millisecond))
+	return nil
+}

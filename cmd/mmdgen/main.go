@@ -1,0 +1,100 @@
+// Command mmdgen generates MMD problem instances as JSON.
+//
+// Usage:
+//
+//	mmdgen -family cabletv -channels 60 -gateways 16 -seed 1 > instance.json
+//	mmdgen -family smd -streams 20 -users 8 -skew 16 > instance.json
+//	mmdgen -family mmd -streams 20 -users 8 -m 3 -mc 2 > instance.json
+//	mmdgen -family small -streams 40 -users 8 -m 2 > instance.json
+//	mmdgen -family tightness -m 4 -mc 3 > instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/generator"
+	"repro/internal/mmd"
+	"repro/internal/reduction"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "cabletv", "instance family: cabletv, smd, mmd, small, tightness")
+		out      = flag.String("o", "", "output file (default stdout)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		channels = flag.Int("channels", 60, "cabletv: catalog size")
+		gateways = flag.Int("gateways", 16, "cabletv: gateway count")
+		egress   = flag.Float64("egress", 0.25, "cabletv: egress budget fraction")
+		streams  = flag.Int("streams", 20, "smd/mmd/small: stream count")
+		users    = flag.Int("users", 8, "smd/mmd/small: user count")
+		skewFlag = flag.Float64("skew", 4, "smd/mmd: target local skew")
+		m        = flag.Int("m", 2, "mmd/small/tightness: server budget count")
+		mc       = flag.Int("mc", 1, "mmd/tightness: per-user capacity count")
+	)
+	flag.Parse()
+
+	in, err := generate(*family, genParams{
+		seed: *seed, channels: *channels, gateways: *gateways, egress: *egress,
+		streams: *streams, users: *users, skew: *skewFlag, m: *m, mc: *mc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmdgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmdgen:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := mmd.Encode(w, in); err != nil {
+		fmt.Fprintln(os.Stderr, "mmdgen:", err)
+		os.Exit(1)
+	}
+}
+
+type genParams struct {
+	seed               int64
+	channels, gateways int
+	egress             float64
+	streams, users     int
+	skew               float64
+	m, mc              int
+}
+
+func generate(family string, p genParams) (*mmd.Instance, error) {
+	switch family {
+	case "cabletv":
+		return generator.CableTV{
+			Channels: p.channels, Gateways: p.gateways, Seed: p.seed,
+			EgressFraction: p.egress,
+		}.Generate()
+	case "smd":
+		return generator.RandomSMD{
+			Streams: p.streams, Users: p.users, Seed: p.seed, Skew: p.skew,
+		}.Generate()
+	case "mmd":
+		return generator.RandomMMD{
+			Streams: p.streams, Users: p.users, M: p.m, MC: p.mc,
+			Seed: p.seed, Skew: p.skew,
+		}.Generate()
+	case "small":
+		return generator.SmallStreams{
+			Base: generator.RandomMMD{
+				Streams: p.streams, Users: p.users, M: p.m, MC: p.mc,
+				Seed: p.seed, Skew: p.skew,
+			},
+		}.Generate()
+	case "tightness":
+		return reduction.TightnessInstance(p.m, p.mc)
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}

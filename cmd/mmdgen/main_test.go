@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mmd"
+)
+
+func defaultParams() genParams {
+	return genParams{
+		seed: 1, channels: 10, gateways: 4, egress: 0.3,
+		streams: 8, users: 3, skew: 4, m: 2, mc: 2,
+	}
+}
+
+func TestGenerateAllFamilies(t *testing.T) {
+	for _, family := range []string{"cabletv", "smd", "mmd", "small", "tightness"} {
+		in, err := generate(family, defaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", family, err)
+		}
+		// Generated instances must survive the codec (the tool's output
+		// is JSON consumed by mmdsolve).
+		var buf bytes.Buffer
+		if err := mmd.Encode(&buf, in); err != nil {
+			t.Fatalf("%s: encode: %v", family, err)
+		}
+		if _, err := mmd.Decode(&buf); err != nil {
+			t.Fatalf("%s: decode: %v", family, err)
+		}
+	}
+}
+
+func TestGenerateUnknownFamily(t *testing.T) {
+	if _, err := generate("bogus", defaultParams()); err == nil {
+		t.Fatal("generate accepted an unknown family")
+	}
+}

@@ -1,0 +1,144 @@
+// Command mmdsolve solves an MMD instance file with a chosen algorithm
+// and prints the assignment value, resource utilization, and (for small
+// instances) the gap to the exact optimum.
+//
+// Usage:
+//
+//	mmdsolve -in instance.json [-algo pipeline|enum|online|threshold|static|cheapest|exact]
+//	         [-lineup] [-opt]
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+
+	"repro/internal/baseline"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON (default stdin)")
+		algo    = flag.String("algo", "pipeline", "pipeline, enum, online, threshold, static, cheapest, exact")
+		lineup  = flag.Bool("lineup", false, "print per-user stream lineups")
+		withOpt = flag.Bool("opt", false, "also compute the exact optimum (small instances only)")
+	)
+	flag.Parse()
+	if err := run(*inPath, *algo, *lineup, *withOpt); err != nil {
+		fmt.Fprintln(os.Stderr, "mmdsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, algo string, lineup, withOpt bool) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		file, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r = file
+	}
+	in, err := mmd.Decode(r)
+	if err != nil {
+		return err
+	}
+
+	assn, extra, err := solve(in, algo)
+	if err != nil {
+		return err
+	}
+	value := assn.Utility(in)
+	fmt.Printf("algorithm: %s\n", algo)
+	fmt.Printf("value:     %.3f\n", value)
+	if extra != "" {
+		fmt.Println(extra)
+	}
+	if err := assn.CheckFeasible(in); err != nil {
+		fmt.Printf("FEASIBILITY VIOLATION: %v\n", err)
+	} else {
+		fmt.Println("feasible:  yes")
+	}
+	fmt.Printf("streams:   %d of %d transmitted\n", assn.RangeSize(), in.NumStreams())
+	for i := range in.Budgets {
+		fmt.Printf("budget %d:  %.3f / %.3f\n", i, assn.ServerCost(in, i), in.Budgets[i])
+	}
+	fmt.Printf("upper bound: %.3f (value achieves >= %.0f%% of OPT)\n",
+		bounds.UpperBound(in), 100*value/bounds.UpperBound(in))
+
+	if withOpt {
+		res, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			return fmt.Errorf("exact: %w", err)
+		}
+		fmt.Printf("exact OPT: %.3f (ratio %.3f)\n", res.Value, res.Value/value)
+	}
+	if lineup {
+		for u := range in.Users {
+			fmt.Printf("%s:", name(in.Users[u].Name, "user", u))
+			for _, s := range assn.UserStreams(u) {
+				fmt.Printf(" %s", name(in.Streams[s].Name, "stream", s))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func name(n, kind string, idx int) string {
+	if n != "" {
+		return n
+	}
+	return fmt.Sprintf("%s%d", kind, idx)
+}
+
+func solve(in *mmd.Instance, algo string) (*mmd.Assignment, string, error) {
+	switch algo {
+	case "pipeline":
+		a, rep, err := core.Solve(in, core.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		return a, fmt.Sprintf("skew alpha: %.2f, bands: %d, guarantee: %.1fx",
+			rep.Alpha, rep.Bands, rep.ApproxFactor), nil
+	case "enum":
+		a, rep, err := core.Solve(in, core.Options{Algorithm: core.AlgoPartialEnum})
+		if err != nil {
+			return nil, "", err
+		}
+		return a, fmt.Sprintf("skew alpha: %.2f, bands: %d", rep.Alpha, rep.Bands), nil
+	case "online":
+		a, norm, err := online.Solve(in)
+		if err != nil {
+			return nil, "", err
+		}
+		return a, fmt.Sprintf("gamma: %.2f, mu: %.1f, competitive bound: %.1f",
+			norm.Gamma, norm.Mu(), norm.CompetitiveBound()), nil
+	case "threshold":
+		a, err := baseline.Threshold(in, nil, 1)
+		return a, "", err
+	case "static":
+		a, err := baseline.StaticGreedy(in)
+		return a, "", err
+	case "cheapest":
+		a, err := baseline.CheapestFirst(in)
+		return a, "", err
+	case "exact":
+		res, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		return res.Assignment, fmt.Sprintf("search nodes: %d", res.Nodes), nil
+	default:
+		return nil, "", errors.New("unknown algorithm " + algo)
+	}
+}

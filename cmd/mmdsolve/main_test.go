@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/generator"
+)
+
+func TestSolveAllAlgorithms(t *testing.T) {
+	in, err := generator.SmallStreams{
+		Base: generator.RandomMMD{Streams: 10, Users: 3, M: 2, MC: 1, Seed: 2, Skew: 2},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"pipeline", "enum", "online", "threshold", "static", "cheapest", "exact"} {
+		a, _, err := solve(in, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := a.CheckFeasible(in); err != nil {
+			t.Fatalf("%s: infeasible: %v", algo, err)
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	in, err := generator.RandomSMD{Streams: 4, Users: 2, Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := solve(in, "bogus"); err == nil {
+		t.Fatal("solve accepted an unknown algorithm")
+	}
+}
+
+func TestNameFallback(t *testing.T) {
+	if got := name("", "stream", 3); got != "stream3" {
+		t.Fatalf("name() = %q", got)
+	}
+	if got := name("hbo", "stream", 3); got != "hbo" {
+		t.Fatalf("name() = %q", got)
+	}
+}

@@ -1,0 +1,163 @@
+// Command vodsim runs the simulated head-end: streams arrive over
+// virtual time, the chosen admission policy decides, the multicast
+// plant underneath accounts delivery, and the final assignment is
+// optionally re-run as a live goroutine emulation.
+//
+// Usage:
+//
+//	vodsim -channels 40 -gateways 10 -policy oracle [-trace out.jsonl] [-emulate]
+//	vodsim -policy all        # compare all policies on the same workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emulation"
+	"repro/internal/generator"
+	"repro/internal/headend"
+	"repro/internal/mmd"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		channels = flag.Int("channels", 40, "catalog size")
+		gateways = flag.Int("gateways", 10, "gateway count")
+		seed     = flag.Int64("seed", 1, "workload and arrival seed")
+		egress   = flag.Float64("egress", 0.25, "egress budget fraction")
+		policy   = flag.String("policy", "oracle", "oracle, online, threshold, static, all")
+		tracePth = flag.String("trace", "", "write a JSONL decision trace to this file")
+		emulate  = flag.Bool("emulate", false, "re-run the final assignment as live goroutines")
+		churn    = flag.Bool("churn", false, "dynamic mode: finite stream durations + gateway churn")
+	)
+	flag.Parse()
+	if *churn {
+		if err := runChurn(*channels, *gateways, *seed, *egress, *policy); err != nil {
+			fmt.Fprintln(os.Stderr, "vodsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*channels, *gateways, *seed, *egress, *policy, *tracePth, *emulate); err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runChurn runs the dynamic scenario (streams of finite duration plus
+// gateway churn) under the requested policies.
+func runChurn(channels, gateways int, seed int64, egress float64, policyName string) error {
+	in, err := generator.CableTV{
+		Channels: channels, Gateways: gateways, Seed: seed, EgressFraction: egress,
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	names := []string{policyName}
+	if policyName == "all" {
+		names = []string{"online", "threshold"}
+	}
+	for _, name := range names {
+		pol, err := makePolicy(name, in)
+		if err != nil {
+			return err
+		}
+		sc := &headend.ChurnScenario{
+			Instance: in, Seed: seed, Rounds: 3,
+			MeanSessionTime: 10, MeanAwayTime: 4,
+		}
+		res, err := sc.Run(pol, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy %-24s utility-seconds %9.1f  peak %6.1f  admitted %3d  departed %3d  gw-churn %d/%d  overloads %d/%d\n",
+			res.Policy, res.UtilitySeconds, res.PeakUtility, res.Admissions,
+			res.Departures, res.UserLeaves, res.UserJoins,
+			res.OverloadSamples, res.TotalSamples)
+	}
+	return nil
+}
+
+func run(channels, gateways int, seed int64, egress float64, policyName, tracePath string, emulate bool) error {
+	in, err := generator.CableTV{
+		Channels: channels, Gateways: gateways, Seed: seed, EgressFraction: egress,
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	sc := &headend.Scenario{Instance: in, Seed: seed}
+
+	names := []string{policyName}
+	if policyName == "all" {
+		names = []string{"oracle", "online", "threshold", "static"}
+	}
+	for _, name := range names {
+		pol, err := makePolicy(name, in)
+		if err != nil {
+			return err
+		}
+		var tw *trace.Writer
+		var traceFile *os.File
+		if tracePath != "" && policyName != "all" {
+			traceFile, err = os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			tw = trace.NewWriter(traceFile)
+		}
+		res, err := sc.Run(pol, tw)
+		if err != nil {
+			return err
+		}
+		if tw != nil {
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+		}
+		feasible := "yes"
+		if res.FeasibilityErr != nil {
+			feasible = res.FeasibilityErr.Error()
+		}
+		fmt.Printf("policy %-24s utility %8.1f  admitted %3d/%d  delivered %9.0f Mb  overloads %d/%d  feasible: %s\n",
+			res.Policy, res.Utility, res.StreamsAdmitted, res.StreamsOffered,
+			res.DeliveredMb, res.OverloadSamples, res.TotalSamples, feasible)
+
+		if emulate {
+			rep, err := emulation.Run(in, res.Assignment, emulation.Config{
+				ChunkInterval: time.Millisecond, Chunks: 40,
+			})
+			if err != nil {
+				return err
+			}
+			total := int64(0)
+			for _, b := range rep.BytesReceived {
+				total += b
+			}
+			fmt.Printf("  live emulation: %d bytes across %d gateways in %v (dropped %d chunks)\n",
+				total, len(rep.BytesReceived), rep.Elapsed.Round(time.Millisecond), rep.ChunksDropped)
+		}
+	}
+	return nil
+}
+
+func makePolicy(name string, in *mmd.Instance) (headend.Policy, error) {
+	switch name {
+	case "oracle":
+		return headend.NewOraclePolicy(in, core.Options{})
+	case "online":
+		return headend.NewOnlinePolicy(in, true)
+	case "threshold":
+		return headend.NewThresholdPolicy(in, 1)
+	case "static":
+		return headend.NewStaticGreedyPolicy(in)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

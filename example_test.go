@@ -1,0 +1,83 @@
+package videodist_test
+
+import (
+	"fmt"
+
+	videodist "repro"
+)
+
+// ExampleSolve builds a two-budget head-end instance by hand and solves
+// it with the Theorem 1.1 pipeline.
+func ExampleSolve() {
+	in := &videodist.Instance{
+		Streams: []videodist.Stream{
+			{Name: "news", Costs: []float64{4, 1}},
+			{Name: "sports", Costs: []float64{8, 1}},
+		},
+		Users: []videodist.User{{
+			Name:       "gw",
+			Utility:    []float64{3, 9},
+			Loads:      [][]float64{{4, 8}},
+			Capacities: []float64{12},
+		}},
+		Budgets: []float64{12, 2},
+	}
+	assn, report, err := videodist.Solve(in, videodist.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("value %.0f, streams %v\n", report.Value, assn.UserStreams(0))
+	// Output: value 12, streams [0 1]
+}
+
+// ExampleSolveOnline runs the Section 5 online algorithm on a
+// small-streams workload.
+func ExampleSolveOnline() {
+	in, err := videodist.SmallStreams{
+		Base: videodist.RandomMMD{Streams: 10, Users: 3, M: 2, MC: 1, Seed: 7, Skew: 2},
+	}.Generate()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	assn, norm, err := videodist.SolveOnline(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("feasible: %v, bound %.1f\n",
+		assn.CheckFeasible(in) == nil, norm.CompetitiveBound())
+	// Output: feasible: true, bound 18.3
+}
+
+// ExampleThreshold contrasts the deployed-world baseline on the same
+// instance as ExampleSolve: it admits the first stream it sees and
+// blocks the better one.
+func ExampleThreshold() {
+	in := &videodist.Instance{
+		Streams: []videodist.Stream{
+			{Name: "news", Costs: []float64{4, 1}},
+			{Name: "sports", Costs: []float64{8, 1}},
+		},
+		Users: []videodist.User{{
+			Name:       "gw",
+			Utility:    []float64{3, 9},
+			Loads:      [][]float64{{4, 8}},
+			Capacities: []float64{8}, // room for only one of them
+		}},
+		Budgets: []float64{8, 2},
+	}
+	thr, err := videodist.Threshold(in, nil, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	solver, _, err := videodist.Solve(in, videodist.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("threshold %.0f vs solver %.0f\n", thr.Utility(in), solver.Utility(in))
+	// Output: threshold 3 vs solver 9
+}

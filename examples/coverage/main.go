@@ -1,0 +1,87 @@
+// Command coverage demonstrates the Section 4 closing remark: the
+// paper's multi-budget machinery maximizes any nonnegative,
+// nondecreasing submodular set function under m knapsack constraints
+// with an O(m) guarantee. Here the function is weighted maximum
+// coverage: pick advertising slots (each covering a set of postal
+// codes, each postal code worth its household count) under separate
+// airtime and production-cost budgets.
+//
+// Run with:
+//
+//	go run ./examples/coverage [-slots N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/submodular"
+)
+
+func main() {
+	slots := flag.Int("slots", 14, "number of advertising slots")
+	seed := flag.Int64("seed", 5, "workload seed")
+	flag.Parse()
+	if err := run(*slots, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(slots int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	const zones = 30
+
+	cov := &submodular.Coverage{
+		Sets:    make([][]int, slots),
+		Weights: make([]float64, zones),
+	}
+	for z := range cov.Weights {
+		cov.Weights[z] = float64(500 + rng.Intn(5000)) // households
+	}
+	for e := range cov.Sets {
+		for z := 0; z < zones; z++ {
+			if rng.Float64() < 0.25 {
+				cov.Sets[e] = append(cov.Sets[e], z)
+			}
+		}
+	}
+	if err := cov.Validate(); err != nil {
+		return err
+	}
+
+	// Two budgets: airtime seconds and production cost.
+	problem := &submodular.Problem{
+		F:       cov,
+		Costs:   make([][]float64, 2),
+		Budgets: make([]float64, 2),
+	}
+	totals := [2]float64{}
+	for i := range problem.Costs {
+		problem.Costs[i] = make([]float64, slots)
+		for e := range problem.Costs[i] {
+			problem.Costs[i][e] = 10 + 50*rng.Float64()
+			totals[i] += problem.Costs[i][e]
+		}
+		problem.Budgets[i] = 0.35 * totals[i]
+	}
+
+	res, err := submodular.Maximize(problem)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chose %d of %d slots covering %.0f households\n",
+		len(res.Set), slots, res.Value)
+	fmt.Printf("merged-budget greedy value before repair: %.0f\n", res.GreedyValue)
+	for i := range problem.Budgets {
+		spent := 0.0
+		for _, e := range res.Set {
+			spent += problem.Costs[i][e]
+		}
+		fmt.Printf("budget %d: %.1f / %.1f\n", i, spent, problem.Budgets[i])
+	}
+	fmt.Printf("slots: %v\n", res.Set)
+	return nil
+}

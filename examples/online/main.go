@@ -1,0 +1,82 @@
+// Command online demonstrates the Section 5 Allocate algorithm in its
+// natural habitat: streams arrive one by one with no knowledge of the
+// future, each is either multicast to a chosen set of gateways or
+// rejected, and decisions are never revoked. The run prints the rolling
+// budget loads and compares the final utility with the offline pipeline
+// and the exact optimum.
+//
+// Run with:
+//
+//	go run ./examples/online [-streams N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	videodist "repro"
+)
+
+func main() {
+	streams := flag.Int("streams", 14, "number of arriving streams")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+	if err := run(*streams, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "online:", err)
+		os.Exit(1)
+	}
+}
+
+func run(streams int, seed int64) error {
+	// Small-streams workload: the regime where Theorem 5.4 guarantees
+	// both feasibility and (1 + 2 log2 mu)-competitiveness.
+	in, err := videodist.SmallStreams{
+		Base: videodist.RandomMMD{
+			Streams: streams, Users: 5, M: 2, MC: 1, Seed: seed, Skew: 2,
+		},
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	norm, err := videodist.Normalize(in)
+	if err != nil {
+		return err
+	}
+	if err := videodist.CheckSmallStreams(norm.Instance, norm.Mu()); err != nil {
+		return fmt.Errorf("small-streams hypothesis: %w", err)
+	}
+	fmt.Printf("gamma=%.2f  mu=%.1f  competitive bound=%.1f\n\n",
+		norm.Gamma, norm.Mu(), norm.CompetitiveBound())
+
+	al, err := videodist.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		return err
+	}
+	fmt.Println("arrival  decision      users  egress-load  value-so-far")
+	for s := 0; s < in.NumStreams(); s++ {
+		users := al.Offer(s)
+		decision := "REJECT"
+		if len(users) > 0 {
+			decision = "admit "
+		}
+		fmt.Printf("%7d  %s  %5d  %10.2f  %12.1f\n",
+			s, decision, len(users), al.ServerLoad(0), al.Value())
+	}
+
+	onlineValue := al.Assignment().Utility(in)
+	offline, _, err := videodist.Solve(in, videodist.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nonline value:  %.1f\noffline value: %.1f\n", onlineValue, offline.Utility(in))
+	if in.NumStreams() <= 18 {
+		_, opt, err := videodist.SolveExact(in, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact optimum: %.1f (online achieved %.0f%%, bound allows %.0f%%)\n",
+			opt, 100*onlineValue/opt, 100/norm.CompetitiveBound())
+	}
+	return nil
+}

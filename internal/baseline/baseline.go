@@ -1,0 +1,168 @@
+// Package baseline implements the utility-blind admission policies the
+// paper argues against (Section 1: "most solutions in use today employ a
+// simple threshold-based admission control policy, where requests are
+// admitted so long as they do not go over certain safety margins"), plus
+// ablation variants of the greedy algorithm. Experiments E9 and the
+// ablation benches compare them with the paper's algorithms.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mmd"
+)
+
+// Threshold runs threshold-based admission control: streams are
+// considered in the given order (index order when nil) and admitted as
+// long as every server budget stays below margin*B_i; an admitted stream
+// is delivered to every interested user whose capacities stay below
+// margin*K^u_j. Utilities play no role beyond marking interest, which is
+// exactly the naivety the paper criticizes. margin must be in (0, 1].
+func Threshold(in *mmd.Instance, order []int, margin float64) (*mmd.Assignment, error) {
+	if margin <= 0 || margin > 1 {
+		return nil, fmt.Errorf("baseline: margin must be in (0, 1]; got %v", margin)
+	}
+	if order == nil {
+		order = identityOrder(in.NumStreams())
+	}
+	assn := mmd.NewAssignment(in.NumUsers())
+	serverCost := make([]float64, in.M())
+	userLoad := make([][]float64, in.NumUsers())
+	for u := range userLoad {
+		userLoad[u] = make([]float64, len(in.Users[u].Capacities))
+	}
+
+	for _, s := range order {
+		interested := interestedUsers(in, s)
+		if len(interested) == 0 {
+			continue
+		}
+		admit := true
+		for i, c := range in.Streams[s].Costs {
+			if serverCost[i]+c > margin*in.Budgets[i]+1e-12 {
+				admit = false
+				break
+			}
+		}
+		if !admit {
+			continue
+		}
+		// Deliver to each interested user that still has headroom.
+		delivered := false
+		for _, u := range interested {
+			usr := &in.Users[u]
+			fits := true
+			for j := range usr.Capacities {
+				if userLoad[u][j]+usr.Loads[j][s] > margin*usr.Capacities[j]+1e-12 {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			for j := range usr.Capacities {
+				userLoad[u][j] += usr.Loads[j][s]
+			}
+			assn.Add(u, s)
+			delivered = true
+		}
+		if delivered {
+			for i, c := range in.Streams[s].Costs {
+				serverCost[i] += c
+			}
+		}
+	}
+	return assn, nil
+}
+
+// StaticGreedy is the ablation variant of the paper's greedy: streams are
+// ranked once by static density (total utility per unit of normalized
+// cost) with no residual-utility updates and no best-single-stream fix.
+// Section 2.2 explains why this can be arbitrarily bad.
+func StaticGreedy(in *mmd.Instance) (*mmd.Assignment, error) {
+	type ranked struct {
+		s       int
+		density float64
+	}
+	streams := make([]ranked, 0, in.NumStreams())
+	for s := 0; s < in.NumStreams(); s++ {
+		cost := 0.0
+		for i, c := range in.Streams[s].Costs {
+			if b := in.Budgets[i]; b > 0 && !math.IsInf(b, 1) {
+				cost += c / b
+			}
+		}
+		w := in.StreamUtility(s)
+		density := math.Inf(1)
+		if cost > 0 {
+			density = w / cost
+		}
+		if w > 0 {
+			streams = append(streams, ranked{s: s, density: density})
+		}
+	}
+	sort.Slice(streams, func(a, b int) bool {
+		if streams[a].density != streams[b].density {
+			return streams[a].density > streams[b].density
+		}
+		return streams[a].s < streams[b].s
+	})
+	order := make([]int, len(streams))
+	for i, r := range streams {
+		order[i] = r.s
+	}
+	return Threshold(in, order, 1)
+}
+
+// CheapestFirst admits streams in increasing order of normalized cost —
+// a pure packing heuristic that ignores utilities entirely.
+func CheapestFirst(in *mmd.Instance) (*mmd.Assignment, error) {
+	order := identityOrder(in.NumStreams())
+	cost := make([]float64, in.NumStreams())
+	for s := range cost {
+		for i, c := range in.Streams[s].Costs {
+			if b := in.Budgets[i]; b > 0 && !math.IsInf(b, 1) {
+				cost[s] += c / b
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cost[order[a]] != cost[order[b]] {
+			return cost[order[a]] < cost[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return Threshold(in, order, 1)
+}
+
+// Random admits streams in a seeded random order with margin-1
+// threshold semantics — the weakest sensible baseline (a head-end that
+// zaps through its catalog arbitrarily).
+func Random(in *mmd.Instance, seed int64) (*mmd.Assignment, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return Threshold(in, rng.Perm(in.NumStreams()), 1)
+}
+
+// identityOrder returns [0, 1, ..., n-1].
+func identityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// interestedUsers returns the users with positive utility for stream s.
+func interestedUsers(in *mmd.Instance, s int) []int {
+	var out []int
+	for u := range in.Users {
+		if in.Users[u].Utility[s] > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}

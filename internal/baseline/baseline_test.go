@@ -1,0 +1,147 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+)
+
+func TestThresholdFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		in, err := generator.RandomMMD{
+			Streams: 15, Users: 5, M: 3, MC: 2, Seed: rng.Int63(), Skew: 4,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, margin := range []float64{0.5, 0.9, 1.0} {
+			a, err := baseline.Threshold(in, nil, margin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.CheckFeasible(in); err != nil {
+				t.Fatalf("trial %d margin %v: %v", trial, margin, err)
+			}
+		}
+	}
+}
+
+func TestThresholdRejectsBadMargin(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 3, Users: 2, Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, margin := range []float64{0, -1, 1.5} {
+		if _, err := baseline.Threshold(in, nil, margin); err == nil {
+			t.Errorf("Threshold accepted margin %v", margin)
+		}
+	}
+}
+
+func TestThresholdOrderMatters(t *testing.T) {
+	// Two streams that both fit alone but not together; the order
+	// decides which is admitted.
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "a", Costs: []float64{3}},
+			{Name: "b", Costs: []float64{3}},
+		},
+		Users: []mmd.User{{
+			Utility:    []float64{1, 5},
+			Loads:      [][]float64{{1, 5}},
+			Capacities: []float64{10},
+		}},
+		Budgets: []float64{4},
+	}
+	fwd, err := baseline.Threshold(in, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := baseline.Threshold(in, []int{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Utility(in) != 1 || rev.Utility(in) != 5 {
+		t.Fatalf("order insensitivity: fwd %v rev %v, want 1 and 5",
+			fwd.Utility(in), rev.Utility(in))
+	}
+}
+
+func TestStaticGreedyAndCheapestFirstFeasible(t *testing.T) {
+	in, err := generator.CableTV{Channels: 25, Gateways: 6, Seed: 92}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := baseline.StaticGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.CheckFeasible(in); err != nil {
+		t.Fatalf("StaticGreedy: %v", err)
+	}
+	cf, err := baseline.CheapestFirst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.CheckFeasible(in); err != nil {
+		t.Fatalf("CheapestFirst: %v", err)
+	}
+}
+
+// TestSolverBeatsThresholdOnContendedWorkload reproduces the paper's
+// motivation: on a contended cable-TV workload with heterogeneous
+// utilities, the utility-aware solver collects more value than
+// threshold admission. (Checked across seeds in aggregate to avoid
+// flaking on a lucky arrival order.)
+func TestSolverBeatsThresholdOnContendedWorkload(t *testing.T) {
+	solverTotal, thresholdTotal := 0.0, 0.0
+	for seed := int64(0); seed < 8; seed++ {
+		in, err := generator.CableTV{
+			Channels: 40, Gateways: 10, Seed: seed, EgressFraction: 0.2,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := baseline.Threshold(in, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solverTotal += a.Utility(in)
+		thresholdTotal += b.Utility(in)
+	}
+	if solverTotal <= thresholdTotal {
+		t.Fatalf("solver total %v does not beat threshold total %v", solverTotal, thresholdTotal)
+	}
+}
+
+func TestStaticGreedyFooledByBlockingFamily(t *testing.T) {
+	in, err := generator.BlockingFamily(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := baseline.StaticGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static greedy takes the tiny stream (better density) and blocks
+	// the huge one — utility stays near 1 while OPT is ~100.
+	if got := a.Utility(in); got > 50 {
+		t.Fatalf("StaticGreedy = %v; expected it to be fooled (< 50)", got)
+	}
+	s, _, err := core.Solve(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Utility(in); got < 100 {
+		t.Fatalf("core solver = %v, want >= 100 on the blocking family", got)
+	}
+}

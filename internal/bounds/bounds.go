@@ -1,0 +1,114 @@
+// Package bounds computes polynomial-time upper bounds on the optimal
+// MMD utility. Experiments use them as the OPT reference when instances
+// are too large for the exact solver: a measured ratio against an upper
+// bound can only overstate (never understate) the true approximation
+// ratio, so the paper's guarantees are still falsifiable against them.
+package bounds
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mmd"
+)
+
+// fractionalKnapsack returns the maximum fractional value of items with
+// the given values and weights under the capacity. Zero-weight items are
+// taken fully. This is the classical LP bound: sort by density, fill,
+// split the last item.
+func fractionalKnapsack(values, weights []float64, capacity float64) float64 {
+	type item struct{ v, w float64 }
+	items := make([]item, 0, len(values))
+	total := 0.0
+	for i := range values {
+		if values[i] <= 0 {
+			continue
+		}
+		if weights[i] <= 0 {
+			total += values[i] // free item
+			continue
+		}
+		items = append(items, item{v: values[i], w: weights[i]})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		return items[a].v*items[b].w > items[b].v*items[a].w
+	})
+	rem := capacity
+	for _, it := range items {
+		if rem <= 0 {
+			break
+		}
+		if it.w <= rem {
+			total += it.v
+			rem -= it.w
+		} else {
+			total += it.v * rem / it.w
+			rem = 0
+		}
+	}
+	return total
+}
+
+// ServerBound returns min over finite server measures i of the fractional
+// knapsack bound with item values w(S) = sum_u w_u(S) and weights c_i(S).
+// Any feasible assignment's utility is at most each of these, hence at
+// most their minimum. Returns +Inf when no finite budget exists.
+func ServerBound(in *mmd.Instance) float64 {
+	bound := math.Inf(1)
+	values := make([]float64, in.NumStreams())
+	for s := range values {
+		values[s] = in.StreamUtility(s)
+	}
+	weights := make([]float64, in.NumStreams())
+	for i, b := range in.Budgets {
+		if math.IsInf(b, 1) {
+			continue
+		}
+		for s := range weights {
+			weights[s] = in.Streams[s].Costs[i]
+		}
+		if ub := fractionalKnapsack(values, weights, b); ub < bound {
+			bound = ub
+		}
+	}
+	return bound
+}
+
+// UserBound returns sum over users of the user's own fractional bound:
+// min over the user's finite capacity measures of the fractional knapsack
+// with values w_u(S) and weights k^u_j(S). A user with no finite capacity
+// contributes the sum of all its utilities.
+func UserBound(in *mmd.Instance) float64 {
+	total := 0.0
+	for u := range in.Users {
+		usr := &in.Users[u]
+		userUB := 0.0
+		for _, w := range usr.Utility {
+			if w > 0 {
+				userUB += w
+			}
+		}
+		for j, capJ := range usr.Capacities {
+			if math.IsInf(capJ, 1) {
+				continue
+			}
+			if ub := fractionalKnapsack(usr.Utility, usr.Loads[j], capJ); ub < userUB {
+				userUB = ub
+			}
+		}
+		total += userUB
+	}
+	return total
+}
+
+// UpperBound returns the tightest of the available polynomial bounds.
+func UpperBound(in *mmd.Instance) float64 {
+	ub := in.TotalUtility()
+	if sb := ServerBound(in); sb < ub {
+		ub = sb
+	}
+	if ub2 := UserBound(in); ub2 < ub {
+		ub = ub2
+	}
+	return ub
+}

@@ -1,0 +1,107 @@
+package bounds_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bounds"
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+)
+
+// TestUpperBoundDominatesOPT: every bound is >= the exact optimum.
+func TestUpperBoundDominatesOPT(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(71))}
+	property := func(seed int64) bool {
+		in, err := generator.RandomMMD{
+			Streams: 7, Users: 3, M: 2, MC: 2, Seed: seed, Skew: 4,
+		}.Generate()
+		if err != nil {
+			return false
+		}
+		opt, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		return bounds.ServerBound(in) >= opt.Value-tol &&
+			bounds.UserBound(in) >= opt.Value-tol &&
+			bounds.UpperBound(in) >= opt.Value-tol
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundIsMin(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 10, Users: 4, M: 2, MC: 1, Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := bounds.UpperBound(in)
+	if ub > bounds.ServerBound(in)+1e-12 || ub > bounds.UserBound(in)+1e-12 || ub > in.TotalUtility()+1e-12 {
+		t.Fatalf("UpperBound %v exceeds a component bound", ub)
+	}
+}
+
+func TestServerBoundInfiniteBudgets(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{{Name: "a", Costs: []float64{1}}},
+		Users: []mmd.User{{
+			Utility: []float64{5}, Loads: [][]float64{{1}}, Capacities: []float64{2},
+		}},
+		Budgets: []float64{math.Inf(1)},
+	}
+	if got := bounds.ServerBound(in); !math.IsInf(got, 1) {
+		t.Fatalf("ServerBound with only infinite budgets = %v, want +Inf", got)
+	}
+	// UserBound still finite, so UpperBound is finite.
+	if got := bounds.UpperBound(in); math.IsInf(got, 1) {
+		t.Fatalf("UpperBound = %v, want finite", got)
+	}
+}
+
+func TestBoundsHandCheck(t *testing.T) {
+	// Two streams (cost 1 value 6, cost 2 value 6), budget 2.
+	// Fractional knapsack: take first fully (6), half of second (3) = 9.
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "a", Costs: []float64{1}},
+			{Name: "b", Costs: []float64{2}},
+		},
+		Users: []mmd.User{{
+			Utility:    []float64{6, 6},
+			Loads:      [][]float64{{6, 6}},
+			Capacities: []float64{100},
+		}},
+		Budgets: []float64{2},
+	}
+	if got := bounds.ServerBound(in); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("ServerBound = %v, want 9", got)
+	}
+	// User bound: capacity 100 over loads 6,6 -> both fit: 12.
+	if got := bounds.UserBound(in); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("UserBound = %v, want 12", got)
+	}
+	if got := bounds.UpperBound(in); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("UpperBound = %v, want 9", got)
+	}
+}
+
+func TestUserBoundZeroCapacity(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{{Name: "a", Costs: []float64{1}}},
+		Users: []mmd.User{{
+			Utility:    []float64{0}, // must be zero: load > capacity
+			Loads:      [][]float64{{1}},
+			Capacities: []float64{0},
+		}},
+		Budgets: []float64{10},
+	}
+	if got := bounds.UserBound(in); got != 0 {
+		t.Fatalf("UserBound = %v, want 0", got)
+	}
+}

@@ -1,0 +1,184 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/reduction"
+)
+
+func TestSolveFeasibleAcrossDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, dims := range [][2]int{{1, 1}, {2, 1}, {3, 2}, {4, 3}} {
+		m, mc := dims[0], dims[1]
+		for trial := 0; trial < 5; trial++ {
+			in, err := generator.RandomMMD{
+				Streams: 12, Users: 5, M: m, MC: mc, Seed: rng.Int63(), Skew: 8,
+			}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, rep, err := core.Solve(in, core.Options{})
+			if err != nil {
+				t.Fatalf("m=%d mc=%d trial %d: %v", m, mc, trial, err)
+			}
+			if err := a.CheckFeasible(in); err != nil {
+				t.Fatalf("m=%d mc=%d trial %d: infeasible: %v", m, mc, trial, err)
+			}
+			if rep.Value != a.Utility(in) {
+				t.Fatalf("report value %v != utility %v", rep.Value, a.Utility(in))
+			}
+			if rep.Value < 0 {
+				t.Fatalf("negative value %v", rep.Value)
+			}
+		}
+	}
+}
+
+// TestTheorem11Ratio: the pipeline's value is within its a-priori
+// guarantee of the exact optimum.
+func TestTheorem11Ratio(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 12; trial++ {
+		m := 1 + trial%3
+		mc := 1 + trial%2
+		in, err := generator.RandomMMD{
+			Streams: 9, Users: 4, M: m, MC: mc, Seed: rng.Int63(), Skew: 4,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, rep, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Value == 0 {
+			continue
+		}
+		got := a.Utility(in)
+		if got*rep.ApproxFactor < opt.Value-1e-9 {
+			t.Fatalf("trial %d (m=%d mc=%d): value %v * factor %v < OPT %v",
+				trial, m, mc, got, rep.ApproxFactor, opt.Value)
+		}
+	}
+}
+
+func TestSolvePartialEnumAtLeastAsGoodOnAverage(t *testing.T) {
+	// Partial enumeration is not pointwise better, but it must never be
+	// catastrophically worse; check it stays within 2x of fixed greedy
+	// and is feasible.
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 5; trial++ {
+		in, err := generator.RandomMMD{
+			Streams: 8, Users: 3, M: 2, MC: 1, Seed: rng.Int63(), Skew: 2,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aG, _, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aP, _, err := core.Solve(in, core.Options{Algorithm: core.AlgoPartialEnum, SeedSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aP.CheckFeasible(in); err != nil {
+			t.Fatal(err)
+		}
+		if aP.Utility(in) < aG.Utility(in)/2-1e-9 {
+			t.Fatalf("trial %d: partial enum %v far below greedy %v",
+				trial, aP.Utility(in), aG.Utility(in))
+		}
+	}
+}
+
+func TestSolveTightnessFamily(t *testing.T) {
+	in, err := reduction.TightnessInstance(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, rep, err := core.Solve(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 3; the guarantee allows losing (2m-1)(2mc-1)*bands*const,
+	// but the single-stream fallback ensures at least utility 1.
+	if rep.Value < 1-1e-9 {
+		t.Fatalf("value %v < 1 on the tightness family", rep.Value)
+	}
+}
+
+func TestSolveCableTV(t *testing.T) {
+	in, err := generator.CableTV{Channels: 30, Gateways: 8, Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, rep, err := core.Solve(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value <= 0 {
+		t.Fatal("cable TV scenario produced zero utility")
+	}
+	if rep.Bands < 1 {
+		t.Fatalf("bands = %d, want >= 1", rep.Bands)
+	}
+	if rep.Alpha < 1 {
+		t.Fatalf("alpha = %v, want >= 1", rep.Alpha)
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 3, Users: 2, M: 1, MC: 1, Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Budgets[0] = -1
+	if _, _, err := core.Solve(in, core.Options{}); err == nil {
+		t.Fatal("Solve accepted an invalid instance")
+	}
+}
+
+func TestSolveNoFiniteBudget(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 3, Users: 2, M: 1, MC: 1, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Budgets[0] = math.Inf(1)
+	if _, _, err := core.Solve(in, core.Options{}); err == nil {
+		t.Fatal("Solve should surface ErrNoFiniteBudget")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 14, Users: 6, M: 3, MC: 2, Seed: 9, Skew: 8}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, r1, err := core.Solve(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, r2, err := core.Solve(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Value != r2.Value || !a1.Equal(a2) {
+		t.Fatal("Solve is not deterministic")
+	}
+}

@@ -1,0 +1,168 @@
+// Package emulation runs an admitted assignment as a live system: one
+// broadcaster goroutine per transmitted stream fans chunks out to
+// subscriber channels, one receiver goroutine per gateway drains them —
+// peers modeled as goroutines, multicast as channel fan-out. It is the
+// wall-clock counterpart of the deterministic netsim fluid model and
+// demonstrates that an admitted assignment is actually deliverable as a
+// running process structure.
+package emulation
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mmd"
+)
+
+// Config tunes the emulation.
+type Config struct {
+	// ChunkInterval is the pacing between chunks of one stream
+	// (default 2ms).
+	ChunkInterval time.Duration
+	// Chunks is the number of chunks each broadcaster sends (default 25).
+	Chunks int
+	// SubscriberBuffer is the per-gateway channel depth (default 256).
+	// When the buffer is full a chunk is dropped (recorded, never
+	// blocking the broadcaster) — the emulation analogue of an
+	// oversubscribed access link.
+	SubscriberBuffer int
+	// BitrateMeasure is the server cost measure holding the bitrate in
+	// Mbps (default 0, the cable-TV convention).
+	BitrateMeasure int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkInterval == 0 {
+		c.ChunkInterval = 2 * time.Millisecond
+	}
+	if c.Chunks == 0 {
+		c.Chunks = 25
+	}
+	if c.SubscriberBuffer == 0 {
+		c.SubscriberBuffer = 256
+	}
+	return c
+}
+
+// Report summarizes a run.
+type Report struct {
+	// BytesReceived[u] is the payload delivered to gateway u.
+	BytesReceived []int64
+	// ChunksSent counts every chunk handed to a subscriber channel.
+	ChunksSent int64
+	// ChunksDropped counts chunks lost to full subscriber buffers.
+	ChunksDropped int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// ExpectedBytes[u] is the deterministic payload gateway u should
+	// receive when nothing is dropped: sum over assigned streams of
+	// Chunks * chunkBytes(stream).
+	ExpectedBytes []int64
+}
+
+// chunk is one unit of stream payload.
+type chunk struct {
+	stream int
+	bytes  int
+}
+
+// chunkBytes converts a bitrate and pacing interval into a chunk size:
+// 1 Mbps = 125000 bytes/s.
+func chunkBytes(bitrateMbps float64, interval time.Duration) int {
+	b := int(bitrateMbps * 125000 * interval.Seconds())
+	if b < 1 {
+		b = 1 // even a degenerate stream moves a byte per chunk
+	}
+	return b
+}
+
+// Run emulates the assignment live and blocks until every goroutine has
+// drained. The assignment must be valid for the instance.
+func Run(in *mmd.Instance, assn *mmd.Assignment, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BitrateMeasure < 0 || cfg.BitrateMeasure >= in.M() {
+		return nil, fmt.Errorf("emulation: bitrate measure %d out of range [0, %d)", cfg.BitrateMeasure, in.M())
+	}
+	if assn.NumUsers() != in.NumUsers() {
+		return nil, fmt.Errorf("emulation: assignment has %d users, instance %d", assn.NumUsers(), in.NumUsers())
+	}
+
+	nU := in.NumUsers()
+	report := &Report{
+		BytesReceived: make([]int64, nU),
+		ExpectedBytes: make([]int64, nU),
+	}
+	received := make([]atomic.Int64, nU)
+	var sent, dropped atomic.Int64
+
+	// Wire the fan-out: one channel per gateway, shared by all
+	// broadcasters serving it.
+	inboxes := make([]chan chunk, nU)
+	for u := range inboxes {
+		inboxes[u] = make(chan chunk, cfg.SubscriberBuffer)
+	}
+	subscribers := make(map[int][]int) // stream -> users
+	for u := 0; u < nU; u++ {
+		for _, s := range assn.UserStreams(u) {
+			subscribers[s] = append(subscribers[s], u)
+			report.ExpectedBytes[u] += int64(cfg.Chunks) *
+				int64(chunkBytes(in.Streams[s].Costs[cfg.BitrateMeasure], cfg.ChunkInterval))
+		}
+	}
+
+	start := time.Now()
+
+	// Receivers drain until their inbox closes.
+	var receivers sync.WaitGroup
+	receivers.Add(nU)
+	for u := 0; u < nU; u++ {
+		u := u
+		go func() {
+			defer receivers.Done()
+			for c := range inboxes[u] {
+				received[u].Add(int64(c.bytes))
+			}
+		}()
+	}
+
+	// Broadcasters pace chunks with a ticker and never block on slow
+	// receivers: a full inbox drops the chunk.
+	var broadcasters sync.WaitGroup
+	for s, users := range subscribers {
+		s, users := s, users
+		size := chunkBytes(in.Streams[s].Costs[cfg.BitrateMeasure], cfg.ChunkInterval)
+		broadcasters.Add(1)
+		go func() {
+			defer broadcasters.Done()
+			ticker := time.NewTicker(cfg.ChunkInterval)
+			defer ticker.Stop()
+			for i := 0; i < cfg.Chunks; i++ {
+				<-ticker.C
+				for _, u := range users {
+					select {
+					case inboxes[u] <- chunk{stream: s, bytes: size}:
+						sent.Add(1)
+					default:
+						dropped.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	broadcasters.Wait()
+	for u := range inboxes {
+		close(inboxes[u])
+	}
+	receivers.Wait()
+
+	report.Elapsed = time.Since(start)
+	for u := 0; u < nU; u++ {
+		report.BytesReceived[u] = received[u].Load()
+	}
+	report.ChunksSent = sent.Load()
+	report.ChunksDropped = dropped.Load()
+	return report, nil
+}

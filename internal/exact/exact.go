@@ -1,0 +1,263 @@
+// Package exact computes optimal MMD assignments on small instances by
+// branch and bound. Experiments use it as the OPT reference when
+// measuring approximation ratios (E1-E5); it is exponential and refuses
+// instances above a configurable size.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mmd"
+)
+
+// ErrTooLarge is returned when the instance exceeds the search limits.
+var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
+
+// Options bounds the search.
+type Options struct {
+	// MaxStreams caps the stream count (default 20; hard limit 62).
+	MaxStreams int
+}
+
+// Result is an optimal assignment and its value.
+type Result struct {
+	// Assignment is an optimal feasible assignment.
+	Assignment *mmd.Assignment
+	// Value is the optimal utility.
+	Value float64
+	// Nodes counts explored server-set search nodes (for tests and
+	// performance reporting).
+	Nodes int
+}
+
+type solver struct {
+	in     *mmd.Instance
+	nS, nU int
+
+	// potential[s] = sum over users of w_u(s); suffixPotential[s] = sum
+	// of potential over streams >= s (optimistic bound ignoring all
+	// constraints).
+	suffixPotential []float64
+
+	// support[u] lists streams with w_u > 0, sorted by descending
+	// utility for effective pruning in the per-user knapsack.
+	support [][]int
+	// suffixUser[u][idx] = total remaining utility from support[u][idx:].
+	suffixUser [][]float64
+
+	// memo[u] caches the per-user optimum keyed by the bitmask of the
+	// chosen server set restricted to support[u].
+	memo []map[uint64]userSolution
+
+	chosen   []bool
+	budgets  []float64 // residual server budgets
+	best     float64
+	bestSet  []bool
+	nodes    int
+	hasBound bool
+}
+
+type userSolution struct {
+	value float64
+	mask  uint64 // subset of support indices selected
+}
+
+// Solve returns an optimal assignment. The instance must pass Validate.
+func Solve(in *mmd.Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	maxStreams := opts.MaxStreams
+	if maxStreams == 0 {
+		maxStreams = 20
+	}
+	if in.NumStreams() > maxStreams || in.NumStreams() > 62 {
+		return nil, fmt.Errorf("%d streams (limit %d): %w", in.NumStreams(), maxStreams, ErrTooLarge)
+	}
+
+	s := &solver{
+		in:      in,
+		nS:      in.NumStreams(),
+		nU:      in.NumUsers(),
+		chosen:  make([]bool, in.NumStreams()),
+		budgets: append([]float64(nil), in.Budgets...),
+		best:    -1,
+	}
+	s.suffixPotential = make([]float64, s.nS+1)
+	for i := s.nS - 1; i >= 0; i-- {
+		s.suffixPotential[i] = s.suffixPotential[i+1] + in.StreamUtility(i)
+	}
+	s.support = make([][]int, s.nU)
+	s.suffixUser = make([][]float64, s.nU)
+	s.memo = make([]map[uint64]userSolution, s.nU)
+	for u := 0; u < s.nU; u++ {
+		var sup []int
+		for st, w := range in.Users[u].Utility {
+			if w > 0 {
+				sup = append(sup, st)
+			}
+		}
+		// Descending utility order sharpens the knapsack bound.
+		for i := 1; i < len(sup); i++ {
+			for j := i; j > 0 && in.Users[u].Utility[sup[j]] > in.Users[u].Utility[sup[j-1]]; j-- {
+				sup[j], sup[j-1] = sup[j-1], sup[j]
+			}
+		}
+		s.support[u] = sup
+		suf := make([]float64, len(sup)+1)
+		for i := len(sup) - 1; i >= 0; i-- {
+			suf[i] = suf[i+1] + in.Users[u].Utility[sup[i]]
+		}
+		s.suffixUser[u] = suf
+		s.memo[u] = make(map[uint64]userSolution)
+	}
+
+	s.search(0, 0)
+
+	assn := mmd.NewAssignment(s.nU)
+	if s.bestSet != nil {
+		for u := 0; u < s.nU; u++ {
+			sol := s.userBest(u, s.bestSet)
+			for i, st := range s.support[u] {
+				if sol.mask&(1<<uint(i)) != 0 {
+					assn.Add(u, st)
+				}
+			}
+		}
+	}
+	if err := assn.CheckFeasible(in); err != nil {
+		return nil, fmt.Errorf("exact: internal error, optimal assignment infeasible: %w", err)
+	}
+	val := assn.Utility(in)
+	return &Result{Assignment: assn, Value: val, Nodes: s.nodes}, nil
+}
+
+// search decides stream s in or out.
+func (s *solver) search(stream int, valueSoFar float64) {
+	s.nodes++
+	// Optimistic bound: everything decided so far is worth at most the
+	// unconstrained per-user optimum of the chosen set, and the rest at
+	// most the total remaining potential.
+	if s.hasBound {
+		ub := s.leafValueUpperBound() + s.suffixPotential[stream]
+		if ub <= s.best {
+			return
+		}
+	}
+	if stream == s.nS {
+		v := s.leafValue()
+		if v > s.best {
+			s.best = v
+			s.bestSet = append([]bool(nil), s.chosen...)
+			s.hasBound = true
+		}
+		_ = valueSoFar
+		return
+	}
+
+	// Branch: include stream (if budgets allow), then exclude.
+	fits := true
+	for i, c := range s.in.Streams[stream].Costs {
+		if c > s.budgets[i]+1e-12 {
+			fits = false
+			break
+		}
+	}
+	if fits {
+		for i, c := range s.in.Streams[stream].Costs {
+			s.budgets[i] -= c
+		}
+		s.chosen[stream] = true
+		s.search(stream+1, valueSoFar)
+		s.chosen[stream] = false
+		for i, c := range s.in.Streams[stream].Costs {
+			s.budgets[i] += c
+		}
+	}
+	s.search(stream+1, valueSoFar)
+}
+
+// leafValueUpperBound is a cheap optimistic value of the current partial
+// selection: the full utility of every chosen stream, ignoring user
+// capacities.
+func (s *solver) leafValueUpperBound() float64 {
+	total := 0.0
+	for st := 0; st < s.nS; st++ {
+		if s.chosen[st] {
+			total += s.in.StreamUtility(st)
+		}
+	}
+	return total
+}
+
+// leafValue computes the exact value of the current server set: the sum
+// of per-user optimal sub-assignments.
+func (s *solver) leafValue() float64 {
+	total := 0.0
+	for u := 0; u < s.nU; u++ {
+		total += s.userBest(u, s.chosen).value
+	}
+	return total
+}
+
+// userBest returns the best feasible subset of the chosen streams for
+// user u, memoized on the chosen-set mask restricted to u's support.
+func (s *solver) userBest(u int, chosen []bool) userSolution {
+	var key uint64
+	for i, st := range s.support[u] {
+		if chosen[st] {
+			key |= 1 << uint(i)
+		}
+	}
+	if sol, ok := s.memo[u][key]; ok {
+		return sol
+	}
+	usr := &s.in.Users[u]
+	loads := make([]float64, len(usr.Capacities))
+	best := userSolution{}
+	var cur userSolution
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if cur.value > best.value {
+			best = cur
+		}
+		if idx == len(s.support[u]) {
+			return
+		}
+		if cur.value+s.suffixUser[u][idx] <= best.value {
+			return // even taking everything left cannot improve
+		}
+		st := s.support[u][idx]
+		if key&(1<<uint(idx)) != 0 {
+			fits := true
+			for j := range loads {
+				if loads[j]+usr.Loads[j][st] > usr.Capacities[j]+1e-12 {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for j := range loads {
+					loads[j] += usr.Loads[j][st]
+				}
+				cur.value += usr.Utility[st]
+				cur.mask |= 1 << uint(idx)
+				dfs(idx + 1)
+				cur.mask &^= 1 << uint(idx)
+				cur.value -= usr.Utility[st]
+				for j := range loads {
+					loads[j] -= usr.Loads[j][st]
+				}
+			}
+		}
+		dfs(idx + 1)
+	}
+	dfs(0)
+	if math.IsNaN(best.value) {
+		best.value = 0
+	}
+	s.memo[u][key] = best
+	return best
+}

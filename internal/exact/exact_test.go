@@ -1,0 +1,234 @@
+package exact_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+)
+
+// knapsackInstance is a pure knapsack: one user, no capacity pressure.
+// Items (cost, value): (3,4), (4,5), (5,6); budget 7 -> best is {3,4}
+// with value 9.
+func knapsackInstance() *mmd.Instance {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "a", Costs: []float64{3}},
+			{Name: "b", Costs: []float64{4}},
+			{Name: "c", Costs: []float64{5}},
+		},
+		Users: []mmd.User{{
+			Name:    "u",
+			Utility: []float64{4, 5, 6},
+			Loads:   [][]float64{{4, 5, 6}},
+			// Large capacity: only the budget binds.
+			Capacities: []float64{100},
+		}},
+		Budgets: []float64{7},
+	}
+	return in
+}
+
+func TestSolveKnapsack(t *testing.T) {
+	res, err := exact.Solve(knapsackInstance(), exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 9 {
+		t.Fatalf("Value = %v, want 9", res.Value)
+	}
+	if !res.Assignment.Has(0, 0) || !res.Assignment.Has(0, 1) || res.Assignment.Has(0, 2) {
+		t.Fatalf("wrong optimal set: %v", res.Assignment.Range())
+	}
+}
+
+func TestSolveUserCapacityBinds(t *testing.T) {
+	in := knapsackInstance()
+	// Budget is now loose; the user capacity (8) binds instead: best
+	// single pair within load 8 is {a,b} load 9 > 8 -> best is {c} load
+	// 6 value 6... or {a} 4 / {b} 5; c = 6 wins; {a,b} infeasible.
+	in.Budgets[0] = 100
+	in.Users[0].Capacities[0] = 8
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 6 {
+		t.Fatalf("Value = %v, want 6", res.Value)
+	}
+}
+
+func TestSolveMultiUserSharing(t *testing.T) {
+	// One stream, two users: the server pays once, both users profit.
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "shared", Costs: []float64{5}},
+			{Name: "solo", Costs: []float64{5}},
+		},
+		Users: []mmd.User{
+			{Utility: []float64{3, 4}, Loads: [][]float64{{3, 4}}, Capacities: []float64{10}},
+			{Utility: []float64{3, 0}, Loads: [][]float64{{3, 0}}, Capacities: []float64{10}},
+		},
+		Budgets: []float64{5},
+	}
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// shared gives 3+3=6 > solo's 4.
+	if res.Value != 6 {
+		t.Fatalf("Value = %v, want 6 (multicast sharing)", res.Value)
+	}
+}
+
+func TestSolveRespectsAllBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		in, err := generator.RandomMMD{
+			Streams: 8, Users: 3, M: 3, MC: 2, Seed: rng.Int63(), Skew: 3,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Assignment.CheckFeasible(in); err != nil {
+			t.Fatalf("trial %d: optimal assignment infeasible: %v", trial, err)
+		}
+		if math.Abs(res.Value-res.Assignment.Utility(in)) > 1e-9 {
+			t.Fatalf("trial %d: value %v != utility %v", trial, res.Value, res.Assignment.Utility(in))
+		}
+	}
+}
+
+// TestSolveMatchesBruteForce cross-checks branch and bound against a
+// plain exhaustive search on very small instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 15; trial++ {
+		in, err := generator.RandomMMD{
+			Streams: 5, Users: 2, M: 2, MC: 1, Seed: rng.Int63(), Skew: 2,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := bruteForce(in)
+		if math.Abs(res.Value-brute) > 1e-9 {
+			t.Fatalf("trial %d: B&B %v != brute force %v", trial, res.Value, brute)
+		}
+	}
+}
+
+// bruteForce enumerates every (user, stream) incidence combination via
+// per-user subset enumeration over every feasible server set.
+func bruteForce(in *mmd.Instance) float64 {
+	nS := in.NumStreams()
+	best := 0.0
+	for mask := 0; mask < 1<<uint(nS); mask++ {
+		// Server feasibility.
+		ok := true
+		for i := range in.Budgets {
+			cost := 0.0
+			for s := 0; s < nS; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					cost += in.Streams[s].Costs[i]
+				}
+			}
+			if cost > in.Budgets[i]+1e-12 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		total := 0.0
+		for u := range in.Users {
+			total += bruteUser(in, u, mask)
+		}
+		if total > best {
+			best = total
+		}
+	}
+	return best
+}
+
+func bruteUser(in *mmd.Instance, u, serverMask int) float64 {
+	usr := &in.Users[u]
+	var streams []int
+	for s := 0; s < in.NumStreams(); s++ {
+		if serverMask&(1<<uint(s)) != 0 && usr.Utility[s] > 0 {
+			streams = append(streams, s)
+		}
+	}
+	best := 0.0
+	for mask := 0; mask < 1<<uint(len(streams)); mask++ {
+		ok := true
+		for j := range usr.Capacities {
+			load := 0.0
+			for i, s := range streams {
+				if mask&(1<<uint(i)) != 0 {
+					load += usr.Loads[j][s]
+				}
+			}
+			if load > usr.Capacities[j]+1e-12 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		val := 0.0
+		for i, s := range streams {
+			if mask&(1<<uint(i)) != 0 {
+				val += usr.Utility[s]
+			}
+		}
+		if val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func TestSolveRejectsTooLarge(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 25, Users: 2, M: 1, MC: 1, Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exact.Solve(in, exact.Options{}); !errors.Is(err, exact.ErrTooLarge) {
+		t.Fatalf("Solve() = %v, want ErrTooLarge", err)
+	}
+	if _, err := exact.Solve(in, exact.Options{MaxStreams: 30}); err != nil {
+		t.Fatalf("Solve() with raised limit = %v, want nil", err)
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	in := knapsackInstance()
+	in.Budgets[0] = -1
+	if _, err := exact.Solve(in, exact.Options{}); err == nil {
+		t.Fatal("Solve accepted an invalid instance")
+	}
+}
+
+func TestSolveEmptyInstance(t *testing.T) {
+	res, err := exact.Solve(&mmd.Instance{Budgets: []float64{1}}, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("empty instance OPT = %v, want 0", res.Value)
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E1GreedyRatio(E1Config{Trials: 6, Sizes: []int{8}, Users: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E1 verdict = %s", tab.Verdict)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatal("E1 table malformed")
+	}
+}
+
+func TestE2HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E2ReducedBudget(E2Config{Trials: 8, Streams: 8, Users: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E2 verdict = %s", tab.Verdict)
+	}
+}
+
+func TestE3HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E3SkewSweep(E3Config{Alphas: []float64{1, 16}, Trials: 4, Streams: 8, Users: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E3 verdict = %s", tab.Verdict)
+	}
+}
+
+func TestE4HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E4PipelineRatio(E4Config{Ms: []int{1, 2}, MCs: []int{1}, Trials: 3, Streams: 8, Users: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E4 verdict = %s", tab.Verdict)
+	}
+}
+
+func TestE5HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E5Tightness(E5Config{Grid: [][2]int{{2, 2}, {3, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E5 verdict = %s", tab.Verdict)
+	}
+}
+
+func TestE6HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E6OnlineRatio(E6Config{Trials: 3, Streams: 8, Users: 3, M: 2, MC: 1, Orders: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E6 verdict = %s", tab.Verdict)
+	}
+}
+
+func TestE8AndE9AndE10Run(t *testing.T) {
+	if _, err := E8PartialEnum(E8Config{Trials: 3, Streams: 8, Users: 3, Seeds: []int{0, 1}, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := E9VsThreshold(E9Config{Seeds: 3, Channels: 30, Gateways: 8, EgressFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E9 verdict = %s", tab.Verdict)
+	}
+	tab10, err := E10EndToEnd(E10Config{Channels: 25, Gateways: 6, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab10.Verdict != "HOLDS" {
+		t.Fatalf("E10 verdict = %s", tab10.Verdict)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	a1, err := A1LiftAblation(A1Config{Trials: 4, Streams: 8, Users: 3, M: 2, MC: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Verdict != "HOLDS" {
+		t.Fatalf("A1 verdict = %s", a1.Verdict)
+	}
+	a2, err := A2BlockingFamily(A2Config{Gaps: []float64{10, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Verdict != "HOLDS" {
+		t.Fatalf("A2 verdict = %s", a2.Verdict)
+	}
+	a3, err := A3MuSensitivity(A3Config{Streams: 15, Users: 4, M: 2, MC: 1, Seed: 13,
+		Factors: []float64{0.5, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Verdict != "HOLDS" {
+		t.Fatalf("A3 verdict = %s", a3.Verdict)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "claim text",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Verdict: "HOLDS",
+		Notes:   "note",
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### EX", "**Paper claim.** claim text", "| a | b |", "| 1 | 2 |", "HOLDS", "*note*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestE7Scaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	tab, err := E7GreedyScaling(E7Config{
+		Sizes: [][2]int{{40, 8}, {80, 16}}, Seed: 7, Repeats: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatal("E7 rows missing")
+	}
+}

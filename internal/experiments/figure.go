@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// asciiLogLog renders a small log-log scatter of (x, y) points as a
+// fenced text block — the repository's stand-in for a camera-ready
+// scaling figure. A reference line of the given slope anchored at the
+// first point is drawn with '.', the data with '*' ('@' where they
+// coincide); for the E7 experiment slope 2 is the O(n^2) prediction.
+func asciiLogLog(title string, xs, ys []float64, slope float64, width, height int) string {
+	if len(xs) != len(ys) || len(xs) == 0 || width < 8 || height < 4 {
+		return ""
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return ""
+		}
+		lx[i] = math.Log10(xs[i])
+		ly[i] = math.Log10(ys[i])
+	}
+	minX, maxX := lx[0], lx[0]
+	minY, maxY := ly[0], ly[0]
+	for i := range lx {
+		minX, maxX = math.Min(minX, lx[i]), math.Max(maxX, lx[i])
+		minY, maxY = math.Min(minY, ly[i]), math.Max(maxY, ly[i])
+	}
+	// Include the reference line's extent in the y-range.
+	refAt := func(x float64) float64 { return ly[0] + slope*(x-lx[0]) }
+	minY = math.Min(minY, math.Min(refAt(minX), refAt(maxX)))
+	maxY = math.Max(maxY, math.Max(refAt(minX), refAt(maxX)))
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, ch byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		cur := grid[row][col]
+		switch {
+		case cur == ' ':
+			grid[row][col] = ch
+		case cur != ch:
+			grid[row][col] = '@'
+		}
+	}
+	// Reference line first, data on top.
+	for c := 0; c < width*2; c++ {
+		x := minX + (maxX-minX)*float64(c)/float64(width*2-1)
+		put(x, refAt(x), '.')
+	}
+	for i := range lx {
+		put(lx[i], ly[i], '*')
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (log-log; '.' = slope-%.0f reference, '*' = measured)\n", title, slope)
+	sb.WriteString("```\n")
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("```\n")
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiLogLogRendering(t *testing.T) {
+	xs := []float64{100, 1000, 10000}
+	ys := []float64{1e4, 1e6, 1e8} // perfect slope-2 data
+	fig := asciiLogLog("demo", xs, ys, 2, 40, 10)
+	if fig == "" {
+		t.Fatal("empty figure for valid input")
+	}
+	if !strings.Contains(fig, "demo") || !strings.Contains(fig, "```") {
+		t.Fatalf("figure missing title or fences:\n%s", fig)
+	}
+	// Perfect data lies on the reference line, so coincidence markers
+	// or stars must appear.
+	if !strings.ContainsAny(fig, "*@") {
+		t.Fatalf("no data points rendered:\n%s", fig)
+	}
+	if !strings.Contains(fig, ".") {
+		t.Fatalf("no reference line rendered:\n%s", fig)
+	}
+	lines := strings.Split(fig, "\n")
+	rows := 0
+	inBlock := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "```") {
+			inBlock = !inBlock
+			continue
+		}
+		if inBlock {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Fatalf("figure has %d rows, want 10", rows)
+	}
+}
+
+func TestAsciiLogLogRejectsBadInput(t *testing.T) {
+	if fig := asciiLogLog("x", []float64{1}, []float64{1, 2}, 2, 40, 10); fig != "" {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if fig := asciiLogLog("x", []float64{0}, []float64{1}, 2, 40, 10); fig != "" {
+		t.Fatal("accepted non-positive x")
+	}
+	if fig := asciiLogLog("x", nil, nil, 2, 40, 10); fig != "" {
+		t.Fatal("accepted empty data")
+	}
+	if fig := asciiLogLog("x", []float64{1}, []float64{1}, 2, 4, 2); fig != "" {
+		t.Fatal("accepted degenerate canvas")
+	}
+}

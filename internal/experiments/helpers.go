@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/mmd"
+	"repro/internal/reduction"
+	"repro/internal/smd"
+)
+
+// Thin wrappers so the experiment files read declaratively.
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func generatorTightness(m, mc int) (*mmd.Instance, error) {
+	return reduction.TightnessInstance(m, mc)
+}
+
+func smdFromMMD(in *mmd.Instance) *smd.Instance { return smd.FromMMD(in) }
+
+func smdFixedGreedy(in *smd.Instance) (*smd.FixedResult, error) {
+	return smd.FixedGreedy(in)
+}
+
+func exactValue(in *mmd.Instance) (float64, error) {
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}

@@ -1,0 +1,192 @@
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mmd"
+)
+
+// Tier is a video quality tier.
+type Tier int
+
+// Video quality tiers with their typical bitrates.
+const (
+	TierSD Tier = iota + 1
+	TierHD
+	TierUHD
+)
+
+// BitrateMbps returns the tier's nominal bitrate.
+func (t Tier) BitrateMbps() float64 {
+	switch t {
+	case TierSD:
+		return 4
+	case TierHD:
+		return 8
+	case TierUHD:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierSD:
+		return "SD"
+	case TierHD:
+		return "HD"
+	case TierUHD:
+		return "UHD"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Server cost measure indices of cable-TV instances.
+const (
+	MeasureBandwidth = 0 // egress Mbps
+	MeasureCPU       = 1 // transcoding units
+	MeasurePorts     = 2 // input ports
+)
+
+// CableTV describes the paper's motivating scenario: a cable head-end
+// with m = 3 server budgets (egress bandwidth, processing, input ports)
+// serving neighborhood video gateways, each with a downlink capacity and
+// a revenue cap. Channel popularity is Zipf-distributed, so a few
+// channels are wanted by almost everyone and the tail by few — the
+// regime in which utility-blind admission leaves most value on the
+// table.
+type CableTV struct {
+	// Channels and Gateways are the instance dimensions.
+	Channels, Gateways int
+	// Seed drives all randomness.
+	Seed int64
+	// ZipfS is the Zipf exponent of channel popularity (default 1.1).
+	ZipfS float64
+	// EgressFraction is the egress budget as a fraction of total catalog
+	// bandwidth (default 0.35).
+	EgressFraction float64
+	// DownlinkMbps is each gateway's downlink capacity (default 40).
+	DownlinkMbps float64
+	// RevenueCap bounds the revenue counted per gateway (default 60).
+	RevenueCap float64
+}
+
+func (c CableTV) withDefaults() CableTV {
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.EgressFraction == 0 {
+		c.EgressFraction = 0.35
+	}
+	if c.DownlinkMbps == 0 {
+		c.DownlinkMbps = 40
+	}
+	if c.RevenueCap == 0 {
+		c.RevenueCap = 60
+	}
+	return c
+}
+
+// Generate builds the instance. Each gateway has two capacity measures:
+// downlink bandwidth (load = stream bitrate) and the revenue cap (load =
+// utility, unit skew), appended via AddUtilityCapMeasure.
+func (c CableTV) Generate() (*mmd.Instance, error) {
+	c = c.withDefaults()
+	if c.Channels < 1 || c.Gateways < 1 {
+		return nil, fmt.Errorf("generator: need at least one channel and one gateway; got %d, %d",
+			c.Channels, c.Gateways)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	in := &mmd.Instance{
+		Streams: make([]mmd.Stream, c.Channels),
+		Users:   make([]mmd.User, c.Gateways),
+		Budgets: make([]float64, 3),
+	}
+
+	tiers := make([]Tier, c.Channels)
+	totalBandwidth := 0.0
+	for s := range in.Streams {
+		var tier Tier
+		switch r := rng.Float64(); {
+		case r < 0.3:
+			tier = TierSD
+		case r < 0.8:
+			tier = TierHD
+		default:
+			tier = TierUHD
+		}
+		tiers[s] = tier
+		bitrate := tier.BitrateMbps() * (0.9 + 0.2*rng.Float64())
+		cpu := 1 + rng.Float64()*2 // transcoding cost loosely tracks tier
+		if tier == TierUHD {
+			cpu *= 2
+		}
+		in.Streams[s] = mmd.Stream{
+			Name:  fmt.Sprintf("ch%02d-%s", s, tier),
+			Costs: []float64{bitrate, cpu, 1},
+		}
+		totalBandwidth += bitrate
+	}
+	in.Budgets[MeasureBandwidth] = c.EgressFraction * totalBandwidth
+	in.Budgets[MeasureCPU] = 0.5 * float64(c.Channels) * 2.5
+	in.Budgets[MeasurePorts] = math.Ceil(0.6 * float64(c.Channels))
+	// The paper assumes c_i(S) <= B_i; enforce it for tiny catalogs.
+	for i := range in.Budgets {
+		if mc := maxCost(in, i); in.Budgets[i] < mc {
+			in.Budgets[i] = mc
+		}
+	}
+
+	// Zipf popularity over channels: channel at popularity rank r is
+	// wanted with probability ~ 1/r^s (scaled to keep instances dense
+	// enough to be interesting).
+	ranks := rng.Perm(c.Channels)
+	prob := make([]float64, c.Channels)
+	for s := range prob {
+		prob[s] = math.Min(1, 1.6/math.Pow(float64(ranks[s]+1), c.ZipfS))
+	}
+
+	for u := range in.Users {
+		usr := mmd.User{
+			Name:       fmt.Sprintf("gw%02d", u),
+			Utility:    make([]float64, c.Channels),
+			Loads:      [][]float64{make([]float64, c.Channels)},
+			Capacities: []float64{c.DownlinkMbps},
+		}
+		for s := range usr.Utility {
+			if rng.Float64() >= prob[s] {
+				continue
+			}
+			// Revenue loosely tracks tier quality plus noise.
+			base := 2.0
+			switch tiers[s] {
+			case TierHD:
+				base = 4
+			case TierUHD:
+				base = 7
+			}
+			usr.Utility[s] = base * (0.7 + 0.6*rng.Float64())
+			usr.Loads[0][s] = in.Streams[s].Costs[MeasureBandwidth]
+		}
+		in.Users[u] = usr
+	}
+
+	caps := make([]float64, c.Gateways)
+	for u := range caps {
+		caps[u] = c.RevenueCap
+	}
+	if err := in.AddUtilityCapMeasure(caps); err != nil {
+		return nil, fmt.Errorf("generator: cable TV: %w", err)
+	}
+	in.ZeroOverloadedUtilities()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: cable TV: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,261 @@
+// Package generator builds deterministic synthetic MMD workloads: the
+// random families used to measure approximation ratios, the cable-TV
+// scenario the paper's introduction motivates, the small-streams families
+// required by the Section 5 online algorithm, and adversarial families
+// (blocking, tightness) used by ablations. All randomness flows through a
+// caller-provided seed.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mmd"
+)
+
+// RandomSMD describes a random single-budget instance family.
+type RandomSMD struct {
+	// Streams and Users are the instance dimensions.
+	Streams, Users int
+	// Seed drives all randomness.
+	Seed int64
+	// Skew is the target local skew alpha (>= 1). With Skew = 1 every
+	// user's load equals its utility (the unit-skew case of Section 2).
+	Skew float64
+	// BudgetFraction is the server budget as a fraction of the total
+	// catalog cost (default 0.3). Smaller is more contended.
+	BudgetFraction float64
+	// CapacityFraction is each user capacity as a fraction of the user's
+	// total load over its supported streams (default 0.4).
+	CapacityFraction float64
+	// Density is the probability a user wants a stream (default 0.5).
+	Density float64
+}
+
+func (c RandomSMD) withDefaults() RandomSMD {
+	if c.Skew < 1 {
+		c.Skew = 1
+	}
+	if c.BudgetFraction == 0 {
+		c.BudgetFraction = 0.3
+	}
+	if c.CapacityFraction == 0 {
+		c.CapacityFraction = 0.4
+	}
+	if c.Density == 0 {
+		c.Density = 0.5
+	}
+	return c
+}
+
+// Generate builds the instance.
+func (c RandomSMD) Generate() (*mmd.Instance, error) {
+	c = c.withDefaults()
+	if c.Streams < 1 || c.Users < 1 {
+		return nil, fmt.Errorf("generator: need at least one stream and one user; got %d, %d", c.Streams, c.Users)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	in := &mmd.Instance{
+		Streams: make([]mmd.Stream, c.Streams),
+		Users:   make([]mmd.User, c.Users),
+		Budgets: []float64{0},
+	}
+	totalCost := 0.0
+	for s := range in.Streams {
+		cost := 0.5 + 1.5*rng.Float64()
+		totalCost += cost
+		in.Streams[s] = mmd.Stream{Name: fmt.Sprintf("s%d", s), Costs: []float64{cost}}
+	}
+	in.Budgets[0] = math.Max(c.BudgetFraction*totalCost, maxCost(in, 0))
+
+	for u := range in.Users {
+		usr := mmd.User{
+			Name:    fmt.Sprintf("u%d", u),
+			Utility: make([]float64, c.Streams),
+			Loads:   [][]float64{make([]float64, c.Streams)},
+		}
+		totalLoad := 0.0
+		maxLoad := 0.0
+		for s := range usr.Utility {
+			if rng.Float64() >= c.Density {
+				continue
+			}
+			w := 1 + 9*rng.Float64()
+			// Log-uniform ratio in [1, Skew] gives local skew ~ Skew.
+			ratio := math.Exp(rng.Float64() * math.Log(c.Skew))
+			k := w / ratio
+			usr.Utility[s] = w
+			usr.Loads[0][s] = k
+			totalLoad += k
+			if k > maxLoad {
+				maxLoad = k
+			}
+		}
+		capacity := math.Max(c.CapacityFraction*totalLoad, maxLoad)
+		if totalLoad == 0 {
+			capacity = 1
+		}
+		usr.Capacities = []float64{capacity}
+		in.Users[u] = usr
+	}
+	in.ZeroOverloadedUtilities()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: random SMD: %w", err)
+	}
+	return in, nil
+}
+
+// RandomMMD describes a random multi-budget instance family.
+type RandomMMD struct {
+	// Streams and Users are the instance dimensions.
+	Streams, Users int
+	// M is the number of server cost measures; MC the number of capacity
+	// measures per user.
+	M, MC int
+	// Seed drives all randomness.
+	Seed int64
+	// Skew is the target local skew per user measure (>= 1).
+	Skew float64
+	// BudgetFraction, CapacityFraction, Density are as in RandomSMD.
+	BudgetFraction, CapacityFraction, Density float64
+}
+
+func (c RandomMMD) withDefaults() RandomMMD {
+	if c.M == 0 {
+		c.M = 2
+	}
+	if c.MC == 0 {
+		c.MC = 1
+	}
+	if c.Skew < 1 {
+		c.Skew = 1
+	}
+	if c.BudgetFraction == 0 {
+		c.BudgetFraction = 0.3
+	}
+	if c.CapacityFraction == 0 {
+		c.CapacityFraction = 0.4
+	}
+	if c.Density == 0 {
+		c.Density = 0.5
+	}
+	return c
+}
+
+// Generate builds the instance.
+func (c RandomMMD) Generate() (*mmd.Instance, error) {
+	c = c.withDefaults()
+	if c.Streams < 1 || c.Users < 1 {
+		return nil, fmt.Errorf("generator: need at least one stream and one user; got %d, %d", c.Streams, c.Users)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	in := &mmd.Instance{
+		Streams: make([]mmd.Stream, c.Streams),
+		Users:   make([]mmd.User, c.Users),
+		Budgets: make([]float64, c.M),
+	}
+	totals := make([]float64, c.M)
+	for s := range in.Streams {
+		costs := make([]float64, c.M)
+		for i := range costs {
+			costs[i] = 0.5 + 1.5*rng.Float64()
+			totals[i] += costs[i]
+		}
+		in.Streams[s] = mmd.Stream{Name: fmt.Sprintf("s%d", s), Costs: costs}
+	}
+	for i := range in.Budgets {
+		in.Budgets[i] = math.Max(c.BudgetFraction*totals[i], maxCost(in, i))
+	}
+
+	for u := range in.Users {
+		usr := mmd.User{
+			Name:       fmt.Sprintf("u%d", u),
+			Utility:    make([]float64, c.Streams),
+			Loads:      make([][]float64, c.MC),
+			Capacities: make([]float64, c.MC),
+		}
+		for j := range usr.Loads {
+			usr.Loads[j] = make([]float64, c.Streams)
+		}
+		for s := range usr.Utility {
+			if rng.Float64() >= c.Density {
+				continue
+			}
+			usr.Utility[s] = 1 + 9*rng.Float64()
+		}
+		for j := range usr.Loads {
+			totalLoad, maxLoad := 0.0, 0.0
+			for s := range usr.Utility {
+				if usr.Utility[s] == 0 {
+					continue
+				}
+				ratio := math.Exp(rng.Float64() * math.Log(c.Skew))
+				k := usr.Utility[s] / ratio
+				usr.Loads[j][s] = k
+				totalLoad += k
+				if k > maxLoad {
+					maxLoad = k
+				}
+			}
+			usr.Capacities[j] = math.Max(c.CapacityFraction*totalLoad, maxLoad)
+			if totalLoad == 0 {
+				usr.Capacities[j] = 1
+			}
+		}
+		in.Users[u] = usr
+	}
+	in.ZeroOverloadedUtilities()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: random MMD: %w", err)
+	}
+	return in, nil
+}
+
+// maxCost returns the largest cost in measure i.
+func maxCost(in *mmd.Instance, i int) float64 {
+	maxC := 0.0
+	for s := range in.Streams {
+		if c := in.Streams[s].Costs[i]; c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// BlockingFamily builds the Section 2.2 adversarial family on which raw
+// greedy is arbitrarily bad: a tiny stream with slightly better cost
+// effectiveness blocks a huge stream that alone nearly fills the budget.
+// gap is the utility ratio between the huge and tiny streams (>= 2).
+func BlockingFamily(gap float64) (*mmd.Instance, error) {
+	if gap < 2 {
+		return nil, fmt.Errorf("generator: blocking family needs gap >= 2; got %v", gap)
+	}
+	// Budget 1. Tiny stream: cost 1/gap, utility slightly above 1
+	// (effectiveness just above gap). Huge stream: cost 1, utility gap
+	// (effectiveness exactly gap). Greedy takes the tiny stream first,
+	// the huge one no longer fits, and the ratio is ~gap — unbounded in
+	// the family parameter.
+	delta := 1 / gap
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "tiny", Costs: []float64{delta}},
+			{Name: "huge", Costs: []float64{1}},
+		},
+		Users:   make([]mmd.User, 1),
+		Budgets: []float64{1},
+	}
+	tinyUtility := delta*gap + 1e-6
+	in.Users[0] = mmd.User{
+		Name:       "u0",
+		Utility:    []float64{tinyUtility, gap},
+		Loads:      [][]float64{{tinyUtility, gap}},
+		Capacities: []float64{tinyUtility + gap},
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: blocking family: %w", err)
+	}
+	return in, nil
+}

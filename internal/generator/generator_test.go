@@ -1,0 +1,178 @@
+package generator_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+func TestRandomSMDValidAndDeterministic(t *testing.T) {
+	cfg := generator.RandomSMD{Streams: 20, Users: 8, Seed: 5, Skew: 16}
+	in1, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !in1.IsSMD() {
+		t.Fatal("RandomSMD produced a non-SMD instance")
+	}
+	in2, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1.Users[3].Utility[7] != in2.Users[3].Utility[7] ||
+		in1.Streams[11].Costs[0] != in2.Streams[11].Costs[0] {
+		t.Fatal("same seed produced different instances")
+	}
+	in3, err := generator.RandomSMD{Streams: 20, Users: 8, Seed: 6, Skew: 16}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for s := range in1.Streams {
+		if in1.Streams[s].Costs[0] != in3.Streams[s].Costs[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical costs")
+	}
+}
+
+func TestRandomSMDSkewTarget(t *testing.T) {
+	for _, target := range []float64{1, 8, 64} {
+		in, err := generator.RandomSMD{Streams: 40, Users: 10, Seed: 2, Skew: target}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha, err := mmd.LocalSkew(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alpha > target*1.001 {
+			t.Fatalf("target skew %v: measured %v exceeds target", target, alpha)
+		}
+		if target == 1 && math.Abs(alpha-1) > 1e-9 {
+			t.Fatalf("unit-skew target produced alpha %v", alpha)
+		}
+		if target >= 8 && alpha < 2 {
+			t.Fatalf("target skew %v: measured %v suspiciously low", target, alpha)
+		}
+	}
+}
+
+func TestRandomMMDDimensions(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 15, Users: 6, M: 4, MC: 3, Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 4 || in.MC() != 3 {
+		t.Fatalf("M=%d MC=%d, want 4/3", in.M(), in.MC())
+	}
+}
+
+func TestGeneratorsRejectBadDims(t *testing.T) {
+	if _, err := (generator.RandomSMD{Streams: 0, Users: 1}).Generate(); err == nil {
+		t.Error("RandomSMD accepted zero streams")
+	}
+	if _, err := (generator.RandomMMD{Streams: 1, Users: 0}).Generate(); err == nil {
+		t.Error("RandomMMD accepted zero users")
+	}
+	if _, err := (generator.CableTV{Channels: 0, Gateways: 1}).Generate(); err == nil {
+		t.Error("CableTV accepted zero channels")
+	}
+	if _, err := (generator.BlockingFamily(1)); err == nil {
+		t.Error("BlockingFamily accepted gap < 2")
+	}
+}
+
+func TestCableTVShape(t *testing.T) {
+	in, err := generator.CableTV{Channels: 40, Gateways: 10, Seed: 4}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M() != 3 {
+		t.Fatalf("M = %d, want 3 (bandwidth, CPU, ports)", in.M())
+	}
+	if in.MC() != 2 {
+		t.Fatalf("MC = %d, want 2 (downlink + revenue cap)", in.MC())
+	}
+	if in.SupportSize() == 0 {
+		t.Fatal("no gateway wants any channel")
+	}
+	// The revenue-cap measure must have unit skew: load == utility.
+	for u := range in.Users {
+		usr := &in.Users[u]
+		for s := range usr.Utility {
+			if usr.Loads[1][s] != usr.Utility[s] {
+				t.Fatalf("gateway %d stream %d: revenue load %v != utility %v",
+					u, s, usr.Loads[1][s], usr.Utility[s])
+			}
+		}
+	}
+}
+
+func TestSmallStreamsSatisfiesHypothesis(t *testing.T) {
+	in, err := generator.SmallStreams{
+		Base: generator.RandomMMD{Streams: 30, Users: 6, M: 2, MC: 1, Seed: 8, Skew: 2},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := online.CheckSmallStreams(norm.Instance, norm.Mu()); err != nil {
+		t.Fatalf("small-streams hypothesis violated: %v", err)
+	}
+}
+
+func TestSmallStreamsRejectsBadHeadroom(t *testing.T) {
+	_, err := generator.SmallStreams{
+		Base:     generator.RandomMMD{Streams: 4, Users: 2, Seed: 1},
+		Headroom: 0.5,
+	}.Generate()
+	if err == nil {
+		t.Fatal("SmallStreams accepted headroom < 1")
+	}
+}
+
+func TestBlockingFamilyShape(t *testing.T) {
+	in, err := generator.BlockingFamily(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumStreams() != 2 || in.NumUsers() != 1 {
+		t.Fatalf("dims %d/%d, want 2/1", in.NumStreams(), in.NumUsers())
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if generator.TierSD.String() != "SD" || generator.TierHD.String() != "HD" ||
+		generator.TierUHD.String() != "UHD" {
+		t.Error("tier names wrong")
+	}
+	if generator.TierSD.BitrateMbps() >= generator.TierHD.BitrateMbps() ||
+		generator.TierHD.BitrateMbps() >= generator.TierUHD.BitrateMbps() {
+		t.Error("tier bitrates not increasing")
+	}
+	if generator.Tier(99).String() == "" {
+		t.Error("unknown tier has empty name")
+	}
+}

@@ -1,0 +1,77 @@
+package generator
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+// SmallStreams builds a random MMD instance satisfying the Section 5
+// hypothesis: after global-skew normalization, every stream costs at most
+// B_i/log2(mu) in every server measure and at most K^u_j/log2(mu) in
+// every user measure. It generates a RandomMMD instance and then raises
+// budgets and capacities until online.CheckSmallStreams passes on the
+// normalized copy (raising a budget only relaxes the instance, so
+// validity is preserved).
+type SmallStreams struct {
+	// Base is the underlying random family.
+	Base RandomMMD
+	// Headroom multiplies the minimal compliant budgets (default 1.2).
+	Headroom float64
+}
+
+// Generate builds the instance.
+func (c SmallStreams) Generate() (*mmd.Instance, error) {
+	headroom := c.Headroom
+	if headroom == 0 {
+		headroom = 1.2
+	}
+	if headroom < 1 {
+		return nil, fmt.Errorf("generator: small streams headroom must be >= 1; got %v", headroom)
+	}
+	in, err := c.Base.Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	// Iterate: normalization changes gamma only through cost scaling,
+	// which budget raises do not affect, so one or two rounds suffice;
+	// the loop guards against pathological interactions.
+	for round := 0; round < 8; round++ {
+		norm, err := online.Normalize(in)
+		if err != nil {
+			return nil, fmt.Errorf("generator: small streams: %w", err)
+		}
+		mu := norm.Mu()
+		if online.CheckSmallStreams(norm.Instance, mu) == nil {
+			return in, nil
+		}
+		logMu := math.Log2(mu)
+		// Raise each budget/capacity to headroom * logMu * (largest
+		// cost in the measure). Ratios c_i(S)/B_i are scale-invariant
+		// between the original and normalized instances, so fixing the
+		// original fixes the normalized copy.
+		for i := range in.Budgets {
+			if need := headroom * logMu * maxCost(in, i); in.Budgets[i] < need {
+				in.Budgets[i] = need
+			}
+		}
+		for u := range in.Users {
+			usr := &in.Users[u]
+			for j := range usr.Loads {
+				maxLoad := 0.0
+				for s, k := range usr.Loads[j] {
+					if usr.Utility[s] > 0 && k > maxLoad {
+						maxLoad = k
+					}
+				}
+				if need := headroom * logMu * maxLoad; usr.Capacities[j] < need {
+					usr.Capacities[j] = need
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("generator: small streams: did not converge")
+}

@@ -1,0 +1,138 @@
+package headend_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/headend"
+	"repro/internal/trace"
+)
+
+func TestChurnScenarioOnlinePolicy(t *testing.T) {
+	in, err := cableInstance(t, 21).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.ChurnScenario{Instance: in, Seed: 22, Rounds: 3}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("guarded online overloaded the plant %d times under churn", res.OverloadSamples)
+	}
+	if res.Departures == 0 {
+		t.Fatal("no departures in a churn scenario")
+	}
+	if res.UtilitySeconds <= 0 || res.PeakUtility <= 0 {
+		t.Fatalf("no utility accrued: %v / %v", res.UtilitySeconds, res.PeakUtility)
+	}
+	// With three rounds, freed resources should allow strictly more
+	// admissions than a single pass of the catalog could grant.
+	if res.Admissions <= 0 || res.Offers != 3*in.NumStreams() {
+		t.Fatalf("offers %d admissions %d", res.Offers, res.Admissions)
+	}
+}
+
+func TestChurnScenarioThresholdPolicy(t *testing.T) {
+	in, err := cableInstance(t, 23).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.ChurnScenario{Instance: in, Seed: 24, Rounds: 2}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("threshold overloaded the plant %d times under churn", res.OverloadSamples)
+	}
+}
+
+// TestChurnReusesFreedCapacity: the same catalog offered twice with
+// departures in between must admit in round 2 streams that round 1's
+// load would have blocked — measured as more admissions than a
+// non-churning run of the same length.
+func TestChurnReusesFreedCapacity(t *testing.T) {
+	in, err := (&generator.CableTV{
+		Channels: 30, Gateways: 8, Seed: 25, EgressFraction: 0.15, // tight
+	}).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	makePol := func() headend.Policy {
+		pol, err := headend.NewThresholdPolicy(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pol
+	}
+	churn := &headend.ChurnScenario{Instance: in, Seed: 26, Rounds: 2, MeanHoldTime: 2}
+	resChurn, err := churn.Run(makePol(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same arrivals but effectively no departures during the run.
+	still := &headend.ChurnScenario{Instance: in, Seed: 26, Rounds: 2, MeanHoldTime: 1e9}
+	resStill, err := still.Run(makePol(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resChurn.Admissions <= resStill.Admissions {
+		t.Fatalf("churn admissions %d <= no-churn %d: freed capacity was not reused",
+			resChurn.Admissions, resStill.Admissions)
+	}
+}
+
+func TestChurnTrace(t *testing.T) {
+	in, err := cableInstance(t, 27).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	sc := &headend.ChurnScenario{Instance: in, Seed: 28}
+	if _, err := sc.Run(pol, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	departures := 0
+	for _, e := range events {
+		if e.Type == trace.EventStreamDeparture {
+			departures++
+		}
+	}
+	if departures == 0 {
+		t.Fatal("no departure events traced")
+	}
+}
+
+func TestChurnRejectsNilInstance(t *testing.T) {
+	sc := &headend.ChurnScenario{}
+	pol := &headend.OraclePolicy{}
+	if _, err := sc.Run(pol, nil); err == nil {
+		t.Fatal("Run accepted a nil instance")
+	}
+}

@@ -1,0 +1,230 @@
+package headend_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/headend"
+	"repro/internal/trace"
+)
+
+func cableInstance(t *testing.T, seed int64) *generator.CableTV {
+	t.Helper()
+	return &generator.CableTV{Channels: 30, Gateways: 8, Seed: seed, EgressFraction: 0.3}
+}
+
+func TestScenarioThresholdFeasibleNoOverload(t *testing.T) {
+	in, err := cableInstance(t, 1).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 7}
+	pol, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil {
+		t.Fatalf("threshold produced infeasible assignment: %v", res.FeasibilityErr)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("feasible policy overloaded the network %d times", res.OverloadSamples)
+	}
+	if res.StreamsOffered != in.NumStreams() {
+		t.Fatalf("offered %d, want %d", res.StreamsOffered, in.NumStreams())
+	}
+	if res.Utility <= 0 || res.DeliveredMb <= 0 {
+		t.Fatalf("utility %v delivered %v, want positive", res.Utility, res.DeliveredMb)
+	}
+}
+
+func TestScenarioOraclePolicy(t *testing.T) {
+	in, err := cableInstance(t, 2).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 8}
+	pol, err := headend.NewOraclePolicy(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil {
+		t.Fatalf("oracle infeasible: %v", res.FeasibilityErr)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("oracle overloaded the network %d times", res.OverloadSamples)
+	}
+	// The oracle must reveal exactly its precomputed assignment.
+	if !res.Assignment.Equal(pol.Assignment()) {
+		t.Fatal("revealed assignment differs from the precomputed one")
+	}
+}
+
+func TestScenarioGuardedOnlineNeverOverloads(t *testing.T) {
+	in, err := cableInstance(t, 3).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 9}
+	pol, err := headend.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil {
+		t.Fatalf("guarded online infeasible: %v", res.FeasibilityErr)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("guarded online overloaded the network %d times", res.OverloadSamples)
+	}
+}
+
+func TestScenarioOracleBeatsThresholdAggregate(t *testing.T) {
+	oracleTotal, thresholdTotal := 0.0, 0.0
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := (&generator.CableTV{
+			Channels: 40, Gateways: 10, Seed: seed, EgressFraction: 0.2,
+		}).Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &headend.Scenario{Instance: in, Seed: seed}
+		oracle, err := headend.NewOraclePolicy(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr, err := headend.NewThresholdPolicy(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, err := sc.Run(oracle, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sc.Run(thr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleTotal += or.Utility
+		thresholdTotal += tr.Utility
+	}
+	if oracleTotal <= thresholdTotal {
+		t.Fatalf("oracle %v did not beat threshold %v in aggregate", oracleTotal, thresholdTotal)
+	}
+}
+
+func TestScenarioTraceOutput(t *testing.T) {
+	in, err := cableInstance(t, 4).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 10}
+	pol, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	if _, err := sc.Run(pol, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	arrivals, decisions := 0, 0
+	for _, e := range events {
+		switch e.Type {
+		case trace.EventStreamArrival:
+			arrivals++
+		case trace.EventDecision:
+			decisions++
+		}
+	}
+	if arrivals != in.NumStreams() || decisions != in.NumStreams() {
+		t.Fatalf("trace has %d arrivals, %d decisions, want %d each",
+			arrivals, decisions, in.NumStreams())
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	in, err := cableInstance(t, 5).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 11}
+	run := func() *headend.Result {
+		pol, err := headend.NewThresholdPolicy(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sc.Run(pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.Utility != r2.Utility || r1.DeliveredMb != r2.DeliveredMb ||
+		r1.StreamsAdmitted != r2.StreamsAdmitted {
+		t.Fatal("scenario not deterministic for fixed seeds")
+	}
+}
+
+func TestStaticGreedyPolicy(t *testing.T) {
+	in, err := cableInstance(t, 6).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewStaticGreedyPolicy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &headend.Scenario{Instance: in, Seed: 12}
+	res, err := sc.Run(pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil {
+		t.Fatalf("static greedy infeasible: %v", res.FeasibilityErr)
+	}
+}
+
+func TestPolicyConstructorsReject(t *testing.T) {
+	in, err := cableInstance(t, 7).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := headend.NewThresholdPolicy(in, 0); err == nil {
+		t.Error("NewThresholdPolicy accepted margin 0")
+	}
+	if _, err := headend.NewThresholdPolicy(in, 2); err == nil {
+		t.Error("NewThresholdPolicy accepted margin 2")
+	}
+}
+
+func TestScenarioRejectsNilInstance(t *testing.T) {
+	sc := &headend.Scenario{}
+	pol := &headend.OraclePolicy{}
+	if _, err := sc.Run(pol, nil); err == nil {
+		t.Fatal("Run accepted a nil instance")
+	}
+}

@@ -1,0 +1,260 @@
+// Package headend ties the pieces into the system of Fig. 1: a cable
+// head-end with a stream catalog, neighborhood gateways, an admission
+// policy (the paper's algorithms or the deployed-world threshold
+// baseline), and the simulated multicast plant underneath. Streams
+// arrive over virtual time; the policy decides, subscriptions are
+// installed in the network, and delivery is accounted.
+package headend
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+// Policy decides, at stream-arrival time, which users receive the
+// stream. Implementations may keep state; they are driven from the
+// single simulation thread.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// OnStreamArrival returns the users that should receive stream s
+	// (empty or nil when the stream is rejected).
+	OnStreamArrival(s int) []int
+}
+
+// OnlinePolicy drives the Section 5 Allocate algorithm. When Guarded,
+// any assignment that would violate a true budget or capacity is
+// filtered before commitment — the physical-world backstop for
+// instances that do not satisfy the small-streams hypothesis (a policy
+// server would never oversubscribe the plant).
+type OnlinePolicy struct {
+	in        *mmd.Instance
+	norm      *online.Normalization
+	allocator *online.Allocator
+	guarded   bool
+	assn      *mmd.Assignment
+	// savedUtility keeps the zeroed utility rows of away users (gateway
+	// churn, see UserChurnPolicy).
+	savedUtility map[int][]float64
+}
+
+var _ Policy = (*OnlinePolicy)(nil)
+
+// NewOnlinePolicy builds the policy for the instance. guarded should be
+// true unless the instance satisfies online.CheckSmallStreams.
+func NewOnlinePolicy(in *mmd.Instance, guarded bool) (*OnlinePolicy, error) {
+	norm, err := online.Normalize(in)
+	if err != nil {
+		return nil, fmt.Errorf("headend: online policy: %w", err)
+	}
+	al, err := online.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		return nil, fmt.Errorf("headend: online policy: %w", err)
+	}
+	return &OnlinePolicy{
+		in:        in,
+		norm:      norm,
+		allocator: al,
+		guarded:   guarded,
+		assn:      mmd.NewAssignment(in.NumUsers()),
+	}, nil
+}
+
+// Name implements Policy.
+func (p *OnlinePolicy) Name() string {
+	if p.guarded {
+		return "online-allocate-guarded"
+	}
+	return "online-allocate"
+}
+
+// OnStreamArrival implements Policy.
+func (p *OnlinePolicy) OnStreamArrival(s int) []int {
+	users := p.allocator.Offer(s)
+	if !p.guarded {
+		for _, u := range users {
+			p.assn.Add(u, s)
+		}
+		return users
+	}
+	// Guarded mode: admit users one by one, dropping any that would
+	// break a true constraint.
+	var kept []int
+	for _, u := range users {
+		p.assn.Add(u, s)
+		if p.assn.CheckFeasible(p.in) != nil {
+			p.assn.Remove(u, s)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	return kept
+}
+
+// Assignment returns the running assignment.
+func (p *OnlinePolicy) Assignment() *mmd.Assignment { return p.assn }
+
+// Normalization exposes mu and the competitive bound for reports.
+func (p *OnlinePolicy) Normalization() *online.Normalization { return p.norm }
+
+// ThresholdPolicy is the deployed-world baseline: admit a stream while
+// every budget stays under margin*B_i, deliver to every interested user
+// with headroom, utilities ignored.
+type ThresholdPolicy struct {
+	in         *mmd.Instance
+	margin     float64
+	serverCost []float64
+	userLoad   [][]float64
+	assn       *mmd.Assignment
+	// away marks gateways currently offline (see UserChurnPolicy).
+	away map[int]bool
+}
+
+var _ Policy = (*ThresholdPolicy)(nil)
+
+// NewThresholdPolicy builds the baseline with the given safety margin in
+// (0, 1].
+func NewThresholdPolicy(in *mmd.Instance, margin float64) (*ThresholdPolicy, error) {
+	if margin <= 0 || margin > 1 {
+		return nil, fmt.Errorf("headend: threshold margin must be in (0, 1]; got %v", margin)
+	}
+	p := &ThresholdPolicy{
+		in:         in,
+		margin:     margin,
+		serverCost: make([]float64, in.M()),
+		userLoad:   make([][]float64, in.NumUsers()),
+		assn:       mmd.NewAssignment(in.NumUsers()),
+	}
+	for u := range p.userLoad {
+		p.userLoad[u] = make([]float64, len(in.Users[u].Capacities))
+	}
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *ThresholdPolicy) Name() string { return "threshold" }
+
+// OnStreamArrival implements Policy.
+func (p *ThresholdPolicy) OnStreamArrival(s int) []int {
+	for i, c := range p.in.Streams[s].Costs {
+		if p.serverCost[i]+c > p.margin*p.in.Budgets[i]+1e-12 {
+			return nil
+		}
+	}
+	var kept []int
+	for u := range p.in.Users {
+		usr := &p.in.Users[u]
+		if usr.Utility[s] <= 0 || p.away[u] {
+			continue
+		}
+		fits := true
+		for j := range usr.Capacities {
+			if p.userLoad[u][j]+usr.Loads[j][s] > p.margin*usr.Capacities[j]+1e-12 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		for j := range usr.Capacities {
+			p.userLoad[u][j] += usr.Loads[j][s]
+		}
+		p.assn.Add(u, s)
+		kept = append(kept, u)
+	}
+	if len(kept) > 0 {
+		for i, c := range p.in.Streams[s].Costs {
+			p.serverCost[i] += c
+		}
+	}
+	return kept
+}
+
+// Assignment returns the running assignment.
+func (p *ThresholdPolicy) Assignment() *mmd.Assignment { return p.assn }
+
+// OraclePolicy solves the whole instance offline with the Theorem 1.1
+// pipeline and reveals the precomputed assignment as streams arrive —
+// the natural upper reference for online policies.
+type OraclePolicy struct {
+	name string
+	assn *mmd.Assignment
+}
+
+var _ Policy = (*OraclePolicy)(nil)
+
+// NewOraclePolicy precomputes the offline solution.
+func NewOraclePolicy(in *mmd.Instance, opts core.Options) (*OraclePolicy, error) {
+	a, _, err := core.Solve(in, opts)
+	if err != nil {
+		return nil, fmt.Errorf("headend: oracle policy: %w", err)
+	}
+	return &OraclePolicy{name: "offline-oracle", assn: a}, nil
+}
+
+// Name implements Policy.
+func (p *OraclePolicy) Name() string { return p.name }
+
+// OnStreamArrival implements Policy.
+func (p *OraclePolicy) OnStreamArrival(s int) []int {
+	var users []int
+	for u := 0; u < p.assn.NumUsers(); u++ {
+		if p.assn.Has(u, s) {
+			users = append(users, u)
+		}
+	}
+	return users
+}
+
+// Assignment returns the precomputed assignment.
+func (p *OraclePolicy) Assignment() *mmd.Assignment { return p.assn }
+
+// StaticGreedyPolicy replays the utility-blind static-density baseline
+// as an arrival policy (it pre-ranks using full knowledge, making it a
+// strong-ish baseline despite ignoring residual utilities).
+type StaticGreedyPolicy struct {
+	assn *mmd.Assignment
+}
+
+var _ Policy = (*StaticGreedyPolicy)(nil)
+
+// NewStaticGreedyPolicy precomputes the static-greedy assignment.
+func NewStaticGreedyPolicy(in *mmd.Instance) (*StaticGreedyPolicy, error) {
+	a, err := baseline.StaticGreedy(in)
+	if err != nil {
+		return nil, fmt.Errorf("headend: static greedy policy: %w", err)
+	}
+	return &StaticGreedyPolicy{assn: a}, nil
+}
+
+// Name implements Policy.
+func (p *StaticGreedyPolicy) Name() string { return "static-greedy" }
+
+// OnStreamArrival implements Policy.
+func (p *StaticGreedyPolicy) OnStreamArrival(s int) []int {
+	var users []int
+	for u := 0; u < p.assn.NumUsers(); u++ {
+		if p.assn.Has(u, s) {
+			users = append(users, u)
+		}
+	}
+	return users
+}
+
+// utilityOf sums the instance utility of delivering stream s to users.
+func utilityOf(in *mmd.Instance, s int, users []int) float64 {
+	total := 0.0
+	for _, u := range users {
+		total += in.Users[u].Utility[s]
+	}
+	if math.IsNaN(total) {
+		return 0
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+package headend
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mmd"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replay re-runs a recorded arrival/departure schedule against a
+// (possibly different) admission policy — the standard way to compare
+// policies on exactly the same workload: record one run with a trace
+// writer, then Replay the events under each contender.
+//
+// Only EventStreamArrival and EventStreamDeparture drive the replay;
+// recorded decisions are ignored (the new policy makes its own).
+func Replay(in *mmd.Instance, events []trace.Event, policy Policy) (*Result, error) {
+	if in == nil || in.M() < 1 {
+		return nil, fmt.Errorf("headend: replay needs an instance with at least one budget")
+	}
+	if err := trace.Validate(events); err != nil {
+		return nil, fmt.Errorf("headend: replay: %w", err)
+	}
+	engine := sim.NewEngine()
+	access := make([]float64, in.NumUsers())
+	for u := range in.Users {
+		if len(in.Users[u].Capacities) > 0 {
+			access[u] = in.Users[u].Capacities[0]
+		} else {
+			access[u] = math.Inf(1)
+		}
+	}
+	net, err := netsim.NewTree(engine, in.Budgets[0], access)
+	if err != nil {
+		return nil, fmt.Errorf("headend: replay: %w", err)
+	}
+	for s := range in.Streams {
+		if err := net.RegisterStream(s, in.Streams[s].Costs[0]); err != nil {
+			return nil, fmt.Errorf("headend: replay: %w", err)
+		}
+	}
+
+	res := &Result{Policy: policy.Name() + "-replay", Assignment: mmd.NewAssignment(in.NumUsers())}
+	departer, canDepart := policy.(DeparturePolicy)
+	end := 0.0
+	for _, e := range events {
+		e := e
+		if e.Time > end {
+			end = e.Time
+		}
+		switch e.Type {
+		case trace.EventStreamArrival:
+			err = engine.ScheduleAt(e.Time, func() {
+				res.StreamsOffered++
+				users := policy.OnStreamArrival(e.Stream)
+				if len(users) == 0 {
+					return
+				}
+				res.StreamsAdmitted++
+				for _, u := range users {
+					res.Assignment.Add(u, e.Stream)
+					_ = net.Subscribe(u, e.Stream)
+				}
+			})
+		case trace.EventStreamDeparture:
+			err = engine.ScheduleAt(e.Time, func() {
+				for u := 0; u < in.NumUsers(); u++ {
+					if res.Assignment.Has(u, e.Stream) {
+						res.Assignment.Remove(u, e.Stream)
+						net.Unsubscribe(u, e.Stream)
+					}
+				}
+				if canDepart {
+					departer.OnStreamDeparture(e.Stream)
+				}
+			})
+		default:
+			// Decisions and churn markers in the recording are ignored.
+		}
+		if err != nil {
+			return nil, fmt.Errorf("headend: replay: %w", err)
+		}
+	}
+
+	tail := end/4 + 1
+	if err := net.StartSampling(math.Max(tail/40, 1e-3), end+tail); err != nil {
+		return nil, fmt.Errorf("headend: replay: %w", err)
+	}
+	engine.RunUntil(end + tail)
+
+	res.Utility = res.Assignment.Utility(in)
+	res.FeasibilityErr = res.Assignment.CheckFeasible(in)
+	res.DeliveredMb = net.TotalDeliveredMb()
+	res.OverloadSamples = net.OverloadSamples()
+	res.TotalSamples = net.TotalSamples()
+	res.TrunkUtilization = net.TrunkUtilization()
+	res.EndTime = engine.Now()
+	return res, nil
+}

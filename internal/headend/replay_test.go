@@ -1,0 +1,126 @@
+package headend_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/headend"
+	"repro/internal/trace"
+)
+
+// TestReplaySameWorkloadDifferentPolicies records a threshold run and
+// replays the identical arrival schedule against the oracle, comparing
+// apples to apples.
+func TestReplaySameWorkloadDifferentPolicies(t *testing.T) {
+	in, err := cableInstance(t, 31).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	sc := &headend.Scenario{Instance: in, Seed: 32}
+	orig, err := sc.Run(thr, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying against a fresh threshold policy reproduces the run.
+	thr2, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := headend.Replay(in, events, thr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Utility != orig.Utility || same.StreamsAdmitted != orig.StreamsAdmitted {
+		t.Fatalf("replay of same policy diverged: %v/%d vs %v/%d",
+			same.Utility, same.StreamsAdmitted, orig.Utility, orig.StreamsAdmitted)
+	}
+
+	// Replaying against the oracle is feasible and never overloads.
+	oracle, err := headend.NewOraclePolicy(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := headend.Replay(in, events, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.FeasibilityErr != nil || or.OverloadSamples != 0 {
+		t.Fatalf("oracle replay infeasible (%v) or overloaded (%d)",
+			or.FeasibilityErr, or.OverloadSamples)
+	}
+	if or.StreamsOffered != orig.StreamsOffered {
+		t.Fatalf("replay offered %d streams, original %d", or.StreamsOffered, orig.StreamsOffered)
+	}
+}
+
+func TestReplayHandlesDepartures(t *testing.T) {
+	in, err := cableInstance(t, 33).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	churn := &headend.ChurnScenario{Instance: in, Seed: 34, Rounds: 2}
+	if _, err := churn.Run(pol, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := headend.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := headend.Replay(in, events, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil {
+		t.Fatalf("replay with departures infeasible: %v", res.FeasibilityErr)
+	}
+	if res.OverloadSamples != 0 {
+		t.Fatalf("replay overloaded %d times", res.OverloadSamples)
+	}
+}
+
+func TestReplayRejectsBadTrace(t *testing.T) {
+	in, err := cableInstance(t, 35).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []trace.Event{{Time: 2, Type: trace.EventStreamArrival}, {Time: 1, Type: trace.EventStreamArrival}}
+	if _, err := headend.Replay(in, bad, pol); err == nil {
+		t.Fatal("Replay accepted an out-of-order trace")
+	}
+	if _, err := headend.Replay(nil, nil, pol); err == nil {
+		t.Fatal("Replay accepted a nil instance")
+	}
+}

@@ -1,0 +1,172 @@
+package headend
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mmd"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scenario describes one head-end simulation run. The instance is
+// expected to follow the cable-TV convention: server measure 0 is egress
+// bandwidth in Mbps, each user's capacity measure 0 is its downlink in
+// Mbps (generator.CableTV produces this shape).
+type Scenario struct {
+	// Instance is the workload.
+	Instance *mmd.Instance
+	// Seed drives arrival order and spacing.
+	Seed int64
+	// MeanInterarrival is the mean spacing between stream arrivals in
+	// virtual seconds (default 1).
+	MeanInterarrival float64
+	// TailTime keeps the network running after the last arrival so
+	// delivery accounting reflects the final assignment (default 10x
+	// MeanInterarrival).
+	TailTime float64
+	// SampleInterval is the delivery sampling period (default
+	// MeanInterarrival/4).
+	SampleInterval float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Utility is the total utility of the final assignment.
+	Utility float64
+	// Assignment is the final assignment (streams to users).
+	Assignment *mmd.Assignment
+	// FeasibilityErr is nil when the final assignment satisfies every
+	// budget and capacity of the instance.
+	FeasibilityErr error
+	// StreamsOffered / StreamsAdmitted count arrivals and admissions.
+	StreamsOffered, StreamsAdmitted int
+	// DeliveredMb is megabits delivered across all gateways by the
+	// network simulation.
+	DeliveredMb float64
+	// OverloadSamples counts sampling ticks during which some link was
+	// over capacity (0 whenever the policy respected the budgets).
+	OverloadSamples int
+	// TotalSamples counts delivery sampling ticks.
+	TotalSamples int
+	// TrunkUtilization is the final trunk load over capacity.
+	TrunkUtilization float64
+	// EndTime is the virtual time when the run finished.
+	EndTime float64
+}
+
+func (sc *Scenario) withDefaults() Scenario {
+	out := *sc
+	if out.MeanInterarrival == 0 {
+		out.MeanInterarrival = 1
+	}
+	if out.TailTime == 0 {
+		out.TailTime = 10 * out.MeanInterarrival
+	}
+	if out.SampleInterval == 0 {
+		out.SampleInterval = out.MeanInterarrival / 4
+	}
+	return out
+}
+
+// Run executes the scenario under the given policy. When tw is non-nil
+// the arrival and decision events are appended to it.
+func (sc *Scenario) Run(policy Policy, tw *trace.Writer) (*Result, error) {
+	cfg := sc.withDefaults()
+	in := cfg.Instance
+	if in == nil || in.M() < 1 {
+		return nil, fmt.Errorf("headend: scenario needs an instance with at least one budget")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	engine := sim.NewEngine()
+
+	access := make([]float64, in.NumUsers())
+	for u := range in.Users {
+		if len(in.Users[u].Capacities) > 0 {
+			access[u] = in.Users[u].Capacities[0]
+		} else {
+			access[u] = math.Inf(1)
+		}
+	}
+	net, err := netsim.NewTree(engine, in.Budgets[0], access)
+	if err != nil {
+		return nil, fmt.Errorf("headend: %w", err)
+	}
+	for s := range in.Streams {
+		if err := net.RegisterStream(s, in.Streams[s].Costs[0]); err != nil {
+			return nil, fmt.Errorf("headend: %w", err)
+		}
+	}
+
+	res := &Result{Policy: policy.Name(), Assignment: mmd.NewAssignment(in.NumUsers())}
+	emit := func(e trace.Event) error {
+		if tw == nil {
+			return nil
+		}
+		if err := tw.Append(e); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// Poisson-ish arrivals in a random stream order.
+	order := rng.Perm(in.NumStreams())
+	at := 0.0
+	var lastArrival float64
+	var scheduleErr error
+	for _, s := range order {
+		s := s
+		at += rng.ExpFloat64() * cfg.MeanInterarrival
+		lastArrival = at
+		err := engine.ScheduleAt(at, func() {
+			res.StreamsOffered++
+			if err := emit(trace.Event{
+				Time: engine.Now(), Type: trace.EventStreamArrival, Stream: s,
+			}); err != nil && scheduleErr == nil {
+				scheduleErr = err
+			}
+			users := policy.OnStreamArrival(s)
+			if err := emit(trace.Event{
+				Time: engine.Now(), Type: trace.EventDecision, Stream: s,
+				Users: users, Value: utilityOf(in, s, users),
+			}); err != nil && scheduleErr == nil {
+				scheduleErr = err
+			}
+			if len(users) == 0 {
+				return
+			}
+			res.StreamsAdmitted++
+			for _, u := range users {
+				res.Assignment.Add(u, s)
+				if err := net.Subscribe(u, s); err != nil && scheduleErr == nil {
+					scheduleErr = err
+				}
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("headend: %w", err)
+		}
+	}
+
+	end := lastArrival + cfg.TailTime
+	if err := net.StartSampling(cfg.SampleInterval, end); err != nil {
+		return nil, fmt.Errorf("headend: %w", err)
+	}
+	engine.RunUntil(end)
+	if scheduleErr != nil {
+		return nil, fmt.Errorf("headend: %w", scheduleErr)
+	}
+
+	res.Utility = res.Assignment.Utility(in)
+	res.FeasibilityErr = res.Assignment.CheckFeasible(in)
+	res.DeliveredMb = net.TotalDeliveredMb()
+	res.OverloadSamples = net.OverloadSamples()
+	res.TotalSamples = net.TotalSamples()
+	res.TrunkUtilization = net.TrunkUtilization()
+	res.EndTime = engine.Now()
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package headend
+
+// Gateway churn: users (neighborhood gateways) leave and rejoin. A
+// leaving gateway tears down its subscriptions and frees its capacity;
+// while away it must not be assigned new streams; on rejoin it becomes
+// eligible again (it does not automatically recover old streams — a
+// gateway rebooting into the current lineup).
+
+// UserChurnPolicy is implemented by policies that track gateway churn.
+type UserChurnPolicy interface {
+	Policy
+	// OnUserLeave releases everything user u holds and stops assigning
+	// to it.
+	OnUserLeave(u int)
+	// OnUserJoin makes user u eligible again.
+	OnUserJoin(u int)
+}
+
+// OnUserLeave implements UserChurnPolicy for the online policy: the
+// allocator releases the user's resources, and the user's utility row
+// in the normalized instance is zeroed so Offer never selects it while
+// away (the allocator reads utilities live).
+func (p *OnlinePolicy) OnUserLeave(u int) {
+	if u < 0 || u >= p.in.NumUsers() {
+		return
+	}
+	if p.savedUtility == nil {
+		p.savedUtility = make(map[int][]float64)
+	}
+	if _, away := p.savedUtility[u]; away {
+		return
+	}
+	row := p.norm.Instance.Users[u].Utility
+	p.savedUtility[u] = append([]float64(nil), row...)
+	for s := range row {
+		row[s] = 0
+	}
+	_, _ = p.allocator.ReleaseUser(u)
+	for _, s := range p.assn.UserStreams(u) {
+		p.assn.Remove(u, s)
+	}
+}
+
+// OnUserJoin implements UserChurnPolicy for the online policy.
+func (p *OnlinePolicy) OnUserJoin(u int) {
+	saved, away := p.savedUtility[u]
+	if !away {
+		return
+	}
+	copy(p.norm.Instance.Users[u].Utility, saved)
+	delete(p.savedUtility, u)
+}
+
+// OnUserLeave implements UserChurnPolicy for the threshold policy.
+func (p *ThresholdPolicy) OnUserLeave(u int) {
+	if u < 0 || u >= p.in.NumUsers() {
+		return
+	}
+	if p.away == nil {
+		p.away = make(map[int]bool)
+	}
+	if p.away[u] {
+		return
+	}
+	p.away[u] = true
+	for _, s := range p.assn.UserStreams(u) {
+		p.assn.Remove(u, s)
+		if !p.assn.InRange(s) {
+			// Last holder gone: the stream leaves the server lineup.
+			for i, c := range p.in.Streams[s].Costs {
+				p.serverCost[i] -= c
+				if p.serverCost[i] < 0 {
+					p.serverCost[i] = 0
+				}
+			}
+		}
+	}
+	for j := range p.userLoad[u] {
+		p.userLoad[u][j] = 0
+	}
+}
+
+// OnUserJoin implements UserChurnPolicy for the threshold policy.
+func (p *ThresholdPolicy) OnUserJoin(u int) {
+	delete(p.away, u)
+}

@@ -1,0 +1,268 @@
+// Package metrics provides the small, dependency-free instrumentation
+// used by the simulator, the emulation, and the benchmark harness:
+// counters, gauges, fixed-bucket histograms, and a registry that renders
+// text snapshots. All types are safe for concurrent use (the live
+// emulation updates them from many goroutines).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	counts  []uint64  // len(bounds)+1
+	sum     float64
+	total   uint64
+	minSeen float64
+	maxSeen float64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	if h.total == 0 || v < h.minSeen {
+		h.minSeen = v
+	}
+	if h.total == 0 || v > h.maxSeen {
+		h.maxSeen = v
+	}
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.minSeen
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxSeen
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]) using
+// bucket boundaries; +Inf-bucket observations report the max seen.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.maxSeen
+		}
+	}
+	return h.maxSeen
+}
+
+// Registry names and collects metrics.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram with the
+// given bounds; bounds are ignored if the histogram already exists.
+func (r *Registry) Histogram(name string, bounds []float64) (*Histogram, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h, nil
+	}
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		return nil, err
+	}
+	r.histograms[name] = h
+	return h, nil
+}
+
+// Snapshot returns all scalar metric values by name (histograms export
+// name.count, name.sum, name.mean).
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+3*len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		out[name+".count"] = float64(h.Count())
+		out[name+".sum"] = h.Sum()
+		out[name+".mean"] = h.Mean()
+	}
+	return out
+}
+
+// WriteText renders a sorted "name value" snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, snap[name]); err != nil {
+			return fmt.Errorf("metrics: write snapshot: %w", err)
+		}
+	}
+	return nil
+}

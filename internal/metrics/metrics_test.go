@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(2)
+	c.Inc()
+	c.Add(-5) // ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value() = %v, want 3", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Value() = %v, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %v, want 8000", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 10} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 16.7 {
+		t.Fatalf("Sum() = %v, want 16.7", got)
+	}
+	if got := h.Mean(); got != 16.7/5 {
+		t.Fatalf("Mean() = %v", got)
+	}
+	if got := h.Min(); got != 0.5 {
+		t.Fatalf("Min() = %v, want 0.5", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Fatalf("Max() = %v, want 10", got)
+	}
+	// Median of 5 observations falls in the (1,2] bucket.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v, want 10 (max seen)", got)
+	}
+}
+
+func TestHistogramEmptyAndBadBounds(t *testing.T) {
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("NewHistogram accepted descending bounds")
+	}
+	h, err := NewHistogram([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Inc()
+	r.Counter("requests").Inc() // same instance
+	r.Gauge("load").Set(0.7)
+	h, err := r.Histogram("latency", []float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(5)
+
+	snap := r.Snapshot()
+	if snap["requests"] != 2 {
+		t.Fatalf("requests = %v, want 2", snap["requests"])
+	}
+	if snap["load"] != 0.7 {
+		t.Fatalf("load = %v, want 0.7", snap["load"])
+	}
+	if snap["latency.count"] != 1 || snap["latency.sum"] != 5 {
+		t.Fatalf("latency = %v/%v", snap["latency.count"], snap["latency.sum"])
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "requests 2") || !strings.Contains(text, "load 0.7") {
+		t.Fatalf("WriteText output missing entries:\n%s", text)
+	}
+	// Sorted output: "latency.count" precedes "load" precedes "requests".
+	if strings.Index(text, "latency.count") > strings.Index(text, "load") {
+		t.Fatal("WriteText output not sorted")
+	}
+}
+
+func TestRegistryHistogramBoundsIgnoredOnSecondUse(t *testing.T) {
+	r := NewRegistry()
+	h1, err := r.Histogram("h", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.Histogram("h", []float64{9, 8}) // bad bounds ignored: existing returned
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("Histogram returned a different instance for the same name")
+	}
+}

@@ -1,0 +1,253 @@
+package mmd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment maps each user to a set of streams. The server transmits the
+// union of all per-user sets (the range S(A)). An Assignment is tied to
+// the stream/user indexing of the instance it was created for.
+//
+// Assignment is not safe for concurrent mutation.
+type Assignment struct {
+	// sets[u] holds the stream indices assigned to user u.
+	sets []map[int]struct{}
+	// rangeCount[s] counts how many users hold stream s; a stream is in
+	// the range while its count is positive.
+	rangeCount map[int]int
+}
+
+// NewAssignment returns an empty assignment for an instance with
+// numUsers users.
+func NewAssignment(numUsers int) *Assignment {
+	sets := make([]map[int]struct{}, numUsers)
+	for u := range sets {
+		sets[u] = make(map[int]struct{})
+	}
+	return &Assignment{sets: sets, rangeCount: make(map[int]int)}
+}
+
+// NumUsers returns the number of users the assignment was created for.
+func (a *Assignment) NumUsers() int { return len(a.sets) }
+
+// Add assigns stream s to user u. Adding an already-assigned pair is a
+// no-op.
+func (a *Assignment) Add(u, s int) {
+	if _, ok := a.sets[u][s]; ok {
+		return
+	}
+	a.sets[u][s] = struct{}{}
+	a.rangeCount[s]++
+}
+
+// Remove unassigns stream s from user u. Removing an absent pair is a
+// no-op.
+func (a *Assignment) Remove(u, s int) {
+	if _, ok := a.sets[u][s]; !ok {
+		return
+	}
+	delete(a.sets[u], s)
+	if a.rangeCount[s]--; a.rangeCount[s] == 0 {
+		delete(a.rangeCount, s)
+	}
+}
+
+// Has reports whether stream s is assigned to user u.
+func (a *Assignment) Has(u, s int) bool {
+	_, ok := a.sets[u][s]
+	return ok
+}
+
+// UserStreams returns the streams assigned to user u in increasing index
+// order. The returned slice is owned by the caller.
+func (a *Assignment) UserStreams(u int) []int {
+	out := make([]int, 0, len(a.sets[u]))
+	for s := range a.sets[u] {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UserCount returns |A(u)|.
+func (a *Assignment) UserCount(u int) int { return len(a.sets[u]) }
+
+// Range returns S(A), the set of streams assigned to at least one user,
+// in increasing index order. The returned slice is owned by the caller.
+func (a *Assignment) Range() []int {
+	out := make([]int, 0, len(a.rangeCount))
+	for s := range a.rangeCount {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InRange reports whether stream s is assigned to at least one user.
+func (a *Assignment) InRange(s int) bool { return a.rangeCount[s] > 0 }
+
+// RangeSize returns |S(A)|.
+func (a *Assignment) RangeSize() int { return len(a.rangeCount) }
+
+// Pairs returns the total number of assigned (user, stream) pairs.
+func (a *Assignment) Pairs() int {
+	n := 0
+	for u := range a.sets {
+		n += len(a.sets[u])
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	out := NewAssignment(len(a.sets))
+	for u := range a.sets {
+		for s := range a.sets[u] {
+			out.sets[u][s] = struct{}{}
+		}
+	}
+	for s, c := range a.rangeCount {
+		out.rangeCount[s] = c
+	}
+	return out
+}
+
+// Utility returns w(A) = sum_u sum_{S in A(u)} w_u(S) for the given
+// instance. All value methods sum in increasing index order so results
+// are bit-for-bit deterministic across runs.
+func (a *Assignment) Utility(in *Instance) float64 {
+	total := 0.0
+	for u := range a.sets {
+		total += a.UserUtility(in, u)
+	}
+	return total
+}
+
+// UserUtility returns w_u(A) = sum_{S in A(u)} w_u(S).
+func (a *Assignment) UserUtility(in *Instance, u int) float64 {
+	total := 0.0
+	usr := &in.Users[u]
+	for _, s := range a.UserStreams(u) {
+		total += usr.Utility[s]
+	}
+	return total
+}
+
+// ServerCost returns c_i(A), the cost of the range of A in measure i.
+func (a *Assignment) ServerCost(in *Instance, i int) float64 {
+	total := 0.0
+	for _, s := range a.Range() {
+		total += in.Streams[s].Costs[i]
+	}
+	return total
+}
+
+// UserLoad returns k^u_j(A), the load of A(u) on capacity measure j of
+// user u.
+func (a *Assignment) UserLoad(in *Instance, u, j int) float64 {
+	total := 0.0
+	loads := in.Users[u].Loads[j]
+	for _, s := range a.UserStreams(u) {
+		total += loads[s]
+	}
+	return total
+}
+
+// Restrict removes every assigned pair (u, s) for which keep returns
+// false. It mutates the assignment in place and returns it.
+func (a *Assignment) Restrict(keep func(u, s int) bool) *Assignment {
+	for u := range a.sets {
+		for s := range a.sets[u] {
+			if !keep(u, s) {
+				a.Remove(u, s)
+			}
+		}
+	}
+	return a
+}
+
+// RestrictToStreams removes every assigned stream not present in the
+// given set. It mutates the assignment in place and returns it.
+func (a *Assignment) RestrictToStreams(allowed map[int]struct{}) *Assignment {
+	return a.Restrict(func(_, s int) bool {
+		_, ok := allowed[s]
+		return ok
+	})
+}
+
+// feasibilityTolerance absorbs floating-point accumulation error when
+// comparing sums against budgets and capacities.
+const feasibilityTolerance = 1e-9
+
+// FeasibilityError describes a violated constraint.
+type FeasibilityError struct {
+	// Server reports whether a server budget (true) or user capacity
+	// (false) is violated.
+	Server bool
+	// User is the violating user index (meaningful when Server is false).
+	User int
+	// Measure is the violated budget or capacity measure index.
+	Measure int
+	// Total is the accumulated cost or load.
+	Total float64
+	// Limit is the budget or capacity that Total exceeds.
+	Limit float64
+}
+
+// Error implements the error interface.
+func (e *FeasibilityError) Error() string {
+	if e.Server {
+		return fmt.Sprintf("mmd: server budget %d violated: cost %v > budget %v",
+			e.Measure, e.Total, e.Limit)
+	}
+	return fmt.Sprintf("mmd: user %d capacity %d violated: load %v > capacity %v",
+		e.User, e.Measure, e.Total, e.Limit)
+}
+
+// CheckFeasible verifies that the assignment satisfies every server
+// budget and every user capacity of the instance, within a small
+// floating-point tolerance. It returns nil when feasible and a
+// *FeasibilityError describing the first violation otherwise.
+func (a *Assignment) CheckFeasible(in *Instance) error {
+	for i := range in.Budgets {
+		cost := a.ServerCost(in, i)
+		if limit := in.Budgets[i]; cost > limit*(1+feasibilityTolerance)+feasibilityTolerance {
+			return &FeasibilityError{Server: true, Measure: i, Total: cost, Limit: limit}
+		}
+	}
+	for u := range a.sets {
+		usr := &in.Users[u]
+		for j := range usr.Capacities {
+			load := a.UserLoad(in, u, j)
+			if limit := usr.Capacities[j]; load > limit*(1+feasibilityTolerance)+feasibilityTolerance {
+				return &FeasibilityError{User: u, Measure: j, Total: load, Limit: limit}
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two assignments contain exactly the same pairs.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if len(a.sets) != len(b.sets) {
+		return false
+	}
+	for u := range a.sets {
+		if len(a.sets[u]) != len(b.sets[u]) {
+			return false
+		}
+		for s := range a.sets[u] {
+			if _, ok := b.sets[u][s]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable description.
+func (a *Assignment) String() string {
+	return fmt.Sprintf("Assignment{users: %d, range: %d, pairs: %d}",
+		len(a.sets), len(a.rangeCount), a.Pairs())
+}

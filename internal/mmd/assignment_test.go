@@ -1,0 +1,167 @@
+package mmd
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAssignmentBasicOps(t *testing.T) {
+	a := NewAssignment(2)
+	if a.NumUsers() != 2 {
+		t.Fatalf("NumUsers() = %d, want 2", a.NumUsers())
+	}
+	a.Add(0, 1)
+	a.Add(1, 1)
+	a.Add(0, 0)
+	if !a.Has(0, 1) || !a.Has(1, 1) || !a.Has(0, 0) || a.Has(1, 0) {
+		t.Fatal("Has() inconsistent after Add")
+	}
+	if got := a.Pairs(); got != 3 {
+		t.Errorf("Pairs() = %d, want 3", got)
+	}
+	if got := a.RangeSize(); got != 2 {
+		t.Errorf("RangeSize() = %d, want 2", got)
+	}
+	a.Add(0, 1) // idempotent
+	if got := a.Pairs(); got != 3 {
+		t.Errorf("Pairs() after duplicate Add = %d, want 3", got)
+	}
+
+	a.Remove(0, 1)
+	if a.Has(0, 1) {
+		t.Error("pair still present after Remove")
+	}
+	if !a.InRange(1) {
+		t.Error("stream 1 should remain in range (user 1 holds it)")
+	}
+	a.Remove(1, 1)
+	if a.InRange(1) {
+		t.Error("stream 1 should have left the range")
+	}
+	a.Remove(1, 1) // idempotent
+	if got := a.RangeSize(); got != 1 {
+		t.Errorf("RangeSize() = %d, want 1", got)
+	}
+}
+
+func TestAssignmentRangeSorted(t *testing.T) {
+	a := NewAssignment(1)
+	for _, s := range []int{5, 1, 3} {
+		a.Add(0, s)
+	}
+	r := a.Range()
+	want := []int{1, 3, 5}
+	if len(r) != len(want) {
+		t.Fatalf("Range() = %v, want %v", r, want)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Range() = %v, want %v", r, want)
+		}
+	}
+	us := a.UserStreams(0)
+	for i := range want {
+		if us[i] != want[i] {
+			t.Fatalf("UserStreams(0) = %v, want %v", us, want)
+		}
+	}
+}
+
+func TestAssignmentValues(t *testing.T) {
+	in := twoStreamInstance()
+	a := NewAssignment(in.NumUsers())
+	a.Add(0, 0)
+	a.Add(0, 1)
+	a.Add(1, 1)
+	if got := a.Utility(in); got != 5+7+4 {
+		t.Errorf("Utility() = %v, want 16", got)
+	}
+	if got := a.UserUtility(in, 0); got != 12 {
+		t.Errorf("UserUtility(0) = %v, want 12", got)
+	}
+	if got := a.ServerCost(in, 0); got != 5 {
+		t.Errorf("ServerCost(0) = %v, want 5", got)
+	}
+	if got := a.ServerCost(in, 1); got != 3 {
+		t.Errorf("ServerCost(1) = %v, want 3", got)
+	}
+	if got := a.UserLoad(in, 0, 0); got != 3 {
+		t.Errorf("UserLoad(0,0) = %v, want 3", got)
+	}
+}
+
+func TestAssignmentFeasibility(t *testing.T) {
+	in := twoStreamInstance()
+	a := NewAssignment(in.NumUsers())
+	a.Add(0, 0)
+	a.Add(0, 1) // loads 1+2 = 3 = capacity: feasible
+	a.Add(1, 1)
+	if err := a.CheckFeasible(in); err != nil {
+		t.Fatalf("CheckFeasible() = %v, want nil", err)
+	}
+
+	// Shrink user 0's capacity: now infeasible.
+	in.Users[0].Capacities[0] = 2.5
+	err := a.CheckFeasible(in)
+	var fe *FeasibilityError
+	if !errors.As(err, &fe) {
+		t.Fatalf("CheckFeasible() = %v, want *FeasibilityError", err)
+	}
+	if fe.Server || fe.User != 0 || fe.Measure != 0 {
+		t.Errorf("violation = %+v, want user 0 measure 0", fe)
+	}
+
+	// Restore and shrink a server budget instead.
+	in.Users[0].Capacities[0] = 3
+	in.Budgets[1] = 2.5
+	err = a.CheckFeasible(in)
+	if !errors.As(err, &fe) {
+		t.Fatalf("CheckFeasible() = %v, want *FeasibilityError", err)
+	}
+	if !fe.Server || fe.Measure != 1 {
+		t.Errorf("violation = %+v, want server measure 1", fe)
+	}
+	if fe.Error() == "" {
+		t.Error("FeasibilityError.Error() is empty")
+	}
+}
+
+func TestAssignmentCloneEqualRestrict(t *testing.T) {
+	a := NewAssignment(2)
+	a.Add(0, 0)
+	a.Add(0, 2)
+	a.Add(1, 2)
+
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Remove(1, 2)
+	if a.Equal(b) {
+		t.Fatal("Equal() true after divergence")
+	}
+	if a.Has(1, 2) != true {
+		t.Fatal("clone mutation leaked into original")
+	}
+
+	a.RestrictToStreams(map[int]struct{}{2: {}})
+	if a.Has(0, 0) || !a.Has(0, 2) || !a.Has(1, 2) {
+		t.Fatalf("RestrictToStreams kept wrong pairs: %v", a)
+	}
+
+	a.Restrict(func(u, _ int) bool { return u == 0 })
+	if a.Has(1, 2) || !a.Has(0, 2) {
+		t.Fatal("Restrict kept wrong pairs")
+	}
+}
+
+func TestEmptyAssignmentFeasible(t *testing.T) {
+	in := twoStreamInstance()
+	a := NewAssignment(in.NumUsers())
+	if err := a.CheckFeasible(in); err != nil {
+		t.Fatalf("empty assignment infeasible: %v", err)
+	}
+	if got := a.Utility(in); got != 0 {
+		t.Fatalf("empty assignment utility = %v, want 0", got)
+	}
+}

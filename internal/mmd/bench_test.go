@@ -1,0 +1,86 @@
+package mmd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchInstance(b *testing.B, streams, users int) *Instance {
+	b.Helper()
+	return randomInstance(rand.New(rand.NewSource(7)), streams, users)
+}
+
+func BenchmarkAssignmentAddRemove(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := NewAssignment(20)
+		for u := 0; u < 20; u++ {
+			for s := 0; s < 50; s++ {
+				a.Add(u, s)
+			}
+		}
+		for u := 0; u < 20; u++ {
+			for s := 0; s < 50; s += 2 {
+				a.Remove(u, s)
+			}
+		}
+	}
+}
+
+func BenchmarkCheckFeasible(b *testing.B) {
+	in := benchInstance(b, 100, 20)
+	a := NewAssignment(in.NumUsers())
+	rng := rand.New(rand.NewSource(8))
+	for u := 0; u < in.NumUsers(); u++ {
+		for s := 0; s < in.NumStreams(); s++ {
+			if rng.Float64() < 0.2 {
+				a.Add(u, s)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.CheckFeasible(in)
+	}
+}
+
+func BenchmarkUtility(b *testing.B) {
+	in := benchInstance(b, 100, 20)
+	a := NewAssignment(in.NumUsers())
+	for u := 0; u < in.NumUsers(); u++ {
+		for s := 0; s < in.NumStreams(); s += 3 {
+			a.Add(u, s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Utility(in)
+	}
+}
+
+func BenchmarkNormalizeLoads(b *testing.B) {
+	in := benchInstance(b, 100, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NormalizeLoads(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	in := benchInstance(b, 50, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

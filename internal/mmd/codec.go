@@ -1,0 +1,139 @@
+package mmd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// The JSON codec round-trips instances including infinite budgets and
+// capacities, which encoding/json cannot represent as numbers. Infinities
+// are encoded as the string "inf".
+
+// jsonNumber wraps a float64 that may be +Inf.
+type jsonNumber float64
+
+// MarshalJSON implements json.Marshaler.
+func (n jsonNumber) MarshalJSON() ([]byte, error) {
+	f := float64(n)
+	if math.IsInf(f, 1) {
+		return []byte(`"inf"`), nil
+	}
+	if math.IsNaN(f) || math.IsInf(f, -1) {
+		return nil, fmt.Errorf("mmd: cannot encode %v", f)
+	}
+	return []byte(strconv.FormatFloat(f, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *jsonNumber) UnmarshalJSON(data []byte) error {
+	if string(data) == `"inf"` {
+		*n = jsonNumber(math.Inf(1))
+		return nil
+	}
+	f, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return fmt.Errorf("mmd: decode number %q: %w", data, err)
+	}
+	*n = jsonNumber(f)
+	return nil
+}
+
+type jsonStream struct {
+	Name  string    `json:"name"`
+	Costs []float64 `json:"costs"`
+}
+
+type jsonUser struct {
+	Name       string       `json:"name"`
+	Utility    []float64    `json:"utility"`
+	Loads      [][]float64  `json:"loads"`
+	Capacities []jsonNumber `json:"capacities"`
+}
+
+type jsonInstance struct {
+	Streams []jsonStream `json:"streams"`
+	Users   []jsonUser   `json:"users"`
+	Budgets []jsonNumber `json:"budgets"`
+}
+
+func toWire(in *Instance) *jsonInstance {
+	w := &jsonInstance{
+		Streams: make([]jsonStream, len(in.Streams)),
+		Users:   make([]jsonUser, len(in.Users)),
+		Budgets: make([]jsonNumber, len(in.Budgets)),
+	}
+	for s := range in.Streams {
+		w.Streams[s] = jsonStream{Name: in.Streams[s].Name, Costs: in.Streams[s].Costs}
+	}
+	for u := range in.Users {
+		usr := &in.Users[u]
+		caps := make([]jsonNumber, len(usr.Capacities))
+		for j, c := range usr.Capacities {
+			caps[j] = jsonNumber(c)
+		}
+		w.Users[u] = jsonUser{
+			Name:       usr.Name,
+			Utility:    usr.Utility,
+			Loads:      usr.Loads,
+			Capacities: caps,
+		}
+	}
+	for i, b := range in.Budgets {
+		w.Budgets[i] = jsonNumber(b)
+	}
+	return w
+}
+
+func fromWire(w *jsonInstance) *Instance {
+	in := &Instance{
+		Streams: make([]Stream, len(w.Streams)),
+		Users:   make([]User, len(w.Users)),
+		Budgets: make([]float64, len(w.Budgets)),
+	}
+	for s := range w.Streams {
+		in.Streams[s] = Stream{Name: w.Streams[s].Name, Costs: w.Streams[s].Costs}
+	}
+	for u := range w.Users {
+		src := &w.Users[u]
+		caps := make([]float64, len(src.Capacities))
+		for j, c := range src.Capacities {
+			caps[j] = float64(c)
+		}
+		in.Users[u] = User{
+			Name:       src.Name,
+			Utility:    src.Utility,
+			Loads:      src.Loads,
+			Capacities: caps,
+		}
+	}
+	for i, b := range w.Budgets {
+		in.Budgets[i] = float64(b)
+	}
+	return in
+}
+
+// Encode writes the instance as indented JSON.
+func Encode(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(toWire(in)); err != nil {
+		return fmt.Errorf("mmd: encode instance: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a JSON instance and validates it.
+func Decode(r io.Reader) (*Instance, error) {
+	var wire jsonInstance
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("mmd: decode instance: %w", err)
+	}
+	in := fromWire(&wire)
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("mmd: decoded instance invalid: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,87 @@
+package mmd
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := twoStreamInstance()
+	in.Budgets[0] = math.Inf(1)
+	in.Users[1].Capacities[0] = math.Inf(1)
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatalf("Encode() = %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode() = %v", err)
+	}
+
+	if got.NumStreams() != in.NumStreams() || got.NumUsers() != in.NumUsers() || got.M() != in.M() {
+		t.Fatalf("dimensions changed: %d/%d/%d vs %d/%d/%d",
+			got.NumStreams(), got.NumUsers(), got.M(),
+			in.NumStreams(), in.NumUsers(), in.M())
+	}
+	if !math.IsInf(got.Budgets[0], 1) {
+		t.Errorf("infinite budget not preserved: %v", got.Budgets[0])
+	}
+	if got.Budgets[1] != in.Budgets[1] {
+		t.Errorf("budget 1 = %v, want %v", got.Budgets[1], in.Budgets[1])
+	}
+	if !math.IsInf(got.Users[1].Capacities[0], 1) {
+		t.Errorf("infinite capacity not preserved: %v", got.Users[1].Capacities[0])
+	}
+	for s := range in.Streams {
+		if got.Streams[s].Name != in.Streams[s].Name {
+			t.Errorf("stream %d name = %q, want %q", s, got.Streams[s].Name, in.Streams[s].Name)
+		}
+		for i := range in.Streams[s].Costs {
+			if got.Streams[s].Costs[i] != in.Streams[s].Costs[i] {
+				t.Errorf("stream %d cost %d mismatch", s, i)
+			}
+		}
+	}
+	for u := range in.Users {
+		for s := range in.Users[u].Utility {
+			if got.Users[u].Utility[s] != in.Users[u].Utility[s] {
+				t.Errorf("user %d utility %d mismatch", u, s)
+			}
+			if got.Users[u].Loads[0][s] != in.Users[u].Loads[0][s] {
+				t.Errorf("user %d load %d mismatch", u, s)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	// A negative cost must be rejected at decode time.
+	const bad = `{
+		"streams": [{"name": "x", "costs": [-1]}],
+		"users": [],
+		"budgets": [1]
+	}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Fatal("Decode accepted an invalid instance")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{nope")); err == nil {
+		t.Fatal("Decode accepted malformed JSON")
+	}
+}
+
+func TestDecodeRejectsBadNumber(t *testing.T) {
+	const bad = `{
+		"streams": [{"name": "x", "costs": [1]}],
+		"users": [],
+		"budgets": ["huge"]
+	}`
+	if _, err := Decode(strings.NewReader(bad)); err == nil {
+		t.Fatal(`Decode accepted budget "huge"`)
+	}
+}

@@ -1,0 +1,28 @@
+// Package mmd defines the Multi-Budget Multi-Client Distribution problem
+// (MMD) of Patt-Shamir and Rawitz, "Video distribution under multiple
+// constraints" (ICDCS 2008; TCS 412, 2011), together with the data types
+// shared by every algorithm in this repository.
+//
+// An MMD instance consists of a catalog of streams, a set of users, and
+// two families of resource constraints:
+//
+//   - The server pays a cost c_i(S) in each of m cost measures for every
+//     stream S it transmits (egress bandwidth, processing, input ports,
+//     ...). Measure i has a budget B_i that the total cost of the
+//     transmitted set may not exceed.
+//   - Each user u pays a load k^u_j(S) in each of its capacity measures j
+//     for every stream assigned to it (downlink bandwidth, decoder
+//     slots, ...). Capacity measure j of user u has a cap K^u_j.
+//
+// Every (user, stream) pair has a utility w_u(S) >= 0; w_u(S) = 0 means
+// the user cannot or does not want to receive the stream. An assignment
+// gives each user a subset of the transmitted streams. Its value is the
+// plain sum of utilities of all assigned pairs. The paper's "bound on the
+// utility a client can generate" is modeled as a capacity measure whose
+// load function equals the utility function (see AddUtilityCapMeasure);
+// this is exactly the unit-skew special case the paper builds on.
+//
+// The package provides instance construction and validation, assignments
+// with feasibility checking, the local-skew normalization of Section 3,
+// and a JSON codec used by the command-line tools.
+package mmd

@@ -1,0 +1,43 @@
+package mmd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode ensures the JSON codec never panics and that everything it
+// accepts re-encodes and decodes to an equally valid instance.
+func FuzzDecode(f *testing.F) {
+	var seedBuf bytes.Buffer
+	if err := Encode(&seedBuf, twoStreamInstance()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.String())
+	f.Add(`{"streams":[],"users":[],"budgets":[]}`)
+	f.Add(`{"streams":[{"name":"x","costs":["inf"]}],"users":[],"budgets":["inf"]}`)
+	f.Add(`{broken`)
+	f.Add(`{"streams":[{"name":"x","costs":[-1]}],"users":[],"budgets":[1]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		in, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must be valid and must round-trip.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.NumStreams() != in.NumStreams() || again.NumUsers() != in.NumUsers() {
+			t.Fatal("round-trip changed dimensions")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package mmd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfiniteSkew is returned when a user derives positive utility from a
+// stream that places zero load on one of the user's capacity measures:
+// the utility-per-load ratio is unbounded and the classify-and-select
+// reduction of Section 3 does not apply. SanitizeLoads repairs such
+// instances.
+var ErrInfiniteSkew = errors.New("mmd: infinite local skew (positive utility with zero load)")
+
+// NormalizeLoads returns a copy of the instance in which every user's
+// load functions and capacities are rescaled so that, for each user u and
+// capacity measure j, min over streams with w_u(S) > 0 of
+// w_u(S)/k^u_j(S) equals 1. This is the normalization under which the
+// paper defines the local skew (Section 3). Scaling a load row and its
+// capacity by the same factor preserves feasibility exactly, so the
+// normalized instance has the same feasible assignments and values.
+//
+// Capacity measures for which no stream has positive utility are left
+// untouched. It returns ErrInfiniteSkew if some user has w_u(S) > 0 but
+// k^u_j(S) = 0.
+func NormalizeLoads(in *Instance) (*Instance, error) {
+	out := in.Clone()
+	for u := range out.Users {
+		usr := &out.Users[u]
+		for j := range usr.Loads {
+			minRatio := math.Inf(1)
+			for s, w := range usr.Utility {
+				if w <= 0 {
+					continue
+				}
+				k := usr.Loads[j][s]
+				if k == 0 {
+					return nil, fmt.Errorf("user %d, measure %d, stream %d: %w", u, j, s, ErrInfiniteSkew)
+				}
+				if r := w / k; r < minRatio {
+					minRatio = r
+				}
+			}
+			if math.IsInf(minRatio, 1) {
+				continue // no supported stream on this measure
+			}
+			// Scale loads and capacity by minRatio so that the smallest
+			// utility-per-load ratio becomes exactly 1.
+			for s := range usr.Loads[j] {
+				usr.Loads[j][s] *= minRatio
+			}
+			if !math.IsInf(usr.Capacities[j], 1) {
+				usr.Capacities[j] *= minRatio
+			}
+		}
+	}
+	return out, nil
+}
+
+// LocalSkew returns the local skew alpha of the instance: the maximum,
+// over users u and capacity measures j, of the ratio between the largest
+// and smallest utility-per-load ratios w_u(S)/k^u_j(S) among streams with
+// w_u(S) > 0. It equals 1 exactly when every user's load functions are
+// proportional to its utility function, and is >= 1 otherwise.
+//
+// It returns ErrInfiniteSkew if some pair has positive utility and zero
+// load.
+func LocalSkew(in *Instance) (float64, error) {
+	alpha := 1.0
+	for u := range in.Users {
+		usr := &in.Users[u]
+		for j := range usr.Loads {
+			minRatio, maxRatio := math.Inf(1), 0.0
+			for s, w := range usr.Utility {
+				if w <= 0 {
+					continue
+				}
+				k := usr.Loads[j][s]
+				if k == 0 {
+					return 0, fmt.Errorf("user %d, measure %d, stream %d: %w", u, j, s, ErrInfiniteSkew)
+				}
+				r := w / k
+				if r < minRatio {
+					minRatio = r
+				}
+				if r > maxRatio {
+					maxRatio = r
+				}
+			}
+			if maxRatio == 0 {
+				continue
+			}
+			if ratio := maxRatio / minRatio; ratio > alpha {
+				alpha = ratio
+			}
+		}
+	}
+	return alpha, nil
+}
+
+// SanitizeLoads repairs, in place, every (user, measure, stream) triple
+// with positive utility but zero load by setting the load to
+// w_u(S)/maxRatio, where maxRatio is the largest finite utility-per-load
+// ratio observed on that (user, measure). The repaired stream becomes the
+// most load-efficient stream on the measure without changing the skew,
+// and the added load is at most w_u(S)/maxRatio, which is negligible for
+// high-skew measures. If a measure has no finite ratio at all, loads are
+// set to the utilities (unit ratio).
+//
+// It returns the number of repaired entries.
+func SanitizeLoads(in *Instance) int {
+	repaired := 0
+	for u := range in.Users {
+		usr := &in.Users[u]
+		for j := range usr.Loads {
+			maxRatio := 0.0
+			for s, w := range usr.Utility {
+				if w <= 0 {
+					continue
+				}
+				if k := usr.Loads[j][s]; k > 0 {
+					if r := w / k; r > maxRatio {
+						maxRatio = r
+					}
+				}
+			}
+			if maxRatio == 0 {
+				maxRatio = 1
+			}
+			for s, w := range usr.Utility {
+				if w > 0 && usr.Loads[j][s] == 0 {
+					usr.Loads[j][s] = w / maxRatio
+					repaired++
+				}
+			}
+		}
+	}
+	return repaired
+}

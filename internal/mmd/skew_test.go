@@ -1,0 +1,205 @@
+package mmd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// skewInstance has a known local skew: user 0 has ratios {1x, 4x} on its
+// single measure (skew 4), user 1 has ratio {2x} (skew 1).
+func skewInstance() *Instance {
+	return &Instance{
+		Streams: []Stream{
+			{Name: "a", Costs: []float64{1}},
+			{Name: "b", Costs: []float64{1}},
+		},
+		Users: []User{
+			{
+				Name:       "u0",
+				Utility:    []float64{2, 8},
+				Loads:      [][]float64{{2, 2}}, // ratios 1 and 4
+				Capacities: []float64{4},
+			},
+			{
+				Name:       "u1",
+				Utility:    []float64{6, 0},
+				Loads:      [][]float64{{3, 1}}, // ratio 2 (stream b unused)
+				Capacities: []float64{3},
+			},
+		},
+		Budgets: []float64{2},
+	}
+}
+
+func TestLocalSkew(t *testing.T) {
+	alpha, err := LocalSkew(skewInstance())
+	if err != nil {
+		t.Fatalf("LocalSkew() error: %v", err)
+	}
+	if math.Abs(alpha-4) > 1e-12 {
+		t.Fatalf("LocalSkew() = %v, want 4", alpha)
+	}
+}
+
+func TestLocalSkewUnit(t *testing.T) {
+	in := skewInstance()
+	// Make every load proportional to utility: skew must be exactly 1.
+	for u := range in.Users {
+		for s := range in.Users[u].Utility {
+			in.Users[u].Loads[0][s] = in.Users[u].Utility[s] / 2
+		}
+	}
+	in.Users[1].Loads[0][1] = 1 // zero-utility stream load is ignored
+	alpha, err := LocalSkew(in)
+	if err != nil {
+		t.Fatalf("LocalSkew() error: %v", err)
+	}
+	if alpha != 1 {
+		t.Fatalf("LocalSkew() = %v, want 1", alpha)
+	}
+}
+
+func TestLocalSkewInfinite(t *testing.T) {
+	in := skewInstance()
+	in.Users[0].Loads[0][0] = 0 // positive utility, zero load
+	if _, err := LocalSkew(in); !errors.Is(err, ErrInfiniteSkew) {
+		t.Fatalf("LocalSkew() = %v, want ErrInfiniteSkew", err)
+	}
+	if _, err := NormalizeLoads(in); !errors.Is(err, ErrInfiniteSkew) {
+		t.Fatalf("NormalizeLoads() = %v, want ErrInfiniteSkew", err)
+	}
+}
+
+func TestNormalizeLoadsProperties(t *testing.T) {
+	in := skewInstance()
+	norm, err := NormalizeLoads(in)
+	if err != nil {
+		t.Fatalf("NormalizeLoads() error: %v", err)
+	}
+	// Minimum utility-per-load ratio is exactly 1 on every used measure.
+	for u := range norm.Users {
+		usr := &norm.Users[u]
+		for j := range usr.Loads {
+			minRatio := math.Inf(1)
+			for s, w := range usr.Utility {
+				if w > 0 {
+					if r := w / usr.Loads[j][s]; r < minRatio {
+						minRatio = r
+					}
+				}
+			}
+			if math.Abs(minRatio-1) > 1e-12 {
+				t.Errorf("user %d measure %d: min ratio %v, want 1", u, j, minRatio)
+			}
+		}
+	}
+	// Skew is preserved by normalization.
+	a1, _ := LocalSkew(in)
+	a2, _ := LocalSkew(norm)
+	if math.Abs(a1-a2) > 1e-9 {
+		t.Errorf("skew changed by normalization: %v -> %v", a1, a2)
+	}
+	// The original instance is untouched.
+	if in.Users[0].Loads[0][0] != 2 {
+		t.Error("NormalizeLoads mutated its input")
+	}
+}
+
+func TestNormalizePreservesFeasibility(t *testing.T) {
+	// Property: an assignment is feasible for the original instance iff
+	// it is feasible for the normalized instance.
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomInstance(r, 4, 3)
+		norm, err := NormalizeLoads(in)
+		if err != nil {
+			return true // infinite-skew instances are excluded
+		}
+		a := NewAssignment(in.NumUsers())
+		for u := 0; u < in.NumUsers(); u++ {
+			for s := 0; s < in.NumStreams(); s++ {
+				if r.Float64() < 0.4 {
+					a.Add(u, s)
+				}
+			}
+		}
+		origOK := a.CheckFeasible(in) == nil
+		normOK := a.CheckFeasible(norm) == nil
+		return origOK == normOK
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeLoads(t *testing.T) {
+	in := skewInstance()
+	in.Users[0].Loads[0][0] = 0
+	n := SanitizeLoads(in)
+	if n != 1 {
+		t.Fatalf("SanitizeLoads() = %d, want 1", n)
+	}
+	if _, err := LocalSkew(in); err != nil {
+		t.Fatalf("LocalSkew after sanitize: %v", err)
+	}
+	if in.Users[0].Loads[0][0] <= 0 {
+		t.Fatal("sanitized load not positive")
+	}
+}
+
+func TestSanitizeLoadsNoFiniteRatio(t *testing.T) {
+	in := &Instance{
+		Streams: []Stream{{Name: "a", Costs: []float64{1}}},
+		Users: []User{{
+			Name:       "u",
+			Utility:    []float64{5},
+			Loads:      [][]float64{{0}},
+			Capacities: []float64{10},
+		}},
+		Budgets: []float64{1},
+	}
+	if n := SanitizeLoads(in); n != 1 {
+		t.Fatalf("SanitizeLoads() = %d, want 1", n)
+	}
+	if in.Users[0].Loads[0][0] != 5 {
+		t.Fatalf("fallback unit-ratio load = %v, want 5", in.Users[0].Loads[0][0])
+	}
+}
+
+// randomInstance builds a small random instance for property tests. All
+// positive-utility pairs get positive loads.
+func randomInstance(r *rand.Rand, nStreams, nUsers int) *Instance {
+	in := &Instance{
+		Streams: make([]Stream, nStreams),
+		Users:   make([]User, nUsers),
+		Budgets: []float64{0},
+	}
+	total := 0.0
+	for s := range in.Streams {
+		c := 0.5 + r.Float64()
+		total += c
+		in.Streams[s] = Stream{Costs: []float64{c}}
+	}
+	in.Budgets[0] = total/2 + 1
+	for u := range in.Users {
+		usr := User{
+			Utility:    make([]float64, nStreams),
+			Loads:      [][]float64{make([]float64, nStreams)},
+			Capacities: []float64{2 + 3*r.Float64()},
+		}
+		for s := range usr.Utility {
+			if r.Float64() < 0.7 {
+				usr.Utility[s] = 1 + r.Float64()*5
+				usr.Loads[0][s] = 0.1 + r.Float64()
+			}
+		}
+		in.Users[u] = usr
+	}
+	in.ZeroOverloadedUtilities()
+	return in
+}

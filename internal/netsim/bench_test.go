@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchNetwork(b *testing.B, users, streams int) (*sim.Engine, *Network) {
+	b.Helper()
+	engine := sim.NewEngine()
+	access := make([]float64, users)
+	for u := range access {
+		access[u] = 100
+	}
+	net, err := NewTree(engine, float64(streams)*10, access)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < streams; s++ {
+		if err := net.RegisterStream(s, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return engine, net
+}
+
+func BenchmarkSubscribeUnsubscribe(b *testing.B) {
+	_, net := benchNetwork(b, 50, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u, s := i%50, i%100
+		if err := net.Subscribe(u, s); err != nil {
+			b.Fatal(err)
+		}
+		net.Unsubscribe(u, s)
+	}
+}
+
+func BenchmarkTrunkLoad(b *testing.B) {
+	_, net := benchNetwork(b, 50, 100)
+	for u := 0; u < 50; u++ {
+		for s := 0; s < 100; s += 5 {
+			if err := net.Subscribe(u, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.TrunkLoad()
+	}
+}
+
+func BenchmarkSamplingRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine, net := benchNetwork(b, 20, 40)
+		for u := 0; u < 20; u++ {
+			if err := net.Subscribe(u, u%40); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := net.StartSampling(0.1, 100); err != nil {
+			b.Fatal(err)
+		}
+		engine.RunUntil(100)
+	}
+}

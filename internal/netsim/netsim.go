@@ -1,0 +1,221 @@
+// Package netsim models the multicast distribution plant under the
+// head-end: a tree topology with one trunk link (the server's egress
+// budget) and one access link per gateway (the user's downlink
+// capacity), carrying fluid-model multicast streams. A stream crossing
+// the trunk is paid for once no matter how many gateways receive it —
+// exactly the multicast economics the paper's server budget abstracts.
+//
+// The simulator runs on a sim.Engine virtual clock. Periodic sampling
+// events account delivered megabits per gateway and flag overload
+// samples whenever a link's instantaneous load exceeds its capacity;
+// with a feasible assignment subscribed, no overload sample can ever
+// occur (exercised by experiment E10).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by subscription management.
+var (
+	// ErrUnknownStream is returned for an unregistered stream id.
+	ErrUnknownStream = errors.New("netsim: unknown stream")
+	// ErrUnknownUser is returned for an out-of-range user index.
+	ErrUnknownUser = errors.New("netsim: unknown user")
+)
+
+// Network is the tree-shaped multicast plant.
+//
+// Network is not safe for concurrent use; it lives on the simulation
+// thread.
+type Network struct {
+	engine *sim.Engine
+
+	trunkMbps  float64
+	accessMbps []float64
+
+	bitrate  map[int]float64
+	subs     map[int]map[int]struct{} // stream -> subscribed users
+	userSubs []map[int]struct{}       // user -> subscribed streams
+
+	deliveredMb     []float64 // per user
+	overloadSamples int
+	totalSamples    int
+	sampleInterval  float64
+	samplingUntil   float64
+}
+
+// NewTree builds a head-end network with the given trunk capacity and
+// one access link per gateway.
+func NewTree(engine *sim.Engine, trunkMbps float64, accessMbps []float64) (*Network, error) {
+	if trunkMbps < 0 {
+		return nil, fmt.Errorf("netsim: negative trunk capacity %v", trunkMbps)
+	}
+	for u, c := range accessMbps {
+		if c < 0 {
+			return nil, fmt.Errorf("netsim: negative access capacity %v at user %d", c, u)
+		}
+	}
+	n := &Network{
+		engine:      engine,
+		trunkMbps:   trunkMbps,
+		accessMbps:  append([]float64(nil), accessMbps...),
+		bitrate:     make(map[int]float64),
+		subs:        make(map[int]map[int]struct{}),
+		userSubs:    make([]map[int]struct{}, len(accessMbps)),
+		deliveredMb: make([]float64, len(accessMbps)),
+	}
+	for u := range n.userSubs {
+		n.userSubs[u] = make(map[int]struct{})
+	}
+	return n, nil
+}
+
+// RegisterStream announces a stream and its bitrate. Re-registering
+// updates the bitrate.
+func (n *Network) RegisterStream(stream int, bitrateMbps float64) error {
+	if bitrateMbps < 0 {
+		return fmt.Errorf("netsim: negative bitrate %v for stream %d", bitrateMbps, stream)
+	}
+	n.bitrate[stream] = bitrateMbps
+	return nil
+}
+
+// Subscribe joins user u to the stream's multicast group.
+func (n *Network) Subscribe(u, stream int) error {
+	if _, ok := n.bitrate[stream]; !ok {
+		return fmt.Errorf("netsim: subscribe stream %d: %w", stream, ErrUnknownStream)
+	}
+	if u < 0 || u >= len(n.userSubs) {
+		return fmt.Errorf("netsim: subscribe user %d: %w", u, ErrUnknownUser)
+	}
+	set, ok := n.subs[stream]
+	if !ok {
+		set = make(map[int]struct{})
+		n.subs[stream] = set
+	}
+	set[u] = struct{}{}
+	n.userSubs[u][stream] = struct{}{}
+	return nil
+}
+
+// Unsubscribe removes user u from the stream's group; the last leaver
+// prunes the stream from the trunk.
+func (n *Network) Unsubscribe(u, stream int) {
+	if set, ok := n.subs[stream]; ok {
+		delete(set, u)
+		if len(set) == 0 {
+			delete(n.subs, stream)
+		}
+	}
+	if u >= 0 && u < len(n.userSubs) {
+		delete(n.userSubs[u], stream)
+	}
+}
+
+// TrunkLoad returns the instantaneous trunk load in Mbps: each stream
+// with at least one subscriber counts once (multicast).
+func (n *Network) TrunkLoad() float64 {
+	load := 0.0
+	for stream, set := range n.subs {
+		if len(set) > 0 {
+			load += n.bitrate[stream]
+		}
+	}
+	return load
+}
+
+// AccessLoad returns the instantaneous downlink load of user u in Mbps.
+func (n *Network) AccessLoad(u int) float64 {
+	if u < 0 || u >= len(n.userSubs) {
+		return 0
+	}
+	load := 0.0
+	for stream := range n.userSubs[u] {
+		load += n.bitrate[stream]
+	}
+	return load
+}
+
+// loadTolerance absorbs floating-point accumulation in capacity checks.
+const loadTolerance = 1e-9
+
+// Overloaded reports whether any link currently exceeds its capacity.
+func (n *Network) Overloaded() bool {
+	if n.TrunkLoad() > n.trunkMbps*(1+loadTolerance)+loadTolerance {
+		return true
+	}
+	for u := range n.userSubs {
+		if n.AccessLoad(u) > n.accessMbps[u]*(1+loadTolerance)+loadTolerance {
+			return true
+		}
+	}
+	return false
+}
+
+// StartSampling schedules delivery accounting every interval virtual
+// seconds until the given end time. Each sample delivers
+// bitrate*interval megabits to every subscriber when no link on the path
+// is overloaded, and records an overload sample otherwise.
+func (n *Network) StartSampling(interval, until float64) error {
+	if interval <= 0 {
+		return fmt.Errorf("netsim: non-positive sampling interval %v", interval)
+	}
+	n.sampleInterval = interval
+	n.samplingUntil = until
+	return n.engine.Schedule(interval, n.sample)
+}
+
+func (n *Network) sample() {
+	n.totalSamples++
+	overloaded := n.Overloaded()
+	if overloaded {
+		n.overloadSamples++
+	} else {
+		for u := range n.userSubs {
+			n.deliveredMb[u] += n.AccessLoad(u) * n.sampleInterval
+		}
+	}
+	if next := n.engine.Now() + n.sampleInterval; next <= n.samplingUntil {
+		// Re-arming from inside the handler keeps one pending event.
+		if err := n.engine.Schedule(n.sampleInterval, n.sample); err != nil {
+			// Unreachable: delays are positive. Recorded defensively.
+			n.overloadSamples = -1
+		}
+	}
+}
+
+// DeliveredMb returns the megabits delivered to user u so far.
+func (n *Network) DeliveredMb(u int) float64 {
+	if u < 0 || u >= len(n.deliveredMb) {
+		return 0
+	}
+	return n.deliveredMb[u]
+}
+
+// TotalDeliveredMb sums delivered megabits over all users.
+func (n *Network) TotalDeliveredMb() float64 {
+	total := 0.0
+	for _, mb := range n.deliveredMb {
+		total += mb
+	}
+	return total
+}
+
+// OverloadSamples returns the number of samples during which some link
+// was overloaded.
+func (n *Network) OverloadSamples() int { return n.overloadSamples }
+
+// TotalSamples returns the number of delivery samples taken.
+func (n *Network) TotalSamples() int { return n.totalSamples }
+
+// TrunkUtilization returns TrunkLoad / capacity (0 when uncapped).
+func (n *Network) TrunkUtilization() float64 {
+	if n.trunkMbps == 0 {
+		return 0
+	}
+	return n.TrunkLoad() / n.trunkMbps
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestNet(t *testing.T) (*sim.Engine, *Network) {
+	t.Helper()
+	engine := sim.NewEngine()
+	net, err := NewTree(engine, 20, []float64{10, 10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, rate := range []float64{8, 8, 4} {
+		if err := net.RegisterStream(s, rate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return engine, net
+}
+
+func TestMulticastTrunkAccounting(t *testing.T) {
+	_, net := newTestNet(t)
+	// Stream 0 to two users: trunk pays once (8), not twice.
+	if err := net.Subscribe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Subscribe(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.TrunkLoad(); got != 8 {
+		t.Fatalf("TrunkLoad = %v, want 8 (multicast counts once)", got)
+	}
+	if got := net.AccessLoad(0); got != 8 {
+		t.Fatalf("AccessLoad(0) = %v, want 8", got)
+	}
+	if err := net.Subscribe(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.TrunkLoad(); got != 16 {
+		t.Fatalf("TrunkLoad = %v, want 16", got)
+	}
+	if got := net.AccessLoad(0); got != 16 {
+		t.Fatalf("AccessLoad(0) = %v, want 16", got)
+	}
+	if got := net.TrunkUtilization(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("TrunkUtilization = %v, want 0.8", got)
+	}
+}
+
+func TestUnsubscribePrunesTrunk(t *testing.T) {
+	_, net := newTestNet(t)
+	for _, u := range []int{0, 1} {
+		if err := net.Subscribe(u, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Unsubscribe(0, 0)
+	if got := net.TrunkLoad(); got != 8 {
+		t.Fatalf("TrunkLoad = %v, want 8 (user 1 still subscribed)", got)
+	}
+	net.Unsubscribe(1, 0)
+	if got := net.TrunkLoad(); got != 0 {
+		t.Fatalf("TrunkLoad = %v, want 0 after last leaver", got)
+	}
+	net.Unsubscribe(1, 0) // idempotent
+}
+
+func TestSubscribeErrors(t *testing.T) {
+	_, net := newTestNet(t)
+	if err := net.Subscribe(0, 99); !errors.Is(err, ErrUnknownStream) {
+		t.Fatalf("err = %v, want ErrUnknownStream", err)
+	}
+	if err := net.Subscribe(7, 0); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("err = %v, want ErrUnknownUser", err)
+	}
+	if err := net.RegisterStream(5, -1); err == nil {
+		t.Fatal("RegisterStream accepted a negative bitrate")
+	}
+}
+
+func TestOverloadDetection(t *testing.T) {
+	_, net := newTestNet(t)
+	// User 2 has a 5 Mbps access link; stream 0 is 8 Mbps.
+	if err := net.Subscribe(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !net.Overloaded() {
+		t.Fatal("8 Mbps on a 5 Mbps access link should overload")
+	}
+	net.Unsubscribe(2, 0)
+	// Fill the trunk past 20 Mbps: 8 + 8 + 4 = 20 is fine...
+	for s := 0; s < 3; s++ {
+		if err := net.Subscribe(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...but user 0's access (10) now carries 20.
+	if !net.Overloaded() {
+		t.Fatal("20 Mbps on a 10 Mbps access link should overload")
+	}
+}
+
+func TestSamplingDeliversWhenFeasible(t *testing.T) {
+	engine, net := newTestNet(t)
+	if err := net.Subscribe(0, 0); err != nil { // 8 <= 10 access, 8 <= 20 trunk
+		t.Fatal(err)
+	}
+	if err := net.StartSampling(0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(10)
+	if got := net.OverloadSamples(); got != 0 {
+		t.Fatalf("OverloadSamples = %d, want 0", got)
+	}
+	if got := net.TotalSamples(); got != 20 {
+		t.Fatalf("TotalSamples = %d, want 20", got)
+	}
+	// 8 Mbps for 10 seconds = 80 Mb.
+	if got := net.DeliveredMb(0); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("DeliveredMb(0) = %v, want 80", got)
+	}
+	if got := net.TotalDeliveredMb(); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("TotalDeliveredMb = %v, want 80", got)
+	}
+}
+
+func TestSamplingRecordsOverload(t *testing.T) {
+	engine, net := newTestNet(t)
+	if err := net.Subscribe(2, 0); err != nil { // 8 Mbps on a 5 Mbps link
+		t.Fatal(err)
+	}
+	if err := net.StartSampling(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(5)
+	if got := net.OverloadSamples(); got != net.TotalSamples() || got == 0 {
+		t.Fatalf("OverloadSamples = %d of %d, want all overloaded", got, net.TotalSamples())
+	}
+	if got := net.DeliveredMb(2); got != 0 {
+		t.Fatalf("DeliveredMb(2) = %v, want 0 during overload", got)
+	}
+}
+
+func TestStartSamplingRejectsBadInterval(t *testing.T) {
+	_, net := newTestNet(t)
+	if err := net.StartSampling(0, 5); err == nil {
+		t.Fatal("StartSampling accepted zero interval")
+	}
+}
+
+func TestNewTreeRejectsNegative(t *testing.T) {
+	engine := sim.NewEngine()
+	if _, err := NewTree(engine, -1, nil); err == nil {
+		t.Fatal("NewTree accepted a negative trunk capacity")
+	}
+	if _, err := NewTree(engine, 1, []float64{-2}); err == nil {
+		t.Fatal("NewTree accepted a negative access capacity")
+	}
+}
+
+func TestOutOfRangeAccessorsAreSafe(t *testing.T) {
+	_, net := newTestNet(t)
+	if net.AccessLoad(-1) != 0 || net.AccessLoad(99) != 0 {
+		t.Fatal("AccessLoad out of range should be 0")
+	}
+	if net.DeliveredMb(-1) != 0 || net.DeliveredMb(99) != 0 {
+		t.Fatal("DeliveredMb out of range should be 0")
+	}
+}

@@ -1,0 +1,53 @@
+package online_test
+
+import (
+	"testing"
+
+	"repro/internal/online"
+)
+
+func BenchmarkNormalize(b *testing.B) {
+	in := smallInstance(301, 100, 20, 3, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Normalize(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfferSequence(b *testing.B) {
+	in := smallInstance(302, 100, 20, 2, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := online.NewAllocator(norm.Instance, norm.Mu())
+		if err != nil {
+			b.Fatal(err)
+		}
+		al.RunSequence(nil)
+	}
+}
+
+func BenchmarkChurnCycle(b *testing.B) {
+	in := smallInstance(303, 50, 10, 2, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	al, err := online.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % in.NumStreams()
+		al.Offer(s)
+		al.Release(s)
+	}
+}

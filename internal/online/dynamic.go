@@ -1,0 +1,86 @@
+package online
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dynamic extension (footnote 1 of the paper): "The algorithm can also
+// be extended to scenarios where streams have dynamic resource
+// requirements, so long as their requirements are known when they
+// arrive. This includes, for example, streams of finite duration." The
+// natural mechanism is releasing a departed stream's resources so the
+// exponential costs reflect only live load; Release implements that.
+// The competitive analysis of Theorem 5.4 applies verbatim only to the
+// arrival-only setting; with departures the algorithm becomes the
+// heuristic the footnote sketches (exercised by the churn scenario and
+// its tests).
+
+// Release withdraws stream s entirely: every user holding it drops it
+// and all budget loads are credited back. It reports whether the stream
+// was actually held by anyone. Re-offering the stream later is allowed.
+func (al *Allocator) Release(s int) bool {
+	if !al.assn.InRange(s) {
+		return false
+	}
+	for u := range al.in.Users {
+		if !al.assn.Has(u, s) {
+			continue
+		}
+		al.assn.Remove(u, s)
+		al.value -= al.in.Users[u].Utility[s]
+		usr := &al.in.Users[u]
+		for j, capJ := range usr.Capacities {
+			if capJ > 0 && !math.IsInf(capJ, 1) {
+				al.userLoad[u][j] -= usr.Loads[j][s] / capJ
+				if al.userLoad[u][j] < 0 {
+					al.userLoad[u][j] = 0 // clamp fp residue
+				}
+			}
+		}
+	}
+	for i, b := range al.in.Budgets {
+		if b > 0 && !math.IsInf(b, 1) {
+			al.serverLoad[i] -= al.in.Streams[s].Costs[i] / b
+			if al.serverLoad[i] < 0 {
+				al.serverLoad[i] = 0
+			}
+		}
+	}
+	return true
+}
+
+// ReleaseUser withdraws user u from every stream it holds (gateway
+// churn). Streams kept alive by other subscribers retain their server
+// load; a stream whose last subscriber leaves is pruned from the server
+// too. It returns the number of streams dropped from the server.
+func (al *Allocator) ReleaseUser(u int) (pruned int, err error) {
+	if u < 0 || u >= al.in.NumUsers() {
+		return 0, fmt.Errorf("online: release user %d: out of range", u)
+	}
+	usr := &al.in.Users[u]
+	for _, s := range al.assn.UserStreams(u) {
+		al.assn.Remove(u, s)
+		al.value -= usr.Utility[s]
+		for j, capJ := range usr.Capacities {
+			if capJ > 0 && !math.IsInf(capJ, 1) {
+				al.userLoad[u][j] -= usr.Loads[j][s] / capJ
+				if al.userLoad[u][j] < 0 {
+					al.userLoad[u][j] = 0
+				}
+			}
+		}
+		if !al.assn.InRange(s) {
+			pruned++
+			for i, b := range al.in.Budgets {
+				if b > 0 && !math.IsInf(b, 1) {
+					al.serverLoad[i] -= al.in.Streams[s].Costs[i] / b
+					if al.serverLoad[i] < 0 {
+						al.serverLoad[i] = 0
+					}
+				}
+			}
+		}
+	}
+	return pruned, nil
+}

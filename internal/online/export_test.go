@@ -1,0 +1,5 @@
+package online
+
+// MinMaxSupportUtility exposes minMaxSupportUtility to the external test
+// package.
+var MinMaxSupportUtility = minMaxSupportUtility

@@ -1,0 +1,327 @@
+package online_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bounds"
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+func smallInstance(seed int64, streams, users, m, mc int) *mmd.Instance {
+	in, err := generator.SmallStreams{
+		Base: generator.RandomMMD{
+			Streams: streams, Users: users, M: m, MC: mc, Seed: seed, Skew: 2,
+		},
+	}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// TestNormalizeEquationOne verifies both sides of equation (1) on the
+// normalized instance: for every stream with support and every measure
+// with positive cost, 1 <= minW/(D*c) and sumW/(D*c) <= gamma.
+func TestNormalizeEquationOne(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(41))}
+	property := func(seed int64) bool {
+		in, err := generator.RandomMMD{
+			Streams: 7, Users: 4, M: 2, MC: 2, Seed: seed, Skew: 4,
+		}.Generate()
+		if err != nil {
+			return false
+		}
+		norm, err := online.Normalize(in)
+		if err != nil {
+			return false
+		}
+		df := float64(norm.D)
+		ni := norm.Instance
+		const tol = 1e-9
+		check := func(cost func(s int) float64) bool {
+			for s := 0; s < ni.NumStreams(); s++ {
+				c := cost(s)
+				if c <= 0 {
+					continue
+				}
+				minW, sumW, ok := online.MinMaxSupportUtility(ni, s)
+				if !ok {
+					continue
+				}
+				if minW/(df*c) < 1-tol {
+					return false
+				}
+				if sumW/(df*c) > norm.Gamma+tol {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < ni.M(); i++ {
+			i := i
+			if !check(func(s int) float64 { return ni.Streams[s].Costs[i] }) {
+				return false
+			}
+		}
+		for u := range ni.Users {
+			for j := range ni.Users[u].Loads {
+				u, j := u, j
+				if !check(func(s int) float64 { return ni.Users[u].Loads[j][s] }) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNormalizePreservesFeasibility: scaling costs together with budgets
+// preserves the feasible set.
+func TestNormalizePreservesFeasibility(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(42))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := generator.RandomMMD{
+			Streams: 6, Users: 3, M: 2, MC: 1, Seed: seed, Skew: 3,
+		}.Generate()
+		if err != nil {
+			return false
+		}
+		norm, err := online.Normalize(in)
+		if err != nil {
+			return false
+		}
+		a := mmd.NewAssignment(in.NumUsers())
+		for u := 0; u < in.NumUsers(); u++ {
+			for s := 0; s < in.NumStreams(); s++ {
+				if r.Float64() < 0.4 {
+					a.Add(u, s)
+				}
+			}
+		}
+		return (a.CheckFeasible(in) == nil) == (a.CheckFeasible(norm.Instance) == nil)
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeGammaAtLeastOne(t *testing.T) {
+	in := smallInstance(43, 8, 4, 2, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Gamma < 1 {
+		t.Fatalf("gamma = %v < 1", norm.Gamma)
+	}
+	if norm.Mu() <= 2 {
+		t.Fatalf("mu = %v, want > 2", norm.Mu())
+	}
+	if norm.CompetitiveBound() <= 1 {
+		t.Fatalf("competitive bound = %v, want > 1", norm.CompetitiveBound())
+	}
+}
+
+// TestLemma51NoViolation: with small streams, Allocate never violates
+// any budget or capacity — across many random arrival orders.
+func TestLemma51NoViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		in := smallInstance(rng.Int63(), 20, 5, 2, 1)
+		norm, err := online.Normalize(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := online.CheckSmallStreams(norm.Instance, norm.Mu()); err != nil {
+			t.Fatalf("trial %d: generator violated small-streams: %v", trial, err)
+		}
+		al, err := online.NewAllocator(norm.Instance, norm.Mu())
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := rng.Perm(in.NumStreams())
+		a := al.RunSequence(order)
+		if err := a.CheckFeasible(in); err != nil {
+			t.Fatalf("trial %d: Lemma 5.1 violated: %v", trial, err)
+		}
+	}
+}
+
+// TestTheorem54Competitive: the online value is within (1 + 2 log2 mu)
+// of the optimum (measured against the polynomial upper bound, which can
+// only make the test stricter... looser; and against exact OPT on small
+// instances for strictness).
+func TestTheorem54Competitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 10; trial++ {
+		in := smallInstance(rng.Int63(), 10, 3, 2, 1)
+		a, norm, err := online.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Value == 0 {
+			continue
+		}
+		bound := norm.CompetitiveBound()
+		got := a.Utility(in)
+		if got*bound < opt.Value-1e-9 {
+			t.Fatalf("trial %d: online %v * bound %v < OPT %v", trial, got, bound, opt.Value)
+		}
+	}
+}
+
+// TestOnlineAgainstUpperBound exercises larger instances where exact
+// search is infeasible, using the fractional upper bound.
+func TestOnlineAgainstUpperBound(t *testing.T) {
+	in := smallInstance(46, 60, 12, 3, 2)
+	a, norm, err := online.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := bounds.UpperBound(in)
+	got := a.Utility(in)
+	if got == 0 && ub > 0 {
+		t.Fatalf("online got zero utility with upper bound %v", ub)
+	}
+	if got*norm.CompetitiveBound() < ub/4-1e-9 {
+		// The competitive bound is against OPT <= UB; allow slack since
+		// UB can overestimate OPT, but catch gross failures.
+		t.Fatalf("online %v too far below upper bound %v (bound %v)", got, ub, norm.CompetitiveBound())
+	}
+}
+
+func TestOfferIdempotentPerUser(t *testing.T) {
+	in := smallInstance(47, 8, 3, 1, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := online.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := al.Offer(0)
+	second := al.Offer(0)
+	for _, u := range second {
+		for _, v := range first {
+			if u == v {
+				t.Fatalf("user %d assigned stream 0 twice", u)
+			}
+		}
+	}
+}
+
+func TestCheckSmallStreamsDetects(t *testing.T) {
+	in := smallInstance(48, 6, 3, 2, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow up one cost: must be detected.
+	ni := norm.Instance.Clone()
+	ni.Streams[0].Costs[0] = ni.Budgets[0]
+	err = online.CheckSmallStreams(ni, norm.Mu())
+	if err == nil {
+		t.Fatal("CheckSmallStreams missed an oversized stream")
+	}
+	var sse *online.SmallStreamError
+	if !asSmallStreamError(err, &sse) {
+		t.Fatalf("error type = %T, want *online.SmallStreamError", err)
+	}
+	if sse.Stream != 0 || !sse.Server {
+		t.Fatalf("wrong violation: %+v", sse)
+	}
+	if sse.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func asSmallStreamError(err error, target **online.SmallStreamError) bool {
+	e, ok := err.(*online.SmallStreamError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestNewAllocatorRejectsBadMu(t *testing.T) {
+	in := smallInstance(49, 4, 2, 1, 1)
+	if _, err := online.NewAllocator(in, 1); err == nil {
+		t.Fatal("NewAllocator accepted mu = 1")
+	}
+}
+
+func TestAllocatorLoadAccessors(t *testing.T) {
+	in := smallInstance(50, 10, 3, 2, 1)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := online.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.RunSequence(nil)
+	for i := 0; i < norm.Instance.M(); i++ {
+		if l := al.ServerLoad(i); l < 0 || l > 1+1e-9 {
+			t.Fatalf("server load %d = %v outside [0,1]", i, l)
+		}
+	}
+	for u := range norm.Instance.Users {
+		for j := range norm.Instance.Users[u].Capacities {
+			if l := al.UserLoad(u, j); l < 0 || l > 1+1e-9 {
+				t.Fatalf("user %d load %d = %v outside [0,1]", u, j, l)
+			}
+		}
+	}
+	if al.Value() != al.Assignment().Utility(norm.Instance) {
+		t.Fatalf("Value() = %v, assignment utility = %v",
+			al.Value(), al.Assignment().Utility(norm.Instance))
+	}
+}
+
+// TestOnlineOrderInvariantFeasibility: feasibility holds for every
+// arrival order (value may differ — that is inherent to online).
+func TestOnlineOrderInvariantFeasibility(t *testing.T) {
+	in := smallInstance(51, 15, 4, 2, 2)
+	norm, err := online.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 10; trial++ {
+		al, err := online.NewAllocator(norm.Instance, norm.Mu())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := al.RunSequence(rng.Perm(in.NumStreams()))
+		if err := a.CheckFeasible(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMuMonotoneInGamma(t *testing.T) {
+	n1 := &online.Normalization{Gamma: 1, D: 3}
+	n2 := &online.Normalization{Gamma: 10, D: 3}
+	if n1.Mu() >= n2.Mu() {
+		t.Fatalf("Mu not monotone: %v vs %v", n1.Mu(), n2.Mu())
+	}
+	if math.Abs(n1.Mu()-(2*1*3+2)) > 1e-12 {
+		t.Fatalf("Mu = %v, want 8", n1.Mu())
+	}
+}

@@ -1,0 +1,62 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mmd"
+)
+
+func benchSetup(b *testing.B) (*mmd.Instance, *View, *mmd.Assignment) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	in := randomMMD(9, 60, 15, 3, 2)
+	view, err := ToSMD(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := mmd.NewAssignment(in.NumUsers())
+	for u := 0; u < in.NumUsers(); u++ {
+		for s := 0; s < in.NumStreams(); s++ {
+			if rng.Float64() < 0.5 {
+				a.Add(u, s)
+				if a.CheckFeasible(view.SMD) != nil {
+					a.Remove(u, s)
+				}
+			}
+		}
+	}
+	return in, view, a
+}
+
+func BenchmarkToSMD(b *testing.B) {
+	in := randomMMD(10, 60, 15, 3, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToSMD(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiftPaper(b *testing.B) {
+	_, view, a := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Lift(view, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiftGreedy(b *testing.B) {
+	_, view, a := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := LiftGreedy(view, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/mmd"
+)
+
+// TightnessInstance builds the Section 4.2 family: an MMD instance with m
+// server budgets and one user with mc capacity constraints on which the
+// Theorem 4.3 output transformation can lose a factor of m*mc.
+//
+// The instance has m+mc-1 streams. Streams S_1..S_{m-1} each consume
+// (1/2+eps) of a distinct server budget and have utility 1; streams
+// S_m..S_{m+mc-1} each consume (1/2+eps)/mc of server budget m and
+// (1/2+eps') of a distinct user capacity, with utility 1/mc. The optimal
+// solution takes everything (OPT = m), but the interval decomposition can
+// retain only a single small stream (value 1/mc).
+//
+// Streams are ordered small-first so that the deterministic
+// decomposition in Lift reproduces the adversarial choice described in
+// the paper.
+func TightnessInstance(m, mc int) (*mmd.Instance, error) {
+	if m < 1 || mc < 1 {
+		return nil, fmt.Errorf("reduction: tightness instance needs m, mc >= 1; got m=%d, mc=%d", m, mc)
+	}
+	eps := 1.0 / float64(m*m+4)
+	epsPrime := 1.0 / float64(mc*mc+4)
+
+	nBig := m - 1
+	nSmall := mc
+	nS := nBig + nSmall
+
+	in := &mmd.Instance{
+		Streams: make([]mmd.Stream, nS),
+		Users:   make([]mmd.User, 1),
+		Budgets: make([]float64, m),
+	}
+	for i := range in.Budgets {
+		in.Budgets[i] = 1
+	}
+
+	// Small streams first (indices 0..mc-1): cost (1/2+eps)/mc on server
+	// measure m-1, load (1/2+eps') on user measure i, utility 1/mc.
+	for i := 0; i < nSmall; i++ {
+		costs := make([]float64, m)
+		costs[m-1] = (0.5 + eps) / float64(mc)
+		in.Streams[i] = mmd.Stream{Name: fmt.Sprintf("small-%d", i+1), Costs: costs}
+	}
+	// Big streams (indices mc..mc+m-2): cost (1/2+eps) on a distinct
+	// server measure, no user load, utility 1.
+	for j := 0; j < nBig; j++ {
+		costs := make([]float64, m)
+		costs[j] = 0.5 + eps
+		in.Streams[nSmall+j] = mmd.Stream{Name: fmt.Sprintf("big-%d", j+1), Costs: costs}
+	}
+
+	u := mmd.User{
+		Name:       "gateway",
+		Utility:    make([]float64, nS),
+		Loads:      make([][]float64, mc),
+		Capacities: make([]float64, mc),
+	}
+	for j := range u.Loads {
+		u.Loads[j] = make([]float64, nS)
+		u.Capacities[j] = 1
+		u.Loads[j][j] = 0.5 + epsPrime // small stream j loads measure j
+	}
+	for i := 0; i < nSmall; i++ {
+		u.Utility[i] = 1 / float64(mc)
+	}
+	for j := 0; j < nBig; j++ {
+		u.Utility[nSmall+j] = 1
+	}
+	in.Users[0] = u
+	return in, nil
+}
+
+// TightnessOptimal returns the optimal assignment for a tightness
+// instance: every stream to the single user. Its value is m.
+func TightnessOptimal(in *mmd.Instance) *mmd.Assignment {
+	a := mmd.NewAssignment(in.NumUsers())
+	for s := 0; s < in.NumStreams(); s++ {
+		a.Add(0, s)
+	}
+	return a
+}

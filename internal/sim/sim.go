@@ -1,0 +1,116 @@
+// Package sim is a deterministic discrete-event simulation engine: a
+// virtual clock and an event queue ordered by (time, insertion order).
+// The network simulator and the head-end scenario run on top of it, so
+// every experiment is reproducible bit-for-bit regardless of host load.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrPastEvent is returned when scheduling before the current time.
+var ErrPastEvent = errors.New("sim: cannot schedule into the past")
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core. It is not safe for concurrent use; the
+// simulation world is single-threaded by design (determinism).
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+}
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after the given delay (in virtual seconds).
+func (e *Engine) Schedule(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("sim: delay %v: %w", delay, ErrPastEvent)
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time.
+func (e *Engine) ScheduleAt(at float64, fn func()) error {
+	if at < e.now || math.IsNaN(at) {
+		return fmt.Errorf("sim: time %v < now %v: %w", at, e.now, ErrPastEvent)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// Step executes the next event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events executed. Event handlers may schedule further events.
+func (e *Engine) Run() int {
+	n := 0
+	for e.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with time <= deadline, advances the clock to
+// the deadline, and returns the number of events executed. Events
+// scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline float64) int {
+	n := 0
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

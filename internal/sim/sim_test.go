@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	if err := e.Schedule(3, func() { got = append(got, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(1, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(2, func() { got = append(got, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run() = %d events, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v, want [1 2 3]", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Schedule(1, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestHandlersScheduleMore(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			if err := e.Schedule(1, tick); err != nil {
+				t.Errorf("re-arm failed: %v", err)
+			}
+		}
+	}
+	if err := e.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		if err := e.Schedule(float64(i), func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.RunUntil(3); n != 3 {
+		t.Fatalf("RunUntil(3) = %d, want 3", n)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	// Advancing to a deadline past all events moves the clock there.
+	e.RunUntil(100)
+	if e.Now() != 100 || fired != 5 {
+		t.Fatalf("Now() = %v fired = %d, want 100/5", e.Now(), fired)
+	}
+}
+
+func TestScheduleRejectsPast(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("Schedule(-1) = %v, want ErrPastEvent", err)
+	}
+	if err := e.Schedule(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.ScheduleAt(1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("ScheduleAt(past) = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step() on empty queue returned true")
+	}
+}

@@ -1,0 +1,83 @@
+package skew
+
+import (
+	"testing"
+
+	"repro/internal/mmd"
+	"repro/internal/reduction"
+)
+
+// TestFreeBandZeroLoadPairs: pairs with positive utility and zero load
+// (e.g. the big streams of the Section 4.2 tightness family after the
+// reduction) land in the free band and are still solvable.
+func TestFreeBandZeroLoadPairs(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "free", Costs: []float64{1}},
+			{Name: "loaded", Costs: []float64{1}},
+		},
+		Users: []mmd.User{{
+			Name:       "u",
+			Utility:    []float64{7, 3},
+			Loads:      [][]float64{{0, 2}},
+			Capacities: []float64{2},
+		}},
+		Budgets: []float64{2},
+	}
+	dec, err := Decompose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFree := false
+	for _, b := range dec.Bands {
+		if b.Index == FreeBand {
+			foundFree = true
+			if b.Instance.Utility[0][0] != 7 {
+				t.Fatalf("free band utility = %v, want original 7", b.Instance.Utility[0][0])
+			}
+			if b.Instance.Utility[0][1] != 0 {
+				t.Fatal("loaded pair leaked into the free band")
+			}
+		}
+	}
+	if !foundFree {
+		t.Fatal("no free band produced for a zero-load pair")
+	}
+
+	a, rep, err := Solve(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	// Both streams fit the budget; the free stream alone is worth 7, the
+	// loaded band alone 3; best band carries at least 7.
+	if rep.Value < 7 {
+		t.Fatalf("value = %v, want >= 7", rep.Value)
+	}
+}
+
+// TestFreeBandOnTightnessReduction runs the decomposition on the reduced
+// tightness instance, which mixes free (big) and loaded (small) pairs.
+func TestFreeBandOnTightnessReduction(t *testing.T) {
+	in, err := reduction.TightnessInstance(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := reduction.ToSMD(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompose(view.SMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for _, b := range dec.Bands {
+		pairs += b.Pairs
+	}
+	if want := view.SMD.SupportSize(); pairs != want {
+		t.Fatalf("bands carry %d pairs, want all %d", pairs, want)
+	}
+}

@@ -1,0 +1,213 @@
+package skew
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+	"repro/internal/smd"
+)
+
+func randomSkewed(seed int64, streams, users int, alpha float64) *mmd.Instance {
+	in, err := generator.RandomSMD{
+		Streams: streams, Users: users, Seed: seed, Skew: alpha,
+	}.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestDecomposeRejectsMultiBudget(t *testing.T) {
+	in := randomSkewed(1, 4, 2, 4)
+	in.Budgets = append(in.Budgets, 5)
+	for s := range in.Streams {
+		in.Streams[s].Costs = append(in.Streams[s].Costs, 1)
+	}
+	if _, err := Decompose(in); err == nil {
+		t.Fatal("Decompose accepted a multi-budget instance")
+	}
+}
+
+// TestDecomposePartition: every positive-utility pair appears in exactly
+// one band (the key fact behind sum_i OPT_i >= OPT/2 in Theorem 3.1).
+func TestDecomposePartition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(21))}
+	property := func(seed int64) bool {
+		in := randomSkewed(seed, 8, 4, 16)
+		dec, err := Decompose(in)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < in.NumUsers(); u++ {
+			for s := 0; s < in.NumStreams(); s++ {
+				count := 0
+				for _, band := range dec.Bands {
+					if band.Instance.Utility[u][s] > 0 {
+						count++
+					}
+				}
+				want := 0
+				if in.Users[u].Utility[s] > 0 {
+					want = 1
+				}
+				if count != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeBandCount: at most 1 + floor(log2 alpha) bands.
+func TestDecomposeBandCount(t *testing.T) {
+	for _, alpha := range []float64{1, 2, 7, 16, 100} {
+		in := randomSkewed(3, 12, 5, alpha)
+		dec, err := Decompose(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxLoaded := 1 + int(math.Floor(math.Log2(math.Max(dec.Alpha, 1))))
+		if len(dec.Bands) > maxLoaded+1 { // +1 for the free band
+			t.Fatalf("alpha %v: %d bands > limit %d", dec.Alpha, len(dec.Bands), maxLoaded+1)
+		}
+		for _, b := range dec.Bands {
+			if b.Index < FreeBand || b.Index > maxLoaded {
+				t.Fatalf("band index %d out of [%d, %d]", b.Index, FreeBand, maxLoaded)
+			}
+		}
+	}
+}
+
+// TestDecomposeBandsAreUnitSkewBounded: within band i, normalized ratios
+// lie in [2^{i-1}, 2^i) (so each band's instance has skew < 2).
+func TestDecomposeBandRatios(t *testing.T) {
+	in := randomSkewed(4, 12, 5, 64)
+	dec, err := Decompose(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := dec.Normalized
+	for _, band := range dec.Bands {
+		if band.Index == FreeBand {
+			continue
+		}
+		lo := math.Pow(2, float64(band.Index-1))
+		hi := math.Pow(2, float64(band.Index))
+		for u := 0; u < in.NumUsers(); u++ {
+			if len(norm.Users[u].Loads) != 1 {
+				continue
+			}
+			for s := 0; s < in.NumStreams(); s++ {
+				if band.Instance.Utility[u][s] <= 0 {
+					continue
+				}
+				r := norm.Users[u].Utility[s] / norm.Users[u].Loads[0][s]
+				// Boundary bands absorb clamped ratios; allow the last
+				// band to include its upper endpoint.
+				if r < lo-1e-9 || (r > hi+1e-9 && band.Index < len(dec.Bands)+dec.Bands[0].Index) {
+					if band.Index == dec.Bands[len(dec.Bands)-1].Index && r >= lo {
+						continue
+					}
+					t.Fatalf("band %d: ratio %v outside [%v, %v)", band.Index, r, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveFeasibleAndDeterministic(t *testing.T) {
+	for _, alpha := range []float64{1, 8, 64} {
+		in := randomSkewed(5, 14, 6, alpha)
+		a1, rep1, err := Solve(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a1.CheckFeasible(in); err != nil {
+			t.Fatalf("alpha %v: infeasible: %v", alpha, err)
+		}
+		a2, rep2, err := Solve(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep1.Value != rep2.Value || !a1.Equal(a2) {
+			t.Fatalf("alpha %v: Solve not deterministic", alpha)
+		}
+		if rep1.Value != a1.Utility(in) {
+			t.Fatalf("report value %v != assignment utility %v", rep1.Value, a1.Utility(in))
+		}
+	}
+}
+
+// TestTheorem31Ratio: the classify-and-select solution is within
+// 2 * t * (3e/(e-1)) of optimal, where t is the number of bands (the
+// factor-2 from the partition argument, t from picking one band, and the
+// unit-skew algorithm's constant).
+func TestTheorem31Ratio(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 12; trial++ {
+		alpha := []float64{1, 4, 16, 64}[trial%4]
+		in := randomSkewed(rng.Int63(), 9, 4, alpha)
+		a, rep, err := Solve(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Value == 0 {
+			continue
+		}
+		tBands := 1 + math.Floor(math.Log2(math.Max(rep.Alpha, 1)))
+		bound := 2 * tBands * (3 * math.E / (math.E - 1))
+		if ratio := opt.Value / math.Max(a.Utility(in), 1e-12); ratio > bound+1e-9 {
+			t.Fatalf("trial %d (alpha %v): ratio %v exceeds bound %v", trial, rep.Alpha, ratio, bound)
+		}
+	}
+}
+
+// TestSolveUnconstrainedUser: users without any capacity measure are
+// still served (they land in the unconstrained band).
+func TestSolveUnconstrainedUser(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "a", Costs: []float64{1}},
+			{Name: "b", Costs: []float64{1}},
+		},
+		Users: []mmd.User{
+			{Name: "free", Utility: []float64{5, 3}},
+		},
+		Budgets: []float64{2},
+	}
+	a, rep, err := Solve(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value != 8 {
+		t.Fatalf("value = %v, want 8 (both streams fit)", rep.Value)
+	}
+	if !a.Has(0, 0) || !a.Has(0, 1) {
+		t.Fatal("unconstrained user should receive both streams")
+	}
+}
+
+func TestSolveCustomBandSolverError(t *testing.T) {
+	in := randomSkewed(6, 6, 3, 4)
+	wantErr := errors.New("band solver failed")
+	_, _, err := Solve(in, func(*smd.Instance) (*smd.Assignment, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Solve() = %v, want wrapped band solver error", err)
+	}
+}

@@ -1,0 +1,34 @@
+package smd
+
+import "math"
+
+// AugmentedInstance returns the resource-augmentation instance of
+// Corollary 2.7: each user's cap grows to W_u + kbar_u, where kbar_u =
+// max_S w_u(S) is the largest single-stream load (with unit skew, load
+// equals utility). Every semi-feasible assignment of the original
+// instance is strictly feasible for the augmented one, which is how the
+// paper states the (2e/(e-1)) and (e/(e-1)) augmented guarantees.
+func (in *Instance) AugmentedInstance() *Instance {
+	out := &Instance{
+		StreamNames: append([]string(nil), in.StreamNames...),
+		Costs:       append([]float64(nil), in.Costs...),
+		Budget:      in.Budget,
+		Utility:     make([][]float64, len(in.Utility)),
+		Caps:        make([]float64, len(in.Caps)),
+	}
+	for u := range in.Utility {
+		out.Utility[u] = append([]float64(nil), in.Utility[u]...)
+		kbar := 0.0
+		for _, w := range in.Utility[u] {
+			if w > kbar {
+				kbar = w
+			}
+		}
+		if math.IsInf(in.Caps[u], 1) {
+			out.Caps[u] = in.Caps[u]
+		} else {
+			out.Caps[u] = in.Caps[u] + kbar
+		}
+	}
+	return out
+}

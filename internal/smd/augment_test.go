@@ -1,0 +1,78 @@
+package smd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCorollary27SemiFeasibleIsAugmentedFeasible: greedy's semi-feasible
+// output is strictly feasible once each user's capacity grows by its
+// largest single-stream load — exactly Corollary 2.7's augmentation.
+func TestCorollary27SemiFeasibleIsAugmentedFeasible(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(151))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSMDInstance(r, 2+r.Intn(12), 1+r.Intn(5))
+		res, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		aug := in.AugmentedInstance()
+		return res.Semi.CheckFeasible(aug) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentedInstanceShape(t *testing.T) {
+	in := handInstance()
+	aug := in.AugmentedInstance()
+	// u0: cap 8 + max utility 6 = 14; u1: cap 5 + max 5 = 10.
+	if aug.Caps[0] != 14 || aug.Caps[1] != 10 {
+		t.Fatalf("augmented caps = %v, want [14 10]", aug.Caps)
+	}
+	// Original untouched, deep copy confirmed.
+	aug.Utility[0][0] = 99
+	aug.Costs[0] = 99
+	if in.Utility[0][0] == 99 || in.Costs[0] == 99 {
+		t.Fatal("AugmentedInstance shares memory with the original")
+	}
+	if in.Caps[0] != 8 {
+		t.Fatal("original caps mutated")
+	}
+}
+
+func TestAugmentedInstanceInfiniteCap(t *testing.T) {
+	in := handInstance()
+	in.Caps[0] = math.Inf(1)
+	aug := in.AugmentedInstance()
+	if !math.IsInf(aug.Caps[0], 1) {
+		t.Fatalf("infinite cap not preserved: %v", aug.Caps[0])
+	}
+}
+
+// TestTheorem29AugmentedValue: partial enumeration's semi-feasible
+// solution, viewed in the augmented model, achieves (1-1/e) of the
+// ORIGINAL optimum (Theorem 2.9).
+func TestTheorem29AugmentedValue(t *testing.T) {
+	factor := 1 - 1/math.E
+	rng := rand.New(rand.NewSource(152))
+	for trial := 0; trial < 6; trial++ {
+		in := randomSMDInstance(rng, 8, 3)
+		pe, err := PartialEnum(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal(t, in)
+		aug := in.AugmentedInstance()
+		if err := pe.Greedy.Semi.CheckFeasible(aug); err != nil {
+			t.Fatalf("trial %d: winning seed run not augmented-feasible: %v", trial, err)
+		}
+		if pe.SemiBestValue < factor*opt-1e-9 {
+			t.Fatalf("trial %d: augmented value %v < %v * OPT %v", trial, pe.SemiBestValue, factor, opt)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package smd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInstance(b *testing.B, streams, users int) *Instance {
+	b.Helper()
+	return randomSMDInstance(rand.New(rand.NewSource(42)), streams, users)
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, size := range []struct{ s, u int }{{20, 8}, {100, 20}, {400, 50}} {
+		in := benchInstance(b, size.s, size.u)
+		b.Run(benchLabel(size.s, size.u), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Greedy(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFixedGreedy(b *testing.B) {
+	in := benchInstance(b, 100, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FixedGreedy(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartialEnumSeed2(b *testing.B) {
+	in := benchInstance(b, 16, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartialEnum(in, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSetValue(b *testing.B) {
+	in := benchInstance(b, 200, 40)
+	set := make([]int, 0, 100)
+	for s := 0; s < 200; s += 2 {
+		set = append(set, s)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = in.SetValue(set)
+	}
+}
+
+func benchLabel(s, u int) string {
+	digits := func(x int) string {
+		if x == 0 {
+			return "0"
+		}
+		var buf [8]byte
+		i := len(buf)
+		for x > 0 {
+			i--
+			buf[i] = byte('0' + x%10)
+			x /= 10
+		}
+		return string(buf[i:])
+	}
+	return "s" + digits(s) + "u" + digits(u)
+}

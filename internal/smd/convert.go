@@ -1,0 +1,75 @@
+package smd
+
+import (
+	"math"
+
+	"repro/internal/mmd"
+)
+
+// ToMMD converts the unit-skew SMD instance into an equivalent MMD
+// instance: one server budget and, per user, a single capacity measure
+// whose load function is the utility function and whose cap is W_u.
+// Feasible assignments and their values coincide.
+func (in *Instance) ToMMD() *mmd.Instance {
+	out := &mmd.Instance{
+		Streams: make([]mmd.Stream, in.NumStreams()),
+		Users:   make([]mmd.User, in.NumUsers()),
+		Budgets: []float64{in.Budget},
+	}
+	for s := range out.Streams {
+		name := ""
+		if in.StreamNames != nil {
+			name = in.StreamNames[s]
+		}
+		out.Streams[s] = mmd.Stream{Name: name, Costs: []float64{in.Costs[s]}}
+	}
+	for u := range out.Users {
+		out.Users[u] = mmd.User{
+			Utility:    append([]float64(nil), in.Utility[u]...),
+			Loads:      [][]float64{append([]float64(nil), in.Utility[u]...)},
+			Capacities: []float64{in.Caps[u]},
+		}
+	}
+	return out
+}
+
+// FromMMD converts a single-budget MMD instance with unit-skew users
+// (each user's single load row proportional to its utility) into an SMD
+// instance, using the capacity scaled into utility units as the cap. It
+// is the inverse of ToMMD up to load scaling. Users with no capacity
+// measure get an infinite cap.
+//
+// The caller is responsible for only passing unit-skew instances;
+// non-proportional loads are not detected here (use mmd.LocalSkew).
+func FromMMD(in *mmd.Instance) *Instance {
+	out := &Instance{
+		StreamNames: make([]string, in.NumStreams()),
+		Costs:       make([]float64, in.NumStreams()),
+		Budget:      in.Budgets[0],
+		Utility:     make([][]float64, in.NumUsers()),
+		Caps:        make([]float64, in.NumUsers()),
+	}
+	for s := range in.Streams {
+		out.StreamNames[s] = in.Streams[s].Name
+		out.Costs[s] = in.Streams[s].Costs[0]
+	}
+	for u := range in.Users {
+		usr := &in.Users[u]
+		out.Utility[u] = append([]float64(nil), usr.Utility...)
+		if len(usr.Capacities) == 0 {
+			out.Caps[u] = math.Inf(1)
+			continue
+		}
+		// Scale the capacity into utility units using the (constant)
+		// utility-per-load ratio of the user's supported streams.
+		ratio := 1.0
+		for s, w := range usr.Utility {
+			if w > 0 && usr.Loads[0][s] > 0 {
+				ratio = w / usr.Loads[0][s]
+				break
+			}
+		}
+		out.Caps[u] = usr.Capacities[0] * ratio
+	}
+	return out
+}

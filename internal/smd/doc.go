@@ -1,0 +1,28 @@
+// Package smd implements Section 2 of Patt-Shamir & Rawitz: approximation
+// algorithms for the Single-Budget Multi-Client Distribution problem with
+// unit skew. In this special case each stream has a single server cost
+// c(S) subject to one budget B, and the only client-side constraint is a
+// cap W_u on the utility counted from each user u (with unit skew the
+// user's load function coincides with its utility function, so the
+// utility cap IS the capacity constraint).
+//
+// The package provides:
+//
+//   - Greedy: Algorithm 1 — iteratively pick the stream with maximum cost
+//     effectiveness (fractional residual utility per unit cost) and give
+//     it to every unsaturated interested user. The output is
+//     semi-feasible: a user's cap may be overshot by its last stream.
+//   - FixedGreedy: the Theorem 2.8 construction — split the greedy
+//     assignment into A1 (all but each user's last stream) and A2 (the
+//     last streams), add the best single-stream assignment Amax, and
+//     return the best of the three. Feasible, 3e/(e-1)-approximate, and
+//     2e/(e-1)-approximate in the semi-feasible (resource augmentation)
+//     model via max(Greedy, Amax) (Lemma 2.6, Corollary 2.7).
+//   - PartialEnum: the Section 2.3 algorithm after Sviridenko — complete
+//     every small seed set greedily and keep the best, for the sharper
+//     e/(e-1) (augmented) and 2e/(e-1) (feasible) guarantees at higher
+//     polynomial cost.
+//
+// All entry points run in the O(n^2) time the paper claims for Greedy,
+// except PartialEnum which is O(n^{d+2}) for seed size d.
+package smd

@@ -1,0 +1,192 @@
+package smd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/generator"
+)
+
+// optimal returns the exact optimum of an SMD instance via the MMD
+// branch-and-bound solver.
+func optimal(t *testing.T, in *Instance) float64 {
+	t.Helper()
+	res, err := exact.Solve(in.ToMMD(), exact.Options{})
+	if err != nil {
+		t.Fatalf("exact.Solve: %v", err)
+	}
+	return res.Value
+}
+
+func TestFixedGreedyFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		in := randomSMDInstance(rng, 10, 4)
+		res, err := FixedGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, a := range map[string]*Assignment{"A1": res.A1, "A2": res.A2, "AMax": res.AMax, "Best": res.Best} {
+			if err := a.CheckFeasible(in); err != nil {
+				t.Fatalf("trial %d: %s infeasible: %v", trial, name, err)
+			}
+		}
+		if res.BestValue+1e-9 < res.A1.Value(in) || res.BestValue+1e-9 < res.A2.Value(in) ||
+			res.BestValue+1e-9 < res.AMax.Value(in) {
+			t.Fatalf("trial %d: Best is not the max of the candidates", trial)
+		}
+	}
+}
+
+// TestTheorem28Ratio verifies the feasible guarantee of Theorem 2.8:
+// FixedGreedy's value is at least (e-1)/(3e) of the optimum.
+func TestTheorem28Ratio(t *testing.T) {
+	const factor = (math.E - 1) / (3 * math.E)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		in := randomSMDInstance(rng, 9, 4)
+		res, err := FixedGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal(t, in)
+		if res.BestValue < factor*opt-1e-9 {
+			t.Fatalf("trial %d: FixedGreedy %v < %v * OPT %v", trial, res.BestValue, factor, opt)
+		}
+	}
+}
+
+// TestLemma26SemiRatio verifies the semi-feasible guarantee of Lemma
+// 2.6: max(w(greedy), w(AMax)) >= (e-1)/(2e) * OPT.
+func TestLemma26SemiRatio(t *testing.T) {
+	const factor = (math.E - 1) / (2 * math.E)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		in := randomSMDInstance(rng, 9, 4)
+		res, err := FixedGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal(t, in)
+		if res.SemiBestValue < factor*opt-1e-9 {
+			t.Fatalf("trial %d: semi value %v < %v * OPT %v", trial, res.SemiBestValue, factor, opt)
+		}
+	}
+}
+
+// TestLemma22AugmentedRatio verifies w(A_k) + residual(S_{k+1}) >=
+// (1 - 1/e) * OPT (Lemma 2.2 with SF = the optimal assignment).
+func TestLemma22AugmentedRatio(t *testing.T) {
+	factor := 1 - 1/math.E
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		in := randomSMDInstance(rng, 9, 4)
+		res, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal(t, in)
+		if res.AugmentedValue < factor*opt-1e-9 {
+			t.Fatalf("trial %d: augmented %v < %v * OPT %v", trial, res.AugmentedValue, factor, opt)
+		}
+	}
+}
+
+// TestBlockingFamily reproduces the Section 2.2 "hole": raw greedy is
+// fooled by a tiny high-effectiveness stream, while the fixed algorithm
+// recovers via AMax.
+func TestBlockingFamily(t *testing.T) {
+	const gap = 100.0
+	min, err := generator.BlockingFamily(gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := FromMMD(min)
+	res, err := FixedGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw greedy gets only the tiny stream's ~1 utility...
+	if res.Greedy.SemiValue > gap/2 {
+		t.Fatalf("raw greedy unexpectedly good: %v", res.Greedy.SemiValue)
+	}
+	// ...but AMax recovers the huge stream.
+	if res.BestValue < gap {
+		t.Fatalf("FixedGreedy %v < %v: the Section 2.2 fix failed", res.BestValue, gap)
+	}
+}
+
+func TestPartialEnumAtLeastGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		in := randomSMDInstance(rng, 9, 3)
+		fixed, err := FixedGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := PartialEnum(in, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.SemiBestValue < fixed.Greedy.SemiValue-1e-9 {
+			t.Fatalf("trial %d: partial enum semi %v < greedy semi %v",
+				trial, pe.SemiBestValue, fixed.Greedy.SemiValue)
+		}
+		if err := pe.Best.CheckFeasible(in); err != nil {
+			t.Fatalf("trial %d: partial enum infeasible: %v", trial, err)
+		}
+	}
+}
+
+// TestTheorem29SemiRatio verifies the sharper partial-enumeration
+// guarantee: the semi-feasible value is at least (1 - 1/e) * OPT
+// (Theorem 2.9) with seed size 3.
+func TestTheorem29SemiRatio(t *testing.T) {
+	factor := 1 - 1/math.E
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		in := randomSMDInstance(rng, 8, 3)
+		pe, err := PartialEnum(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal(t, in)
+		if pe.SemiBestValue < factor*opt-1e-9 {
+			t.Fatalf("trial %d: semi %v < %v * OPT %v", trial, pe.SemiBestValue, factor, opt)
+		}
+	}
+}
+
+func TestPartialEnumSeedZeroEqualsGreedy(t *testing.T) {
+	in := randomSMDInstance(rand.New(rand.NewSource(7)), 10, 4)
+	fixed, err := FixedGreedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := PartialEnum(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.BestValue != fixed.BestValue {
+		t.Fatalf("seed-0 partial enum %v != fixed greedy %v", pe.BestValue, fixed.BestValue)
+	}
+}
+
+func TestPartialEnumRejectsNegativeSeed(t *testing.T) {
+	in := randomSMDInstance(rand.New(rand.NewSource(8)), 4, 2)
+	if _, err := PartialEnum(in, -1); err == nil {
+		t.Fatal("PartialEnum accepted a negative seed size")
+	}
+}
+
+func TestFixedGreedyEmptyInstance(t *testing.T) {
+	res, err := FixedGreedy(&Instance{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue != 0 {
+		t.Fatalf("empty instance BestValue = %v, want 0", res.BestValue)
+	}
+}

@@ -1,0 +1,215 @@
+package smd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// handInstance is worked out by hand:
+//
+//	streams: a (cost 1), b (cost 2), c (cost 2); budget 3
+//	u0: w(a)=4, w(b)=6, w(c)=0, cap 8
+//	u1: w(a)=0, w(b)=2, w(c)=5, cap 5
+//
+// Effectiveness round 1: a: 4/1 = 4, b: 8/2 = 4, c: 5/2 = 2.5.
+// Tie between a and b broken toward larger residual -> b assigned
+// (u0 and u1; value 8). Round 2: a: min(4, residual cap 2)/1 = 2,
+// c: min(5, 5-2)/2 = 1.5 -> a assigned (u0 saturates; value 10). Budget
+// is exhausted (3), c is dropped with residual 3: augmented value 13.
+func handInstance() *Instance {
+	return &Instance{
+		StreamNames: []string{"a", "b", "c"},
+		Costs:       []float64{1, 2, 2},
+		Budget:      3,
+		Utility: [][]float64{
+			{4, 6, 0},
+			{0, 2, 5},
+		},
+		Caps: []float64{8, 5},
+	}
+}
+
+func TestGreedyHandInstance(t *testing.T) {
+	res, err := Greedy(handInstance())
+	if err != nil {
+		t.Fatalf("Greedy() error: %v", err)
+	}
+	in := handInstance()
+	if !res.Semi.Has(0, 1) || !res.Semi.Has(1, 1) {
+		t.Error("stream b should go to both users first")
+	}
+	if !res.Semi.Has(0, 0) {
+		t.Error("stream a should go to u0 second")
+	}
+	if res.Semi.Has(1, 2) || res.Semi.Has(0, 2) {
+		t.Error("stream c does not fit the residual budget")
+	}
+	if got := res.SemiValue; got != 10 {
+		t.Errorf("SemiValue = %v, want 10", got)
+	}
+	// c was dropped while it still had residual utility 3 (u1's cap
+	// leaves 5-2=3), so the augmented value is 10 + 3.
+	if got := res.AugmentedValue; got != 13 {
+		t.Errorf("AugmentedValue = %v, want 13", got)
+	}
+	if err := res.Semi.CheckSemiFeasible(in); err != nil {
+		t.Errorf("greedy output not semi-feasible: %v", err)
+	}
+}
+
+func TestGreedySaturation(t *testing.T) {
+	// One user with a small cap: greedy may overshoot it exactly once.
+	in := &Instance{
+		Costs:   []float64{1, 1, 1},
+		Budget:  3,
+		Utility: [][]float64{{4, 4, 4}},
+		Caps:    []float64{6},
+	}
+	res, err := Greedy(in)
+	if err != nil {
+		t.Fatalf("Greedy() error: %v", err)
+	}
+	// Two streams assigned (4 + 4 = 8 > 6 saturates the user); value is
+	// capped at 6; the third stream adds nothing.
+	if got := res.Semi.UserSum(in, 0); got != 8 {
+		t.Errorf("user sum = %v, want 8 (one overshoot)", got)
+	}
+	if got := res.SemiValue; got != 6 {
+		t.Errorf("SemiValue = %v, want capped 6", got)
+	}
+	if err := res.Semi.CheckSemiFeasible(in); err != nil {
+		t.Errorf("not semi-feasible: %v", err)
+	}
+	if err := res.Semi.CheckFeasible(in); err == nil {
+		t.Error("oversaturated assignment unexpectedly feasible")
+	}
+	if res.LastAssigned[0] < 0 {
+		t.Error("LastAssigned not recorded")
+	}
+}
+
+func TestGreedyZeroCostStream(t *testing.T) {
+	in := &Instance{
+		Costs:   []float64{0, 5},
+		Budget:  5,
+		Utility: [][]float64{{1, 10}},
+		Caps:    []float64{20},
+	}
+	res, err := Greedy(in)
+	if err != nil {
+		t.Fatalf("Greedy() error: %v", err)
+	}
+	if !res.Semi.Has(0, 0) || !res.Semi.Has(0, 1) {
+		t.Errorf("both streams fit (free + budget-sized); got %v", res.Semi.Range())
+	}
+	if got := res.SemiValue; got != 11 {
+		t.Errorf("SemiValue = %v, want 11", got)
+	}
+}
+
+func TestGreedyEmptyInstance(t *testing.T) {
+	res, err := Greedy(&Instance{Budget: 1})
+	if err != nil {
+		t.Fatalf("Greedy() on empty instance: %v", err)
+	}
+	if res.SemiValue != 0 || res.AugmentedValue != 0 {
+		t.Errorf("empty instance value = %v/%v, want 0/0", res.SemiValue, res.AugmentedValue)
+	}
+}
+
+func TestGreedyRejectsInvalid(t *testing.T) {
+	in := handInstance()
+	in.Costs[0] = -1
+	if _, err := Greedy(in); err == nil {
+		t.Fatal("Greedy accepted a negative cost")
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	in := randomSMDInstance(rand.New(rand.NewSource(42)), 12, 5)
+	r1, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Greedy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SemiValue != r2.SemiValue {
+		t.Fatalf("greedy not deterministic: %v vs %v", r1.SemiValue, r2.SemiValue)
+	}
+	for u := 0; u < in.NumUsers(); u++ {
+		s1, s2 := r1.Semi.UserStreams(u), r2.Semi.UserStreams(u)
+		if len(s1) != len(s2) {
+			t.Fatalf("user %d streams differ", u)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("user %d streams differ", u)
+			}
+		}
+	}
+}
+
+func TestGreedyBudgetNeverViolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		in := randomSMDInstance(rng, 10, 4)
+		res, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost := res.Semi.Cost(in); cost > in.Budget+1e-9 {
+			t.Fatalf("trial %d: cost %v exceeds budget %v", trial, cost, in.Budget)
+		}
+		if err := res.Semi.CheckSemiFeasible(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// randomSMDInstance builds a random unit-skew SMD instance for tests.
+func randomSMDInstance(r *rand.Rand, nStreams, nUsers int) *Instance {
+	in := &Instance{
+		Costs:   make([]float64, nStreams),
+		Utility: make([][]float64, nUsers),
+		Caps:    make([]float64, nUsers),
+	}
+	total := 0.0
+	for s := range in.Costs {
+		in.Costs[s] = 0.5 + 1.5*r.Float64()
+		total += in.Costs[s]
+	}
+	in.Budget = math.Max(0.35*total, maxFloat(in.Costs))
+	for u := range in.Utility {
+		row := make([]float64, nStreams)
+		sum := 0.0
+		maxW := 0.0
+		for s := range row {
+			if r.Float64() < 0.6 {
+				row[s] = 1 + 9*r.Float64()
+				sum += row[s]
+				if row[s] > maxW {
+					maxW = row[s]
+				}
+			}
+		}
+		in.Utility[u] = row
+		in.Caps[u] = math.Max(0.5*sum, maxW)
+		if sum == 0 {
+			in.Caps[u] = 1
+		}
+	}
+	return in
+}
+
+func maxFloat(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+package smd
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// LazyGreedy is Algorithm 1 with lazy evaluation (the classic CELF
+// optimization): because the utility of semi-feasible assignments is
+// submodular (Lemma 2.1), a stream's fractional residual utility only
+// decreases as the assignment grows, so a stale residual is a valid
+// upper bound on the current one. Streams sit in a max-heap keyed by
+// (possibly stale) effectiveness; only the heap top is refreshed. When
+// a refreshed stream stays on top it is a true argmax — every other key
+// still upper-bounds its own current effectiveness — so the selection
+// sequence matches Greedy's under the same tie-breaking, and all
+// Section 2 guarantees carry over unchanged.
+func LazyGreedy(in *Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("smd: lazy greedy: %w", err)
+	}
+	e := newGreedyEngine(in)
+	nS := in.NumStreams()
+
+	pq := make(lazyHeap, 0, nS)
+	for s := 0; s < nS; s++ {
+		if e.resid[s] > 0 {
+			pq = append(pq, lazyItem{stream: s, resid: e.resid[s], cost: in.Costs[s], round: 0})
+		}
+	}
+	heap.Init(&pq)
+
+	round := 0
+	for pq.Len() > 0 {
+		top := &pq[0]
+		if e.done[top.stream] {
+			heap.Pop(&pq)
+			continue
+		}
+		if top.round != round {
+			// Refresh the stale key and re-heapify; whatever ends up on
+			// top next iteration is examined then.
+			stream := top.stream
+			top.resid = e.resid[stream]
+			top.round = round
+			if top.resid <= 0 {
+				heap.Pop(&pq)
+				continue
+			}
+			heap.Fix(&pq, 0)
+			if pq[0].stream != stream {
+				continue
+			}
+		}
+		it := heap.Pop(&pq).(lazyItem)
+		s := it.stream
+		if e.resid[s] <= 0 {
+			continue
+		}
+		e.iters++
+		if e.cost+in.Costs[s] <= in.Budget+capTolerance {
+			e.assign(s)
+			round++
+		} else {
+			if !e.blocked {
+				e.blocked = true
+				e.augmented = e.value + e.resid[s]
+			}
+			e.done[s] = true
+		}
+	}
+	if !e.blocked {
+		e.augmented = e.value
+	}
+	return &Result{
+		Semi:           e.assn,
+		SemiValue:      e.value,
+		LastAssigned:   e.last,
+		AugmentedValue: e.augmented,
+		Iterations:     e.iters,
+	}, nil
+}
+
+// lazyItem carries a possibly stale residual for one stream. cost is
+// immutable and cached for the effectiveness comparison.
+type lazyItem struct {
+	stream int
+	resid  float64
+	cost   float64
+	round  int
+}
+
+// lazyHeap orders by effectiveness resid/cost descending using
+// cross-multiplication (zero-cost streams sort first), with Greedy's
+// tie-breaks: larger residual, then smaller stream index.
+type lazyHeap []lazyItem
+
+func (h lazyHeap) Len() int { return len(h) }
+
+func (h lazyHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	left := a.resid * b.cost
+	right := b.resid * a.cost
+	if left != right {
+		return left > right
+	}
+	if a.resid != b.resid {
+		return a.resid > b.resid
+	}
+	return a.stream < b.stream
+}
+
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *lazyHeap) Push(x any) { *h = append(*h, x.(lazyItem)) }
+
+func (h *lazyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

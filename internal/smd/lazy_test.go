@@ -1,0 +1,117 @@
+package smd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLazyGreedyMatchesEager: lazy evaluation must produce the same
+// value as the eager engine (the selection rule is identical; only the
+// evaluation schedule differs).
+func TestLazyGreedyMatchesEager(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(141))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSMDInstance(r, 2+r.Intn(14), 1+r.Intn(6))
+		eager, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		lazy, err := LazyGreedy(in)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		return abs(eager.SemiValue-lazy.SemiValue) < tol &&
+			abs(eager.AugmentedValue-lazy.AugmentedValue) < tol
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestLazyGreedyIdenticalAssignments goes further on a batch of seeds:
+// with deterministic tie-breaking the assignments themselves coincide.
+func TestLazyGreedyIdenticalAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 30; trial++ {
+		in := randomSMDInstance(rng, 12, 5)
+		eager, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := LazyGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < in.NumUsers(); u++ {
+			e, l := eager.Semi.UserStreams(u), lazy.Semi.UserStreams(u)
+			if len(e) != len(l) {
+				t.Fatalf("trial %d user %d: eager %v lazy %v", trial, u, e, l)
+			}
+			for i := range e {
+				if e[i] != l[i] {
+					t.Fatalf("trial %d user %d: eager %v lazy %v", trial, u, e, l)
+				}
+			}
+		}
+	}
+}
+
+func TestLazyGreedySemiFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	for trial := 0; trial < 20; trial++ {
+		in := randomSMDInstance(rng, 15, 6)
+		res, err := LazyGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Semi.CheckSemiFeasible(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLazyGreedyRejectsInvalid(t *testing.T) {
+	in := handInstance()
+	in.Budget = -1
+	if _, err := LazyGreedy(in); err == nil {
+		t.Fatal("LazyGreedy accepted an invalid instance")
+	}
+}
+
+func TestLazyGreedyEmpty(t *testing.T) {
+	res, err := LazyGreedy(&Instance{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SemiValue != 0 {
+		t.Fatalf("empty instance value = %v", res.SemiValue)
+	}
+}
+
+func BenchmarkLazyVsEagerGreedy(b *testing.B) {
+	in := benchInstance(b, 400, 50)
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Greedy(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LazyGreedy(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package smd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLemma21Submodularity checks the four properties of Lemma 2.1 on
+// the set-function w(T) = sum_u min(W_u, sum_{S in T} w_u(S)):
+// nonnegative, nondecreasing, and submodular.
+func TestLemma21Submodularity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSMDInstance(r, 8, 3)
+
+		// Two random stream sets T and T'.
+		var setT, setU []int
+		for s := 0; s < in.NumStreams(); s++ {
+			if r.Float64() < 0.5 {
+				setT = append(setT, s)
+			}
+			if r.Float64() < 0.5 {
+				setU = append(setU, s)
+			}
+		}
+		union, inter := unionInter(setT, setU, in.NumStreams())
+
+		wT, wU := in.SetValue(setT), in.SetValue(setU)
+		wUnion, wInter := in.SetValue(union), in.SetValue(inter)
+
+		const tol = 1e-9
+		if wT < -tol || wU < -tol {
+			return false // nonnegative
+		}
+		if wUnion+tol < wT || wUnion+tol < wU {
+			return false // nondecreasing (T, T' subseteq T u T')
+		}
+		return wT+wU+tol >= wUnion+wInter // submodular
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func unionInter(a, b []int, n int) (union, inter []int) {
+	inA := make([]bool, n)
+	inB := make([]bool, n)
+	for _, s := range a {
+		inA[s] = true
+	}
+	for _, s := range b {
+		inB[s] = true
+	}
+	for s := 0; s < n; s++ {
+		if inA[s] || inB[s] {
+			union = append(union, s)
+		}
+		if inA[s] && inB[s] {
+			inter = append(inter, s)
+		}
+	}
+	return union, inter
+}
+
+// TestSetValueMatchesSemiAssignment confirms that SetValue(T) equals the
+// value of the semi-feasible assignment that gives every stream of T to
+// every interested user.
+func TestSetValueMatchesSemiAssignment(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(12))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSMDInstance(r, 7, 3)
+		var set []int
+		for s := 0; s < in.NumStreams(); s++ {
+			if r.Float64() < 0.5 {
+				set = append(set, s)
+			}
+		}
+		a := NewAssignment(in.NumUsers())
+		for u := 0; u < in.NumUsers(); u++ {
+			for _, s := range set {
+				if in.Utility[u][s] > 0 {
+					a.Add(u, s)
+				}
+			}
+		}
+		diff := in.SetValue(set) - a.Value(in)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamValueConsistency: StreamValue(s) = SetValue({s}).
+func TestStreamValueConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	in := randomSMDInstance(r, 10, 4)
+	for s := 0; s < in.NumStreams(); s++ {
+		if got, want := in.StreamValue(s), in.SetValue([]int{s}); got != want {
+			t.Fatalf("StreamValue(%d) = %v, SetValue = %v", s, got, want)
+		}
+	}
+}
+
+// TestGreedyMonotoneInBudget: growing the budget never hurts greedy's
+// augmented value (sanity property of the implementation, not a theorem
+// about SemiValue itself, which can fluctuate).
+func TestGreedyValueNonnegative(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(14))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randomSMDInstance(r, 8, 3)
+		res, err := Greedy(in)
+		if err != nil {
+			return false
+		}
+		return res.SemiValue >= 0 && res.AugmentedValue >= res.SemiValue-1e-9
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package submodular
+
+import (
+	"fmt"
+
+	"repro/internal/mmd"
+)
+
+// Coverage is weighted maximum coverage: the ground set is a collection
+// of sets over weighted elements; f(T) is the total weight of the union
+// of the chosen sets. Coverage functions are the canonical nonnegative
+// nondecreasing submodular family.
+type Coverage struct {
+	// Sets[e] lists the element ids covered by ground-set member e.
+	Sets [][]int
+	// Weights[x] is the weight of element x.
+	Weights []float64
+}
+
+var _ Func = (*Coverage)(nil)
+
+// N implements Func.
+func (c *Coverage) N() int { return len(c.Sets) }
+
+// Eval implements Func. Summation runs in element-id order so results
+// are bit-for-bit deterministic.
+func (c *Coverage) Eval(set []int) float64 {
+	covered := make([]bool, len(c.Weights))
+	for _, e := range set {
+		for _, x := range c.Sets[e] {
+			covered[x] = true
+		}
+	}
+	total := 0.0
+	for x, ok := range covered {
+		if ok {
+			total += c.Weights[x]
+		}
+	}
+	return total
+}
+
+// Validate checks element ids and weights.
+func (c *Coverage) Validate() error {
+	for e, set := range c.Sets {
+		for _, x := range set {
+			if x < 0 || x >= len(c.Weights) {
+				return fmt.Errorf("submodular: set %d covers unknown element %d", e, x)
+			}
+		}
+	}
+	for x, w := range c.Weights {
+		if w < 0 {
+			return fmt.Errorf("submodular: element %d has negative weight %v", x, w)
+		}
+	}
+	return nil
+}
+
+// MMDUtility adapts the Lemma 2.1 set function — the utility of serving
+// a stream set to every interested user, with per-user caps — as a
+// Func. The ground set is the stream catalog of the instance.
+type MMDUtility struct {
+	// Instance provides utilities; capacities other than the utility
+	// caps are ignored (this is the semi-feasible valuation of §2).
+	Instance *mmd.Instance
+	// Caps[u] is W_u; nil means uncapped users.
+	Caps []float64
+}
+
+var _ Func = (*MMDUtility)(nil)
+
+// N implements Func.
+func (m *MMDUtility) N() int { return m.Instance.NumStreams() }
+
+// Eval implements Func.
+func (m *MMDUtility) Eval(set []int) float64 {
+	total := 0.0
+	for u := range m.Instance.Users {
+		sum := 0.0
+		for _, s := range set {
+			sum += m.Instance.Users[u].Utility[s]
+		}
+		if m.Caps != nil && sum > m.Caps[u] {
+			sum = m.Caps[u]
+		}
+		total += sum
+	}
+	return total
+}

@@ -1,0 +1,230 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/generator"
+)
+
+// randomCoverage builds a random weighted coverage instance.
+func randomCoverage(r *rand.Rand, groundSets, elements int) *Coverage {
+	c := &Coverage{
+		Sets:    make([][]int, groundSets),
+		Weights: make([]float64, elements),
+	}
+	for x := range c.Weights {
+		c.Weights[x] = 1 + 9*r.Float64()
+	}
+	for e := range c.Sets {
+		for x := 0; x < elements; x++ {
+			if r.Float64() < 0.3 {
+				c.Sets[e] = append(c.Sets[e], x)
+			}
+		}
+	}
+	return c
+}
+
+func randomProblem(r *rand.Rand, f Func, m int) *Problem {
+	n := f.N()
+	p := &Problem{F: f, Costs: make([][]float64, m), Budgets: make([]float64, m)}
+	for i := 0; i < m; i++ {
+		p.Costs[i] = make([]float64, n)
+		total := 0.0
+		for e := range p.Costs[i] {
+			p.Costs[i][e] = 0.5 + r.Float64()
+			total += p.Costs[i][e]
+		}
+		p.Budgets[i] = math.Max(0.4*total, maxOf(p.Costs[i]))
+	}
+	return p
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestCoverageIsSubmodular(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(131))}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCoverage(r, 6, 10)
+		if c.Validate() != nil {
+			return false
+		}
+		var a, b []int
+		for e := 0; e < c.N(); e++ {
+			if r.Float64() < 0.5 {
+				a = append(a, e)
+			}
+			if r.Float64() < 0.5 {
+				b = append(b, e)
+			}
+		}
+		return VerifySubmodular(c, [][2][]int{{a, b}}) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMDUtilityIsSubmodular(t *testing.T) {
+	in, err := generator.RandomMMD{Streams: 8, Users: 4, M: 1, MC: 1, Seed: 132}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, in.NumUsers())
+	for u := range caps {
+		caps[u] = 10
+	}
+	f := &MMDUtility{Instance: in, Caps: caps}
+	r := rand.New(rand.NewSource(133))
+	for trial := 0; trial < 50; trial++ {
+		var a, b []int
+		for e := 0; e < f.N(); e++ {
+			if r.Float64() < 0.5 {
+				a = append(a, e)
+			}
+			if r.Float64() < 0.5 {
+				b = append(b, e)
+			}
+		}
+		if err := VerifySubmodular(f, [][2][]int{{a, b}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaximizeFeasibleAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCoverage(rng, 10, 15)
+		p := randomProblem(rng, c, 1+trial%3)
+		res, err := Maximize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !feasible(p, res.Set) {
+			t.Fatalf("trial %d: result infeasible", trial)
+		}
+		if res.Value != c.Eval(res.Set) {
+			t.Fatalf("trial %d: value %v != Eval %v", trial, res.Value, c.Eval(res.Set))
+		}
+	}
+}
+
+// TestMaximizeRatioAgainstBruteForce: O(m) guarantee with the concrete
+// constant (1-1/e)/3 per merged-budget greedy and 1/(2m-1) from the
+// decomposition — check the (generous) combined bound.
+func TestMaximizeRatioAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	for trial := 0; trial < 15; trial++ {
+		m := 1 + trial%3
+		c := randomCoverage(rng, 9, 12)
+		p := randomProblem(rng, c, m)
+		res, err := Maximize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteForceOpt(p)
+		if opt == 0 {
+			continue
+		}
+		bound := float64(2*m-1) * 3 * math.E / (math.E - 1)
+		if ratio := opt / math.Max(res.Value, 1e-12); ratio > bound+1e-9 {
+			t.Fatalf("trial %d (m=%d): ratio %v exceeds bound %v", trial, m, ratio, bound)
+		}
+	}
+}
+
+func bruteForceOpt(p *Problem) float64 {
+	n := p.F.N()
+	best := 0.0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var set []int
+		for e := 0; e < n; e++ {
+			if mask&(1<<uint(e)) != 0 {
+				set = append(set, e)
+			}
+		}
+		if !feasible(p, set) {
+			continue
+		}
+		if v := p.F.Eval(set); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestMaximizeRejectsInvalid(t *testing.T) {
+	if _, err := Maximize(&Problem{}); err == nil {
+		t.Fatal("Maximize accepted a nil objective")
+	}
+	c := randomCoverage(rand.New(rand.NewSource(136)), 4, 5)
+	p := &Problem{F: c, Costs: [][]float64{{1, 1, 1}}, Budgets: []float64{2}}
+	if _, err := Maximize(p); err == nil {
+		t.Fatal("Maximize accepted a cost row shorter than the ground set")
+	}
+	p2 := &Problem{F: c, Costs: [][]float64{{1, 1, 1, 3}}, Budgets: []float64{2}}
+	if _, err := Maximize(p2); err == nil {
+		t.Fatal("Maximize accepted an element more expensive than its budget")
+	}
+}
+
+func TestCoverageValidate(t *testing.T) {
+	c := &Coverage{Sets: [][]int{{0, 7}}, Weights: []float64{1}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range element")
+	}
+	c2 := &Coverage{Sets: [][]int{{0}}, Weights: []float64{-1}}
+	if err := c2.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative weight")
+	}
+}
+
+func TestAppendSorted(t *testing.T) {
+	set := []int{1, 3, 5}
+	got := appendSorted(set, 4)
+	want := []int{1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("appendSorted = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("appendSorted = %v, want %v", got, want)
+		}
+	}
+	if got2 := appendSorted(nil, 2); len(got2) != 1 || got2[0] != 2 {
+		t.Fatalf("appendSorted(nil) = %v", got2)
+	}
+}
+
+func TestMaximizeUnconstrained(t *testing.T) {
+	c := randomCoverage(rand.New(rand.NewSource(137)), 5, 8)
+	p := &Problem{
+		F:       c,
+		Costs:   [][]float64{make([]float64, 5)},
+		Budgets: []float64{math.Inf(1)},
+	}
+	for e := range p.Costs[0] {
+		p.Costs[0][e] = 1
+	}
+	res, err := Maximize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []int{0, 1, 2, 3, 4}
+	if res.Value < c.Eval(all)-1e-9 {
+		t.Fatalf("unconstrained value %v < take-everything %v", res.Value, c.Eval(all))
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace records and replays head-end event traces as JSON Lines:
+// stream arrivals and departures, admission decisions, and user churn.
+// Traces make simulation runs auditable and let experiments replay the
+// exact same arrival sequence against different policies.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// EventType classifies a trace event.
+type EventType string
+
+// Event types emitted by the head-end scenario.
+const (
+	// EventStreamArrival marks a stream becoming available.
+	EventStreamArrival EventType = "stream_arrival"
+	// EventStreamDeparture marks a stream leaving the catalog.
+	EventStreamDeparture EventType = "stream_departure"
+	// EventDecision records an admission decision (Users empty when the
+	// stream was rejected).
+	EventDecision EventType = "decision"
+	// EventUserJoin and EventUserLeave record gateway churn.
+	EventUserJoin  EventType = "user_join"
+	EventUserLeave EventType = "user_leave"
+)
+
+// Event is one trace record.
+type Event struct {
+	// Time is the virtual time in seconds.
+	Time float64 `json:"time"`
+	// Type classifies the event.
+	Type EventType `json:"type"`
+	// Stream is the stream index (-1 when not applicable).
+	Stream int `json:"stream"`
+	// Users lists affected user indices (assigned users for decisions).
+	Users []int `json:"users,omitempty"`
+	// Value carries an event-specific number (utility for decisions).
+	Value float64 `json:"value,omitempty"`
+	// Note is free-form context.
+	Note string `json:"note,omitempty"`
+}
+
+// Writer appends events as JSON Lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append writes one event.
+func (t *Writer) Append(e Event) error {
+	if err := t.enc.Encode(e); err != nil {
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered events to the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadAll parses every event from r.
+func ReadAll(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: read event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Validate checks monotone timestamps and known event types.
+func Validate(events []Event) error {
+	last := -1.0
+	for i, e := range events {
+		if e.Time < last {
+			return fmt.Errorf("trace: event %d: time %v before %v", i, e.Time, last)
+		}
+		last = e.Time
+		switch e.Type {
+		case EventStreamArrival, EventStreamDeparture, EventDecision, EventUserJoin, EventUserLeave:
+		default:
+			return fmt.Errorf("trace: event %d: unknown type %q", i, e.Type)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0.5, Type: EventStreamArrival, Stream: 3},
+		{Time: 0.5, Type: EventDecision, Stream: 3, Users: []int{0, 2}, Value: 7.5},
+		{Time: 1.25, Type: EventUserJoin, Stream: -1, Users: []int{4}},
+		{Time: 2, Type: EventStreamDeparture, Stream: 3, Note: "expired"},
+		{Time: 3, Type: EventUserLeave, Stream: -1, Users: []int{4}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := sampleEvents()
+	for _, e := range events {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].Time != events[i].Time || got[i].Type != events[i].Type ||
+			got[i].Stream != events[i].Stream || got[i].Value != events[i].Value ||
+			got[i].Note != events[i].Note || len(got[i].Users) != len(events[i].Users) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+	if err := Validate(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOutOfOrder(t *testing.T) {
+	events := []Event{
+		{Time: 2, Type: EventStreamArrival},
+		{Time: 1, Type: EventStreamArrival},
+	}
+	if err := Validate(events); err == nil {
+		t.Fatal("Validate accepted out-of-order timestamps")
+	}
+}
+
+func TestValidateRejectsUnknownType(t *testing.T) {
+	if err := Validate([]Event{{Time: 1, Type: "martian"}}); err == nil {
+		t.Fatal("Validate accepted unknown event type")
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("ReadAll accepted malformed JSONL")
+	}
+}
+
+func TestReadAllEmpty(t *testing.T) {
+	events, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("got %d events from empty input", len(events))
+	}
+}

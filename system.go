@@ -1,0 +1,71 @@
+package videodist
+
+import (
+	"io"
+
+	"repro/internal/emulation"
+	"repro/internal/headend"
+	"repro/internal/trace"
+)
+
+// System-level surface: the simulated head-end (arrivals over virtual
+// time, pluggable admission policies, multicast plant underneath) and
+// the live goroutine emulation. See internal/headend, internal/netsim,
+// and internal/emulation for details.
+type (
+	// Scenario is a head-end simulation run description.
+	Scenario = headend.Scenario
+	// ScenarioResult summarizes a run.
+	ScenarioResult = headend.Result
+	// Policy decides admissions at stream-arrival time.
+	Policy = headend.Policy
+	// EmulationConfig tunes the live goroutine emulation.
+	EmulationConfig = emulation.Config
+	// EmulationReport summarizes a live run.
+	EmulationReport = emulation.Report
+	// TraceEvent is one record of a head-end trace.
+	TraceEvent = trace.Event
+)
+
+// NewOnlinePolicy wraps the Section 5 allocator as an admission policy;
+// guarded filters any decision that would violate a true constraint
+// (use for instances that are not small-streams).
+func NewOnlinePolicy(in *Instance, guarded bool) (*headend.OnlinePolicy, error) {
+	return headend.NewOnlinePolicy(in, guarded)
+}
+
+// NewThresholdPolicy wraps the deployed-world baseline as an admission
+// policy with the given safety margin in (0, 1].
+func NewThresholdPolicy(in *Instance, margin float64) (*headend.ThresholdPolicy, error) {
+	return headend.NewThresholdPolicy(in, margin)
+}
+
+// NewOraclePolicy precomputes the offline Theorem 1.1 solution and
+// reveals it at arrival time — the reference point for online policies.
+func NewOraclePolicy(in *Instance, opts Options) (*headend.OraclePolicy, error) {
+	return headend.NewOraclePolicy(in, opts)
+}
+
+// RunScenario executes a head-end simulation under the given policy,
+// optionally writing a JSONL trace.
+func RunScenario(sc *Scenario, policy Policy, traceOut io.Writer) (*ScenarioResult, error) {
+	if traceOut == nil {
+		return sc.Run(policy, nil)
+	}
+	tw := trace.NewWriter(traceOut)
+	res, err := sc.Run(policy, tw)
+	if err != nil {
+		return nil, err
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Emulate runs an admitted assignment as live goroutines (one
+// broadcaster per stream, one receiver per gateway) and reports
+// delivered bytes.
+func Emulate(in *Instance, assn *Assignment, cfg EmulationConfig) (*EmulationReport, error) {
+	return emulation.Run(in, assn, cfg)
+}

@@ -1,0 +1,109 @@
+package videodist_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	videodist "repro"
+	"repro/internal/trace"
+)
+
+func TestFacadeScenarioAndEmulation(t *testing.T) {
+	in, err := videodist.NewCableTV(videodist.CableTV{Channels: 20, Gateways: 6, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle, err := videodist.NewOraclePolicy(in, videodist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sc := &videodist.Scenario{Instance: in, Seed: 42}
+	res, err := videodist.RunScenario(sc, oracle, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibilityErr != nil || res.OverloadSamples != 0 {
+		t.Fatalf("oracle scenario: feasibility %v, overloads %d", res.FeasibilityErr, res.OverloadSamples)
+	}
+	events, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("RunScenario wrote no trace events")
+	}
+
+	rep, err := videodist.Emulate(in, res.Assignment, videodist.EmulationConfig{
+		ChunkInterval: 200 * time.Microsecond,
+		Chunks:        10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChunksDropped != 0 {
+		t.Fatalf("emulation dropped %d chunks", rep.ChunksDropped)
+	}
+	for u := range rep.BytesReceived {
+		if rep.BytesReceived[u] != rep.ExpectedBytes[u] {
+			t.Fatalf("gateway %d: %d bytes, want %d", u, rep.BytesReceived[u], rep.ExpectedBytes[u])
+		}
+	}
+}
+
+func TestFacadeOnlineAndThresholdPolicies(t *testing.T) {
+	in, err := videodist.NewCableTV(videodist.CableTV{Channels: 20, Gateways: 6, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onl, err := videodist.NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := videodist.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &videodist.Scenario{Instance: in, Seed: 44}
+	for _, pol := range []videodist.Policy{onl, thr} {
+		res, err := videodist.RunScenario(sc, pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FeasibilityErr != nil {
+			t.Fatalf("%s infeasible: %v", res.Policy, res.FeasibilityErr)
+		}
+	}
+	if _, err := videodist.NewThresholdPolicy(in, 0); err == nil {
+		t.Fatal("facade accepted margin 0")
+	}
+}
+
+func TestFacadeAssignmentAndNormalize(t *testing.T) {
+	a := videodist.NewAssignment(3)
+	a.Add(0, 5)
+	if !a.Has(0, 5) || a.NumUsers() != 3 {
+		t.Fatal("facade NewAssignment broken")
+	}
+	in, err := videodist.NewRandomMMD(videodist.RandomMMD{Streams: 6, Users: 3, M: 2, MC: 1, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := videodist.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Gamma < 1 || norm.Mu() <= 2 {
+		t.Fatalf("normalization degenerate: gamma %v mu %v", norm.Gamma, norm.Mu())
+	}
+	al, err := videodist.NewAllocator(norm.Instance, norm.Mu())
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.RunSequence(nil)
+	if al.Value() < 0 {
+		t.Fatal("negative value")
+	}
+}

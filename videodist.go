@@ -1,0 +1,166 @@
+// Package videodist is the public API of this reproduction of
+// Patt-Shamir & Rawitz, "Video distribution under multiple constraints"
+// (ICDCS 2008; Theoretical Computer Science 412, 2011).
+//
+// The library solves the Multi-Budget Multi-Client Distribution problem
+// (MMD): choose which video streams a server multicasts, and which of
+// them each client receives, to maximize total utility subject to m
+// server budgets (bandwidth, processing, ports, ...) and per-client
+// capacity constraints (downlink, revenue caps, ...).
+//
+// # Quick start
+//
+//	in, _ := videodist.NewCableTV(videodist.CableTV{Channels: 50, Gateways: 12, Seed: 1})
+//	assn, report, err := videodist.Solve(in, videodist.Options{})
+//	// assn.UserStreams(u) is the channel lineup of gateway u;
+//	// report.Value is the total utility.
+//
+// Solve runs the paper's Theorem 1.1 pipeline: the multi-budget
+// instance is reduced to a single-budget one (Section 4), decomposed
+// into unit-skew bands (Section 3), each band is solved by the fixed
+// greedy (Section 2, Theorem 2.8), and every candidate is lifted back
+// through the output transformation. The guarantee is
+// O(m·m_c·log(2α·m_c)) in O(n²) time.
+//
+// SolveOnline runs the Section 5 Allocate algorithm: streams are
+// considered in arrival order against exponential budget costs; for
+// "small" streams it is (1+2·log₂µ)-competitive and never violates a
+// budget. Use Normalize/CheckSmallStreams to verify the hypothesis.
+//
+// Everything — the solvers, the exact branch-and-bound reference, the
+// workload generators, the discrete-event multicast network, and the
+// live goroutine emulation — lives in internal packages; this package
+// re-exports the surface a downstream user needs. Examples under
+// examples/ and the experiment harness in bench_test.go exercise it.
+package videodist
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/generator"
+	"repro/internal/mmd"
+	"repro/internal/online"
+)
+
+// Core problem types (see internal/mmd for full documentation).
+type (
+	// Instance is a complete MMD problem instance.
+	Instance = mmd.Instance
+	// Stream is one multicast stream with its server cost vector.
+	Stream = mmd.Stream
+	// User is one client with utilities, loads, and capacities.
+	User = mmd.User
+	// Assignment maps users to stream sets.
+	Assignment = mmd.Assignment
+)
+
+// Solver configuration and reporting.
+type (
+	// Options configures Solve.
+	Options = core.Options
+	// Report describes a Solve run (value, skew, bands, guarantee).
+	Report = core.Report
+	// Normalization holds a globally normalized instance with its
+	// global skew γ and µ (Section 5).
+	Normalization = online.Normalization
+	// Allocator is the stateful online algorithm of Section 5.
+	Allocator = online.Allocator
+)
+
+// Algorithm selectors for Options.Algorithm.
+const (
+	// AlgoFixedGreedy is the O(n²) Theorem 2.8 building block (default).
+	AlgoFixedGreedy = core.AlgoFixedGreedy
+	// AlgoPartialEnum is the sharper, slower Section 2.3 building block.
+	AlgoPartialEnum = core.AlgoPartialEnum
+)
+
+// Workload generator configurations (see internal/generator).
+type (
+	// CableTV generates the paper's motivating head-end scenario.
+	CableTV = generator.CableTV
+	// RandomSMD generates random single-budget instances with a target
+	// local skew.
+	RandomSMD = generator.RandomSMD
+	// RandomMMD generates random multi-budget instances.
+	RandomMMD = generator.RandomMMD
+	// SmallStreams generates instances satisfying the Section 5
+	// small-streams hypothesis.
+	SmallStreams = generator.SmallStreams
+)
+
+// Solve runs the offline Theorem 1.1 pipeline and returns a feasible
+// assignment together with a report of the run.
+func Solve(in *Instance, opts Options) (*Assignment, *Report, error) {
+	return core.Solve(in, opts)
+}
+
+// SolveOnline normalizes the instance and runs the Section 5 Allocate
+// algorithm over all streams in index order, returning the assignment
+// and the normalization (µ, γ, competitive bound). The assignment is
+// guaranteed feasible when the instance satisfies the small-streams
+// hypothesis; otherwise an error is returned.
+func SolveOnline(in *Instance) (*Assignment, *Normalization, error) {
+	return online.Solve(in)
+}
+
+// NewAllocator builds a stateful online allocator for a normalized
+// instance; call Offer(stream) as streams arrive.
+func NewAllocator(in *Instance, mu float64) (*Allocator, error) {
+	return online.NewAllocator(in, mu)
+}
+
+// Normalize rescales the instance to satisfy the paper's equation (1)
+// and computes the global skew γ.
+func Normalize(in *Instance) (*Normalization, error) {
+	return online.Normalize(in)
+}
+
+// CheckSmallStreams verifies the Theorem 5.4 hypothesis
+// (c_i(S) ≤ B_i/log₂µ everywhere) on a normalized instance.
+func CheckSmallStreams(in *Instance, mu float64) error {
+	return online.CheckSmallStreams(in, mu)
+}
+
+// SolveExact returns an optimal assignment by branch and bound. It is
+// exponential and intended for small instances (≲20 streams) used as
+// the OPT reference in experiments.
+func SolveExact(in *Instance, maxStreams int) (*Assignment, float64, error) {
+	res, err := exact.Solve(in, exact.Options{MaxStreams: maxStreams})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Assignment, res.Value, nil
+}
+
+// UpperBound returns a polynomial-time upper bound on the optimal
+// utility (fractional relaxations of the server and user constraints).
+func UpperBound(in *Instance) float64 {
+	return bounds.UpperBound(in)
+}
+
+// Threshold runs the deployed-world baseline the paper argues against:
+// utility-blind admission under safety margins. order nil means catalog
+// order; margin is the fraction of each budget the policy will fill.
+func Threshold(in *Instance, order []int, margin float64) (*Assignment, error) {
+	return baseline.Threshold(in, order, margin)
+}
+
+// NewCableTV generates the cable-TV workload: m = 3 server budgets
+// (egress Mbps, transcoding, ports), Zipf channel popularity, gateways
+// with downlink and revenue-cap constraints.
+func NewCableTV(cfg CableTV) (*Instance, error) { return cfg.Generate() }
+
+// NewRandomSMD generates a random single-budget instance.
+func NewRandomSMD(cfg RandomSMD) (*Instance, error) { return cfg.Generate() }
+
+// NewRandomMMD generates a random multi-budget instance.
+func NewRandomMMD(cfg RandomMMD) (*Instance, error) { return cfg.Generate() }
+
+// NewAssignment returns an empty assignment for numUsers users.
+func NewAssignment(numUsers int) *Assignment { return mmd.NewAssignment(numUsers) }
+
+// LocalSkew returns the instance's local skew α (Section 3).
+func LocalSkew(in *Instance) (float64, error) { return mmd.LocalSkew(in) }

@@ -1,0 +1,84 @@
+package videodist_test
+
+import (
+	"testing"
+
+	videodist "repro"
+)
+
+func TestFacadeSolve(t *testing.T) {
+	in, err := videodist.NewCableTV(videodist.CableTV{Channels: 25, Gateways: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assn, report, err := videodist.Solve(in, videodist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assn.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	if report.Value <= 0 {
+		t.Fatal("zero utility on a dense cable-TV instance")
+	}
+	if ub := videodist.UpperBound(in); report.Value > ub+1e-9 {
+		t.Fatalf("value %v exceeds upper bound %v", report.Value, ub)
+	}
+}
+
+func TestFacadeOnline(t *testing.T) {
+	in, err := videodist.SmallStreams{
+		Base: videodist.RandomMMD{Streams: 25, Users: 6, M: 2, MC: 1, Seed: 2, Skew: 2},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assn, norm, err := videodist.SolveOnline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assn.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	if norm.CompetitiveBound() <= 1 {
+		t.Fatal("degenerate competitive bound")
+	}
+	if err := videodist.CheckSmallStreams(norm.Instance, norm.Mu()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExactAndBaseline(t *testing.T) {
+	in, err := videodist.NewRandomSMD(videodist.RandomSMD{Streams: 9, Users: 4, Seed: 3, Skew: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := videodist.SolveExact(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assn, report, err := videodist.Solve(in, videodist.Options{Algorithm: videodist.AlgoPartialEnum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Value > opt+1e-9 {
+		t.Fatalf("approximate value %v exceeds OPT %v", report.Value, opt)
+	}
+	if err := assn.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	thr, err := videodist.Threshold(in, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := thr.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := videodist.LocalSkew(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 1 {
+		t.Fatalf("alpha = %v", alpha)
+	}
+}
