@@ -409,6 +409,72 @@ func BenchmarkEmulation(b *testing.B) {
 	}
 }
 
+// clusterBenchTenants builds the 8-tenant fleet shared by the cluster
+// benchmarks (instances generated once per benchmark, outside the
+// timed loop; policies are per-run state and are rebuilt inside it).
+func clusterBenchTenants(b *testing.B) []*videodist.Instance {
+	b.Helper()
+	instances := make([]*videodist.Instance, 8)
+	for i := range instances {
+		in, err := generator.CableTV{
+			Channels: 40, Gateways: 10, Seed: 200 + int64(i), EgressFraction: 0.25,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instances[i] = in
+	}
+	return instances
+}
+
+// benchCluster drives one full workload (arrivals, departures, gateway
+// churn) over 8 tenants on the given shard count and reports
+// events/op. BenchmarkClusterSharded vs BenchmarkClusterSerial is the
+// sharding speedup: tenants are independent, so with GOMAXPROCS >= 4
+// the sharded fleet should process the same event stream at >= 2x the
+// serial-loop throughput, with bit-identical per-tenant results (the
+// cluster's determinism contract, asserted by E12 and the cluster
+// package tests).
+func benchCluster(b *testing.B, shards int) {
+	instances := clusterBenchTenants(b)
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: shards, BatchSize: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs, total, err := c.RunWorkload(videodist.ClusterWorkload{
+			Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if !fs.AllFeasible {
+			b.Fatal("fleet infeasible")
+		}
+		events = total
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// BenchmarkClusterSerial processes all 8 tenants on a single shard
+// worker — the serial-loop baseline.
+func BenchmarkClusterSerial(b *testing.B) { benchCluster(b, 1) }
+
+// BenchmarkClusterSharded processes the same fleet with one shard per
+// tenant, so admission across tenants runs in parallel.
+func BenchmarkClusterSharded(b *testing.B) { benchCluster(b, 8) }
+
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.
 func BenchmarkExperimentSuite(b *testing.B) {

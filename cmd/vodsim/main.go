@@ -15,7 +15,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/emulation"
 	"repro/internal/generator"
 	"repro/internal/headend"
@@ -148,16 +147,5 @@ func run(channels, gateways int, seed int64, egress float64, policyName, tracePa
 }
 
 func makePolicy(name string, in *mmd.Instance) (headend.Policy, error) {
-	switch name {
-	case "oracle":
-		return headend.NewOraclePolicy(in, core.Options{})
-	case "online":
-		return headend.NewOnlinePolicy(in, true)
-	case "threshold":
-		return headend.NewThresholdPolicy(in, 1)
-	case "static":
-		return headend.NewStaticGreedyPolicy(in)
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+	return headend.NewPolicyByName(in, name)
 }

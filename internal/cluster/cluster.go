@@ -1,0 +1,444 @@
+// Package cluster operates many neighborhood head-ends as one fleet:
+// the sharded, multi-tenant serving layer the paper's Fig. 1 implies
+// but never builds. Each tenant is one independent head-end instance
+// (an admission policy plus its running assignment, wrapped by
+// headend.Tenant); the cluster pins every tenant to exactly one shard,
+// and each shard runs a single worker goroutine that owns its tenants
+// outright — no locks, no shared mutable state between shards.
+//
+// # Shard / batch / determinism contract
+//
+// Events (stream arrivals, stream departures, gateway leaves/joins,
+// offline re-solves) are routed to the owning shard over a buffered
+// channel and processed strictly in submission order per shard. Stream
+// arrivals are coalesced: a shard accumulates up to Options.BatchSize
+// consecutive arrivals, then admits them grouped by tenant (groups in
+// first-appearance order, per-tenant arrival order preserved), so each
+// tenant's policy state is activated once per batch instead of once
+// per event. Tenants are independent, so grouping never changes
+// results. A partial batch is flushed by the next non-arrival event, a
+// snapshot barrier, or shutdown — never by a timer — which keeps flush
+// boundaries (and the per-shard batch stats) a pure function of the
+// submission sequence. The cost of that determinism is that Submit is
+// asynchronous: a trailing partial batch stays queued until the next
+// event or barrier, and callers observe applied state via Snapshot,
+// which is exactly such a barrier.
+//
+// Because tenant-to-shard placement is static and every per-tenant
+// mutation happens on its shard's worker in submission order, a fixed
+// submission sequence produces bit-identical per-tenant snapshots
+// regardless of the shard count, and the fleet report is byte-identical
+// across invocations (the reduction in Snapshot walks tenants and
+// shards in index order — the same pattern as the band fan-out in
+// internal/core). Wall-clock throughput is the only thing sharding
+// changes.
+//
+// Tenants are fully isolated: streams are not shared across shards (a
+// stream admitted by tenant 3 costs nothing to tenant 5), which is
+// recorded as an open item in ROADMAP.md.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/headend"
+	"repro/internal/mmd"
+)
+
+// EventType discriminates cluster events.
+type EventType int
+
+// Event kinds routed to shard workers.
+const (
+	// EventStreamArrival offers Event.Stream to the tenant's policy.
+	EventStreamArrival EventType = iota + 1
+	// EventStreamDeparture removes a carried stream.
+	EventStreamDeparture
+	// EventUserLeave takes gateway Event.User offline.
+	EventUserLeave
+	// EventUserJoin brings gateway Event.User back online.
+	EventUserJoin
+	// EventResolve re-runs the offline pipeline for the tenant and
+	// records the value (monitoring; see headend.Tenant.Resolve).
+	EventResolve
+)
+
+// Event is one unit of work for a tenant.
+type Event struct {
+	// Tenant is the target tenant index.
+	Tenant int
+	// Type selects the action.
+	Type EventType
+	// Stream is the stream index (arrival/departure events).
+	Stream int
+	// User is the gateway index (leave/join events).
+	User int
+}
+
+// TenantSnapshot is the per-tenant summary (see headend.TenantSnapshot).
+type TenantSnapshot = headend.TenantSnapshot
+
+// TenantConfig describes one tenant of the cluster.
+type TenantConfig struct {
+	// Instance is the tenant's workload (cable-TV conventions).
+	Instance *mmd.Instance
+	// Policy is the admission policy; nil builds the guarded online
+	// policy (the production-safe default).
+	Policy headend.Policy
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Shards is the number of worker goroutines (default
+	// min(GOMAXPROCS, tenants)). Results are independent of Shards.
+	Shards int
+	// BatchSize is the number of consecutive stream arrivals a shard
+	// coalesces before invoking the policy (default 16).
+	BatchSize int
+	// QueueDepth is the per-shard event channel buffer (default 256).
+	QueueDepth int
+	// ResolveEvery triggers an offline re-solve of a tenant after every
+	// N churn events (departures, leaves, joins) it processes; 0
+	// disables churn-triggered re-solves.
+	ResolveEvery int
+	// SolveOptions configures the re-solve pipeline.
+	SolveOptions core.Options
+}
+
+func (o Options) withDefaults(tenants int) Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards > tenants {
+		o.Shards = tenants
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// ShardStats summarizes one shard worker's activity.
+type ShardStats struct {
+	// Shard is the shard index; Tenants is how many tenants it owns.
+	Shard, Tenants int
+	// Events counts all processed events; Batches and MaxBatch describe
+	// arrival coalescing.
+	Events, Batches, MaxBatch int
+	// Arrivals..Resolves break Events down by type (Admitted counts
+	// arrivals that delivered to at least one user).
+	Arrivals, Admitted, Departures, Leaves, Joins, Resolves int
+}
+
+// message is the shard channel payload: an event, or a barrier request
+// when snap is non-nil.
+type message struct {
+	ev   Event
+	snap chan shardReport
+}
+
+type shardReport struct {
+	stats ShardStats
+	snaps map[int]headend.TenantSnapshot
+	err   error
+}
+
+type shard struct {
+	id      int
+	tenants []int
+	ch      chan message
+	done    chan struct{}
+
+	// Worker-owned state below; read by others only via barrier replies
+	// or after done is closed.
+	stats ShardStats
+	churn map[int]int // tenant -> churn events seen (ResolveEvery)
+	err   error
+}
+
+// Cluster is a sharded multi-tenant head-end service. Submit, Snapshot,
+// and Close are safe for concurrent use; events for the same tenant are
+// applied in submission order.
+type Cluster struct {
+	opts    Options
+	tenants []*headend.Tenant
+	shardOf []int
+	shards  []*shard
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds the cluster and starts one worker per shard. Tenant i is
+// pinned to shard i mod Shards.
+func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one tenant")
+	}
+	opts = opts.withDefaults(len(tenants))
+	c := &Cluster{
+		opts:    opts,
+		tenants: make([]*headend.Tenant, len(tenants)),
+		shardOf: make([]int, len(tenants)),
+		shards:  make([]*shard, opts.Shards),
+	}
+	for i, cfg := range tenants {
+		if cfg.Instance == nil {
+			return nil, fmt.Errorf("cluster: tenant %d: nil instance", i)
+		}
+		pol := cfg.Policy
+		if pol == nil {
+			var err error
+			pol, err = headend.NewPolicyByName(cfg.Instance, "online")
+			if err != nil {
+				return nil, fmt.Errorf("cluster: tenant %d: %w", i, err)
+			}
+		}
+		t, err := headend.NewTenant(cfg.Instance, pol)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: tenant %d: %w", i, err)
+		}
+		c.tenants[i] = t
+		c.shardOf[i] = i % opts.Shards
+	}
+	for s := range c.shards {
+		sh := &shard{
+			id:    s,
+			ch:    make(chan message, opts.QueueDepth),
+			done:  make(chan struct{}),
+			churn: make(map[int]int),
+		}
+		for i := range c.tenants {
+			if c.shardOf[i] == s {
+				sh.tenants = append(sh.tenants, i)
+			}
+		}
+		sh.stats.Shard = s
+		sh.stats.Tenants = len(sh.tenants)
+		c.shards[s] = sh
+		go c.worker(sh)
+	}
+	return c, nil
+}
+
+// NumTenants returns the number of tenants.
+func (c *Cluster) NumTenants() int { return len(c.tenants) }
+
+// NumShards returns the number of shard workers.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// ShardOf returns the shard owning tenant i.
+func (c *Cluster) ShardOf(i int) int { return c.shardOf[i] }
+
+// Submit routes one event to its tenant's shard, blocking when the
+// shard queue is full. It is safe to call from many goroutines; events
+// submitted by one goroutine for one tenant are applied in order.
+// Submission is asynchronous — an arrival may sit in a partial batch
+// until the next event reaches its shard; call Snapshot to barrier and
+// observe all submitted events applied.
+func (c *Cluster) Submit(ev Event) error {
+	if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
+		return fmt.Errorf("cluster: tenant %d out of range [0,%d)", ev.Tenant, len(c.tenants))
+	}
+	switch ev.Type {
+	case EventStreamArrival, EventStreamDeparture, EventUserLeave, EventUserJoin, EventResolve:
+	default:
+		return fmt.Errorf("cluster: unknown event type %d", ev.Type)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return fmt.Errorf("cluster: closed")
+	}
+	c.shards[c.shardOf[ev.Tenant]].ch <- message{ev: ev}
+	return nil
+}
+
+// Snapshot flushes every shard (a barrier: all queued events are
+// applied first) and returns the aggregated fleet state. The reduction
+// walks tenants and shards in index order, so the snapshot — and
+// everything rendered from it — is deterministic for a deterministic
+// submission sequence.
+func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, fmt.Errorf("cluster: closed")
+	}
+	replies := make([]chan shardReport, len(c.shards))
+	for s, sh := range c.shards {
+		replies[s] = make(chan shardReport, 1)
+		sh.ch <- message{snap: replies[s]}
+	}
+	fs := &FleetSnapshot{
+		Shards:      len(c.shards),
+		Tenants:     make([]headend.TenantSnapshot, len(c.tenants)),
+		ShardStats:  make([]ShardStats, len(c.shards)),
+		AllFeasible: true,
+	}
+	var firstErr error
+	snaps := make(map[int]headend.TenantSnapshot, len(c.tenants))
+	for s := range c.shards {
+		rep := <-replies[s]
+		fs.ShardStats[s] = rep.stats
+		for i, snap := range rep.snaps {
+			snaps[i] = snap
+		}
+		if rep.err != nil && firstErr == nil {
+			firstErr = rep.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range c.tenants {
+		snap := snaps[i]
+		fs.Tenants[i] = snap
+		fs.Utility += snap.Utility
+		fs.Offered += snap.StreamsOffered
+		fs.Admitted += snap.StreamsAdmitted
+		fs.Departed += snap.StreamsDeparted
+		fs.Leaves += snap.UserLeaves
+		fs.Joins += snap.UserJoins
+		fs.Resolves += snap.Resolves
+		fs.ActiveStreams += snap.ActiveStreams
+		fs.Pairs += snap.Pairs
+		if !snap.Feasible {
+			fs.AllFeasible = false
+		}
+	}
+	return fs, nil
+}
+
+// Close drains and stops all shard workers. It is idempotent; Submit
+// and Snapshot fail after Close. The first worker error (a failed
+// re-solve) is returned.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, sh := range c.shards {
+		close(sh.ch)
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, sh := range c.shards {
+		<-sh.done
+		if sh.err != nil && firstErr == nil {
+			firstErr = sh.err
+		}
+	}
+	return firstErr
+}
+
+// worker is the shard event loop: FIFO with arrival coalescing.
+func (c *Cluster) worker(sh *shard) {
+	defer close(sh.done)
+	batch := make([]Event, 0, c.opts.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		sh.stats.Batches++
+		if len(batch) > sh.stats.MaxBatch {
+			sh.stats.MaxBatch = len(batch)
+		}
+		// Admit grouped by tenant, groups in first-appearance order.
+		// Per-tenant arrival order is preserved and tenants are
+		// independent, so results match pure FIFO.
+		for len(batch) > 0 {
+			ti := batch[0].Tenant
+			t := c.tenants[ti]
+			keep := batch[:0]
+			for _, ev := range batch {
+				if ev.Tenant != ti {
+					keep = append(keep, ev)
+					continue
+				}
+				sh.stats.Arrivals++
+				if users := t.OfferStream(ev.Stream); len(users) > 0 {
+					sh.stats.Admitted++
+				}
+			}
+			batch = keep
+		}
+	}
+	for msg := range sh.ch {
+		if msg.snap != nil {
+			flush()
+			msg.snap <- c.reportShard(sh)
+			continue
+		}
+		ev := msg.ev
+		sh.stats.Events++
+		if ev.Type == EventStreamArrival {
+			batch = append(batch, ev)
+			if len(batch) >= c.opts.BatchSize {
+				flush()
+			}
+			continue
+		}
+		flush()
+		c.applyChurn(sh, ev)
+	}
+	flush()
+}
+
+// applyChurn handles every non-arrival event and the churn-triggered
+// re-solve policy.
+func (c *Cluster) applyChurn(sh *shard, ev Event) {
+	t := c.tenants[ev.Tenant]
+	churned := false
+	switch ev.Type {
+	case EventStreamDeparture:
+		sh.stats.Departures++
+		t.DepartStream(ev.Stream)
+		churned = true
+	case EventUserLeave:
+		sh.stats.Leaves++
+		t.UserLeave(ev.User)
+		churned = true
+	case EventUserJoin:
+		sh.stats.Joins++
+		t.UserJoin(ev.User)
+		churned = true
+	case EventResolve:
+		c.resolve(sh, ev.Tenant)
+	}
+	if churned && c.opts.ResolveEvery > 0 {
+		sh.churn[ev.Tenant]++
+		if sh.churn[ev.Tenant]%c.opts.ResolveEvery == 0 {
+			c.resolve(sh, ev.Tenant)
+		}
+	}
+}
+
+func (c *Cluster) resolve(sh *shard, tenant int) {
+	sh.stats.Resolves++
+	if _, err := c.tenants[tenant].Resolve(c.opts.SolveOptions); err != nil && sh.err == nil {
+		sh.err = fmt.Errorf("cluster: tenant %d: %w", tenant, err)
+	}
+}
+
+// reportShard snapshots the shard's stats and its tenants (called on
+// the worker goroutine only).
+func (c *Cluster) reportShard(sh *shard) shardReport {
+	rep := shardReport{
+		stats: sh.stats,
+		snaps: make(map[int]headend.TenantSnapshot, len(sh.tenants)),
+		err:   sh.err,
+	}
+	for _, i := range sh.tenants {
+		rep.snaps[i] = c.tenants[i].Snapshot()
+	}
+	return rep
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/headend"
+	"repro/internal/mmd"
+)
+
+func tenantInstances(t testing.TB, n int, channels, gateways int, seed int64) []TenantConfig {
+	t.Helper()
+	cfgs := make([]TenantConfig, n)
+	for i := range cfgs {
+		in, err := generator.CableTV{
+			Channels: channels, Gateways: gateways, Seed: seed + int64(i),
+			EgressFraction: 0.25,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = TenantConfig{Instance: in}
+	}
+	return cfgs
+}
+
+func runFleet(t testing.TB, tenants []TenantConfig, opts Options, w Workload) *FleetSnapshot {
+	t.Helper()
+	c, err := New(tenants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fs, total, err := c.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("workload submitted no events")
+	}
+	return fs
+}
+
+func TestClusterAdmitsAndStaysFeasible(t *testing.T) {
+	tenants := tenantInstances(t, 6, 20, 6, 400)
+	fs := runFleet(t, tenants, Options{Shards: 3, BatchSize: 4}, Workload{Seed: 1})
+	if !fs.AllFeasible {
+		t.Fatal("fleet has an infeasible tenant")
+	}
+	if fs.Admitted == 0 || fs.Utility <= 0 {
+		t.Fatalf("fleet admitted nothing: admitted=%d utility=%v", fs.Admitted, fs.Utility)
+	}
+	if fs.Offered != 6*20 {
+		t.Fatalf("offered = %d, want %d", fs.Offered, 6*20)
+	}
+	events := 0
+	for _, st := range fs.ShardStats {
+		events += st.Events
+	}
+	if events != fs.Offered {
+		t.Fatalf("shard events = %d, want %d", events, fs.Offered)
+	}
+}
+
+// TestClusterDeterministicAcrossRuns is the acceptance check: a
+// fixed-seed run renders a byte-identical aggregate report across two
+// invocations.
+func TestClusterDeterministicAcrossRuns(t *testing.T) {
+	opts := Options{Shards: 4, BatchSize: 8, ResolveEvery: 7}
+	w := Workload{Seed: 42, Rounds: 2, DepartEvery: 3, ChurnEvery: 5}
+	a := runFleet(t, tenantInstances(t, 8, 15, 5, 500), opts, w).Render()
+	b := runFleet(t, tenantInstances(t, 8, 15, 5, 500), opts, w).Render()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// TestClusterShardCountInvariant checks the determinism contract's
+// stronger half: per-tenant results do not depend on how tenants are
+// sharded.
+func TestClusterShardCountInvariant(t *testing.T) {
+	w := Workload{Seed: 7, Rounds: 2, DepartEvery: 4, ChurnEvery: 6}
+	var base string
+	for _, shards := range []int{1, 2, 4, 7} {
+		fs := runFleet(t, tenantInstances(t, 7, 12, 5, 600),
+			Options{Shards: shards, BatchSize: 3}, w)
+		got := fs.RenderTenants()
+		if base == "" {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Fatalf("tenant table changed with %d shards:\n--- base\n%s\n--- got\n%s",
+				shards, base, got)
+		}
+	}
+}
+
+func TestClusterBatchingCoalesces(t *testing.T) {
+	tenants := tenantInstances(t, 4, 25, 5, 700)
+	c, err := New(tenants, Options{Shards: 2, BatchSize: 8, QueueDepth: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, _, err := c.RunWorkload(Workload{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range fs.ShardStats {
+		if st.Batches == 0 || st.Arrivals == 0 {
+			t.Fatalf("shard %d processed no batches: %+v", st.Shard, st)
+		}
+		if st.MaxBatch > 8 {
+			t.Fatalf("shard %d batch overflow: max %d > 8", st.Shard, st.MaxBatch)
+		}
+		if st.MaxBatch < 2 {
+			t.Fatalf("shard %d never coalesced (max batch %d); queue interleaving broken?",
+				st.Shard, st.MaxBatch)
+		}
+	}
+}
+
+func TestClusterChurnAndResolve(t *testing.T) {
+	tenants := tenantInstances(t, 4, 12, 4, 800)
+	fs := runFleet(t, tenants,
+		Options{Shards: 4, ResolveEvery: 5},
+		Workload{Seed: 11, Rounds: 3, DepartEvery: 2, ChurnEvery: 4})
+	if fs.Departed == 0 || fs.Leaves == 0 || fs.Joins == 0 {
+		t.Fatalf("churn did not run: %+v", fs)
+	}
+	if fs.Resolves == 0 {
+		t.Fatal("churn-triggered re-solves did not run")
+	}
+	for i, ts := range fs.Tenants {
+		if !ts.Feasible {
+			t.Fatalf("tenant %d infeasible after churn", i)
+		}
+		if ts.Resolves > 0 && ts.LastResolveValue <= 0 {
+			t.Fatalf("tenant %d resolve recorded no value", i)
+		}
+	}
+}
+
+func TestClusterExplicitEventsAndErrors(t *testing.T) {
+	tenants := tenantInstances(t, 2, 8, 3, 900)
+	c, err := New(tenants, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(Event{Tenant: 5, Type: EventStreamArrival}); err == nil {
+		t.Fatal("out-of-range tenant accepted")
+	}
+	if err := c.Submit(Event{Tenant: 0, Type: EventType(99)}); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	for s := 0; s < 8; s++ {
+		if err := c.Submit(Event{Tenant: 0, Type: EventStreamArrival, Stream: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Submit(Event{Tenant: 0, Type: EventResolve}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Tenants[0].StreamsOffered != 8 || fs.Tenants[0].Resolves != 1 {
+		t.Fatalf("tenant 0 snapshot = %+v", fs.Tenants[0])
+	}
+	if fs.Tenants[1].StreamsOffered != 0 {
+		t.Fatalf("tenant 1 saw tenant 0's events: %+v", fs.Tenants[1])
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+	if err := c.Submit(Event{Tenant: 0, Type: EventStreamArrival}); err == nil {
+		t.Fatal("Submit after Close accepted")
+	}
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("Snapshot after Close accepted")
+	}
+}
+
+func TestClusterPolicyKinds(t *testing.T) {
+	in, err := generator.CableTV{Channels: 10, Gateways: 4, Seed: 1000}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"", "online", "online-unguarded", "threshold", "oracle", "static"} {
+		pol, err := headend.NewPolicyByName(in, kind)
+		if err != nil {
+			t.Fatalf("NewPolicyByName(%q): %v", kind, err)
+		}
+		if pol.Name() == "" {
+			t.Fatalf("NewPolicyByName(%q): empty name", kind)
+		}
+		fs := runFleet(t, []TenantConfig{{Instance: in, Policy: pol}},
+			Options{Shards: 1}, Workload{Seed: 5})
+		if !fs.AllFeasible {
+			t.Fatalf("policy %q produced an infeasible tenant", kind)
+		}
+	}
+	if _, err := headend.NewPolicyByName(in, "nope"); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := New([]TenantConfig{{Instance: (*mmd.Instance)(nil)}}, Options{}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+func TestClusterRenderShape(t *testing.T) {
+	fs := runFleet(t, tenantInstances(t, 3, 10, 4, 1100),
+		Options{Shards: 2}, Workload{Seed: 9})
+	out := fs.Render()
+	for _, want := range []string{"fleet: 3 tenants on 2 shards", "shard  tenants", "tenant  policy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(fs.RenderTenants(), "\n"); lines != 4 {
+		t.Fatalf("tenant table has %d lines, want 4", lines)
+	}
+}

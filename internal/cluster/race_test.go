@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestClusterConcurrentInjection hammers a >=4-shard cluster with
+// events from many goroutines at once. Run under -race (the CI does)
+// this proves the shard-pinning discipline: every tenant mutation
+// happens on exactly one worker goroutine, with no shared mutable
+// state between shards. With concurrent submitters the interleaving —
+// and so per-tenant admission outcomes — is not deterministic; the
+// test checks the invariants that must survive any interleaving:
+// feasibility everywhere, conservation of event counts, and tenant
+// isolation.
+func TestClusterConcurrentInjection(t *testing.T) {
+	const tenants, injectors, perInjector = 8, 6, 3
+	cfgs := tenantInstances(t, tenants, 15, 5, 1300)
+	c, err := New(cfgs, Options{Shards: 4, BatchSize: 4, ResolveEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 4 {
+		t.Fatalf("shards = %d, want 4", c.NumShards())
+	}
+
+	var wg sync.WaitGroup
+	w := Workload{Rounds: perInjector, DepartEvery: 3, ChurnEvery: 5}
+	for inj := 0; inj < injectors; inj++ {
+		inj := inj
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := 0; ti < tenants; ti++ {
+				ws := w
+				ws.Seed = int64(1 + inj*tenants + ti)
+				for _, ev := range ws.Events(c, ti) {
+					ev.Tenant = ti
+					if err := c.Submit(ev); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// A concurrent snapshot reader: barriers must interleave safely
+	// with live submission.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.AllFeasible {
+		t.Fatal("concurrent injection broke feasibility")
+	}
+	wantArrivals := injectors * perInjector * 15 * tenants
+	if fs.Offered != wantArrivals {
+		t.Fatalf("offered = %d, want %d (events lost or duplicated)", fs.Offered, wantArrivals)
+	}
+	for i, ts := range fs.Tenants {
+		if ts.StreamsOffered != wantArrivals/tenants {
+			t.Fatalf("tenant %d offered = %d, want %d", i, ts.StreamsOffered, wantArrivals/tenants)
+		}
+	}
+	shardEvents := 0
+	for _, st := range fs.ShardStats {
+		shardEvents += st.Events
+	}
+	if shardEvents < wantArrivals {
+		t.Fatalf("shards processed %d events, want >= %d", shardEvents, wantArrivals)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/generator"
+)
+
+// E12Config parameterizes E12.
+type E12Config struct {
+	// Tenants is the fleet size; Channels/Gateways shape each tenant.
+	Tenants, Channels, Gateways int
+	// Seed drives instance generation and the workload.
+	Seed int64
+	// Rounds replays each tenant's catalog; DepartEvery/ChurnEvery
+	// inject churn (see cluster.Workload).
+	Rounds, DepartEvery, ChurnEvery int
+	// ShardCounts are the shard configurations compared.
+	ShardCounts []int
+}
+
+// DefaultE12 returns the parameters used by EXPERIMENTS.md.
+func DefaultE12() E12Config {
+	return E12Config{
+		Tenants: 8, Channels: 20, Gateways: 6, Seed: 120,
+		Rounds: 2, DepartEvery: 3, ChurnEvery: 5,
+		ShardCounts: []int{1, 2, 4, 8},
+	}
+}
+
+// E12Cluster exercises the sharded multi-tenant serving layer the
+// paper's Fig. 1 implies: N independent head-ends operated as one
+// fleet. The invariants checked are the cluster's contract — every
+// tenant stays feasible under arrivals and churn, and the per-tenant
+// results are bit-identical across shard counts (sharding changes only
+// wall-clock, never outcomes).
+func E12Cluster(cfg E12Config) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Sharded multi-tenant head-end fleet",
+		Claim: "Fig. 1 at fleet scale: independent tenants admit concurrently under " +
+			"per-shard workers with batched admission; feasibility holds everywhere " +
+			"and results are invariant under the shard count",
+		Columns: []string{"shards", "fleet utility", "offered", "admitted", "departed",
+			"churn events", "feasible", "tenant table identical"},
+	}
+	runOnce := func(shards int) (*cluster.FleetSnapshot, error) {
+		tenants := make([]cluster.TenantConfig, cfg.Tenants)
+		for i := range tenants {
+			in, err := generator.CableTV{
+				Channels: cfg.Channels, Gateways: cfg.Gateways,
+				Seed: cfg.Seed + int64(i), EgressFraction: 0.25,
+			}.Generate()
+			if err != nil {
+				return nil, err
+			}
+			tenants[i] = cluster.TenantConfig{Instance: in}
+		}
+		c, err := cluster.New(tenants, cluster.Options{Shards: shards, BatchSize: 8})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		fs, _, err := c.RunWorkload(cluster.Workload{
+			Seed: cfg.Seed, Rounds: cfg.Rounds,
+			DepartEvery: cfg.DepartEvery, ChurnEvery: cfg.ChurnEvery,
+		})
+		return fs, err
+	}
+
+	ok := true
+	base := ""
+	for _, shards := range cfg.ShardCounts {
+		fs, err := runOnce(shards)
+		if err != nil {
+			return nil, err
+		}
+		tenantTable := fs.RenderTenants()
+		if base == "" {
+			base = tenantTable
+		}
+		identical := tenantTable == base
+		churn := fs.Departed + fs.Leaves + fs.Joins
+		if !fs.AllFeasible || !identical || churn == 0 {
+			ok = false
+		}
+		t.Rows = append(t.Rows, []string{
+			d(shards), f1(fs.Utility), d(fs.Offered), d(fs.Admitted), d(fs.Departed),
+			d(churn), fmt.Sprintf("%v", fs.AllFeasible), fmt.Sprintf("%v", identical),
+		})
+	}
+	t.Verdict = verdict(ok)
+	t.Notes = fmt.Sprintf("%d tenants, %d channels x %d gateways each; guarded online "+
+		"admission; departures every %d arrivals, gateway churn every %d.",
+		cfg.Tenants, cfg.Channels, cfg.Gateways, cfg.DepartEvery, cfg.ChurnEvery)
+	return t, nil
+}

@@ -19,6 +19,7 @@
 //	E9  Section 1: utility-aware solver vs threshold admission
 //	E10 end-to-end: simulated head-end, delivery, zero overload
 //	E11 footnote 1: finite-duration streams and gateway churn
+//	E12 fleet scale: sharded multi-tenant cluster, shard-count invariance
 //	A1  ablation: paper-faithful lift vs greedy-merging lift
 //	A2  ablation: raw greedy vs fixed greedy on the blocking family
 //	A3  ablation: online allocator sensitivity to mu
@@ -104,6 +105,7 @@ func All() ([]*Table, error) {
 		{"E9", func() (*Table, error) { return E9VsThreshold(DefaultE9()) }},
 		{"E10", func() (*Table, error) { return E10EndToEnd(DefaultE10()) }},
 		{"E11", func() (*Table, error) { return E11Churn(DefaultE11()) }},
+		{"E12", func() (*Table, error) { return E12Cluster(DefaultE12()) }},
 		{"A1", func() (*Table, error) { return A1LiftAblation(DefaultA1()) }},
 		{"A2", func() (*Table, error) { return A2BlockingFamily(DefaultA2()) }},
 		{"A3", func() (*Table, error) { return A3MuSensitivity(DefaultA3()) }},

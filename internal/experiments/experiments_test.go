@@ -88,6 +88,23 @@ func TestE8AndE9AndE10Run(t *testing.T) {
 	}
 }
 
+func TestE12HoldsOnReducedConfig(t *testing.T) {
+	tab, err := E12Cluster(E12Config{
+		Tenants: 4, Channels: 12, Gateways: 4, Seed: 12,
+		Rounds: 2, DepartEvery: 3, ChurnEvery: 5,
+		ShardCounts: []int{1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E12 verdict = %s", tab.Verdict)
+	}
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatal("E12 table malformed")
+	}
+}
+
 func TestAblationsRun(t *testing.T) {
 	a1, err := A1LiftAblation(A1Config{Trials: 4, Streams: 8, Users: 3, M: 2, MC: 2, Seed: 11})
 	if err != nil {

@@ -154,14 +154,14 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 		}
 	}
 
+	tenant, err := NewTenant(in, policy)
+	if err != nil {
+		return nil, err
+	}
 	res := &ChurnResult{Policy: policy.Name()}
-	departer, canDepart := policy.(DeparturePolicy)
-	churner, canChurn := policy.(UserChurnPolicy)
 
 	liveUtility := 0.0
 	lastChange := 0.0
-	liveUsers := make(map[int][]int) // stream -> users currently receiving
-	awayUser := make([]bool, in.NumUsers())
 	accrue := func() {
 		now := engine.Now()
 		res.UtilitySeconds += liveUtility * (now - lastChange)
@@ -182,29 +182,18 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 			hold := rng.ExpFloat64() * cfg.MeanHoldTime
 			lastArrival = at
 			err := engine.ScheduleAt(at, func() {
-				res.Offers++
 				emit(trace.Event{Time: engine.Now(), Type: trace.EventStreamArrival, Stream: s})
-				if _, alive := liveUsers[s]; alive {
-					return // still being carried from a previous round
+				if tenant.Carries(s) {
+					tenant.OfferStream(s) // count the offer; still carried from a previous round
+					return
 				}
-				users := policy.OnStreamArrival(s)
-				// Defensive filter: never deliver to an offline gateway
-				// even if a (churn-unaware) policy selected it.
-				kept := make([]int, 0, len(users))
-				for _, u := range users {
-					if !awayUser[u] {
-						kept = append(kept, u)
-					}
-				}
-				users = kept
+				users := tenant.OfferStream(s)
 				emit(trace.Event{Time: engine.Now(), Type: trace.EventDecision,
 					Stream: s, Users: users, Value: utilityOf(in, s, users)})
 				if len(users) == 0 {
 					return
 				}
-				res.Admissions++
 				accrue()
-				liveUsers[s] = users
 				for _, u := range users {
 					_ = net.Subscribe(u, s)
 					liveUtility += in.Users[u].Utility[s]
@@ -214,22 +203,16 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 				}
 				// Schedule the departure.
 				_ = engine.Schedule(hold, func() {
-					users, alive := liveUsers[s]
-					if !alive {
+					if !tenant.Carries(s) {
 						return
 					}
-					res.Departures++
 					accrue()
-					delete(liveUsers, s)
-					for _, u := range users {
+					for _, u := range tenant.DepartStream(s) {
 						net.Unsubscribe(u, s)
 						liveUtility -= in.Users[u].Utility[s]
 					}
 					if liveUtility < 0 {
 						liveUtility = 0
-					}
-					if canDepart {
-						departer.OnStreamDeparture(s)
 					}
 					emit(trace.Event{Time: engine.Now(), Type: trace.EventStreamDeparture, Stream: s})
 				})
@@ -261,27 +244,16 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 			for t < end {
 				leaveAt := t
 				if err := engine.ScheduleAt(leaveAt, func() {
-					if awayUser[u] {
+					if tenant.Away(u) {
 						return
 					}
-					res.UserLeaves++
 					accrue()
-					awayUser[u] = true
-					for s, held := range liveUsers {
-						for i, holder := range held {
-							if holder == u {
-								liveUsers[s] = append(held[:i:i], held[i+1:]...)
-								net.Unsubscribe(u, s)
-								liveUtility -= in.Users[u].Utility[s]
-								break
-							}
-						}
+					for _, s := range tenant.UserLeave(u) {
+						net.Unsubscribe(u, s)
+						liveUtility -= in.Users[u].Utility[s]
 					}
 					if liveUtility < 0 {
 						liveUtility = 0
-					}
-					if canChurn {
-						churner.OnUserLeave(u)
 					}
 					emit(trace.Event{Time: engine.Now(), Type: trace.EventUserLeave,
 						Stream: -1, Users: []int{u}})
@@ -294,14 +266,10 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 					break
 				}
 				if err := engine.ScheduleAt(joinAt, func() {
-					if !awayUser[u] {
+					if !tenant.Away(u) {
 						return
 					}
-					res.UserJoins++
-					awayUser[u] = false
-					if canChurn {
-						churner.OnUserJoin(u)
-					}
+					tenant.UserJoin(u)
 					emit(trace.Event{Time: engine.Now(), Type: trace.EventUserJoin,
 						Stream: -1, Users: []int{u}})
 				}); err != nil {
@@ -317,6 +285,12 @@ func (sc *ChurnScenario) Run(policy Policy, tw *trace.Writer) (*ChurnResult, err
 	engine.RunUntil(end)
 	accrue()
 
+	snap := tenant.Snapshot()
+	res.Offers = snap.StreamsOffered
+	res.Admissions = snap.StreamsAdmitted
+	res.Departures = snap.StreamsDeparted
+	res.UserLeaves = snap.UserLeaves
+	res.UserJoins = snap.UserJoins
 	res.OverloadSamples = net.OverloadSamples()
 	res.TotalSamples = net.TotalSamples()
 	res.DeliveredMb = net.TotalDeliveredMb()

@@ -247,6 +247,29 @@ func (p *StaticGreedyPolicy) OnStreamArrival(s int) []int {
 	return users
 }
 
+// NewPolicyByName builds a named admission policy for an instance:
+// "online" (guarded Section 5 Allocate, the default for an empty
+// name), "online-unguarded", "threshold" (margin 1), "oracle"
+// (offline Theorem 1.1), or "static" (static-density greedy). It is
+// the single name-to-policy factory shared by cmd/vodsim, the
+// cluster, and the public API.
+func NewPolicyByName(in *mmd.Instance, name string) (Policy, error) {
+	switch name {
+	case "", "online":
+		return NewOnlinePolicy(in, true)
+	case "online-unguarded":
+		return NewOnlinePolicy(in, false)
+	case "threshold":
+		return NewThresholdPolicy(in, 1)
+	case "oracle":
+		return NewOraclePolicy(in, core.Options{})
+	case "static":
+		return NewStaticGreedyPolicy(in)
+	default:
+		return nil, fmt.Errorf("headend: unknown policy %q", name)
+	}
+}
+
 // utilityOf sums the instance utility of delivering stream s to users.
 func utilityOf(in *mmd.Instance, s int, users []int) float64 {
 	total := 0.0

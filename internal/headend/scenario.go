@@ -102,7 +102,11 @@ func (sc *Scenario) Run(policy Policy, tw *trace.Writer) (*Result, error) {
 		}
 	}
 
-	res := &Result{Policy: policy.Name(), Assignment: mmd.NewAssignment(in.NumUsers())}
+	tenant, err := NewTenant(in, policy)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Policy: policy.Name(), Assignment: tenant.Assignment()}
 	emit := func(e trace.Event) error {
 		if tw == nil {
 			return nil
@@ -123,25 +127,19 @@ func (sc *Scenario) Run(policy Policy, tw *trace.Writer) (*Result, error) {
 		at += rng.ExpFloat64() * cfg.MeanInterarrival
 		lastArrival = at
 		err := engine.ScheduleAt(at, func() {
-			res.StreamsOffered++
 			if err := emit(trace.Event{
 				Time: engine.Now(), Type: trace.EventStreamArrival, Stream: s,
 			}); err != nil && scheduleErr == nil {
 				scheduleErr = err
 			}
-			users := policy.OnStreamArrival(s)
+			users := tenant.OfferStream(s)
 			if err := emit(trace.Event{
 				Time: engine.Now(), Type: trace.EventDecision, Stream: s,
 				Users: users, Value: utilityOf(in, s, users),
 			}); err != nil && scheduleErr == nil {
 				scheduleErr = err
 			}
-			if len(users) == 0 {
-				return
-			}
-			res.StreamsAdmitted++
 			for _, u := range users {
-				res.Assignment.Add(u, s)
 				if err := net.Subscribe(u, s); err != nil && scheduleErr == nil {
 					scheduleErr = err
 				}
@@ -161,6 +159,9 @@ func (sc *Scenario) Run(policy Policy, tw *trace.Writer) (*Result, error) {
 		return nil, fmt.Errorf("headend: %w", scheduleErr)
 	}
 
+	snap := tenant.Snapshot()
+	res.StreamsOffered = snap.StreamsOffered
+	res.StreamsAdmitted = snap.StreamsAdmitted
 	res.Utility = res.Assignment.Utility(in)
 	res.FeasibilityErr = res.Assignment.CheckFeasible(in)
 	res.DeliveredMb = net.TotalDeliveredMb()

@@ -1,0 +1,238 @@
+package headend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mmd"
+)
+
+// Tenant is one head-end instance driven step by step: an admission
+// policy plus the authoritative running assignment, stream lifetimes,
+// and gateway availability. It is the event-facing core of Scenario.Run
+// extracted so callers that bring their own event loop (the discrete
+// simulators here, the sharded cluster in internal/cluster) can drive
+// admission without the virtual-time engine.
+//
+// A Tenant is not safe for concurrent use; callers serialize all step
+// calls (the cluster pins each tenant to one shard worker).
+type Tenant struct {
+	in     *mmd.Instance
+	policy Policy
+	assn   *mmd.Assignment
+	// live maps a carried stream to the users admitted for it; a stream
+	// stays carried (and further offers are no-ops) until DepartStream.
+	live map[int][]int
+	// away marks gateways currently offline.
+	away []bool
+
+	offered, admitted, departed int
+	leaves, joins, resolves     int
+	lastResolve                 float64
+	hasResolve                  bool
+}
+
+// TenantSnapshot is a deterministic summary of a tenant's state.
+type TenantSnapshot struct {
+	// Policy is the admission policy name.
+	Policy string
+	// Utility is the total utility of the current assignment.
+	Utility float64
+	// StreamsOffered / StreamsAdmitted / StreamsDeparted count events.
+	StreamsOffered, StreamsAdmitted, StreamsDeparted int
+	// UserLeaves / UserJoins count gateway churn events.
+	UserLeaves, UserJoins int
+	// Resolves counts offline re-solves; LastResolveValue is the offline
+	// pipeline value observed by the most recent one (0 when none ran).
+	Resolves         int
+	LastResolveValue float64
+	// ActiveStreams is the number of streams currently transmitted;
+	// Pairs is the number of (user, stream) deliveries.
+	ActiveStreams, Pairs int
+	// Feasible reports whether the current assignment satisfies every
+	// budget and capacity.
+	Feasible bool
+}
+
+// NewTenant builds a tenant around an instance and a policy.
+func NewTenant(in *mmd.Instance, policy Policy) (*Tenant, error) {
+	if in == nil || in.M() < 1 {
+		return nil, fmt.Errorf("headend: tenant needs an instance with at least one budget")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("headend: tenant needs a policy")
+	}
+	return &Tenant{
+		in:     in,
+		policy: policy,
+		assn:   mmd.NewAssignment(in.NumUsers()),
+		live:   make(map[int][]int),
+		away:   make([]bool, in.NumUsers()),
+	}, nil
+}
+
+// Instance returns the tenant's instance.
+func (t *Tenant) Instance() *mmd.Instance { return t.in }
+
+// Policy returns the tenant's policy.
+func (t *Tenant) Policy() Policy { return t.policy }
+
+// Assignment returns the authoritative running assignment. The caller
+// must not mutate it.
+func (t *Tenant) Assignment() *mmd.Assignment { return t.assn }
+
+// OfferStream presents stream s to the policy and commits the decision.
+// It returns the users that now receive s (nil when the stream is
+// rejected, out of range, or already carried). Users that are away are
+// filtered defensively even if a churn-unaware policy selected them.
+func (t *Tenant) OfferStream(s int) []int {
+	if s < 0 || s >= t.in.NumStreams() {
+		return nil
+	}
+	t.offered++
+	if _, alive := t.live[s]; alive {
+		return nil
+	}
+	users := t.policy.OnStreamArrival(s)
+	kept := make([]int, 0, len(users))
+	for _, u := range users {
+		if u >= 0 && u < len(t.away) && !t.away[u] {
+			kept = append(kept, u)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	t.admitted++
+	t.live[s] = kept
+	for _, u := range kept {
+		t.assn.Add(u, s)
+	}
+	return kept
+}
+
+// DepartStream removes a carried stream, releasing its users and (for
+// departure-aware policies) the policy's resources. Departing a stream
+// that is not carried is a no-op.
+func (t *Tenant) DepartStream(s int) []int {
+	users, alive := t.live[s]
+	if !alive {
+		return nil
+	}
+	t.departed++
+	delete(t.live, s)
+	for _, u := range users {
+		t.assn.Remove(u, s)
+	}
+	if dp, ok := t.policy.(DeparturePolicy); ok {
+		dp.OnStreamDeparture(s)
+	}
+	return users
+}
+
+// Carries reports whether stream s is currently carried (admitted and
+// not yet departed; it stays carried even if every holder has left).
+func (t *Tenant) Carries(s int) bool {
+	_, alive := t.live[s]
+	return alive
+}
+
+// Away reports whether gateway u is currently offline.
+func (t *Tenant) Away(u int) bool {
+	return u >= 0 && u < len(t.away) && t.away[u]
+}
+
+// UserLeave takes gateway u offline: its subscriptions are torn down
+// and it receives nothing until UserJoin. It returns the streams u was
+// receiving, in increasing index order. Leaving twice is a no-op.
+func (t *Tenant) UserLeave(u int) []int {
+	if u < 0 || u >= len(t.away) || t.away[u] {
+		return nil
+	}
+	t.leaves++
+	t.away[u] = true
+	var removed []int
+	for s, held := range t.live {
+		for i, holder := range held {
+			if holder == u {
+				t.live[s] = append(held[:i:i], held[i+1:]...)
+				t.assn.Remove(u, s)
+				removed = append(removed, s)
+				break
+			}
+		}
+	}
+	sort.Ints(removed)
+	if cp, ok := t.policy.(UserChurnPolicy); ok {
+		cp.OnUserLeave(u)
+	}
+	return removed
+}
+
+// UserJoin brings gateway u back online (eligible for future streams;
+// it does not recover old subscriptions). Joining while online is a
+// no-op.
+func (t *Tenant) UserJoin(u int) {
+	if u < 0 || u >= len(t.away) || !t.away[u] {
+		return
+	}
+	t.joins++
+	t.away[u] = false
+	if cp, ok := t.policy.(UserChurnPolicy); ok {
+		cp.OnUserJoin(u)
+	}
+}
+
+// Resolve runs the offline Theorem 1.1 pipeline on the tenant's
+// instance (with away gateways' utilities zeroed) and records the
+// offline value in the snapshot. It is a monitoring step — the running
+// assignment and policy state are not replaced, so online policies keep
+// a consistent view; the value measures how far the online assignment
+// has drifted from a fresh offline solution.
+func (t *Tenant) Resolve(opts core.Options) (float64, error) {
+	in := t.in
+	anyAway := false
+	for _, a := range t.away {
+		if a {
+			anyAway = true
+			break
+		}
+	}
+	if anyAway {
+		in = t.in.Clone()
+		for u := range in.Users {
+			if t.away[u] {
+				for s := range in.Users[u].Utility {
+					in.Users[u].Utility[s] = 0
+				}
+			}
+		}
+	}
+	_, rep, err := core.Solve(in, opts)
+	if err != nil {
+		return 0, fmt.Errorf("headend: tenant resolve: %w", err)
+	}
+	t.resolves++
+	t.lastResolve = rep.Value
+	t.hasResolve = true
+	return rep.Value, nil
+}
+
+// Snapshot summarizes the tenant deterministically.
+func (t *Tenant) Snapshot() TenantSnapshot {
+	return TenantSnapshot{
+		Policy:           t.policy.Name(),
+		Utility:          t.assn.Utility(t.in),
+		StreamsOffered:   t.offered,
+		StreamsAdmitted:  t.admitted,
+		StreamsDeparted:  t.departed,
+		UserLeaves:       t.leaves,
+		UserJoins:        t.joins,
+		Resolves:         t.resolves,
+		LastResolveValue: t.lastResolve,
+		ActiveStreams:    t.assn.RangeSize(),
+		Pairs:            t.assn.Pairs(),
+		Feasible:         t.assn.CheckFeasible(t.in) == nil,
+	}
+}

@@ -27,6 +27,11 @@
 // "small" streams it is (1+2·log₂µ)-competitive and never violates a
 // budget. Use Normalize/CheckSmallStreams to verify the hypothesis.
 //
+// NewCluster operates many independent head-end tenants as one fleet:
+// each tenant is pinned to a shard worker, stream-arrival and churn
+// events are routed over channels with batched admission, and results
+// are aggregated deterministically (cmd/mmdserve is the CLI front end).
+//
 // Everything — the solvers, the exact branch-and-bound reference, the
 // workload generators, the discrete-event multicast network, and the
 // live goroutine emulation — lives in internal packages; this package
@@ -37,9 +42,11 @@ package videodist
 import (
 	"repro/internal/baseline"
 	"repro/internal/bounds"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/generator"
+	"repro/internal/headend"
 	"repro/internal/mmd"
 	"repro/internal/online"
 )
@@ -90,6 +97,55 @@ type (
 	// small-streams hypothesis.
 	SmallStreams = generator.SmallStreams
 )
+
+// Sharded multi-tenant serving layer (see internal/cluster for the
+// shard/batch/determinism contract).
+type (
+	// Cluster operates many head-end tenants as one fleet: per-shard
+	// workers, batched admission, deterministic aggregation.
+	Cluster = cluster.Cluster
+	// ClusterOptions configures shard count, batch size, queue depth,
+	// and churn-triggered re-solves.
+	ClusterOptions = cluster.Options
+	// ClusterTenant describes one tenant (instance + admission policy).
+	ClusterTenant = cluster.TenantConfig
+	// ClusterEvent is one unit of work routed to a tenant's shard.
+	ClusterEvent = cluster.Event
+	// ClusterWorkload is a deterministic synthetic event schedule.
+	ClusterWorkload = cluster.Workload
+	// FleetSnapshot is the aggregated fleet state at a barrier.
+	FleetSnapshot = cluster.FleetSnapshot
+	// TenantSnapshot is one tenant's summary within a FleetSnapshot.
+	TenantSnapshot = cluster.TenantSnapshot
+	// AdmissionPolicy decides which users receive an arriving stream.
+	AdmissionPolicy = headend.Policy
+)
+
+// Cluster event kinds.
+const (
+	// ClusterStreamArrival offers a stream to a tenant's policy.
+	ClusterStreamArrival = cluster.EventStreamArrival
+	// ClusterStreamDeparture removes a carried stream.
+	ClusterStreamDeparture = cluster.EventStreamDeparture
+	// ClusterUserLeave takes a gateway offline.
+	ClusterUserLeave = cluster.EventUserLeave
+	// ClusterUserJoin brings a gateway back online.
+	ClusterUserJoin = cluster.EventUserJoin
+	// ClusterResolve re-runs the offline pipeline for a tenant.
+	ClusterResolve = cluster.EventResolve
+)
+
+// NewCluster builds a sharded multi-tenant head-end cluster and starts
+// its shard workers. Close it when done.
+func NewCluster(tenants []ClusterTenant, opts ClusterOptions) (*Cluster, error) {
+	return cluster.New(tenants, opts)
+}
+
+// NewAdmissionPolicy builds a named admission policy ("online",
+// "online-unguarded", "threshold", "oracle", "static") for an instance.
+func NewAdmissionPolicy(in *Instance, kind string) (AdmissionPolicy, error) {
+	return headend.NewPolicyByName(in, kind)
+}
 
 // Solve runs the offline Theorem 1.1 pipeline and returns a feasible
 // assignment together with a report of the run.
