@@ -6,6 +6,7 @@
 package videodist_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 
 	videodist "repro"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/experiments"
@@ -474,6 +476,66 @@ func BenchmarkClusterSerial(b *testing.B) { benchCluster(b, 1) }
 // BenchmarkClusterSharded processes the same fleet with one shard per
 // tenant, so admission across tenants runs in parallel.
 func BenchmarkClusterSharded(b *testing.B) { benchCluster(b, 8) }
+
+// BenchmarkClusterAck drives the same 8-tenant workload through the
+// serving API v2 session methods — every event carries a completion
+// channel and the caller blocks for its typed result — to measure the
+// per-event ack overhead against the fire-and-forget replay path
+// (BenchmarkClusterSerial/Sharded process the identical schedule via
+// RunWorkload). Request/response arrivals flush the batch they join,
+// so this is also the no-coalescing bound of the batching design.
+func BenchmarkClusterAck(b *testing.B) {
+	instances := clusterBenchTenants(b)
+	ctx := context.Background()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: 8, BatchSize: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := videodist.ClusterWorkload{Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8}
+		total := 0
+		for ti := 0; ti < c.NumTenants(); ti++ {
+			for _, ev := range w.Events(c, ti) {
+				switch ev.Type {
+				case cluster.EventStreamArrival:
+					_, err = c.OfferStream(ctx, ev.Tenant, ev.Stream)
+				case cluster.EventStreamDeparture:
+					_, err = c.DepartStream(ctx, ev.Tenant, ev.Stream)
+				case cluster.EventUserLeave:
+					_, err = c.UserLeave(ctx, ev.Tenant, ev.User)
+				case cluster.EventUserJoin:
+					_, err = c.UserJoin(ctx, ev.Tenant, ev.User)
+				case cluster.EventResolve:
+					_, err = c.Resolve(ctx, ev.Tenant, videodist.ResolveOptions{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total++
+			}
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if !fs.AllFeasible {
+			b.Fatal("fleet infeasible")
+		}
+		events = total
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
 
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.

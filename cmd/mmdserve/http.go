@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	videodist "repro"
+)
+
+// The HTTP front end is a thin JSON codec over the serving API v2: one
+// event per POST, decoded into the typed per-operation call, with the
+// typed result marshaled straight back. No state lives in the handler
+// — the cluster session is the whole contract.
+
+// eventRequest is the wire form of one tenant event.
+type eventRequest struct {
+	// Type selects the operation: "offer", "depart", "leave", "join",
+	// or "resolve".
+	Type string `json:"type"`
+	// Stream is the stream index (offer, depart).
+	Stream int `json:"stream,omitempty"`
+	// User is the gateway index (leave, join).
+	User int `json:"user,omitempty"`
+	// Install asks a resolve to install the offline assignment.
+	Install bool `json:"install,omitempty"`
+}
+
+// eventResponse is the wire form of a typed result; exactly the field
+// matching the request type is set.
+type eventResponse struct {
+	Type    string                   `json:"type"`
+	Offer   *videodist.OfferResult   `json:"offer,omitempty"`
+	Depart  *videodist.DepartResult  `json:"depart,omitempty"`
+	Churn   *videodist.ChurnResult   `json:"churn,omitempty"`
+	Resolve *videodist.ResolveResult `json:"resolve,omitempty"`
+}
+
+// errorResponse is the wire form of a failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// newHandler returns the HTTP/JSON ingestion front end over a cluster:
+//
+//	POST /v1/tenants/{id}/events
+//	GET  /v1/fleet/snapshot
+func newHandler(c *videodist.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvent(c, w, r)
+	})
+	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(c, w)
+	})
+	return mux
+}
+
+func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	tenant, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
+		return
+	}
+	var req eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad event body: %w", err))
+		return
+	}
+	ctx := r.Context()
+	resp := eventResponse{Type: req.Type}
+	switch req.Type {
+	case "offer":
+		res, err := c.OfferStream(ctx, tenant, req.Stream)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Offer = &res
+	case "depart":
+		res, err := c.DepartStream(ctx, tenant, req.Stream)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Depart = &res
+	case "leave":
+		res, err := c.UserLeave(ctx, tenant, req.User)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Churn = &res
+	case "join":
+		res, err := c.UserJoin(ctx, tenant, req.User)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Churn = &res
+	case "resolve":
+		res, err := c.Resolve(ctx, tenant, videodist.ResolveOptions{Install: req.Install})
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Resolve = &res
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown event type %q", req.Type))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleSnapshot(c *videodist.Cluster, w http.ResponseWriter) {
+	fs, err := c.Snapshot()
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+// writeTransportError maps the sentinel error taxonomy onto HTTP
+// status codes.
+func writeTransportError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, videodist.ErrUnknownTenant):
+		code = http.StatusNotFound
+	case errors.Is(err, videodist.ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, videodist.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, videodist.ErrCanceled):
+		code = http.StatusRequestTimeout
+	}
+	writeError(w, code, err)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	videodist "repro"
+)
+
+// postEvent POSTs one event and decodes the response into out (which
+// may be nil when only the status code matters).
+func postEvent(t *testing.T, ts *httptest.Server, tenant int, req eventRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/tenants/%d/events", ts.URL, tenant),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPRoundTrip is the acceptance check for the HTTP front end:
+// driving the same event sequence over HTTP and in process yields the
+// same typed OfferResults, and the fleet snapshot round-trips.
+func TestHTTPRoundTrip(t *testing.T) {
+	cfg := defaultTestConfig()
+
+	// In-process reference fleet.
+	ref, err := buildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	// Identically configured fleet behind the HTTP codec.
+	c, err := buildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ts := httptest.NewServer(newHandler(c))
+	defer ts.Close()
+
+	ctx := context.Background()
+	for s := 0; s < cfg.channels; s++ {
+		want, err := ref.OfferStream(ctx, 1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got eventResponse
+		if code := postEvent(t, ts, 1, eventRequest{Type: "offer", Stream: s}, &got); code != http.StatusOK {
+			t.Fatalf("offer %d: status %d", s, code)
+		}
+		if got.Offer == nil {
+			t.Fatalf("offer %d: no offer result in %+v", s, got)
+		}
+		if !reflect.DeepEqual(*got.Offer, want) {
+			t.Fatalf("offer %d over HTTP = %+v, in-process = %+v", s, *got.Offer, want)
+		}
+	}
+
+	// Churn and resolve round-trip through the same codec.
+	var leave eventResponse
+	if code := postEvent(t, ts, 1, eventRequest{Type: "leave", User: 0}, &leave); code != http.StatusOK {
+		t.Fatalf("leave: status %d", code)
+	}
+	if leave.Churn == nil || !leave.Churn.Changed {
+		t.Fatalf("leave = %+v", leave)
+	}
+	var res eventResponse
+	if code := postEvent(t, ts, 1, eventRequest{Type: "resolve", Install: true}, &res); code != http.StatusOK {
+		t.Fatalf("resolve: status %d", code)
+	}
+	if res.Resolve == nil || res.Resolve.OfflineValue <= 0 {
+		t.Fatalf("resolve = %+v", res)
+	}
+
+	// Snapshot: the HTTP fleet must mirror an in-process snapshot of
+	// the same sequence.
+	if _, err := ref.UserLeave(ctx, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Resolve(ctx, 1, videodist.ResolveOptions{Install: true}); err != nil {
+		t.Fatal(err)
+	}
+	wantFS, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/fleet/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d", resp.StatusCode)
+	}
+	var gotFS videodist.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&gotFS); err != nil {
+		t.Fatal(err)
+	}
+	if gotFS.Utility != wantFS.Utility || gotFS.Offered != wantFS.Offered ||
+		gotFS.Installs != wantFS.Installs || !gotFS.AllFeasible {
+		t.Fatalf("snapshot over HTTP = %+v\nin-process = %+v", gotFS, wantFS)
+	}
+	if gotFS.Tenants[1].StreamsOffered != cfg.channels {
+		t.Fatalf("tenant 1 offered = %d, want %d", gotFS.Tenants[1].StreamsOffered, cfg.channels)
+	}
+}
+
+// TestHTTPErrorMapping pins the sentinel-to-status translation and the
+// 400 paths of the codec.
+func TestHTTPErrorMapping(t *testing.T) {
+	c, err := buildCluster(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(c))
+	defer ts.Close()
+
+	var e errorResponse
+	if code := postEvent(t, ts, 99, eventRequest{Type: "offer"}, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: status %d (%+v)", code, e)
+	}
+	if code := postEvent(t, ts, 0, eventRequest{Type: "frobnicate"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown type: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/tenants/zero/events", "application/json",
+		bytes.NewReader([]byte(`{"type":"offer"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tenant id: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/tenants/0/events", "application/json",
+		bytes.NewReader([]byte(`{not json`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", resp.StatusCode)
+	}
+
+	// Closed cluster maps to 503.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := postEvent(t, ts, 0, eventRequest{Type: "offer"}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("closed cluster: status %d", code)
+	}
+}

@@ -1,23 +1,32 @@
 // Command mmdserve runs a sharded multi-tenant head-end cluster from
-// generator configs and prints per-shard and fleet-wide throughput and
-// utility tables.
+// generator configs, either driving a deterministic synthetic workload
+// and printing per-shard and fleet-wide tables, or serving the fleet
+// over HTTP.
 //
 // Usage:
 //
 //	mmdserve [-tenants 8] [-shards 0] [-channels 40] [-gateways 10]
 //	         [-seed 1] [-rounds 2] [-batch 16] [-policy online]
 //	         [-depart-every 3] [-churn-every 0] [-resolve-every 0]
+//	         [-http addr]
 //
-// The deterministic report (fleet summary, per-shard stats, per-tenant
-// table) goes to stdout: two invocations with the same flags produce
-// byte-identical output. Wall-clock throughput, which is not
-// deterministic, goes to stderr.
+// Without -http the deterministic report (fleet summary, per-shard
+// stats, per-tenant table) goes to stdout: two invocations with the
+// same flags produce byte-identical output. Wall-clock throughput,
+// which is not deterministic, goes to stderr.
+//
+// With -http the fleet serves a JSON ingestion front end instead — a
+// thin codec over the serving API v2 request/response structs:
+//
+//	POST /v1/tenants/{id}/events   {"type":"offer","stream":3}
+//	GET  /v1/fleet/snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -27,6 +36,7 @@ import (
 
 func main() {
 	var cfg config
+	var httpAddr string
 	flag.IntVar(&cfg.tenants, "tenants", 8, "number of tenant head-ends")
 	flag.IntVar(&cfg.shards, "shards", 0, "shard workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.channels, "channels", 40, "channels per tenant")
@@ -38,7 +48,15 @@ func main() {
 	flag.IntVar(&cfg.departEvery, "depart-every", 3, "inject a stream departure every k arrivals (0 = off)")
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "inject a gateway leave/join every k arrivals (0 = off)")
 	flag.IntVar(&cfg.resolveEvery, "resolve-every", 0, "offline re-solve after every n churn events (0 = off)")
+	flag.StringVar(&httpAddr, "http", "", "serve the fleet over HTTP on this address instead of running the synthetic workload")
 	flag.Parse()
+	if httpAddr != "" {
+		if err := serve(cfg, httpAddr, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "mmdserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mmdserve:", err)
 		os.Exit(1)
@@ -53,11 +71,11 @@ type config struct {
 	policy                                string
 }
 
-// run builds the fleet, drives the workload, and writes the
-// deterministic report to out and timing to timing.
-func run(cfg config, out, timing io.Writer) error {
+// buildCluster builds the fleet described by cfg: cfg.tenants cable-TV
+// head-ends with the chosen admission policy.
+func buildCluster(cfg config) (*videodist.Cluster, error) {
 	if cfg.tenants < 1 {
-		return fmt.Errorf("need at least one tenant")
+		return nil, fmt.Errorf("need at least one tenant")
 	}
 	tenants := make([]videodist.ClusterTenant, cfg.tenants)
 	for i := range tenants {
@@ -66,20 +84,38 @@ func run(cfg config, out, timing io.Writer) error {
 			Seed: cfg.seed + int64(i), EgressFraction: 0.25,
 		}.Generate()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pol, err := videodist.NewAdmissionPolicy(in, cfg.policy)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tenants[i] = videodist.ClusterTenant{Instance: in, Policy: pol}
 	}
-
-	c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+	return videodist.NewCluster(tenants, videodist.ClusterOptions{
 		Shards:       cfg.shards,
 		BatchSize:    cfg.batch,
 		ResolveEvery: cfg.resolveEvery,
 	})
+}
+
+// serve builds the fleet and serves the HTTP front end until the
+// listener fails (or forever).
+func serve(cfg config, addr string, log io.Writer) error {
+	c, err := buildCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(log, "mmdserve: %d tenants on %d shards, policy=%s, listening on %s\n",
+		c.NumTenants(), c.NumShards(), cfg.policy, addr)
+	return http.ListenAndServe(addr, newHandler(c))
+}
+
+// run builds the fleet, drives the workload, and writes the
+// deterministic report to out and timing to timing.
+func run(cfg config, out, timing io.Writer) error {
+	c, err := buildCluster(cfg)
 	if err != nil {
 		return err
 	}

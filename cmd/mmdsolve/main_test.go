@@ -1,10 +1,52 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/generator"
+	"repro/internal/mmd"
 )
+
+// writeInstance encodes a small solvable instance to a temp file and
+// returns its path.
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in, err := generator.SmallStreams{
+		Base: generator.RandomMMD{Streams: 8, Users: 3, M: 2, MC: 1, Seed: 5, Skew: 2},
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "instance.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := mmd.Encode(f, in); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunSmoke drives the full CLI path (decode file, solve, report,
+// lineups, exact OPT) end to end for every algorithm.
+func TestRunSmoke(t *testing.T) {
+	path := writeInstance(t)
+	for _, algo := range []string{"pipeline", "online", "exact"} {
+		if err := run(path, algo, true, true); err != nil {
+			t.Fatalf("run(%s): %v", algo, err)
+		}
+	}
+	if err := run(path, "bogus", false, false); err == nil {
+		t.Fatal("run accepted an unknown algorithm")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), "pipeline", false, false); err == nil {
+		t.Fatal("run accepted a missing instance file")
+	}
+}
 
 func TestSolveAllAlgorithms(t *testing.T) {
 	in, err := generator.SmallStreams{

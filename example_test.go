@@ -1,6 +1,8 @@
 package videodist_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	videodist "repro"
@@ -49,6 +51,77 @@ func ExampleSolveOnline() {
 	fmt.Printf("feasible: %v, bound %.1f\n",
 		assn.CheckFeasible(in) == nil, norm.CompetitiveBound())
 	// Output: feasible: true, bound 18.3
+}
+
+// Example_cluster drives the serving API v2 end to end: a one-tenant
+// fleet, typed request/response session calls for stream arrivals and
+// gateway churn, an installing re-solve, and the sentinel error
+// taxonomy after Close.
+func Example_cluster() {
+	in := &videodist.Instance{
+		Streams: []videodist.Stream{
+			{Name: "news", Costs: []float64{4, 1}},
+			{Name: "sports", Costs: []float64{8, 1}},
+		},
+		Users: []videodist.User{{
+			Name:       "gw",
+			Utility:    []float64{3, 9},
+			Loads:      [][]float64{{4, 8}},
+			Capacities: []float64{12},
+		}},
+		Budgets: []float64{12, 2},
+	}
+	c, err := videodist.NewCluster(
+		[]videodist.ClusterTenant{{Instance: in}},
+		videodist.ClusterOptions{Shards: 1},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx := context.Background()
+
+	for s := 0; s < 2; s++ {
+		res, err := c.OfferStream(ctx, 0, s)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("offer %d: accepted=%v subscribers=%v utility=%.0f\n",
+			s, res.Accepted, res.Subscribers, res.Utility)
+	}
+	if _, err := c.UserLeave(ctx, 0, 0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := c.UserJoin(ctx, 0, 0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := c.Resolve(ctx, 0, videodist.ResolveOptions{Install: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("resolve: installed=%v online=%.0f offline=%.0f\n",
+		res.Installed, res.OnlineValue, res.OfflineValue)
+
+	fs, err := c.Snapshot()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fleet: utility=%.0f feasible=%v\n", fs.Utility, fs.AllFeasible)
+
+	c.Close()
+	_, err = c.OfferStream(ctx, 0, 0)
+	fmt.Println("offer after close:", errors.Is(err, videodist.ErrClosed))
+	// Output:
+	// offer 0: accepted=true subscribers=[0] utility=3
+	// offer 1: accepted=false subscribers=[] utility=0
+	// resolve: installed=true online=0 offline=12
+	// fleet: utility=12 feasible=true
+	// offer after close: true
 }
 
 // ExampleThreshold contrasts the deployed-world baseline on the same

@@ -17,12 +17,24 @@
 // tenant's policy state is activated once per batch instead of once
 // per event. Tenants are independent, so grouping never changes
 // results. A partial batch is flushed by the next non-arrival event, a
-// snapshot barrier, or shutdown — never by a timer — which keeps flush
-// boundaries (and the per-shard batch stats) a pure function of the
-// submission sequence. The cost of that determinism is that Submit is
-// asynchronous: a trailing partial batch stays queued until the next
-// event or barrier, and callers observe applied state via Snapshot,
-// which is exactly such a barrier.
+// request/response arrival (one carrying a completion channel — see
+// below), a snapshot barrier, or shutdown — never by a timer — which
+// keeps flush boundaries (and the per-shard batch stats) a pure
+// function of the submission sequence.
+//
+// # Request/response sessions (serving API v2)
+//
+// The public surface is typed and per operation: OfferStream,
+// DepartStream, UserLeave, UserJoin, and Resolve each route one event
+// to the owning shard with a per-event completion channel attached and
+// block until the worker replies with a typed result (OfferResult,
+// DepartResult, ChurnResult, ResolveResult). So that a blocked caller
+// never waits on a trailing partial batch, an arrival carrying a
+// completion channel flushes the batch it joins immediately; arrivals
+// submitted by the fire-and-forget replay path (RunWorkload) coalesce
+// exactly as before. Failures use the sentinel taxonomy in session.go
+// (ErrUnknownTenant, ErrQueueFull, ErrClosed, ErrCanceled) and the
+// enqueue side honors Options.Backpressure.
 //
 // Because tenant-to-shard placement is static and every per-tenant
 // mutation happens on its shard's worker in submission order, a fixed
@@ -61,12 +73,15 @@ const (
 	EventUserLeave
 	// EventUserJoin brings gateway Event.User back online.
 	EventUserJoin
-	// EventResolve re-runs the offline pipeline for the tenant and
-	// records the value (monitoring; see headend.Tenant.Resolve).
+	// EventResolve re-runs the offline pipeline for the tenant:
+	// monitoring by default, installing when Event.Install is set (see
+	// headend.Tenant.Resolve).
 	EventResolve
 )
 
-// Event is one unit of work for a tenant.
+// Event is one unit of work for a tenant. It is the internal routing
+// record behind the per-operation session methods and the Workload
+// replay schedule; it is no longer the public submission surface.
 type Event struct {
 	// Tenant is the target tenant index.
 	Tenant int
@@ -76,6 +91,9 @@ type Event struct {
 	Stream int
 	// User is the gateway index (leave/join events).
 	User int
+	// Install asks a resolve event to install the offline assignment
+	// (see Cluster.Resolve and headend.Tenant.Resolve).
+	Install bool
 }
 
 // TenantSnapshot is the per-tenant summary (see headend.TenantSnapshot).
@@ -102,10 +120,15 @@ type Options struct {
 	QueueDepth int
 	// ResolveEvery triggers an offline re-solve of a tenant after every
 	// N churn events (departures, leaves, joins) it processes; 0
-	// disables churn-triggered re-solves.
+	// disables churn-triggered re-solves. Churn-triggered re-solves are
+	// monitoring only; use Resolve with ResolveOptions.Install to
+	// install.
 	ResolveEvery int
 	// SolveOptions configures the re-solve pipeline.
 	SolveOptions core.Options
+	// Backpressure selects the enqueue behavior when a shard queue is
+	// full: BackpressureBlock (default) or BackpressureReject.
+	Backpressure Backpressure
 }
 
 func (o Options) withDefaults(tenants int) Options {
@@ -136,10 +159,14 @@ type ShardStats struct {
 	Arrivals, Admitted, Departures, Leaves, Joins, Resolves int
 }
 
-// message is the shard channel payload: an event, or a barrier request
-// when snap is non-nil.
+// message is the shard channel payload: an event (with an optional
+// per-event completion channel), or a barrier request when snap is
+// non-nil. ack is always buffered with capacity 1 so the worker never
+// blocks delivering a result, even when the caller has abandoned the
+// call on context cancellation.
 type message struct {
 	ev   Event
+	ack  chan result
 	snap chan shardReport
 }
 
@@ -162,9 +189,10 @@ type shard struct {
 	err   error
 }
 
-// Cluster is a sharded multi-tenant head-end service. Submit, Snapshot,
-// and Close are safe for concurrent use; events for the same tenant are
-// applied in submission order.
+// Cluster is a sharded multi-tenant head-end service. The session
+// methods (OfferStream, DepartStream, UserLeave, UserJoin, Resolve),
+// Snapshot, and Close are safe for concurrent use; events for the same
+// tenant are applied in submission order.
 type Cluster struct {
 	opts    Options
 	tenants []*headend.Tenant
@@ -236,30 +264,6 @@ func (c *Cluster) NumShards() int { return len(c.shards) }
 // ShardOf returns the shard owning tenant i.
 func (c *Cluster) ShardOf(i int) int { return c.shardOf[i] }
 
-// Submit routes one event to its tenant's shard, blocking when the
-// shard queue is full. It is safe to call from many goroutines; events
-// submitted by one goroutine for one tenant are applied in order.
-// Submission is asynchronous — an arrival may sit in a partial batch
-// until the next event reaches its shard; call Snapshot to barrier and
-// observe all submitted events applied.
-func (c *Cluster) Submit(ev Event) error {
-	if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
-		return fmt.Errorf("cluster: tenant %d out of range [0,%d)", ev.Tenant, len(c.tenants))
-	}
-	switch ev.Type {
-	case EventStreamArrival, EventStreamDeparture, EventUserLeave, EventUserJoin, EventResolve:
-	default:
-		return fmt.Errorf("cluster: unknown event type %d", ev.Type)
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.closed {
-		return fmt.Errorf("cluster: closed")
-	}
-	c.shards[c.shardOf[ev.Tenant]].ch <- message{ev: ev}
-	return nil
-}
-
 // Snapshot flushes every shard (a barrier: all queued events are
 // applied first) and returns the aggregated fleet state. The reduction
 // walks tenants and shards in index order, so the snapshot — and
@@ -269,7 +273,7 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
-		return nil, fmt.Errorf("cluster: closed")
+		return nil, ErrClosed
 	}
 	replies := make([]chan shardReport, len(c.shards))
 	for s, sh := range c.shards {
@@ -307,6 +311,7 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 		fs.Leaves += snap.UserLeaves
 		fs.Joins += snap.UserJoins
 		fs.Resolves += snap.Resolves
+		fs.Installs += snap.Installs
 		fs.ActiveStreams += snap.ActiveStreams
 		fs.Pairs += snap.Pairs
 		if !snap.Feasible {
@@ -316,9 +321,10 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 	return fs, nil
 }
 
-// Close drains and stops all shard workers. It is idempotent; Submit
-// and Snapshot fail after Close. The first worker error (a failed
-// re-solve) is returned.
+// Close drains and stops all shard workers (queued request/response
+// events still receive their results). It is idempotent; the session
+// methods and Snapshot fail with ErrClosed after Close. The first
+// worker error (a failed re-solve) is returned.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -340,10 +346,11 @@ func (c *Cluster) Close() error {
 	return firstErr
 }
 
-// worker is the shard event loop: FIFO with arrival coalescing.
+// worker is the shard event loop: FIFO with arrival coalescing and
+// per-event result delivery.
 func (c *Cluster) worker(sh *shard) {
 	defer close(sh.done)
-	batch := make([]Event, 0, c.opts.BatchSize)
+	batch := make([]message, 0, c.opts.BatchSize)
 	flush := func() {
 		if len(batch) == 0 {
 			return
@@ -356,17 +363,26 @@ func (c *Cluster) worker(sh *shard) {
 		// Per-tenant arrival order is preserved and tenants are
 		// independent, so results match pure FIFO.
 		for len(batch) > 0 {
-			ti := batch[0].Tenant
+			ti := batch[0].ev.Tenant
 			t := c.tenants[ti]
+			in := t.Instance()
 			keep := batch[:0]
-			for _, ev := range batch {
-				if ev.Tenant != ti {
-					keep = append(keep, ev)
+			for _, msg := range batch {
+				if msg.ev.Tenant != ti {
+					keep = append(keep, msg)
 					continue
 				}
 				sh.stats.Arrivals++
-				if users := t.OfferStream(ev.Stream); len(users) > 0 {
+				users := t.OfferStream(msg.ev.Stream)
+				if len(users) > 0 {
 					sh.stats.Admitted++
+				}
+				if msg.ack != nil {
+					res := OfferResult{Accepted: len(users) > 0, Subscribers: users}
+					for _, u := range users {
+						res.Utility += in.Users[u].Utility[msg.ev.Stream]
+					}
+					msg.ack <- result{offer: res}
 				}
 			}
 			batch = keep
@@ -378,55 +394,87 @@ func (c *Cluster) worker(sh *shard) {
 			msg.snap <- c.reportShard(sh)
 			continue
 		}
-		ev := msg.ev
 		sh.stats.Events++
-		if ev.Type == EventStreamArrival {
-			batch = append(batch, ev)
-			if len(batch) >= c.opts.BatchSize {
+		if msg.ev.Type == EventStreamArrival {
+			batch = append(batch, msg)
+			// A request/response arrival is its own flush boundary: the
+			// caller is blocked on its completion channel, and waiting
+			// for the batch to fill could strand it forever. Ack-ness
+			// is part of the submission sequence, so flush boundaries
+			// stay a pure function of it.
+			if len(batch) >= c.opts.BatchSize || msg.ack != nil {
 				flush()
 			}
 			continue
 		}
 		flush()
-		c.applyChurn(sh, ev)
+		c.applyChurn(sh, msg)
 	}
 	flush()
 }
 
 // applyChurn handles every non-arrival event and the churn-triggered
-// re-solve policy.
-func (c *Cluster) applyChurn(sh *shard, ev Event) {
+// re-solve policy, delivering the typed result when the event carries a
+// completion channel.
+func (c *Cluster) applyChurn(sh *shard, msg message) {
+	ev := msg.ev
 	t := c.tenants[ev.Tenant]
+	var res result
 	churned := false
 	switch ev.Type {
 	case EventStreamDeparture:
 		sh.stats.Departures++
-		t.DepartStream(ev.Stream)
+		carried := t.Carries(ev.Stream)
+		users := t.DepartStream(ev.Stream)
+		res.depart = DepartResult{Removed: carried, Subscribers: users}
 		churned = true
 	case EventUserLeave:
 		sh.stats.Leaves++
-		t.UserLeave(ev.User)
+		wasOnline := ev.User >= 0 && ev.User < t.Instance().NumUsers() && !t.Away(ev.User)
+		streams := t.UserLeave(ev.User)
+		res.churn = ChurnResult{Changed: wasOnline, Streams: streams}
 		churned = true
 	case EventUserJoin:
 		sh.stats.Joins++
+		wasAway := t.Away(ev.User)
 		t.UserJoin(ev.User)
+		res.churn = ChurnResult{Changed: wasAway}
 		churned = true
 	case EventResolve:
-		c.resolve(sh, ev.Tenant)
+		res.resolve, res.err = c.resolve(sh, ev.Tenant, ev.Install, msg.ack == nil)
 	}
 	if churned && c.opts.ResolveEvery > 0 {
 		sh.churn[ev.Tenant]++
 		if sh.churn[ev.Tenant]%c.opts.ResolveEvery == 0 {
-			c.resolve(sh, ev.Tenant)
+			_, _ = c.resolve(sh, ev.Tenant, false, true)
 		}
+	}
+	if msg.ack != nil {
+		msg.ack <- res
 	}
 }
 
-func (c *Cluster) resolve(sh *shard, tenant int) {
+// resolve runs one offline re-solve on the worker goroutine. A
+// background resolve (churn-triggered or fire-and-forget replay) has
+// no caller to inform, so its error is latched as the shard's first
+// error and surfaced by Snapshot and Close; a request/response resolve
+// returns the error to its caller only — a bad per-request resolve
+// must not poison fleet observability.
+func (c *Cluster) resolve(sh *shard, tenant int, install, background bool) (ResolveResult, error) {
 	sh.stats.Resolves++
-	if _, err := c.tenants[tenant].Resolve(c.opts.SolveOptions); err != nil && sh.err == nil {
-		sh.err = fmt.Errorf("cluster: tenant %d: %w", tenant, err)
+	out, err := c.tenants[tenant].Resolve(c.opts.SolveOptions, install)
+	if err != nil {
+		err = fmt.Errorf("cluster: tenant %d: %w", tenant, err)
+		if background && sh.err == nil {
+			sh.err = err
+		}
+		return ResolveResult{}, err
 	}
+	return ResolveResult{
+		Installed:    out.Installed,
+		OnlineValue:  out.OnlineValue,
+		OfflineValue: out.OfflineValue,
+	}, nil
 }
 
 // reportShard snapshots the shard's stats and its tenants (called on

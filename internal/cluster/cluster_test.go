@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/generator"
 	"repro/internal/headend"
@@ -147,35 +150,186 @@ func TestClusterChurnAndResolve(t *testing.T) {
 	}
 }
 
-func TestClusterExplicitEventsAndErrors(t *testing.T) {
+// TestClusterSessionRoundTrip drives one tenant through every
+// per-operation session method and checks the typed results.
+func TestClusterSessionRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	tenants := tenantInstances(t, 2, 8, 3, 900)
 	c, err := New(tenants, Options{Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Submit(Event{Tenant: 5, Type: EventStreamArrival}); err == nil {
-		t.Fatal("out-of-range tenant accepted")
-	}
-	if err := c.Submit(Event{Tenant: 0, Type: EventType(99)}); err == nil {
-		t.Fatal("unknown event type accepted")
-	}
+	defer c.Close()
+
+	var admitted []int
 	for s := 0; s < 8; s++ {
-		if err := c.Submit(Event{Tenant: 0, Type: EventStreamArrival, Stream: s}); err != nil {
+		res, err := c.OfferStream(ctx, 0, s)
+		if err != nil {
 			t.Fatal(err)
 		}
+		if res.Accepted != (len(res.Subscribers) > 0) {
+			t.Fatalf("offer %d: Accepted=%v but %d subscribers", s, res.Accepted, len(res.Subscribers))
+		}
+		if res.Accepted {
+			admitted = append(admitted, s)
+			if res.Utility <= 0 {
+				t.Fatalf("offer %d accepted with utility %v", s, res.Utility)
+			}
+		}
 	}
-	if err := c.Submit(Event{Tenant: 0, Type: EventResolve}); err != nil {
-		t.Fatal(err)
+	if len(admitted) == 0 {
+		t.Fatal("no stream admitted")
 	}
 	fs, err := c.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fs.Tenants[0].StreamsOffered != 8 || fs.Tenants[0].Resolves != 1 {
-		t.Fatalf("tenant 0 snapshot = %+v", fs.Tenants[0])
+	if fs.Tenants[0].StreamsAdmitted != len(admitted) {
+		t.Fatalf("snapshot admitted = %d, want %d", fs.Tenants[0].StreamsAdmitted, len(admitted))
 	}
 	if fs.Tenants[1].StreamsOffered != 0 {
 		t.Fatalf("tenant 1 saw tenant 0's events: %+v", fs.Tenants[1])
+	}
+
+	// Re-offering a carried stream is a rejection, not an error.
+	if res, err := c.OfferStream(ctx, 0, admitted[0]); err != nil {
+		t.Fatal(err)
+	} else if res.Accepted {
+		t.Fatalf("re-offer of carried stream %d accepted", admitted[0])
+	}
+	// Out-of-range streams are rejections too.
+	if res, err := c.OfferStream(ctx, 0, 99); err != nil || res.Accepted {
+		t.Fatalf("out-of-range offer = (%+v, %v)", res, err)
+	}
+
+	// Departing a carried stream releases its subscribers; a second
+	// depart reports Removed=false without error.
+	dep, err := c.DepartStream(ctx, 0, admitted[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dep.Removed || len(dep.Subscribers) == 0 {
+		t.Fatalf("depart of carried stream: %+v", dep)
+	}
+	if dep, err = c.DepartStream(ctx, 0, admitted[0]); err != nil || dep.Removed {
+		t.Fatalf("double depart = (%+v, %v)", dep, err)
+	}
+
+	// Gateway churn round trip: leave changes state once, join undoes it.
+	if res, err := c.UserLeave(ctx, 0, 0); err != nil || !res.Changed {
+		t.Fatalf("first leave = (%+v, %v)", res, err)
+	}
+	if res, err := c.UserLeave(ctx, 0, 0); err != nil || res.Changed {
+		t.Fatalf("leave while away = (%+v, %v)", res, err)
+	}
+	if res, err := c.UserJoin(ctx, 0, 0); err != nil || !res.Changed {
+		t.Fatalf("join = (%+v, %v)", res, err)
+	}
+	if res, err := c.UserJoin(ctx, 0, 0); err != nil || res.Changed {
+		t.Fatalf("join while online = (%+v, %v)", res, err)
+	}
+
+	// Monitoring resolve reports both values and does not install.
+	res, err := c.Resolve(ctx, 0, ResolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed || res.OfflineValue <= 0 {
+		t.Fatalf("monitoring resolve = %+v", res)
+	}
+	fs, err = c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Tenants[0].Resolves != 1 || fs.Tenants[0].Installs != 0 {
+		t.Fatalf("tenant 0 snapshot after monitoring resolve = %+v", fs.Tenants[0])
+	}
+}
+
+// TestClusterResolveInstall pins the install path end to end: after a
+// churny workload, Resolve with Install replaces the drifted online
+// assignment with the offline solution — utility does not drop, the
+// fleet stays feasible, and the install is counted.
+func TestClusterResolveInstall(t *testing.T) {
+	ctx := context.Background()
+	tenants := tenantInstances(t, 3, 15, 5, 950)
+	c, err := New(tenants, Options{Shards: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.RunWorkload(Workload{Seed: 13, Rounds: 2, DepartEvery: 3, ChurnEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	installs := 0
+	for ti := 0; ti < c.NumTenants(); ti++ {
+		res, err := c.Resolve(ctx, ti, ResolveOptions{Install: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Installed {
+			installs++
+			if res.OfflineValue < res.OnlineValue {
+				t.Fatalf("tenant %d installed a worse lineup: %+v", ti, res)
+			}
+		}
+	}
+	if installs == 0 {
+		t.Fatal("no tenant installed (offline never beat the drifted online state?)")
+	}
+	after, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.AllFeasible {
+		t.Fatal("install broke feasibility")
+	}
+	if after.Utility < before.Utility {
+		t.Fatalf("post-install fleet utility %.3f < online %.3f", after.Utility, before.Utility)
+	}
+	if after.Installs != installs {
+		t.Fatalf("fleet installs = %d, want %d", after.Installs, installs)
+	}
+	// The installed lineup keeps serving: another workload round must
+	// stay feasible (policy state was rebuilt consistently).
+	if _, _, err := c.RunWorkload(Workload{Seed: 14}); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.AllFeasible {
+		t.Fatal("fleet infeasible after serving on an installed lineup")
+	}
+}
+
+// TestClusterSentinelErrors pins the error taxonomy: unknown tenants,
+// operations after Close, and queue-full rejection all surface the
+// sentinel errors under errors.Is.
+func TestClusterSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	tenants := tenantInstances(t, 2, 8, 3, 900)
+	c, err := New(tenants, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OfferStream(ctx, 5, 0); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("out-of-range tenant: err = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := c.Resolve(ctx, -1, ResolveOptions{}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("negative tenant: err = %v, want ErrUnknownTenant", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.OfferStream(canceled, 0, 0); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v must also match context.Canceled", err)
 	}
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
@@ -183,11 +337,104 @@ func TestClusterExplicitEventsAndErrors(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal("second Close must be a no-op, got", err)
 	}
-	if err := c.Submit(Event{Tenant: 0, Type: EventStreamArrival}); err == nil {
-		t.Fatal("Submit after Close accepted")
+	if _, err := c.OfferStream(ctx, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("offer after Close: err = %v, want ErrClosed", err)
 	}
-	if _, err := c.Snapshot(); err == nil {
-		t.Fatal("Snapshot after Close accepted")
+	if _, err := c.UserLeave(ctx, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("leave after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := c.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("snapshot after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// plainPolicy is a minimal custom policy without Reinstall support.
+type plainPolicy struct{}
+
+func (plainPolicy) Name() string                { return "test-plain" }
+func (plainPolicy) OnStreamArrival(s int) []int { return nil }
+
+// TestClusterResolveErrorDoesNotPoisonSnapshot pins that a failed
+// caller-requested install (custom policy without Reinstall) is
+// returned to that caller only: Snapshot and Close keep working.
+func TestClusterResolveErrorDoesNotPoisonSnapshot(t *testing.T) {
+	ctx := context.Background()
+	in, err := generator.CableTV{Channels: 8, Gateways: 3, Seed: 902}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New([]TenantConfig{{Instance: in, Policy: plainPolicy{}}}, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(ctx, 0, ResolveOptions{Install: true}); err == nil {
+		t.Fatal("install accepted on a policy without Reinstall")
+	}
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatalf("snapshot poisoned by a per-request resolve error: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close poisoned by a per-request resolve error: %v", err)
+	}
+}
+
+// blockingPolicy admits nothing and parks every arrival until gate is
+// closed, reporting each entry on entered; it lets tests park a shard
+// worker and fill its queue deterministically.
+type blockingPolicy struct {
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (p *blockingPolicy) Name() string { return "test-blocking" }
+func (p *blockingPolicy) OnStreamArrival(s int) []int {
+	p.entered <- struct{}{}
+	<-p.gate
+	return nil
+}
+
+// TestClusterQueueFullReject pins BackpressureReject: once the worker
+// is parked and the queue is full, session calls fail fast with
+// ErrQueueFull instead of blocking.
+func TestClusterQueueFullReject(t *testing.T) {
+	ctx := context.Background()
+	in, err := generator.CableTV{Channels: 8, Gateways: 3, Seed: 901}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &blockingPolicy{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	c, err := New([]TenantConfig{{Instance: in, Policy: pol}},
+		Options{Shards: 1, QueueDepth: 1, Backpressure: BackpressureReject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the worker: the first offer reaches the policy and blocks
+	// there (acked arrivals flush immediately). Issued from a goroutine
+	// because the session call itself blocks until the result arrives.
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.OfferStream(ctx, 0, 0)
+		first <- err
+	}()
+	select {
+	case <-pol.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached the policy")
+	}
+	// Worker parked and its queue empty: one fire-and-forget event
+	// fills the depth-1 queue, so the next session call must reject.
+	if err := c.post(Event{Tenant: 0, Type: EventStreamArrival, Stream: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OfferStream(ctx, 0, 2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(pol.gate) // release the worker; the parked offer completes
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,13 +1,34 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 )
 
+// dispatch drives one scheduled event through the typed session API,
+// returning the transport error (typed rejections are not errors).
+func dispatch(ctx context.Context, c *Cluster, ev Event) error {
+	var err error
+	switch ev.Type {
+	case EventStreamArrival:
+		_, err = c.OfferStream(ctx, ev.Tenant, ev.Stream)
+	case EventStreamDeparture:
+		_, err = c.DepartStream(ctx, ev.Tenant, ev.Stream)
+	case EventUserLeave:
+		_, err = c.UserLeave(ctx, ev.Tenant, ev.User)
+	case EventUserJoin:
+		_, err = c.UserJoin(ctx, ev.Tenant, ev.User)
+	case EventResolve:
+		_, err = c.Resolve(ctx, ev.Tenant, ResolveOptions{Install: ev.Install})
+	}
+	return err
+}
+
 // TestClusterConcurrentInjection hammers a >=4-shard cluster with
-// events from many goroutines at once. Run under -race (the CI does)
-// this proves the shard-pinning discipline: every tenant mutation
+// session calls from many goroutines at once. Run under -race (the CI
+// does) this proves the shard-pinning discipline: every tenant mutation
 // happens on exactly one worker goroutine, with no shared mutable
 // state between shards. With concurrent submitters the interleaving —
 // and so per-tenant admission outcomes — is not deterministic; the
@@ -16,6 +37,7 @@ import (
 // isolation.
 func TestClusterConcurrentInjection(t *testing.T) {
 	const tenants, injectors, perInjector = 8, 6, 3
+	ctx := context.Background()
 	cfgs := tenantInstances(t, tenants, 15, 5, 1300)
 	c, err := New(cfgs, Options{Shards: 4, BatchSize: 4, ResolveEvery: 50})
 	if err != nil {
@@ -37,7 +59,7 @@ func TestClusterConcurrentInjection(t *testing.T) {
 				ws.Seed = int64(1 + inj*tenants + ti)
 				for _, ev := range ws.Events(c, ti) {
 					ev.Tenant = ti
-					if err := c.Submit(ev); err != nil {
+					if err := dispatch(ctx, c, ev); err != nil {
 						t.Error(err)
 						return
 					}
@@ -46,7 +68,7 @@ func TestClusterConcurrentInjection(t *testing.T) {
 		}()
 	}
 	// A concurrent snapshot reader: barriers must interleave safely
-	// with live submission.
+	// with live request/response traffic.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -84,5 +106,51 @@ func TestClusterConcurrentInjection(t *testing.T) {
 	}
 	if shardEvents < wantArrivals {
 		t.Fatalf("shards processed %d events, want >= %d", shardEvents, wantArrivals)
+	}
+}
+
+// TestClusterConcurrentClose races session calls against Close. Every
+// call must either be applied (its result delivered) or fail cleanly
+// with ErrClosed — never panic on a closed channel, hang on an
+// undelivered completion, or slip in after shutdown. Run under -race.
+func TestClusterConcurrentClose(t *testing.T) {
+	const goroutines = 8
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		cfgs := tenantInstances(t, 4, 10, 4, 1400+int64(round))
+		c, err := New(cfgs, Options{Shards: 2, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for s := 0; s < 10; s++ {
+					_, err := c.OfferStream(ctx, g%4, s)
+					if err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("offer during close: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := c.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

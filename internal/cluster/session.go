@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Serving API v2: the typed, context-aware request/response surface.
+//
+// Each per-operation method routes one event to the owning shard with a
+// per-event completion channel attached, blocks until the shard worker
+// has applied the event, and returns a typed result. The sentinel
+// errors below form the error taxonomy; every failure returned by the
+// session methods matches exactly one of them under errors.Is (solver
+// failures during a resolve are the exception — they are returned
+// verbatim, wrapped with the tenant index).
+//
+// Backpressure is configurable per cluster (Options.Backpressure):
+// BackpressureBlock parks the caller until the shard queue has room or
+// ctx is done; BackpressureReject fails fast with ErrQueueFull.
+
+// Sentinel errors returned by the serving API. Match with errors.Is;
+// returned errors may wrap additional detail (tenant index, ctx cause).
+var (
+	// ErrUnknownTenant reports a tenant index outside [0, NumTenants).
+	ErrUnknownTenant = errors.New("cluster: unknown tenant")
+	// ErrQueueFull reports a full shard queue under BackpressureReject.
+	ErrQueueFull = errors.New("cluster: shard queue full")
+	// ErrClosed reports an operation on a closed cluster.
+	ErrClosed = errors.New("cluster: closed")
+	// ErrCanceled reports a context canceled or expired while enqueuing
+	// or waiting for a result. It wraps ctx.Err(), so errors.Is also
+	// matches context.Canceled / context.DeadlineExceeded.
+	ErrCanceled = errors.New("cluster: canceled")
+)
+
+// Backpressure selects what happens when a shard queue is full.
+type Backpressure int
+
+const (
+	// BackpressureBlock (the default) blocks the caller until the shard
+	// queue has room or its context is done.
+	BackpressureBlock Backpressure = iota
+	// BackpressureReject fails fast with ErrQueueFull.
+	BackpressureReject
+)
+
+// OfferResult is the outcome of offering a stream to a tenant.
+type OfferResult struct {
+	// Accepted reports whether at least one user now receives the
+	// stream. Offers of out-of-range or already-carried streams are
+	// rejections, not errors.
+	Accepted bool
+	// Subscribers are the users that now receive the stream, in the
+	// order the policy admitted them.
+	Subscribers []int
+	// Utility is the utility added by this admission.
+	Utility float64
+}
+
+// DepartResult is the outcome of departing a stream.
+type DepartResult struct {
+	// Removed reports whether the stream was actually carried.
+	Removed bool
+	// Subscribers are the users that were receiving the stream.
+	Subscribers []int
+}
+
+// ChurnResult is the outcome of a gateway leave or join.
+type ChurnResult struct {
+	// Changed reports whether the event changed the gateway's state
+	// (false for leave-while-away, join-while-online, out of range).
+	Changed bool
+	// Streams are the subscriptions torn down by a leave, in increasing
+	// index order (empty for joins — a rejoining gateway does not
+	// recover old subscriptions).
+	Streams []int
+}
+
+// ResolveResult is the outcome of an offline re-solve.
+type ResolveResult struct {
+	// Installed reports whether the offline assignment replaced the
+	// running one (requires ResolveOptions.Install and an offline value
+	// at least as good as the online one).
+	Installed bool
+	// OnlineValue is the running assignment's utility at resolve time;
+	// OfflineValue is the fresh offline pipeline's value.
+	OnlineValue, OfflineValue float64
+}
+
+// ResolveOptions configures Cluster.Resolve.
+type ResolveOptions struct {
+	// Install replaces the tenant's running assignment and policy state
+	// with the offline solution (make-before-break) when the offline
+	// value is at least the online one; false is monitoring only.
+	Install bool
+}
+
+// OfferStream offers stream s to tenant t's admission policy and
+// returns the typed decision. A rejection (out-of-range or
+// already-carried stream, or a policy "no") is a successful call with
+// Accepted false.
+func (c *Cluster) OfferStream(ctx context.Context, tenant, stream int) (OfferResult, error) {
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventStreamArrival, Stream: stream})
+	return res.offer, err
+}
+
+// DepartStream removes a carried stream from tenant t, releasing its
+// subscribers and (for departure-aware policies) the policy's
+// resources.
+func (c *Cluster) DepartStream(ctx context.Context, tenant, stream int) (DepartResult, error) {
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventStreamDeparture, Stream: stream})
+	return res.depart, err
+}
+
+// UserLeave takes gateway u of tenant t offline, tearing down its
+// subscriptions.
+func (c *Cluster) UserLeave(ctx context.Context, tenant, user int) (ChurnResult, error) {
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventUserLeave, User: user})
+	return res.churn, err
+}
+
+// UserJoin brings gateway u of tenant t back online.
+func (c *Cluster) UserJoin(ctx context.Context, tenant, user int) (ChurnResult, error) {
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventUserJoin, User: user})
+	return res.churn, err
+}
+
+// Resolve re-runs the offline Theorem 1.1 pipeline for tenant t on its
+// shard worker. With opts.Install the offline assignment is installed
+// via a make-before-break policy-state rebuild (never downgrading the
+// running lineup); without it the re-solve only measures drift.
+func (c *Cluster) Resolve(ctx context.Context, tenant int, opts ResolveOptions) (ResolveResult, error) {
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventResolve, Install: opts.Install})
+	return res.resolve, err
+}
+
+// result is the union payload delivered on a per-event completion
+// channel; exactly the field for the event's type is populated.
+type result struct {
+	offer   OfferResult
+	depart  DepartResult
+	churn   ChurnResult
+	resolve ResolveResult
+	err     error
+}
+
+// call routes one event to its shard with a completion channel attached
+// and waits for the worker's typed reply. An arrival carrying a
+// completion channel is its own flush boundary (the worker flushes the
+// batch immediately after appending it), so a blocked caller never
+// waits on a trailing partial batch.
+func (c *Cluster) call(ctx context.Context, ev Event) (result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ack := make(chan result, 1)
+	if err := c.submit(ctx, ev, ack); err != nil {
+		return result{}, err
+	}
+	select {
+	case res := <-ack:
+		return res, res.err
+	case <-ctx.Done():
+		return result{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}
+
+// submit validates and enqueues one event, honoring the cluster's
+// backpressure mode. ack may be nil (fire-and-forget, used by the
+// workload replay path).
+func (c *Cluster) submit(ctx context.Context, ev Event, ack chan result) error {
+	if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
+		return fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, ev.Tenant, len(c.tenants))
+	}
+	// An already-done context must not enqueue: without this guard the
+	// send and ctx.Done() cases below could both be ready and the event
+	// would be applied ~half the time while the caller sees ErrCanceled.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	switch ev.Type {
+	case EventStreamArrival, EventStreamDeparture, EventUserLeave, EventUserJoin, EventResolve:
+	default:
+		return fmt.Errorf("cluster: unknown event type %d", ev.Type)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	ch := c.shards[c.shardOf[ev.Tenant]].ch
+	msg := message{ev: ev, ack: ack}
+	if c.opts.Backpressure == BackpressureReject {
+		select {
+		case ch <- msg:
+			return nil
+		default:
+			return fmt.Errorf("%w: shard %d", ErrQueueFull, c.shardOf[ev.Tenant])
+		}
+	}
+	select {
+	case ch <- msg:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}

@@ -21,7 +21,7 @@ type FleetSnapshot struct {
 	// Fleet-wide sums over Tenants.
 	Utility                                    float64
 	Offered, Admitted, Departed, Leaves, Joins int
-	Resolves, ActiveStreams, Pairs             int
+	Resolves, Installs, ActiveStreams, Pairs   int
 	// AllFeasible is true when every tenant's assignment satisfies its
 	// budgets and capacities.
 	AllFeasible bool
@@ -38,7 +38,8 @@ func (fs *FleetSnapshot) Render() string {
 	fmt.Fprintf(&sb, "  offered   %d\n", fs.Offered)
 	fmt.Fprintf(&sb, "  admitted  %d\n", fs.Admitted)
 	fmt.Fprintf(&sb, "  departed  %d\n", fs.Departed)
-	fmt.Fprintf(&sb, "  churn     %d leaves, %d joins, %d resolves\n", fs.Leaves, fs.Joins, fs.Resolves)
+	fmt.Fprintf(&sb, "  churn     %d leaves, %d joins, %d resolves (%d installed)\n",
+		fs.Leaves, fs.Joins, fs.Resolves, fs.Installs)
 	fmt.Fprintf(&sb, "  carrying  %d streams over %d (user,stream) pairs\n", fs.ActiveStreams, fs.Pairs)
 	fmt.Fprintf(&sb, "  feasible  %v\n", fs.AllFeasible)
 

@@ -70,6 +70,12 @@ func (w Workload) Events(c *Cluster, ti int) []Event {
 // queue, which is what exercises batching), then waits for all shards
 // to drain via a snapshot barrier. It returns the quiesced fleet
 // snapshot and the total number of events submitted.
+//
+// Replay is fire-and-forget: events are enqueued without completion
+// channels, so arrivals coalesce into full batches and the snapshot is
+// the only synchronization point. The replay always blocks on a full
+// shard queue (backpressure by blocking, regardless of
+// Options.Backpressure) so a deterministic schedule is never dropped.
 func (c *Cluster) RunWorkload(w Workload) (*FleetSnapshot, int, error) {
 	seqs := make([][]Event, len(c.tenants))
 	for ti := range c.tenants {
@@ -80,7 +86,7 @@ func (c *Cluster) RunWorkload(w Workload) (*FleetSnapshot, int, error) {
 		any := false
 		for ti := range seqs {
 			if i < len(seqs[ti]) {
-				if err := c.Submit(seqs[ti][i]); err != nil {
+				if err := c.post(seqs[ti][i]); err != nil {
 					return nil, total, fmt.Errorf("cluster: workload: %w", err)
 				}
 				total++
@@ -96,4 +102,19 @@ func (c *Cluster) RunWorkload(w Workload) (*FleetSnapshot, int, error) {
 		return nil, total, err
 	}
 	return fs, total, nil
+}
+
+// post enqueues one event fire-and-forget, always blocking when the
+// shard queue is full. Results are observed via Snapshot.
+func (c *Cluster) post(ev Event) error {
+	if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
+		return fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, ev.Tenant, len(c.tenants))
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.shards[c.shardOf[ev.Tenant]].ch <- message{ev: ev}
+	return nil
 }

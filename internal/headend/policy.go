@@ -27,6 +27,19 @@ type Policy interface {
 	OnStreamArrival(s int) []int
 }
 
+// ReinstallablePolicy is implemented by policies that can rebuild their
+// internal state around an externally installed assignment — the
+// make-before-break half of Tenant.Resolve with install. Reinstall must
+// leave the policy untouched when it returns an error, and afterwards
+// the policy's view of live load must match assn (so future arrival
+// decisions price the installed lineup correctly).
+type ReinstallablePolicy interface {
+	Policy
+	// Reinstall rebuilds the policy state around assn. The policy must
+	// not retain assn; it clones what it keeps.
+	Reinstall(assn *mmd.Assignment) error
+}
+
 // OnlinePolicy drives the Section 5 Allocate algorithm. When Guarded,
 // any assignment that would violate a true budget or capacity is
 // filtered before commitment — the physical-world backstop for
@@ -101,6 +114,23 @@ func (p *OnlinePolicy) Assignment() *mmd.Assignment { return p.assn }
 
 // Normalization exposes mu and the competitive bound for reports.
 func (p *OnlinePolicy) Normalization() *online.Normalization { return p.norm }
+
+// Reinstall implements ReinstallablePolicy: a fresh allocator is built
+// over the same normalized instance (away users keep their zeroed
+// utility rows) and charged with the installed assignment, so the
+// exponential costs restart from the installed load rather than the
+// accumulated online history. Only after the new allocator is ready is
+// the policy state swapped.
+func (p *OnlinePolicy) Reinstall(assn *mmd.Assignment) error {
+	al, err := online.NewAllocator(p.norm.Instance, p.norm.Mu())
+	if err != nil {
+		return fmt.Errorf("headend: online reinstall: %w", err)
+	}
+	al.Install(assn)
+	p.allocator = al
+	p.assn = assn.Clone()
+	return nil
+}
 
 // ThresholdPolicy is the deployed-world baseline: admit a stream while
 // every budget stays under margin*B_i, deliver to every interested user
@@ -179,6 +209,37 @@ func (p *ThresholdPolicy) OnStreamArrival(s int) []int {
 // Assignment returns the running assignment.
 func (p *ThresholdPolicy) Assignment() *mmd.Assignment { return p.assn }
 
+// Reinstall implements ReinstallablePolicy: server costs and per-user
+// loads are recomputed from scratch for the installed assignment, then
+// swapped in together with a clone of it. Away gateways stay away.
+func (p *ThresholdPolicy) Reinstall(assn *mmd.Assignment) error {
+	serverCost := make([]float64, p.in.M())
+	userLoad := make([][]float64, p.in.NumUsers())
+	for u := range userLoad {
+		userLoad[u] = make([]float64, len(p.in.Users[u].Capacities))
+	}
+	for _, s := range assn.Range() {
+		if s < 0 || s >= p.in.NumStreams() {
+			return fmt.Errorf("headend: threshold reinstall: stream %d out of range", s)
+		}
+		for i, c := range p.in.Streams[s].Costs {
+			serverCost[i] += c
+		}
+		for u := 0; u < assn.NumUsers() && u < p.in.NumUsers(); u++ {
+			if !assn.Has(u, s) {
+				continue
+			}
+			for j := range p.in.Users[u].Capacities {
+				userLoad[u][j] += p.in.Users[u].Loads[j][s]
+			}
+		}
+	}
+	p.assn = assn.Clone()
+	p.serverCost = serverCost
+	p.userLoad = userLoad
+	return nil
+}
+
 // OraclePolicy solves the whole instance offline with the Theorem 1.1
 // pipeline and reveals the precomputed assignment as streams arrive —
 // the natural upper reference for online policies.
@@ -215,6 +276,14 @@ func (p *OraclePolicy) OnStreamArrival(s int) []int {
 // Assignment returns the precomputed assignment.
 func (p *OraclePolicy) Assignment() *mmd.Assignment { return p.assn }
 
+// Reinstall implements ReinstallablePolicy: the oracle reveals the
+// installed assignment for future arrivals instead of its original
+// offline precomputation.
+func (p *OraclePolicy) Reinstall(assn *mmd.Assignment) error {
+	p.assn = assn.Clone()
+	return nil
+}
+
 // StaticGreedyPolicy replays the utility-blind static-density baseline
 // as an arrival policy (it pre-ranks using full knowledge, making it a
 // strong-ish baseline despite ignoring residual utilities).
@@ -236,6 +305,12 @@ func NewStaticGreedyPolicy(in *mmd.Instance) (*StaticGreedyPolicy, error) {
 // Name implements Policy.
 func (p *StaticGreedyPolicy) Name() string { return "static-greedy" }
 
+// Reinstall implements ReinstallablePolicy (see OraclePolicy.Reinstall).
+func (p *StaticGreedyPolicy) Reinstall(assn *mmd.Assignment) error {
+	p.assn = assn.Clone()
+	return nil
+}
+
 // OnStreamArrival implements Policy.
 func (p *StaticGreedyPolicy) OnStreamArrival(s int) []int {
 	var users []int
@@ -254,6 +329,9 @@ func (p *StaticGreedyPolicy) OnStreamArrival(s int) []int {
 // the single name-to-policy factory shared by cmd/vodsim, the
 // cluster, and the public API.
 func NewPolicyByName(in *mmd.Instance, name string) (Policy, error) {
+	if in == nil {
+		return nil, fmt.Errorf("headend: policy %q: nil instance", name)
+	}
 	switch name {
 	case "", "online":
 		return NewOnlinePolicy(in, true)

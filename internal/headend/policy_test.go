@@ -1,0 +1,79 @@
+package headend_test
+
+import (
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/headend"
+)
+
+// TestNewPolicyByName is the table-driven contract of the single
+// name-to-policy factory: every named kind builds, reports the right
+// name, and makes feasible decisions; unknown kinds and nil instances
+// are rejected.
+func TestNewPolicyByName(t *testing.T) {
+	in, err := generator.CableTV{Channels: 15, Gateways: 5, Seed: 61, EgressFraction: 0.3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind     string
+		wantName string
+		// feasible: the policy guarantees true-constraint feasibility
+		// (the unguarded allocator intentionally does not when the
+		// small-streams hypothesis fails).
+		feasible bool
+	}{
+		{"", "online-allocate-guarded", true},
+		{"online", "online-allocate-guarded", true},
+		{"online-unguarded", "online-allocate", false},
+		{"threshold", "threshold", true},
+		{"oracle", "offline-oracle", true},
+		{"static", "static-greedy", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run("kind="+tc.kind, func(t *testing.T) {
+			pol, err := headend.NewPolicyByName(in, tc.kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pol.Name() != tc.wantName {
+				t.Fatalf("Name() = %q, want %q", pol.Name(), tc.wantName)
+			}
+			// Every built-in policy is installable (serving API v2
+			// re-solves depend on it).
+			if _, ok := pol.(headend.ReinstallablePolicy); !ok {
+				t.Fatalf("policy %q does not implement ReinstallablePolicy", tc.wantName)
+			}
+			// Drive it through a tenant: offers must keep feasibility.
+			tn, err := headend.NewTenant(in, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offered := 0
+			for s := 0; s < in.NumStreams(); s++ {
+				if users := tn.OfferStream(s); len(users) > 0 {
+					offered++
+				}
+			}
+			if offered == 0 {
+				t.Fatalf("policy %q admitted nothing", tc.wantName)
+			}
+			if tc.feasible {
+				if err := tn.Assignment().CheckFeasible(in); err != nil {
+					t.Fatalf("policy %q went infeasible: %v", tc.wantName, err)
+				}
+			}
+		})
+	}
+
+	if _, err := headend.NewPolicyByName(in, "nope"); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	for _, kind := range []string{"", "online", "threshold", "oracle", "static", "nope"} {
+		if _, err := headend.NewPolicyByName(nil, kind); err == nil {
+			t.Fatalf("nil instance accepted for kind %q", kind)
+		}
+	}
+}

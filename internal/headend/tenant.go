@@ -29,6 +29,7 @@ type Tenant struct {
 
 	offered, admitted, departed int
 	leaves, joins, resolves     int
+	installs                    int
 	lastResolve                 float64
 	hasResolve                  bool
 }
@@ -43,10 +44,11 @@ type TenantSnapshot struct {
 	StreamsOffered, StreamsAdmitted, StreamsDeparted int
 	// UserLeaves / UserJoins count gateway churn events.
 	UserLeaves, UserJoins int
-	// Resolves counts offline re-solves; LastResolveValue is the offline
+	// Resolves counts offline re-solves; Installs counts the ones that
+	// replaced the running assignment; LastResolveValue is the offline
 	// pipeline value observed by the most recent one (0 when none ran).
-	Resolves         int
-	LastResolveValue float64
+	Resolves, Installs int
+	LastResolveValue   float64
 	// ActiveStreams is the number of streams currently transmitted;
 	// Pairs is the number of (user, stream) deliveries.
 	ActiveStreams, Pairs int
@@ -184,13 +186,29 @@ func (t *Tenant) UserJoin(u int) {
 	}
 }
 
+// ResolveOutcome reports one offline re-solve of a tenant.
+type ResolveOutcome struct {
+	// OnlineValue is the utility of the running assignment at the
+	// moment of the re-solve (the drifted online state).
+	OnlineValue float64
+	// OfflineValue is the value of the fresh offline Theorem 1.1
+	// solution over the same (away-zeroed) instance.
+	OfflineValue float64
+	// Installed reports whether the offline assignment replaced the
+	// running one (install requested AND the offline solution was at
+	// least as good as the running assignment).
+	Installed bool
+}
+
 // Resolve runs the offline Theorem 1.1 pipeline on the tenant's
-// instance (with away gateways' utilities zeroed) and records the
-// offline value in the snapshot. It is a monitoring step — the running
-// assignment and policy state are not replaced, so online policies keep
-// a consistent view; the value measures how far the online assignment
-// has drifted from a fresh offline solution.
-func (t *Tenant) Resolve(opts core.Options) (float64, error) {
+// instance (with away gateways' utilities zeroed). With install false it
+// is a monitoring step — the running assignment and policy state are not
+// replaced; the outcome measures how far the online assignment has
+// drifted from a fresh offline solution. With install true the offline
+// assignment is installed via a make-before-break swap (see install),
+// but only when it is at least as good as the running assignment — a
+// re-solve never downgrades the lineup it replaces.
+func (t *Tenant) Resolve(opts core.Options, install bool) (ResolveOutcome, error) {
 	in := t.in
 	anyAway := false
 	for _, a := range t.away {
@@ -209,14 +227,59 @@ func (t *Tenant) Resolve(opts core.Options) (float64, error) {
 			}
 		}
 	}
-	_, rep, err := core.Solve(in, opts)
+	assn, rep, err := core.Solve(in, opts)
 	if err != nil {
-		return 0, fmt.Errorf("headend: tenant resolve: %w", err)
+		return ResolveOutcome{}, fmt.Errorf("headend: tenant resolve: %w", err)
+	}
+	out := ResolveOutcome{
+		OnlineValue:  t.assn.Utility(t.in),
+		OfflineValue: rep.Value,
+	}
+	if install && out.OfflineValue >= out.OnlineValue {
+		if err := t.install(assn); err != nil {
+			return out, err
+		}
+		out.Installed = true
+		t.installs++
 	}
 	t.resolves++
 	t.lastResolve = rep.Value
 	t.hasResolve = true
-	return rep.Value, nil
+	return out, nil
+}
+
+// install swaps the running assignment for a fresh offline solution,
+// make before break: away gateways are stripped from the candidate, it
+// is feasibility-checked against the true instance, and the policy's
+// internal state is rebuilt around it (ReinstallablePolicy) — only when
+// all of that succeeds are the tenant's assignment and live-stream
+// table replaced. On any error the old state is untouched. Installing
+// adopts the offline lineup over the full catalog: the head-end retunes
+// to the Theorem 1.1 solution, dropping carried streams outside it and
+// picking up catalog streams inside it.
+func (t *Tenant) install(assn *mmd.Assignment) error {
+	assn = assn.Restrict(func(u, s int) bool {
+		return u < len(t.away) && !t.away[u]
+	})
+	if err := assn.CheckFeasible(t.in); err != nil {
+		return fmt.Errorf("headend: install: offline assignment infeasible: %w", err)
+	}
+	rp, ok := t.policy.(ReinstallablePolicy)
+	if !ok {
+		return fmt.Errorf("headend: install: policy %q cannot rebuild its state", t.policy.Name())
+	}
+	if err := rp.Reinstall(assn); err != nil {
+		return fmt.Errorf("headend: install: %w", err)
+	}
+	live := make(map[int][]int, assn.RangeSize())
+	for u := 0; u < assn.NumUsers(); u++ {
+		for _, s := range assn.UserStreams(u) {
+			live[s] = append(live[s], u)
+		}
+	}
+	t.assn = assn
+	t.live = live
+	return nil
 }
 
 // Snapshot summarizes the tenant deterministically.
@@ -230,6 +293,7 @@ func (t *Tenant) Snapshot() TenantSnapshot {
 		UserLeaves:       t.leaves,
 		UserJoins:        t.joins,
 		Resolves:         t.resolves,
+		Installs:         t.installs,
 		LastResolveValue: t.lastResolve,
 		ActiveStreams:    t.assn.RangeSize(),
 		Pairs:            t.assn.Pairs(),

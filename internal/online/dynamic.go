@@ -3,6 +3,8 @@ package online
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/mmd"
 )
 
 // Dynamic extension (footnote 1 of the paper): "The algorithm can also
@@ -83,4 +85,30 @@ func (al *Allocator) ReleaseUser(u int) (pruned int, err error) {
 		}
 	}
 	return pruned, nil
+}
+
+// Install charges an externally computed assignment into the allocator's
+// load state, bypassing the admission rule: every (user, stream) pair of
+// a not already held is committed, with loads and utilities read from
+// the allocator's (normalized) instance. It is the mechanism behind
+// re-solve installation — a fresh offline solution becomes the
+// allocator's notion of live load, so the exponential costs of future
+// offers price the installed lineup correctly. Pairs referencing users
+// or streams outside the instance are skipped.
+func (al *Allocator) Install(a *mmd.Assignment) {
+	numUsers := al.in.NumUsers()
+	for _, s := range a.Range() {
+		if s < 0 || s >= al.in.NumStreams() {
+			continue
+		}
+		var users []int
+		for u := 0; u < a.NumUsers() && u < numUsers; u++ {
+			if a.Has(u, s) && !al.assn.Has(u, s) {
+				users = append(users, u)
+			}
+		}
+		if len(users) > 0 {
+			al.commit(s, users)
+		}
+	}
 }

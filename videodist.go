@@ -30,7 +30,12 @@
 // NewCluster operates many independent head-end tenants as one fleet:
 // each tenant is pinned to a shard worker, stream-arrival and churn
 // events are routed over channels with batched admission, and results
-// are aggregated deterministically (cmd/mmdserve is the CLI front end).
+// are aggregated deterministically. The serving surface is typed and
+// per operation — OfferStream/DepartStream/UserLeave/UserJoin/Resolve
+// sessions with sentinel errors (ErrUnknownTenant, ErrQueueFull,
+// ErrClosed, ErrCanceled) and configurable backpressure; Resolve can
+// install the offline Theorem 1.1 solution make-before-break
+// (cmd/mmdserve is the CLI and HTTP/JSON front end).
 //
 // Everything — the solvers, the exact branch-and-bound reference, the
 // workload generators, the discrete-event multicast network, and the
@@ -99,18 +104,21 @@ type (
 )
 
 // Sharded multi-tenant serving layer (see internal/cluster for the
-// shard/batch/determinism contract).
+// shard/batch/determinism contract). This is the serving API v2
+// surface: typed per-operation request/response sessions replace the
+// PR-1 fire-and-forget Submit(Event) — call OfferStream, DepartStream,
+// UserLeave, UserJoin, and Resolve directly on a Cluster.
 type (
 	// Cluster operates many head-end tenants as one fleet: per-shard
-	// workers, batched admission, deterministic aggregation.
+	// workers, batched admission, deterministic aggregation, and typed
+	// per-operation session methods (OfferStream, DepartStream,
+	// UserLeave, UserJoin, Resolve).
 	Cluster = cluster.Cluster
 	// ClusterOptions configures shard count, batch size, queue depth,
-	// and churn-triggered re-solves.
+	// backpressure mode, and churn-triggered re-solves.
 	ClusterOptions = cluster.Options
 	// ClusterTenant describes one tenant (instance + admission policy).
 	ClusterTenant = cluster.TenantConfig
-	// ClusterEvent is one unit of work routed to a tenant's shard.
-	ClusterEvent = cluster.Event
 	// ClusterWorkload is a deterministic synthetic event schedule.
 	ClusterWorkload = cluster.Workload
 	// FleetSnapshot is the aggregated fleet state at a barrier.
@@ -119,20 +127,42 @@ type (
 	TenantSnapshot = cluster.TenantSnapshot
 	// AdmissionPolicy decides which users receive an arriving stream.
 	AdmissionPolicy = headend.Policy
+
+	// OfferResult is the typed outcome of Cluster.OfferStream.
+	OfferResult = cluster.OfferResult
+	// DepartResult is the typed outcome of Cluster.DepartStream.
+	DepartResult = cluster.DepartResult
+	// ChurnResult is the typed outcome of Cluster.UserLeave / UserJoin.
+	ChurnResult = cluster.ChurnResult
+	// ResolveResult is the typed outcome of Cluster.Resolve.
+	ResolveResult = cluster.ResolveResult
+	// ResolveOptions configures Cluster.Resolve (Install swaps in the
+	// offline assignment make-before-break).
+	ResolveOptions = cluster.ResolveOptions
+	// Backpressure selects block-with-ctx vs fail-fast enqueueing.
+	Backpressure = cluster.Backpressure
 )
 
-// Cluster event kinds.
+// Backpressure modes for ClusterOptions.Backpressure.
 const (
-	// ClusterStreamArrival offers a stream to a tenant's policy.
-	ClusterStreamArrival = cluster.EventStreamArrival
-	// ClusterStreamDeparture removes a carried stream.
-	ClusterStreamDeparture = cluster.EventStreamDeparture
-	// ClusterUserLeave takes a gateway offline.
-	ClusterUserLeave = cluster.EventUserLeave
-	// ClusterUserJoin brings a gateway back online.
-	ClusterUserJoin = cluster.EventUserJoin
-	// ClusterResolve re-runs the offline pipeline for a tenant.
-	ClusterResolve = cluster.EventResolve
+	// BackpressureBlock blocks a session call until its shard queue has
+	// room or the context is done (the default).
+	BackpressureBlock = cluster.BackpressureBlock
+	// BackpressureReject fails fast with ErrQueueFull.
+	BackpressureReject = cluster.BackpressureReject
+)
+
+// Sentinel errors of the serving API; match with errors.Is.
+var (
+	// ErrUnknownTenant reports a tenant index outside the fleet.
+	ErrUnknownTenant = cluster.ErrUnknownTenant
+	// ErrQueueFull reports a full shard queue under BackpressureReject.
+	ErrQueueFull = cluster.ErrQueueFull
+	// ErrClosed reports an operation on a closed cluster.
+	ErrClosed = cluster.ErrClosed
+	// ErrCanceled reports a canceled or expired context; it also
+	// matches the context package's error under errors.Is.
+	ErrCanceled = cluster.ErrCanceled
 )
 
 // NewCluster builds a sharded multi-tenant head-end cluster and starts

@@ -1,6 +1,8 @@
 package videodist_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	videodist "repro"
@@ -45,6 +47,85 @@ func TestFacadeOnline(t *testing.T) {
 	}
 	if err := videodist.CheckSmallStreams(norm.Instance, norm.Mu()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeAdmissionPolicy covers the public policy factory: every
+// documented kind builds a usable policy, unknown kinds and nil
+// instances fail.
+func TestFacadeAdmissionPolicy(t *testing.T) {
+	in, err := videodist.NewCableTV(videodist.CableTV{Channels: 12, Gateways: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"", "online", "online-unguarded", "threshold", "oracle", "static"} {
+		pol, err := videodist.NewAdmissionPolicy(in, kind)
+		if err != nil {
+			t.Fatalf("NewAdmissionPolicy(%q): %v", kind, err)
+		}
+		if pol.Name() == "" {
+			t.Fatalf("NewAdmissionPolicy(%q): empty name", kind)
+		}
+	}
+	if _, err := videodist.NewAdmissionPolicy(in, "nope"); err == nil {
+		t.Fatal("unknown policy kind accepted")
+	}
+	if _, err := videodist.NewAdmissionPolicy(nil, "online"); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}
+
+// TestFacadeClusterSession exercises the re-exported serving API v2
+// surface: session methods, typed results, sentinel errors, and the
+// fail-fast backpressure mode through the public package alone.
+func TestFacadeClusterSession(t *testing.T) {
+	ctx := context.Background()
+	in, err := videodist.NewCableTV(videodist.CableTV{Channels: 10, Gateways: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := videodist.NewCluster(
+		[]videodist.ClusterTenant{{Instance: in}},
+		videodist.ClusterOptions{Shards: 1, Backpressure: videodist.BackpressureReject},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for s := 0; s < in.NumStreams(); s++ {
+		res, err := c.OfferStream(ctx, 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if _, err := c.OfferStream(ctx, 7, 0); !errors.Is(err, videodist.ErrUnknownTenant) {
+		t.Fatalf("err = %v, want ErrUnknownTenant", err)
+	}
+	res, err := c.Resolve(ctx, 0, videodist.ResolveOptions{Install: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfflineValue <= 0 {
+		t.Fatalf("resolve = %+v", res)
+	}
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.AllFeasible || fs.Utility <= 0 {
+		t.Fatalf("fleet snapshot = %+v", fs)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UserJoin(ctx, 0, 0); !errors.Is(err, videodist.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
 
