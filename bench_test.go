@@ -6,7 +6,6 @@
 package videodist_test
 
 import (
-	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +13,7 @@ import (
 
 	videodist "repro"
 	"repro/internal/baseline"
-	"repro/internal/cluster"
+	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/experiments"
@@ -411,71 +410,20 @@ func BenchmarkEmulation(b *testing.B) {
 	}
 }
 
-// clusterBenchTenants builds the 8-tenant fleet shared by the cluster
-// benchmarks (instances generated once per benchmark, outside the
-// timed loop; policies are per-run state and are rebuilt inside it).
-func clusterBenchTenants(b *testing.B) []*videodist.Instance {
-	b.Helper()
-	instances := make([]*videodist.Instance, 8)
-	for i := range instances {
-		in, err := generator.CableTV{
-			Channels: 40, Gateways: 10, Seed: 200 + int64(i), EgressFraction: 0.25,
-		}.Generate()
-		if err != nil {
-			b.Fatal(err)
-		}
-		instances[i] = in
-	}
-	return instances
-}
-
-// benchCluster drives one full workload (arrivals, departures, gateway
-// churn) over 8 tenants on the given shard count and reports
-// events/op. BenchmarkClusterSharded vs BenchmarkClusterSerial is the
-// sharding speedup: tenants are independent, so with GOMAXPROCS >= 4
+// The cluster benchmark bodies live in internal/benchkit so that
+// `mmdbench -json` can snapshot the identical measurements into
+// BENCH_serving.json (the machine-readable serving-path baseline).
+//
+// BenchmarkClusterSerial processes all 8 tenants on a single shard
+// worker — the serial-loop baseline. BenchmarkClusterSharded processes
+// the same fleet with one shard per tenant, so admission across tenants
+// runs in parallel: tenants are independent, so with GOMAXPROCS >= 4
 // the sharded fleet should process the same event stream at >= 2x the
 // serial-loop throughput, with bit-identical per-tenant results (the
 // cluster's determinism contract, asserted by E12 and the cluster
 // package tests).
-func benchCluster(b *testing.B, shards int) {
-	instances := clusterBenchTenants(b)
-	events := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tenants := make([]videodist.ClusterTenant, len(instances))
-		for j, in := range instances {
-			tenants[j] = videodist.ClusterTenant{Instance: in}
-		}
-		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
-			Shards: shards, BatchSize: 16,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		fs, total, err := c.RunWorkload(videodist.ClusterWorkload{
-			Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := c.Close(); err != nil {
-			b.Fatal(err)
-		}
-		if !fs.AllFeasible {
-			b.Fatal("fleet infeasible")
-		}
-		events = total
-	}
-	b.ReportMetric(float64(events), "events/op")
-}
-
-// BenchmarkClusterSerial processes all 8 tenants on a single shard
-// worker — the serial-loop baseline.
-func BenchmarkClusterSerial(b *testing.B) { benchCluster(b, 1) }
-
-// BenchmarkClusterSharded processes the same fleet with one shard per
-// tenant, so admission across tenants runs in parallel.
-func BenchmarkClusterSharded(b *testing.B) { benchCluster(b, 8) }
+func BenchmarkClusterSerial(b *testing.B)  { benchkit.ClusterWorkload(b, 1) }
+func BenchmarkClusterSharded(b *testing.B) { benchkit.ClusterWorkload(b, 8) }
 
 // BenchmarkClusterAck drives the same 8-tenant workload through the
 // serving API v2 session methods — every event carries a completion
@@ -484,58 +432,7 @@ func BenchmarkClusterSharded(b *testing.B) { benchCluster(b, 8) }
 // (BenchmarkClusterSerial/Sharded process the identical schedule via
 // RunWorkload). Request/response arrivals flush the batch they join,
 // so this is also the no-coalescing bound of the batching design.
-func BenchmarkClusterAck(b *testing.B) {
-	instances := clusterBenchTenants(b)
-	ctx := context.Background()
-	events := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tenants := make([]videodist.ClusterTenant, len(instances))
-		for j, in := range instances {
-			tenants[j] = videodist.ClusterTenant{Instance: in}
-		}
-		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
-			Shards: 8, BatchSize: 16,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		w := videodist.ClusterWorkload{Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8}
-		total := 0
-		for ti := 0; ti < c.NumTenants(); ti++ {
-			for _, ev := range w.Events(c, ti) {
-				switch ev.Type {
-				case cluster.EventStreamArrival:
-					_, err = c.OfferStream(ctx, ev.Tenant, ev.Stream)
-				case cluster.EventStreamDeparture:
-					_, err = c.DepartStream(ctx, ev.Tenant, ev.Stream)
-				case cluster.EventUserLeave:
-					_, err = c.UserLeave(ctx, ev.Tenant, ev.User)
-				case cluster.EventUserJoin:
-					_, err = c.UserJoin(ctx, ev.Tenant, ev.User)
-				case cluster.EventResolve:
-					_, err = c.Resolve(ctx, ev.Tenant, videodist.ResolveOptions{})
-				}
-				if err != nil {
-					b.Fatal(err)
-				}
-				total++
-			}
-		}
-		fs, err := c.Snapshot()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := c.Close(); err != nil {
-			b.Fatal(err)
-		}
-		if !fs.AllFeasible {
-			b.Fatal("fleet infeasible")
-		}
-		events = total
-	}
-	b.ReportMetric(float64(events), "events/op")
-}
+func BenchmarkClusterAck(b *testing.B) { benchkit.ClusterAck(b) }
 
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.

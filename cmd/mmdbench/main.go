@@ -2,25 +2,45 @@
 // ablations A1-A3, see DESIGN.md section 4) and prints the results as
 // Markdown — the tables recorded in EXPERIMENTS.md.
 //
+// With -json it instead runs the serving-path benchmark suite
+// (guarded admission rescan vs ledger, the end-to-end online policy
+// sweep, and the cluster workload/ack benchmarks) via testing.Benchmark
+// and writes a machine-readable baseline — ns/op, allocs/op, B/op, and
+// events/op — to the given file (conventionally BENCH_serving.json at
+// the repo root), so successive PRs have a trajectory to diff against.
+//
 // Usage:
 //
-//	mmdbench            # run everything
-//	mmdbench -only E5   # run one experiment
+//	mmdbench                        # run every experiment
+//	mmdbench -only E5               # run one experiment
+//	mmdbench -json BENCH_serving.json  # write the serving perf baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"repro/internal/benchkit"
 	"repro/internal/experiments"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E10, A1..A3)")
+	jsonPath := flag.String("json", "", "write the serving benchmark baseline to this file instead of running experiments")
 	flag.Parse()
+	if *jsonPath != "" {
+		if err := writeServingBaseline(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mmdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*only); err != nil {
 		fmt.Fprintln(os.Stderr, "mmdbench:", err)
 		os.Exit(1)
@@ -45,5 +65,58 @@ func run(only string) error {
 		return fmt.Errorf("no experiment named %q", only)
 	}
 	fmt.Printf("---\n%d experiments in %v\n", printed, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// benchRecord is one benchmark's snapshot in the JSON baseline.
+type benchRecord struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	EventsPerOp float64 `json:"events_per_op,omitempty"`
+}
+
+// servingBaseline is the BENCH_serving.json document.
+type servingBaseline struct {
+	Command    string                 `json:"command"`
+	GoVersion  string                 `json:"go_version"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+}
+
+func writeServingBaseline(path string) error {
+	base := servingBaseline{
+		Command:    "mmdbench -json",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchRecord{},
+	}
+	for _, bench := range benchkit.ServingBenchmarks() {
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", bench.Name)
+		res := testing.Benchmark(bench.F)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (failed inside testing.Benchmark)", bench.Name)
+		}
+		rec := benchRecord{
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if v, ok := res.Extra["events/op"]; ok {
+			rec.EventsPerOp = v
+		}
+		base.Benchmarks[bench.Name] = rec
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(base.Benchmarks), path)
 	return nil
 }

@@ -1,0 +1,264 @@
+// Package benchkit holds the serving-path benchmark bodies in plain
+// functions so they run both as `go test -bench` benchmarks (the root
+// bench_test.go and internal/headend wrap them) and programmatically via
+// testing.Benchmark from `mmdbench -json`, which snapshots ns/op and
+// allocs/op into BENCH_serving.json — the machine-readable perf baseline
+// future PRs diff against.
+package benchkit
+
+import (
+	"context"
+	"testing"
+
+	videodist "repro"
+	"repro/internal/cluster"
+	"repro/internal/generator"
+	"repro/internal/headend"
+	"repro/internal/mmd"
+)
+
+// admissionInstance is the CableTV-sized workload the guarded-admission
+// benchmarks sweep: 3 server budgets, 2 capacities per gateway, Zipf
+// popularity, contended egress.
+func admissionInstance(b *testing.B) *mmd.Instance {
+	b.Helper()
+	in, err := generator.CableTV{
+		Channels: 120, Gateways: 40, Seed: 300, EgressFraction: 0.25,
+	}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// admissionCandidates precomputes the per-stream candidate lists (users
+// with positive utility, increasing index) shared by both guard paths —
+// the same inversion ThresholdPolicy walks per arrival.
+func admissionCandidates(in *mmd.Instance) [][]int {
+	return in.InterestedUsers()
+}
+
+// GuardedAdmissionRescan sweeps every (stream, candidate) admission
+// through the retained reference guard — trial Add + full
+// Assignment.CheckFeasible rescan per candidate, the pre-ledger
+// serving-path behavior — then tears the lineup back down, so each op
+// is one admit-everything/depart-everything cycle on warm state and the
+// reported allocs are the guard's own.
+func GuardedAdmissionRescan(b *testing.B) {
+	in := admissionInstance(b)
+	cand := admissionCandidates(in)
+	assn := mmd.NewAssignment(in.NumUsers())
+	var admitted [][2]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		admitted = admitted[:0]
+		for s := range cand {
+			for _, u := range cand[s] {
+				assn.Add(u, s)
+				if assn.CheckFeasible(in) != nil {
+					assn.Remove(u, s)
+					continue
+				}
+				admitted = append(admitted, [2]int{u, s})
+			}
+		}
+		if len(admitted) == 0 {
+			b.Fatal("nothing admitted")
+		}
+		for _, p := range admitted {
+			assn.Remove(p[0], p[1])
+		}
+	}
+}
+
+// GuardedAdmissionLedger runs the identical admit/depart cycle through
+// the incremental LoadLedger delta query.
+func GuardedAdmissionLedger(b *testing.B) {
+	in := admissionInstance(b)
+	cand := admissionCandidates(in)
+	assn := mmd.NewAssignment(in.NumUsers())
+	ledger := mmd.NewLoadLedger(in)
+	var admitted [][2]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		admitted = admitted[:0]
+		for s := range cand {
+			for _, u := range cand[s] {
+				if !ledger.FitsDelta(u, s) {
+					continue
+				}
+				ledger.Add(u, s)
+				assn.Add(u, s)
+				admitted = append(admitted, [2]int{u, s})
+			}
+		}
+		if len(admitted) == 0 {
+			b.Fatal("nothing admitted")
+		}
+		for _, p := range admitted {
+			ledger.Remove(p[0], p[1])
+			assn.Remove(p[0], p[1])
+		}
+	}
+}
+
+// OnlinePolicySweep offers the full catalog to the guarded Section 5
+// online policy end to end (allocator + guard); ledger selects the
+// incremental guard, rescan the retained reference guard. The two runs
+// admit bit-identically (see the differential tests), so the delta is
+// pure guard cost.
+func OnlinePolicySweep(b *testing.B, ledger bool) {
+	in := admissionInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var pol *headend.OnlinePolicy
+		var err error
+		if ledger {
+			pol, err = headend.NewOnlinePolicy(in, true)
+		} else {
+			pol, err = headend.NewRescanOnlinePolicy(in)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for s := 0; s < in.NumStreams(); s++ {
+			pol.OnStreamArrival(s)
+		}
+	}
+}
+
+// clusterTenants builds the 8-tenant fleet shared by the cluster
+// benchmarks.
+func clusterTenants(b *testing.B) []*videodist.Instance {
+	b.Helper()
+	instances := make([]*videodist.Instance, 8)
+	for i := range instances {
+		in, err := generator.CableTV{
+			Channels: 40, Gateways: 10, Seed: 200 + int64(i), EgressFraction: 0.25,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instances[i] = in
+	}
+	return instances
+}
+
+// ClusterWorkload drives one full workload (arrivals, departures,
+// gateway churn) over 8 tenants on the given shard count and reports
+// events/op — the body of BenchmarkClusterSerial/Sharded.
+func ClusterWorkload(b *testing.B, shards int) {
+	instances := clusterTenants(b)
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: shards, BatchSize: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs, total, err := c.RunWorkload(videodist.ClusterWorkload{
+			Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if !fs.AllFeasible {
+			b.Fatal("fleet infeasible")
+		}
+		events = total
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// ClusterAck drives the same 8-tenant workload through the serving API
+// v2 session methods — every event carries a completion channel and the
+// caller blocks for its typed result — the body of BenchmarkClusterAck.
+func ClusterAck(b *testing.B) {
+	instances := clusterTenants(b)
+	ctx := context.Background()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: 8, BatchSize: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := videodist.ClusterWorkload{Seed: 200, Rounds: 2, DepartEvery: 3, ChurnEvery: 8}
+		total := 0
+		for ti := 0; ti < c.NumTenants(); ti++ {
+			for _, ev := range w.Events(c, ti) {
+				switch ev.Type {
+				case cluster.EventStreamArrival:
+					_, err = c.OfferStream(ctx, ev.Tenant, ev.Stream)
+				case cluster.EventStreamDeparture:
+					_, err = c.DepartStream(ctx, ev.Tenant, ev.Stream)
+				case cluster.EventUserLeave:
+					_, err = c.UserLeave(ctx, ev.Tenant, ev.User)
+				case cluster.EventUserJoin:
+					_, err = c.UserJoin(ctx, ev.Tenant, ev.User)
+				case cluster.EventResolve:
+					_, err = c.Resolve(ctx, ev.Tenant, videodist.ResolveOptions{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				total++
+			}
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if !fs.AllFeasible {
+			b.Fatal("fleet infeasible")
+		}
+		events = total
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// Bench names one serving benchmark for programmatic runs.
+type Bench struct {
+	// Name keys the benchmark in BENCH_serving.json.
+	Name string
+	// F is the benchmark body.
+	F func(*testing.B)
+}
+
+// ServingBenchmarks returns the suite snapshotted by `mmdbench -json`:
+// the guarded-admission pair (reference rescan vs ledger), the
+// end-to-end online policy pair, and the cluster throughput trio.
+func ServingBenchmarks() []Bench {
+	return []Bench{
+		{Name: "GuardedAdmission/rescan", F: GuardedAdmissionRescan},
+		{Name: "GuardedAdmission/ledger", F: GuardedAdmissionLedger},
+		{Name: "OnlinePolicySweep/rescan", F: func(b *testing.B) { OnlinePolicySweep(b, false) }},
+		{Name: "OnlinePolicySweep/ledger", F: func(b *testing.B) { OnlinePolicySweep(b, true) }},
+		{Name: "ClusterSerial", F: func(b *testing.B) { ClusterWorkload(b, 1) }},
+		{Name: "ClusterSharded", F: func(b *testing.B) { ClusterWorkload(b, 8) }},
+		{Name: "ClusterAck", F: ClusterAck},
+	}
+}

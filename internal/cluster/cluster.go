@@ -45,6 +45,18 @@
 // internal/core). Wall-clock throughput is the only thing sharding
 // changes.
 //
+// # Serving hot path
+//
+// The default tenant policy (guarded online admission) decides each
+// candidate with an incremental mmd.LoadLedger in O(measures) rather
+// than a full per-candidate feasibility rescan, and the per-tenant
+// snapshots taken at barriers ride mmd.Assignment's sorted-slice
+// representation (allocation-free Utility/range reads). The ledger path
+// is pinned bit-identical to the retained rescan reference by the
+// differential tests in this package and internal/headend; the
+// serving-path benchmarks are snapshotted by `mmdbench -json` into
+// BENCH_serving.json.
+//
 // Tenants are fully isolated: streams are not shared across shards (a
 // stream admitted by tenant 3 costs nothing to tenant 5), which is
 // recorded as an open item in ROADMAP.md.

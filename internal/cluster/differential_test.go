@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/headend"
+)
+
+// TestClusterLedgerMatchesRescanReference is the fleet-level (E12-shaped)
+// differential determinism check: a sharded cluster running the default
+// ledger-based guarded online policy — through the full workload (batched
+// arrivals, departures, gateway churn) plus an installing re-solve per
+// tenant — must produce per-tenant snapshots bit-identical to a serial
+// replay of the exact same event schedule on tenants running the retained
+// pre-ledger rescan implementation (NewRescanOnlinePolicy), at every
+// shard count.
+func TestClusterLedgerMatchesRescanReference(t *testing.T) {
+	const tenants = 6
+	w := Workload{Seed: 120, Rounds: 2, DepartEvery: 3, ChurnEvery: 5}
+	instance := func(i int) *generator.CableTV {
+		return &generator.CableTV{
+			Channels: 20, Gateways: 6, Seed: 120 + int64(i), EgressFraction: 0.25,
+		}
+	}
+
+	// Reference: serial replay on rescan-guarded tenants. The schedule is
+	// a pure function of the seed and the instance, so it can be taken
+	// from any cluster; a single-shard one is built just to derive it.
+	var refChurn, refInstalled []headend.TenantSnapshot
+	{
+		cfgs := make([]TenantConfig, tenants)
+		for i := range cfgs {
+			in, err := instance(i).Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = TenantConfig{Instance: in}
+		}
+		c, err := New(cfgs, Options{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := range cfgs {
+			in, err := instance(i).Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := headend.NewRescanOnlinePolicy(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ten, err := headend.NewTenant(in, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range w.Events(c, i) {
+				switch ev.Type {
+				case EventStreamArrival:
+					ten.OfferStream(ev.Stream)
+				case EventStreamDeparture:
+					ten.DepartStream(ev.Stream)
+				case EventUserLeave:
+					ten.UserLeave(ev.User)
+				case EventUserJoin:
+					ten.UserJoin(ev.User)
+				}
+			}
+			refChurn = append(refChurn, ten.Snapshot())
+			if _, err := ten.Resolve(core.Options{}, true); err != nil {
+				t.Fatal(err)
+			}
+			refInstalled = append(refInstalled, ten.Snapshot())
+		}
+	}
+
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfgs := make([]TenantConfig, tenants)
+		for i := range cfgs {
+			in, err := instance(i).Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = TenantConfig{Instance: in}
+		}
+		c, err := New(cfgs, Options{Shards: shards, BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		churnFS, _, err := c.RunWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tenants; i++ {
+			if churnFS.Tenants[i] != refChurn[i] {
+				t.Errorf("shards=%d tenant %d churn snapshot diverged from rescan reference:\ncluster: %+v\nref:     %+v",
+					shards, i, churnFS.Tenants[i], refChurn[i])
+			}
+		}
+		for i := 0; i < tenants; i++ {
+			if _, err := c.Resolve(ctx, i, ResolveOptions{Install: true}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		installedFS, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tenants; i++ {
+			if installedFS.Tenants[i] != refInstalled[i] {
+				t.Errorf("shards=%d tenant %d installed snapshot diverged from rescan reference:\ncluster: %+v\nref:     %+v",
+					shards, i, installedFS.Tenants[i], refInstalled[i])
+			}
+		}
+		if !installedFS.AllFeasible {
+			t.Errorf("shards=%d: fleet infeasible after install", shards)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package headend_test
+
+import (
+	"testing"
+
+	"repro/internal/benchkit"
+)
+
+// BenchmarkGuardedAdmission compares the two guard implementations on a
+// CableTV-sized instance (120 channels × 40 gateways, 3 budgets, 2
+// capacities per gateway): "rescan" is the retained pre-ledger
+// reference — trial Add + full CheckFeasible per candidate — and
+// "ledger" is the O(measures) LoadLedger delta query. Both sweeps admit
+// bit-identically (differential tests); the ratio is the serving-path
+// win. Bodies live in internal/benchkit so `mmdbench -json` snapshots
+// the same numbers into BENCH_serving.json.
+func BenchmarkGuardedAdmission(b *testing.B) {
+	b.Run("rescan", benchkit.GuardedAdmissionRescan)
+	b.Run("ledger", benchkit.GuardedAdmissionLedger)
+}
+
+// BenchmarkOnlinePolicySweep is the end-to-end variant: the full
+// guarded online policy (Section 5 allocator + guard) offered the whole
+// catalog, with only the guard implementation differing.
+func BenchmarkOnlinePolicySweep(b *testing.B) {
+	b.Run("rescan", func(b *testing.B) { benchkit.OnlinePolicySweep(b, false) })
+	b.Run("ledger", func(b *testing.B) { benchkit.OnlinePolicySweep(b, true) })
+}

@@ -21,11 +21,18 @@ type DeparturePolicy interface {
 }
 
 // OnStreamDeparture implements DeparturePolicy for the online policy by
-// releasing the stream from the allocator and the running assignment.
+// releasing the stream from the allocator, the running assignment, and
+// (guarded mode) the feasibility ledger.
 func (p *OnlinePolicy) OnStreamDeparture(s int) {
 	p.allocator.Release(s)
 	for u := 0; u < p.assn.NumUsers(); u++ {
+		if !p.assn.Has(u, s) {
+			continue
+		}
 		p.assn.Remove(u, s)
+		if p.ledger != nil {
+			p.ledger.Remove(u, s)
+		}
 	}
 }
 

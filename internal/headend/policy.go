@@ -23,7 +23,9 @@ type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// OnStreamArrival returns the users that should receive stream s
-	// (empty or nil when the stream is rejected).
+	// (empty or nil when the stream is rejected). The returned slice
+	// may alias policy-internal state (reveal policies serve from
+	// precomputed delivery lists); callers must not mutate it.
 	OnStreamArrival(s int) []int
 }
 
@@ -44,13 +46,19 @@ type ReinstallablePolicy interface {
 // any assignment that would violate a true budget or capacity is
 // filtered before commitment — the physical-world backstop for
 // instances that do not satisfy the small-streams hypothesis (a policy
-// server would never oversubscribe the plant).
+// server would never oversubscribe the plant). The guard is answered by
+// an incremental mmd.LoadLedger in O(measures) per candidate; the
+// full-rescan CheckFeasible it replaced survives as the reference the
+// differential tests compare against.
 type OnlinePolicy struct {
 	in        *mmd.Instance
 	norm      *online.Normalization
 	allocator *online.Allocator
 	guarded   bool
 	assn      *mmd.Assignment
+	// ledger mirrors assn (guarded mode only; nil otherwise) so guarded
+	// admission is a delta query instead of a fleet rescan.
+	ledger *mmd.LoadLedger
 	// savedUtility keeps the zeroed utility rows of away users (gateway
 	// churn, see UserChurnPolicy).
 	savedUtility map[int][]float64
@@ -61,6 +69,23 @@ var _ Policy = (*OnlinePolicy)(nil)
 // NewOnlinePolicy builds the policy for the instance. guarded should be
 // true unless the instance satisfies online.CheckSmallStreams.
 func NewOnlinePolicy(in *mmd.Instance, guarded bool) (*OnlinePolicy, error) {
+	return newOnlinePolicy(in, guarded, guarded)
+}
+
+// NewRescanOnlinePolicy builds the guarded online policy with the
+// retained pre-ledger guard: every candidate is trial-added and the
+// whole fleet state is re-verified with Assignment.CheckFeasible. It is
+// kept (not deleted) as the reference implementation the differential
+// determinism tests and BenchmarkGuardedAdmission compare the ledger
+// path against; production callers should use NewOnlinePolicy.
+func NewRescanOnlinePolicy(in *mmd.Instance) (*OnlinePolicy, error) {
+	return newOnlinePolicy(in, true, false)
+}
+
+// newOnlinePolicy is the shared constructor; withLedger selects the
+// incremental guard (guarded mode only), and a guarded policy without a
+// ledger runs the reference full-rescan guard.
+func newOnlinePolicy(in *mmd.Instance, guarded, withLedger bool) (*OnlinePolicy, error) {
 	norm, err := online.Normalize(in)
 	if err != nil {
 		return nil, fmt.Errorf("headend: online policy: %w", err)
@@ -69,13 +94,17 @@ func NewOnlinePolicy(in *mmd.Instance, guarded bool) (*OnlinePolicy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("headend: online policy: %w", err)
 	}
-	return &OnlinePolicy{
+	p := &OnlinePolicy{
 		in:        in,
 		norm:      norm,
 		allocator: al,
 		guarded:   guarded,
 		assn:      mmd.NewAssignment(in.NumUsers()),
-	}, nil
+	}
+	if guarded && withLedger {
+		p.ledger = mmd.NewLoadLedger(in)
+	}
+	return p, nil
 }
 
 // Name implements Policy.
@@ -95,15 +124,36 @@ func (p *OnlinePolicy) OnStreamArrival(s int) []int {
 		}
 		return users
 	}
+	if p.ledger == nil {
+		// Reference path (NewRescanOnlinePolicy): trial-add each
+		// candidate and rescan the whole fleet state.
+		var kept []int
+		for _, u := range users {
+			p.assn.Add(u, s)
+			if p.assn.CheckFeasible(p.in) != nil {
+				p.assn.Remove(u, s)
+				continue
+			}
+			kept = append(kept, u)
+		}
+		return kept
+	}
 	// Guarded mode: admit users one by one, dropping any that would
-	// break a true constraint.
+	// break a true constraint. The running assignment is always
+	// feasible (it starts empty, admissions are guarded, and removals
+	// only shed load), so the ledger's O(measures) delta query decides
+	// the same question a full CheckFeasible rescan after a trial Add
+	// would — up to float accumulation order (the ledger sums in event
+	// order, the rescan in stream order; see the LoadLedger doc). The
+	// differential tests pin the two paths to identical decisions on
+	// the E10/E12 workloads.
 	var kept []int
 	for _, u := range users {
-		p.assn.Add(u, s)
-		if p.assn.CheckFeasible(p.in) != nil {
-			p.assn.Remove(u, s)
+		if !p.ledger.FitsDelta(u, s) {
 			continue
 		}
+		p.ledger.Add(u, s)
+		p.assn.Add(u, s)
 		kept = append(kept, u)
 	}
 	return kept
@@ -120,7 +170,8 @@ func (p *OnlinePolicy) Normalization() *online.Normalization { return p.norm }
 // utility rows) and charged with the installed assignment, so the
 // exponential costs restart from the installed load rather than the
 // accumulated online history. Only after the new allocator is ready is
-// the policy state swapped.
+// the policy state swapped; the guard ledger is rebuilt from the
+// installed assignment in the same step.
 func (p *OnlinePolicy) Reinstall(assn *mmd.Assignment) error {
 	al, err := online.NewAllocator(p.norm.Instance, p.norm.Mu())
 	if err != nil {
@@ -129,6 +180,9 @@ func (p *OnlinePolicy) Reinstall(assn *mmd.Assignment) error {
 	al.Install(assn)
 	p.allocator = al
 	p.assn = assn.Clone()
+	if p.ledger != nil {
+		p.ledger.Rebuild(p.assn)
+	}
 	return nil
 }
 
@@ -141,6 +195,10 @@ type ThresholdPolicy struct {
 	serverCost []float64
 	userLoad   [][]float64
 	assn       *mmd.Assignment
+	// interested[s] lists the users with positive utility for stream s
+	// in increasing index order — the delivery list an arrival walks
+	// instead of scanning all |U| users.
+	interested [][]int
 	// away marks gateways currently offline (see UserChurnPolicy).
 	away map[int]bool
 }
@@ -159,6 +217,7 @@ func NewThresholdPolicy(in *mmd.Instance, margin float64) (*ThresholdPolicy, err
 		serverCost: make([]float64, in.M()),
 		userLoad:   make([][]float64, in.NumUsers()),
 		assn:       mmd.NewAssignment(in.NumUsers()),
+		interested: in.InterestedUsers(),
 	}
 	for u := range p.userLoad {
 		p.userLoad[u] = make([]float64, len(in.Users[u].Capacities))
@@ -177,9 +236,9 @@ func (p *ThresholdPolicy) OnStreamArrival(s int) []int {
 		}
 	}
 	var kept []int
-	for u := range p.in.Users {
+	for _, u := range p.interested[s] {
 		usr := &p.in.Users[u]
-		if usr.Utility[s] <= 0 || p.away[u] {
+		if p.away[u] {
 			continue
 		}
 		fits := true
@@ -210,8 +269,10 @@ func (p *ThresholdPolicy) OnStreamArrival(s int) []int {
 func (p *ThresholdPolicy) Assignment() *mmd.Assignment { return p.assn }
 
 // Reinstall implements ReinstallablePolicy: server costs and per-user
-// loads are recomputed from scratch for the installed assignment, then
-// swapped in together with a clone of it. Away gateways stay away.
+// loads are recomputed from scratch for the installed assignment —
+// each user's own stream set is walked directly (O(pairs) instead of
+// the old range × users × Has scan) — then swapped in together with a
+// clone of it. Away gateways stay away.
 func (p *ThresholdPolicy) Reinstall(assn *mmd.Assignment) error {
 	serverCost := make([]float64, p.in.M())
 	userLoad := make([][]float64, p.in.NumUsers())
@@ -225,12 +286,12 @@ func (p *ThresholdPolicy) Reinstall(assn *mmd.Assignment) error {
 		for i, c := range p.in.Streams[s].Costs {
 			serverCost[i] += c
 		}
-		for u := 0; u < assn.NumUsers() && u < p.in.NumUsers(); u++ {
-			if !assn.Has(u, s) {
-				continue
-			}
-			for j := range p.in.Users[u].Capacities {
-				userLoad[u][j] += p.in.Users[u].Loads[j][s]
+	}
+	for u := 0; u < assn.NumUsers() && u < p.in.NumUsers(); u++ {
+		usr := &p.in.Users[u]
+		for _, s := range assn.UserStreams(u) {
+			for j := range usr.Capacities {
+				userLoad[u][j] += usr.Loads[j][s]
 			}
 		}
 	}
@@ -240,12 +301,41 @@ func (p *ThresholdPolicy) Reinstall(assn *mmd.Assignment) error {
 	return nil
 }
 
+// deliveryLists inverts a precomputed assignment into per-stream
+// delivery lists: deliver[s] holds the users assigned stream s in
+// increasing index order. Reveal-style policies (oracle, static greedy)
+// serve arrivals from these lists in O(|deliver[s]|) instead of an
+// O(|U|) Has scan per event. The lists share no memory with assn.
+func deliveryLists(assn *mmd.Assignment) [][]int {
+	n := 0
+	if r := assn.Range(); len(r) > 0 {
+		n = r[len(r)-1] + 1
+	}
+	deliver := make([][]int, n)
+	for u := 0; u < assn.NumUsers(); u++ {
+		for _, s := range assn.UserStreams(u) {
+			deliver[s] = append(deliver[s], u)
+		}
+	}
+	return deliver
+}
+
+// deliverFrom returns the delivery list for stream s (nil when s is
+// outside the precomputed lineup).
+func deliverFrom(deliver [][]int, s int) []int {
+	if s < 0 || s >= len(deliver) {
+		return nil
+	}
+	return deliver[s]
+}
+
 // OraclePolicy solves the whole instance offline with the Theorem 1.1
 // pipeline and reveals the precomputed assignment as streams arrive —
 // the natural upper reference for online policies.
 type OraclePolicy struct {
-	name string
-	assn *mmd.Assignment
+	name    string
+	assn    *mmd.Assignment
+	deliver [][]int
 }
 
 var _ Policy = (*OraclePolicy)(nil)
@@ -256,21 +346,16 @@ func NewOraclePolicy(in *mmd.Instance, opts core.Options) (*OraclePolicy, error)
 	if err != nil {
 		return nil, fmt.Errorf("headend: oracle policy: %w", err)
 	}
-	return &OraclePolicy{name: "offline-oracle", assn: a}, nil
+	return &OraclePolicy{name: "offline-oracle", assn: a, deliver: deliveryLists(a)}, nil
 }
 
 // Name implements Policy.
 func (p *OraclePolicy) Name() string { return p.name }
 
-// OnStreamArrival implements Policy.
+// OnStreamArrival implements Policy. The returned slice is shared
+// between calls for the same stream; callers must not mutate it.
 func (p *OraclePolicy) OnStreamArrival(s int) []int {
-	var users []int
-	for u := 0; u < p.assn.NumUsers(); u++ {
-		if p.assn.Has(u, s) {
-			users = append(users, u)
-		}
-	}
-	return users
+	return deliverFrom(p.deliver, s)
 }
 
 // Assignment returns the precomputed assignment.
@@ -281,6 +366,7 @@ func (p *OraclePolicy) Assignment() *mmd.Assignment { return p.assn }
 // offline precomputation.
 func (p *OraclePolicy) Reinstall(assn *mmd.Assignment) error {
 	p.assn = assn.Clone()
+	p.deliver = deliveryLists(p.assn)
 	return nil
 }
 
@@ -288,7 +374,8 @@ func (p *OraclePolicy) Reinstall(assn *mmd.Assignment) error {
 // as an arrival policy (it pre-ranks using full knowledge, making it a
 // strong-ish baseline despite ignoring residual utilities).
 type StaticGreedyPolicy struct {
-	assn *mmd.Assignment
+	assn    *mmd.Assignment
+	deliver [][]int
 }
 
 var _ Policy = (*StaticGreedyPolicy)(nil)
@@ -299,7 +386,7 @@ func NewStaticGreedyPolicy(in *mmd.Instance) (*StaticGreedyPolicy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("headend: static greedy policy: %w", err)
 	}
-	return &StaticGreedyPolicy{assn: a}, nil
+	return &StaticGreedyPolicy{assn: a, deliver: deliveryLists(a)}, nil
 }
 
 // Name implements Policy.
@@ -308,18 +395,14 @@ func (p *StaticGreedyPolicy) Name() string { return "static-greedy" }
 // Reinstall implements ReinstallablePolicy (see OraclePolicy.Reinstall).
 func (p *StaticGreedyPolicy) Reinstall(assn *mmd.Assignment) error {
 	p.assn = assn.Clone()
+	p.deliver = deliveryLists(p.assn)
 	return nil
 }
 
-// OnStreamArrival implements Policy.
+// OnStreamArrival implements Policy. The returned slice is shared
+// between calls for the same stream; callers must not mutate it.
 func (p *StaticGreedyPolicy) OnStreamArrival(s int) []int {
-	var users []int
-	for u := 0; u < p.assn.NumUsers(); u++ {
-		if p.assn.Has(u, s) {
-			users = append(users, u)
-		}
-	}
-	return users
+	return deliverFrom(p.deliver, s)
 }
 
 // NewPolicyByName builds a named admission policy for an instance:

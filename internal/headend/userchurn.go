@@ -38,6 +38,9 @@ func (p *OnlinePolicy) OnUserLeave(u int) {
 	_, _ = p.allocator.ReleaseUser(u)
 	for _, s := range p.assn.UserStreams(u) {
 		p.assn.Remove(u, s)
+		if p.ledger != nil {
+			p.ledger.Remove(u, s)
+		}
 	}
 }
 

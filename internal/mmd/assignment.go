@@ -9,86 +9,126 @@ import (
 // union of all per-user sets (the range S(A)). An Assignment is tied to
 // the stream/user indexing of the instance it was created for.
 //
+// Internally every per-user set and the range are maintained as sorted
+// int slices, so the read paths (UserStreams, Range, the value methods,
+// Equal, Clone) walk memory in increasing stream order without hashing,
+// re-sorting, or allocating — the representation the serving hot path
+// leans on (see LoadLedger). Add and Remove are O(log k) to locate plus
+// O(k) to shift within the touched set; per-user sets are small in every
+// workload here, so the shift is cache-friendly and beats the old
+// map-of-sets on both time and allocations.
+//
+// Stream indices must be nonnegative; Add ignores negative indices.
 // Assignment is not safe for concurrent mutation.
 type Assignment struct {
-	// sets[u] holds the stream indices assigned to user u.
-	sets []map[int]struct{}
-	// rangeCount[s] counts how many users hold stream s; a stream is in
-	// the range while its count is positive.
-	rangeCount map[int]int
+	// sets[u] holds the stream indices assigned to user u, sorted
+	// ascending.
+	sets [][]int
+	// rangeCount[s] counts how many users hold stream s (grown on
+	// demand); a stream is in the range while its count is positive.
+	rangeCount []int
+	// rangeList is S(A): the streams with a positive count, sorted
+	// ascending.
+	rangeList []int
 }
 
 // NewAssignment returns an empty assignment for an instance with
 // numUsers users.
 func NewAssignment(numUsers int) *Assignment {
-	sets := make([]map[int]struct{}, numUsers)
-	for u := range sets {
-		sets[u] = make(map[int]struct{})
+	return &Assignment{sets: make([][]int, numUsers)}
+}
+
+// insertSorted inserts v into the ascending slice if absent. It returns
+// the slice and whether v was inserted.
+func insertSorted(sorted []int, v int) ([]int, bool) {
+	i := sort.SearchInts(sorted, v)
+	if i < len(sorted) && sorted[i] == v {
+		return sorted, false
 	}
-	return &Assignment{sets: sets, rangeCount: make(map[int]int)}
+	sorted = append(sorted, 0)
+	copy(sorted[i+1:], sorted[i:])
+	sorted[i] = v
+	return sorted, true
+}
+
+// removeSorted deletes v from the ascending slice if present. It returns
+// the slice and whether v was removed.
+func removeSorted(sorted []int, v int) ([]int, bool) {
+	i := sort.SearchInts(sorted, v)
+	if i >= len(sorted) || sorted[i] != v {
+		return sorted, false
+	}
+	return append(sorted[:i], sorted[i+1:]...), true
 }
 
 // NumUsers returns the number of users the assignment was created for.
 func (a *Assignment) NumUsers() int { return len(a.sets) }
 
 // Add assigns stream s to user u. Adding an already-assigned pair is a
-// no-op.
+// no-op, as is a negative stream index.
 func (a *Assignment) Add(u, s int) {
-	if _, ok := a.sets[u][s]; ok {
+	if s < 0 {
 		return
 	}
-	a.sets[u][s] = struct{}{}
-	a.rangeCount[s]++
+	set, inserted := insertSorted(a.sets[u], s)
+	if !inserted {
+		return
+	}
+	a.sets[u] = set
+	if s >= len(a.rangeCount) {
+		// append-grow so ascending insertion (the common solver order)
+		// amortizes instead of reallocating on every new maximum.
+		a.rangeCount = append(a.rangeCount, make([]int, s+1-len(a.rangeCount))...)
+	}
+	if a.rangeCount[s]++; a.rangeCount[s] == 1 {
+		a.rangeList, _ = insertSorted(a.rangeList, s)
+	}
 }
 
 // Remove unassigns stream s from user u. Removing an absent pair is a
 // no-op.
 func (a *Assignment) Remove(u, s int) {
-	if _, ok := a.sets[u][s]; !ok {
+	set, removed := removeSorted(a.sets[u], s)
+	if !removed {
 		return
 	}
-	delete(a.sets[u], s)
+	a.sets[u] = set
 	if a.rangeCount[s]--; a.rangeCount[s] == 0 {
-		delete(a.rangeCount, s)
+		a.rangeList, _ = removeSorted(a.rangeList, s)
 	}
 }
 
 // Has reports whether stream s is assigned to user u.
 func (a *Assignment) Has(u, s int) bool {
-	_, ok := a.sets[u][s]
-	return ok
+	set := a.sets[u]
+	i := sort.SearchInts(set, s)
+	return i < len(set) && set[i] == s
 }
 
 // UserStreams returns the streams assigned to user u in increasing index
-// order. The returned slice is owned by the caller.
+// order. The returned slice is owned by the caller (one allocation, no
+// sort — the set is kept sorted).
 func (a *Assignment) UserStreams(u int) []int {
-	out := make([]int, 0, len(a.sets[u]))
-	for s := range a.sets[u] {
-		out = append(out, s)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), a.sets[u]...)
 }
 
 // UserCount returns |A(u)|.
 func (a *Assignment) UserCount(u int) int { return len(a.sets[u]) }
 
 // Range returns S(A), the set of streams assigned to at least one user,
-// in increasing index order. The returned slice is owned by the caller.
+// in increasing index order. The returned slice is owned by the caller
+// (one allocation, no sort).
 func (a *Assignment) Range() []int {
-	out := make([]int, 0, len(a.rangeCount))
-	for s := range a.rangeCount {
-		out = append(out, s)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), a.rangeList...)
 }
 
 // InRange reports whether stream s is assigned to at least one user.
-func (a *Assignment) InRange(s int) bool { return a.rangeCount[s] > 0 }
+func (a *Assignment) InRange(s int) bool {
+	return s >= 0 && s < len(a.rangeCount) && a.rangeCount[s] > 0
+}
 
 // RangeSize returns |S(A)|.
-func (a *Assignment) RangeSize() int { return len(a.rangeCount) }
+func (a *Assignment) RangeSize() int { return len(a.rangeList) }
 
 // Pairs returns the total number of assigned (user, stream) pairs.
 func (a *Assignment) Pairs() int {
@@ -101,14 +141,15 @@ func (a *Assignment) Pairs() int {
 
 // Clone returns a deep copy.
 func (a *Assignment) Clone() *Assignment {
-	out := NewAssignment(len(a.sets))
-	for u := range a.sets {
-		for s := range a.sets[u] {
-			out.sets[u][s] = struct{}{}
-		}
+	out := &Assignment{
+		sets:       make([][]int, len(a.sets)),
+		rangeCount: append([]int(nil), a.rangeCount...),
+		rangeList:  append([]int(nil), a.rangeList...),
 	}
-	for s, c := range a.rangeCount {
-		out.rangeCount[s] = c
+	for u := range a.sets {
+		if len(a.sets[u]) > 0 {
+			out.sets[u] = append([]int(nil), a.sets[u]...)
+		}
 	}
 	return out
 }
@@ -128,7 +169,7 @@ func (a *Assignment) Utility(in *Instance) float64 {
 func (a *Assignment) UserUtility(in *Instance, u int) float64 {
 	total := 0.0
 	usr := &in.Users[u]
-	for _, s := range a.UserStreams(u) {
+	for _, s := range a.sets[u] {
 		total += usr.Utility[s]
 	}
 	return total
@@ -137,7 +178,7 @@ func (a *Assignment) UserUtility(in *Instance, u int) float64 {
 // ServerCost returns c_i(A), the cost of the range of A in measure i.
 func (a *Assignment) ServerCost(in *Instance, i int) float64 {
 	total := 0.0
-	for _, s := range a.Range() {
+	for _, s := range a.rangeList {
 		total += in.Streams[s].Costs[i]
 	}
 	return total
@@ -148,7 +189,7 @@ func (a *Assignment) ServerCost(in *Instance, i int) float64 {
 func (a *Assignment) UserLoad(in *Instance, u, j int) float64 {
 	total := 0.0
 	loads := in.Users[u].Loads[j]
-	for _, s := range a.UserStreams(u) {
+	for _, s := range a.sets[u] {
 		total += loads[s]
 	}
 	return total
@@ -158,11 +199,17 @@ func (a *Assignment) UserLoad(in *Instance, u, j int) float64 {
 // false. It mutates the assignment in place and returns it.
 func (a *Assignment) Restrict(keep func(u, s int) bool) *Assignment {
 	for u := range a.sets {
-		for s := range a.sets[u] {
-			if !keep(u, s) {
-				a.Remove(u, s)
+		kept := a.sets[u][:0]
+		for _, s := range a.sets[u] {
+			if keep(u, s) {
+				kept = append(kept, s)
+				continue
+			}
+			if a.rangeCount[s]--; a.rangeCount[s] == 0 {
+				a.rangeList, _ = removeSorted(a.rangeList, s)
 			}
 		}
+		a.sets[u] = kept
 	}
 	return a
 }
@@ -179,6 +226,13 @@ func (a *Assignment) RestrictToStreams(allowed map[int]struct{}) *Assignment {
 // feasibilityTolerance absorbs floating-point accumulation error when
 // comparing sums against budgets and capacities.
 const feasibilityTolerance = 1e-9
+
+// exceedsLimit is the single comparison shared by CheckFeasible and the
+// LoadLedger delta queries, so their accept/reject semantics cannot
+// drift apart.
+func exceedsLimit(total, limit float64) bool {
+	return total > limit*(1+feasibilityTolerance)+feasibilityTolerance
+}
 
 // FeasibilityError describes a violated constraint.
 type FeasibilityError struct {
@@ -209,10 +263,15 @@ func (e *FeasibilityError) Error() string {
 // budget and every user capacity of the instance, within a small
 // floating-point tolerance. It returns nil when feasible and a
 // *FeasibilityError describing the first violation otherwise.
+//
+// CheckFeasible is a full rescan — O(|S(A)|·m + Σ_u |A(u)|·m_c) — and is
+// retained as the reference the incremental LoadLedger is tested
+// against. Serving paths should answer the per-admission question with
+// LoadLedger.FitsDelta instead of calling this per candidate.
 func (a *Assignment) CheckFeasible(in *Instance) error {
 	for i := range in.Budgets {
 		cost := a.ServerCost(in, i)
-		if limit := in.Budgets[i]; cost > limit*(1+feasibilityTolerance)+feasibilityTolerance {
+		if limit := in.Budgets[i]; exceedsLimit(cost, limit) {
 			return &FeasibilityError{Server: true, Measure: i, Total: cost, Limit: limit}
 		}
 	}
@@ -220,7 +279,7 @@ func (a *Assignment) CheckFeasible(in *Instance) error {
 		usr := &in.Users[u]
 		for j := range usr.Capacities {
 			load := a.UserLoad(in, u, j)
-			if limit := usr.Capacities[j]; load > limit*(1+feasibilityTolerance)+feasibilityTolerance {
+			if limit := usr.Capacities[j]; exceedsLimit(load, limit) {
 				return &FeasibilityError{User: u, Measure: j, Total: load, Limit: limit}
 			}
 		}
@@ -234,11 +293,12 @@ func (a *Assignment) Equal(b *Assignment) bool {
 		return false
 	}
 	for u := range a.sets {
-		if len(a.sets[u]) != len(b.sets[u]) {
+		as, bs := a.sets[u], b.sets[u]
+		if len(as) != len(bs) {
 			return false
 		}
-		for s := range a.sets[u] {
-			if _, ok := b.sets[u][s]; !ok {
+		for i := range as {
+			if as[i] != bs[i] {
 				return false
 			}
 		}
@@ -249,5 +309,5 @@ func (a *Assignment) Equal(b *Assignment) bool {
 // String renders a compact human-readable description.
 func (a *Assignment) String() string {
 	return fmt.Sprintf("Assignment{users: %d, range: %d, pairs: %d}",
-		len(a.sets), len(a.rangeCount), a.Pairs())
+		len(a.sets), len(a.rangeList), a.Pairs())
 }

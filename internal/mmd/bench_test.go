@@ -28,10 +28,63 @@ func BenchmarkAssignmentAddRemove(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckFeasible compares the full-rescan feasibility check
+// (the retained reference) against the incremental ledger on the same
+// assignment: "rescan" re-verifies everything, "ledger/fitsdelta"
+// answers the per-admission question from maintained sums, and
+// "ledger/rebuild" is the make-before-break resync cost.
 func BenchmarkCheckFeasible(b *testing.B) {
 	in := benchInstance(b, 100, 20)
 	a := NewAssignment(in.NumUsers())
+	setup := NewLoadLedger(in)
 	rng := rand.New(rand.NewSource(8))
+	for u := 0; u < in.NumUsers(); u++ {
+		for s := 0; s < in.NumStreams(); s++ {
+			// Guarded fill: the assignment stays feasible, so the rescan
+			// sub-benchmark measures a full verification pass rather than
+			// an early-exit on the first violation.
+			if rng.Float64() < 0.2 && setup.FitsDelta(u, s) {
+				setup.Add(u, s)
+				a.Add(u, s)
+			}
+		}
+	}
+	if err := a.CheckFeasible(in); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rescan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.CheckFeasible(in)
+		}
+	})
+	b.Run("ledger/fitsdelta", func(b *testing.B) {
+		l := NewLoadLedger(in)
+		l.Rebuild(a)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = l.FitsDelta(i%in.NumUsers(), i%in.NumStreams())
+		}
+	})
+	b.Run("ledger/rebuild", func(b *testing.B) {
+		l := NewLoadLedger(in)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Rebuild(a)
+		}
+	})
+}
+
+// BenchmarkAssignmentReads covers the hot read surface the serving path
+// leans on; with the sorted-slice representation every sub-benchmark is
+// a straight walk (UserStreams/Range are the single-alloc copies, the
+// value methods are allocation-free).
+func BenchmarkAssignmentReads(b *testing.B) {
+	in := benchInstance(b, 100, 20)
+	a := NewAssignment(in.NumUsers())
+	rng := rand.New(rand.NewSource(9))
 	for u := 0; u < in.NumUsers(); u++ {
 		for s := 0; s < in.NumStreams(); s++ {
 			if rng.Float64() < 0.2 {
@@ -39,11 +92,36 @@ func BenchmarkCheckFeasible(b *testing.B) {
 			}
 		}
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = a.CheckFeasible(in)
-	}
+	b.Run("Range", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Range()
+		}
+	})
+	b.Run("UserStreams", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.UserStreams(i % in.NumUsers())
+		}
+	})
+	b.Run("Utility", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Utility(in)
+		}
+	})
+	b.Run("ServerCost", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.ServerCost(in, 0)
+		}
+	})
+	b.Run("Has", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Has(i%in.NumUsers(), i%in.NumStreams())
+		}
+	})
 }
 
 func BenchmarkUtility(b *testing.B) {

@@ -1,0 +1,179 @@
+package mmd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestLedgerRebuildBitIdentical: Rebuild sums in increasing stream
+// order, exactly like the Assignment value methods, so the maintained
+// totals must equal the rescan totals bit-for-bit — the property the
+// make-before-break Reinstall paths rely on.
+func TestLedgerRebuildBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(20), 1+rng.Intn(8))
+		a := NewAssignment(in.NumUsers())
+		for u := 0; u < in.NumUsers(); u++ {
+			for s := 0; s < in.NumStreams(); s++ {
+				if rng.Float64() < 0.3 {
+					a.Add(u, s)
+				}
+			}
+		}
+		l := NewLoadLedger(in)
+		l.Rebuild(a)
+		for i := 0; i < in.M(); i++ {
+			if got, want := l.ServerCost(i), a.ServerCost(in, i); got != want {
+				t.Fatalf("trial %d: ServerCost(%d) = %v, want %v (bit-identical)", trial, i, got, want)
+			}
+		}
+		for u := 0; u < in.NumUsers(); u++ {
+			for j := range in.Users[u].Capacities {
+				if got, want := l.UserLoad(u, j), a.UserLoad(in, u, j); got != want {
+					t.Fatalf("trial %d: UserLoad(%d,%d) = %v, want %v", trial, u, j, got, want)
+				}
+			}
+		}
+		for s := 0; s < in.NumStreams(); s++ {
+			holders := 0
+			for u := 0; u < in.NumUsers(); u++ {
+				if a.Has(u, s) {
+					holders++
+				}
+			}
+			if l.Holders(s) != holders {
+				t.Fatalf("trial %d: Holders(%d) = %d, want %d", trial, s, l.Holders(s), holders)
+			}
+		}
+	}
+}
+
+// TestLedgerMatchesCheckFeasible is the differential test the tentpole
+// hinges on: over long random mutation sequences where every admission
+// is decided by the retained reference (trial Add + full CheckFeasible
+// rescan), the incremental ledger must agree with the reference on
+// every single candidate, and its maintained totals must track the
+// rescan totals.
+func TestLedgerMatchesCheckFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 3+rng.Intn(15), 1+rng.Intn(6))
+		a := NewAssignment(in.NumUsers())
+		l := NewLoadLedger(in)
+		for step := 0; step < 300; step++ {
+			u := rng.Intn(in.NumUsers())
+			s := rng.Intn(in.NumStreams())
+			if a.Has(u, s) {
+				a.Remove(u, s)
+				l.Remove(u, s)
+				continue
+			}
+			// Reference decision: trial Add, full rescan, roll back.
+			a.Add(u, s)
+			refFits := a.CheckFeasible(in) == nil
+			a.Remove(u, s)
+			if got := l.FitsDelta(u, s); got != refFits {
+				t.Fatalf("trial %d step %d: FitsDelta(%d,%d) = %v, reference rescan = %v",
+					trial, step, u, s, got, refFits)
+			}
+			if refFits {
+				a.Add(u, s)
+				l.Add(u, s)
+			}
+		}
+		// The guarded invariant held throughout, so the final state is
+		// feasible by the reference's account too.
+		if err := a.CheckFeasible(in); err != nil {
+			t.Fatalf("trial %d: final assignment infeasible: %v", trial, err)
+		}
+		const tol = 1e-9
+		for i := 0; i < in.M(); i++ {
+			if diff := l.ServerCost(i) - a.ServerCost(in, i); diff > tol || diff < -tol {
+				t.Fatalf("trial %d: ServerCost(%d) drifted by %v", trial, i, diff)
+			}
+		}
+		for u := 0; u < in.NumUsers(); u++ {
+			for j := range in.Users[u].Capacities {
+				if diff := l.UserLoad(u, j) - a.UserLoad(in, u, j); diff > tol || diff < -tol {
+					t.Fatalf("trial %d: UserLoad(%d,%d) drifted by %v", trial, u, j, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestLedgerAddRemoveRoundTrip: removing everything returns the ledger
+// to (clamped) zero.
+func TestLedgerAddRemoveRoundTrip(t *testing.T) {
+	in := twoStreamInstance()
+	l := NewLoadLedger(in)
+	pairs := [][2]int{{0, 0}, {0, 1}, {1, 1}}
+	for _, p := range pairs {
+		l.Add(p[0], p[1])
+	}
+	if l.Holders(1) != 2 || l.Holders(0) != 1 {
+		t.Fatalf("holders = %d,%d, want 1,2", l.Holders(0), l.Holders(1))
+	}
+	if got := l.ServerCost(0); got != 5 {
+		t.Fatalf("ServerCost(0) = %v, want 5", got)
+	}
+	for _, p := range pairs {
+		l.Remove(p[0], p[1])
+	}
+	for i := 0; i < in.M(); i++ {
+		if l.ServerCost(i) != 0 {
+			t.Fatalf("ServerCost(%d) = %v after full removal", i, l.ServerCost(i))
+		}
+	}
+	for u := 0; u < in.NumUsers(); u++ {
+		for j := range in.Users[u].Capacities {
+			if l.UserLoad(u, j) != 0 {
+				t.Fatalf("UserLoad(%d,%d) = %v after full removal", u, j, l.UserLoad(u, j))
+			}
+		}
+	}
+}
+
+// TestLedgerCanAdmitDiagnosis: CanAdmit reports the violated constraint
+// with the same shape CheckFeasible would.
+func TestLedgerCanAdmitDiagnosis(t *testing.T) {
+	in := twoStreamInstance()
+	l := NewLoadLedger(in)
+	l.Add(0, 0) // server costs now {2, 1}; user 0 load 1
+
+	// Stream 1 costs {3, 2}: measure 1 would reach 3 = budget (fits),
+	// measure 0 would reach 5 = budget (fits) — user 1 fits too.
+	if err := l.CanAdmit(1, 1); err != nil {
+		t.Fatalf("CanAdmit(1,1) = %v, want nil", err)
+	}
+
+	// Shrink budget 0 so stream 1 no longer fits the server.
+	in.Budgets[0] = 4
+	err := l.CanAdmit(1, 1)
+	var fe *FeasibilityError
+	if !errors.As(err, &fe) || !fe.Server || fe.Measure != 0 {
+		t.Fatalf("CanAdmit(1,1) = %v, want server measure 0 violation", err)
+	}
+	in.Budgets[0] = 5
+
+	// User 0 holds load 1 of capacity 3; stream 1 loads 2 → exactly 3,
+	// fits. Shrink the capacity: now it must report user 0 measure 0.
+	in.Users[0].Capacities[0] = 2.5
+	err = l.CanAdmit(0, 1)
+	if !errors.As(err, &fe) || fe.Server || fe.User != 0 || fe.Measure != 0 {
+		t.Fatalf("CanAdmit(0,1) = %v, want user 0 measure 0 violation", err)
+	}
+}
+
+// TestAssignmentNegativeAddIgnored: negative stream indices are ignored
+// by Add (the sorted-slice representation indexes by stream).
+func TestAssignmentNegativeAddIgnored(t *testing.T) {
+	a := NewAssignment(1)
+	a.Add(0, -3)
+	if a.Pairs() != 0 || a.RangeSize() != 0 || a.Has(0, -3) || a.InRange(-3) {
+		t.Fatalf("negative Add leaked state: %v", a)
+	}
+	a.Remove(0, -3) // no-op, must not panic
+}

@@ -275,6 +275,22 @@ func (in *Instance) AddUtilityCapMeasure(caps []float64) error {
 	return nil
 }
 
+// InterestedUsers inverts the demand graph: out[s] lists the users with
+// positive utility for stream s in increasing index order — the
+// delivery candidate list an arrival-driven policy walks instead of
+// scanning all users per event.
+func (in *Instance) InterestedUsers() [][]int {
+	out := make([][]int, len(in.Streams))
+	for u := range in.Users {
+		for s, w := range in.Users[u].Utility {
+			if w > 0 {
+				out[s] = append(out[s], u)
+			}
+		}
+	}
+	return out
+}
+
 // SupportSize returns the number of (user, stream) pairs with positive
 // utility — the edge count of the bipartite demand graph.
 func (in *Instance) SupportSize() int {

@@ -97,18 +97,25 @@ func (al *Allocator) ReleaseUser(u int) (pruned int, err error) {
 // or streams outside the instance are skipped.
 func (al *Allocator) Install(a *mmd.Assignment) {
 	numUsers := al.in.NumUsers()
-	for _, s := range a.Range() {
-		if s < 0 || s >= al.in.NumStreams() {
-			continue
-		}
-		var users []int
-		for u := 0; u < a.NumUsers() && u < numUsers; u++ {
-			if a.Has(u, s) && !al.assn.Has(u, s) {
-				users = append(users, u)
+	nS := al.in.NumStreams()
+	// Invert the assignment once — O(pairs) instead of an O(|S(A)|·|U|)
+	// Has scan — then commit in increasing stream order with users in
+	// increasing index order, the exact order the scan produced, so the
+	// allocator's accumulated state is unchanged bit for bit.
+	users := make([][]int, nS)
+	for u := 0; u < a.NumUsers() && u < numUsers; u++ {
+		for _, s := range a.UserStreams(u) {
+			if s >= 0 && s < nS && !al.assn.Has(u, s) {
+				users[s] = append(users[s], u)
 			}
 		}
-		if len(users) > 0 {
-			al.commit(s, users)
+	}
+	for _, s := range a.Range() {
+		if s < 0 || s >= nS {
+			continue
+		}
+		if len(users[s]) > 0 {
+			al.commit(s, users[s])
 		}
 	}
 }

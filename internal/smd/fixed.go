@@ -94,8 +94,15 @@ func pickBest(in *Instance, candidates ...*Assignment) (*Assignment, float64) {
 // assignment by taking the best of A1, A2, and AMax (Theorem 2.8). The
 // result is a 3e/(e-1) ≈ 4.746 approximation; SemiBestValue additionally
 // carries the 2e/(e-1) semi-feasible guarantee of Lemma 2.6.
+//
+// The greedy phase runs through LazyGreedy (CELF lazy evaluation): it
+// selects the identical stream sequence as the eager O(|S|²) scan —
+// submodularity makes stale residuals valid upper bounds and the
+// tie-breaking matches, see lazy.go — but only refreshes the heap top.
+// TestFixedGreedyLazySelectionEquivalence enforces the equivalence on
+// randomized instances.
 func FixedGreedy(in *Instance) (*FixedResult, error) {
-	res, err := Greedy(in)
+	res, err := LazyGreedy(in)
 	if err != nil {
 		return nil, err
 	}

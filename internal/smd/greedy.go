@@ -24,6 +24,10 @@ type Result struct {
 	AugmentedValue float64
 	// Iterations counts streams considered (= |S| for a full run).
 	Iterations int
+	// Order lists the selected streams in selection order. Greedy and
+	// LazyGreedy must produce identical sequences (same argmax rule,
+	// same tie-breaks); the equivalence tests assert it.
+	Order []int
 }
 
 // greedyEngine runs Algorithm 1 with incremental residual-utility
@@ -40,6 +44,7 @@ type greedyEngine struct {
 	last    []int     // last stream assigned to each user
 
 	assn      *Assignment
+	order     []int
 	cost      float64
 	value     float64
 	augmented float64
@@ -98,6 +103,7 @@ func (e *greedyEngine) betterEffectiveness(a, b int) bool {
 // the residual utilities of the remaining streams incrementally.
 func (e *greedyEngine) assign(s int) {
 	e.done[s] = true
+	e.order = append(e.order, s)
 	e.cost += e.in.Costs[s]
 	e.value += e.resid[s]
 	e.resid[s] = 0
@@ -166,6 +172,7 @@ func (e *greedyEngine) run(seed []int) *Result {
 		LastAssigned:   e.last,
 		AugmentedValue: e.augmented,
 		Iterations:     e.iters,
+		Order:          e.order,
 	}
 }
 

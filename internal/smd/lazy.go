@@ -78,6 +78,7 @@ func LazyGreedy(in *Instance) (*Result, error) {
 		LastAssigned:   e.last,
 		AugmentedValue: e.augmented,
 		Iterations:     e.iters,
+		Order:          e.order,
 	}, nil
 }
 

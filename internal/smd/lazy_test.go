@@ -98,6 +98,71 @@ func TestLazyGreedyEmpty(t *testing.T) {
 	}
 }
 
+// TestFixedGreedyLazySelectionEquivalence enforces the property
+// FixedGreedy's wiring relies on (its greedy phase now runs through
+// LazyGreedy): on randomized instances the lazy and eager engines make
+// the identical selection sequence — not merely the same final set —
+// with identical values and last-assigned bookkeeping, so the full
+// Theorem 2.8 fix-up (A1/A2/AMax) is unchanged by the swap.
+func TestFixedGreedyLazySelectionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	for trial := 0; trial < 60; trial++ {
+		in := randomSMDInstance(rng, 2+rng.Intn(25), 1+rng.Intn(8))
+		eager, err := Greedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := LazyGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eager.Order) != len(lazy.Order) {
+			t.Fatalf("trial %d: selection sequences %v vs %v", trial, eager.Order, lazy.Order)
+		}
+		for i := range eager.Order {
+			if eager.Order[i] != lazy.Order[i] {
+				t.Fatalf("trial %d: selection sequences diverge at %d: %v vs %v",
+					trial, i, eager.Order, lazy.Order)
+			}
+		}
+		if eager.SemiValue != lazy.SemiValue || eager.AugmentedValue != lazy.AugmentedValue {
+			t.Fatalf("trial %d: values diverged: %v/%v vs %v/%v", trial,
+				eager.SemiValue, eager.AugmentedValue, lazy.SemiValue, lazy.AugmentedValue)
+		}
+		for u := range eager.LastAssigned {
+			if eager.LastAssigned[u] != lazy.LastAssigned[u] {
+				t.Fatalf("trial %d: LastAssigned[%d] = %d vs %d", trial, u,
+					eager.LastAssigned[u], lazy.LastAssigned[u])
+			}
+		}
+
+		// The repaired result must therefore also be identical to one
+		// built from the eager engine's output.
+		fixed, err := FixedGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, a2 := splitCandidates(in, eager)
+		amax, _ := bestSingleStream(in)
+		best, bestVal := pickBest(in, a1, a2, amax)
+		if fixed.BestValue != bestVal {
+			t.Fatalf("trial %d: FixedGreedy value diverged from eager-built fix-up: %v vs %v",
+				trial, fixed.BestValue, bestVal)
+		}
+		for u := 0; u < in.NumUsers(); u++ {
+			got, want := fixed.Best.UserStreams(u), best.UserStreams(u)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d user %d: fixed %v, eager-built %v", trial, u, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d user %d: fixed %v, eager-built %v", trial, u, got, want)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkLazyVsEagerGreedy(b *testing.B) {
 	in := benchInstance(b, 400, 50)
 	b.Run("eager", func(b *testing.B) {

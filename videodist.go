@@ -64,9 +64,22 @@ type (
 	Stream = mmd.Stream
 	// User is one client with utilities, loads, and capacities.
 	User = mmd.User
-	// Assignment maps users to stream sets.
+	// Assignment maps users to stream sets. Internally it maintains
+	// sorted per-user stream slices and a sorted range, so the read
+	// paths (UserStreams, Range, Utility, ServerCost) are allocation-
+	// free or single-alloc and never re-sort.
 	Assignment = mmd.Assignment
+	// LoadLedger incrementally maintains an assignment's server costs
+	// and per-user loads, answering the guarded-admission question in
+	// O(measures) per candidate (FitsDelta/CanAdmit) instead of a full
+	// CheckFeasible rescan — the serving hot path's feasibility oracle.
+	LoadLedger = mmd.LoadLedger
 )
+
+// NewLoadLedger returns an empty ledger for the instance; mirror every
+// Assignment mutation into it (or Rebuild from the assignment) and ask
+// FitsDelta before admitting.
+func NewLoadLedger(in *Instance) *LoadLedger { return mmd.NewLoadLedger(in) }
 
 // Solver configuration and reporting.
 type (
