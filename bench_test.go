@@ -434,6 +434,28 @@ func BenchmarkClusterSharded(b *testing.B) { benchkit.ClusterWorkload(b, 8) }
 // so this is also the no-coalescing bound of the batching design.
 func BenchmarkClusterAck(b *testing.B) { benchkit.ClusterAck(b) }
 
+// BenchmarkCatalogAdmission sweeps the serving API v3 admission fast
+// path — the scaled feasibility guard (FitsDeltaScaled/AddScaled) the
+// fleet catalog prices discounted admissions with. isolated is scale 1
+// (bit-identical decisions to the PR 3 ledger guard), shared the
+// SharedOrigin replication fraction. Both sub-benchmarks must report 0
+// allocs/op: the discount adds one float multiply to the delta query,
+// never an allocation.
+func BenchmarkCatalogAdmission(b *testing.B) {
+	b.Run("isolated", func(b *testing.B) { benchkit.CatalogAdmissionLedger(b, 1) })
+	b.Run("shared", func(b *testing.B) { benchkit.CatalogAdmissionLedger(b, 0.25) })
+}
+
+// BenchmarkClusterCatalog drives the 8-tenant fleet entirely through
+// fleet-identified admission (OfferCatalogStream/DepartCatalogStream):
+// every admission runs the catalog's acquire/admit/commit protocol
+// across the registry owner and the shard worker. Compare against
+// BenchmarkClusterAck for the per-event cost of fleet identity.
+func BenchmarkClusterCatalog(b *testing.B) {
+	b.Run("isolated", func(b *testing.B) { benchkit.ClusterCatalog(b, false) })
+	b.Run("shared", func(b *testing.B) { benchkit.ClusterCatalog(b, true) })
+}
+
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.
 func BenchmarkExperimentSuite(b *testing.B) {

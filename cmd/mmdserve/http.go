@@ -10,15 +10,15 @@ import (
 	videodist "repro"
 )
 
-// The HTTP front end is a thin JSON codec over the serving API v2: one
-// event per POST, decoded into the typed per-operation call, with the
-// typed result marshaled straight back. No state lives in the handler
-// — the cluster session is the whole contract.
+// The HTTP front end is a thin JSON codec over the serving API v2/v3:
+// events decoded into the typed per-operation calls, with the typed
+// results marshaled straight back. No state lives in the handler — the
+// cluster session is the whole contract.
 
 // eventRequest is the wire form of one tenant event.
 type eventRequest struct {
 	// Type selects the operation: "offer", "depart", "leave", "join",
-	// or "resolve".
+	// "resolve", "catalog-offer", or "catalog-depart".
 	Type string `json:"type"`
 	// Stream is the stream index (offer, depart).
 	Stream int `json:"stream,omitempty"`
@@ -26,16 +26,22 @@ type eventRequest struct {
 	User int `json:"user,omitempty"`
 	// Install asks a resolve to install the offline assignment.
 	Install bool `json:"install,omitempty"`
+	// CatalogID is the fleet-wide stream identity (catalog-offer,
+	// catalog-depart).
+	CatalogID string `json:"catalog_id,omitempty"`
 }
 
 // eventResponse is the wire form of a typed result; exactly the field
-// matching the request type is set.
+// matching the request type is set. Error carries a per-event failure
+// inside a batch response (the batch itself still succeeds).
 type eventResponse struct {
 	Type    string                   `json:"type"`
 	Offer   *videodist.OfferResult   `json:"offer,omitempty"`
 	Depart  *videodist.DepartResult  `json:"depart,omitempty"`
 	Churn   *videodist.ChurnResult   `json:"churn,omitempty"`
 	Resolve *videodist.ResolveResult `json:"resolve,omitempty"`
+	Catalog *videodist.CatalogResult `json:"catalog,omitempty"`
+	Error   string                   `json:"error,omitempty"`
 }
 
 // errorResponse is the wire form of a failure.
@@ -46,14 +52,22 @@ type errorResponse struct {
 // newHandler returns the HTTP/JSON ingestion front end over a cluster:
 //
 //	POST /v1/tenants/{id}/events
+//	POST /v1/tenants/{id}/events:batch
 //	GET  /v1/fleet/snapshot
+//	GET  /v1/catalog
 func newHandler(c *videodist.Cluster) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tenants/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvent(c, w, r)
 	})
+	mux.HandleFunc("POST /v1/tenants/{id}/events:batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(c, w, r)
+	})
 	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		handleSnapshot(c, w)
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		handleCatalog(c, w)
 	})
 	return mux
 }
@@ -107,11 +121,107 @@ func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Resolve = &res
+	case "catalog-offer":
+		res, err := c.OfferCatalogStream(ctx, tenant, videodist.CatalogID(req.CatalogID))
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Catalog = &res
+	case "catalog-depart":
+		res, err := c.DepartCatalogStream(ctx, tenant, videodist.CatalogID(req.CatalogID))
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Catalog = &res
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown event type %q", req.Type))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchEventTypes maps the wire names accepted by the batch endpoint to
+// routed event types. Catalog events are orchestrated across the
+// registry and the shard and cannot ride in a single shard message.
+var batchEventTypes = map[string]videodist.ClusterEvent{
+	"offer":   {Type: videodist.ClusterStreamArrival},
+	"depart":  {Type: videodist.ClusterStreamDeparture},
+	"leave":   {Type: videodist.ClusterUserLeave},
+	"join":    {Type: videodist.ClusterUserJoin},
+	"resolve": {Type: videodist.ClusterResolve},
+}
+
+// handleBatch applies a JSON array of events as one Cluster.ApplyBatch
+// call: the whole sequence crosses the tenant's shard queue as a single
+// message, so remote callers get the same arrival coalescing the
+// RunWorkload replay path enjoys. The response is one eventResponse per
+// event, positionally.
+func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	tenant, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
+		return
+	}
+	var reqs []eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	events := make([]videodist.ClusterEvent, len(reqs))
+	for i, req := range reqs {
+		ev, ok := batchEventTypes[req.Type]
+		if !ok {
+			if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
+				writeError(w, http.StatusBadRequest, fmt.Errorf(
+					"batch event %d: catalog events cannot ride in a batch; use POST /v1/tenants/{id}/events", i))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: unknown event type %q", i, req.Type))
+			return
+		}
+		ev.Stream, ev.User, ev.Install = req.Stream, req.User, req.Install
+		events[i] = ev
+	}
+	results, err := c.ApplyBatch(r.Context(), tenant, events)
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	resps := make([]eventResponse, len(results))
+	for i, res := range results {
+		resps[i] = eventResponse{Type: reqs[i].Type}
+		switch res.Type {
+		case videodist.ClusterStreamArrival:
+			offer := res.Offer
+			resps[i].Offer = &offer
+		case videodist.ClusterStreamDeparture:
+			depart := res.Depart
+			resps[i].Depart = &depart
+		case videodist.ClusterUserLeave, videodist.ClusterUserJoin:
+			churn := res.Churn
+			resps[i].Churn = &churn
+		case videodist.ClusterResolve:
+			resolve := res.Resolve
+			resps[i].Resolve = &resolve
+		}
+		if res.Err != nil {
+			resps[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resps)
+}
+
+// handleCatalog serves the fleet catalog snapshot; 404 when the fleet
+// was built without a catalog.
+func handleCatalog(c *videodist.Cluster, w http.ResponseWriter) {
+	snap, err := c.CatalogSnapshot()
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func handleSnapshot(c *videodist.Cluster, w http.ResponseWriter) {
@@ -128,7 +238,9 @@ func handleSnapshot(c *videodist.Cluster, w http.ResponseWriter) {
 func writeTransportError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, videodist.ErrUnknownTenant):
+	case errors.Is(err, videodist.ErrUnknownTenant),
+		errors.Is(err, videodist.ErrNoCatalog),
+		errors.Is(err, videodist.ErrUnknownCatalogStream):
 		code = http.StatusNotFound
 	case errors.Is(err, videodist.ErrQueueFull):
 		code = http.StatusTooManyRequests

@@ -168,3 +168,202 @@ func TestHTTPErrorMapping(t *testing.T) {
 		t.Fatalf("closed cluster: status %d", code)
 	}
 }
+
+// TestHTTPBatchParity is the batched-ingestion acceptance check: one
+// POST to /v1/tenants/{id}/events:batch must yield exactly the same
+// positional results and final fleet state as N single posts of the
+// same events — while the whole batch crosses the shard queue as one
+// message (the server-side coalescing RunWorkload enjoys).
+func TestHTTPBatchParity(t *testing.T) {
+	cfg := defaultTestConfig()
+
+	single, err := buildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	batched, err := buildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	singleTS := httptest.NewServer(newHandler(single))
+	defer singleTS.Close()
+	batchTS := httptest.NewServer(newHandler(batched))
+	defer batchTS.Close()
+
+	var events []eventRequest
+	for s := 0; s < cfg.channels; s++ {
+		events = append(events, eventRequest{Type: "offer", Stream: s})
+	}
+	events = append(events,
+		eventRequest{Type: "depart", Stream: 2},
+		eventRequest{Type: "leave", User: 1},
+		eventRequest{Type: "offer", Stream: 2},
+		eventRequest{Type: "join", User: 1},
+		eventRequest{Type: "resolve"},
+	)
+
+	// Reference: N single posts.
+	var want []eventResponse
+	for _, ev := range events {
+		var resp eventResponse
+		if code := postEvent(t, singleTS, 0, ev, &resp); code != http.StatusOK {
+			t.Fatalf("single %+v: status %d", ev, code)
+		}
+		want = append(want, resp)
+	}
+
+	// One batch post.
+	body, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(batchTS.URL+"/v1/tenants/0/events:batch", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	var got []eventResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("event %d: batch %+v vs single %+v", i, got[i], want[i])
+		}
+	}
+
+	// Final state parity plus the coalescing evidence: the batch fleet
+	// processed the same events in fewer, larger admission windows.
+	sfs, err := single.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := batched.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sfs.RenderTenants() != bfs.RenderTenants() {
+		t.Fatalf("tenant tables diverge:\n--- batch\n%s\n--- single\n%s",
+			bfs.RenderTenants(), sfs.RenderTenants())
+	}
+	singleBatches, batchBatches := 0, 0
+	for _, st := range sfs.ShardStats {
+		singleBatches += st.Batches
+	}
+	for _, st := range bfs.ShardStats {
+		batchBatches += st.Batches
+	}
+	if batchBatches >= singleBatches {
+		t.Fatalf("batch ingestion used %d admission windows, singles used %d — no coalescing",
+			batchBatches, singleBatches)
+	}
+
+	// Error paths: unknown type inside the batch, catalog ops rejected.
+	for _, bad := range []string{
+		`[{"type":"frobnicate"}]`,
+		`[{"type":"catalog-offer","catalog_id":"ch-000"}]`,
+		`{not json`,
+	} {
+		resp, err := http.Post(batchTS.URL+"/v1/tenants/0/events:batch", "application/json",
+			bytes.NewReader([]byte(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad batch %q: status %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPCatalog drives the catalog surface over the wire: shared
+// admissions with discounts, the /v1/catalog snapshot, and the 404
+// taxonomy (unknown id, catalog disabled).
+func TestHTTPCatalog(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.costModel = "shared"
+	cfg.shareFraction = 0.25
+	c, err := buildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ts := httptest.NewServer(newHandler(c))
+	defer ts.Close()
+
+	var first eventResponse
+	if code := postEvent(t, ts, 0, eventRequest{Type: "catalog-offer", CatalogID: "ch-003"}, &first); code != http.StatusOK {
+		t.Fatalf("catalog-offer: status %d", code)
+	}
+	if first.Catalog == nil || !first.Catalog.Admitted || first.Catalog.CostScale != 1 {
+		t.Fatalf("first catalog offer = %+v", first)
+	}
+	var second eventResponse
+	if code := postEvent(t, ts, 1, eventRequest{Type: "catalog-offer", CatalogID: "ch-003"}, &second); code != http.StatusOK {
+		t.Fatalf("second catalog-offer: status %d", code)
+	}
+	if second.Catalog == nil || !second.Catalog.Admitted ||
+		second.Catalog.CostScale != 0.25 || second.Catalog.Refs != 2 {
+		t.Fatalf("second catalog offer = %+v", second.Catalog)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("catalog snapshot: status %d", resp.StatusCode)
+	}
+	var snap videodist.CatalogSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model != "shared-origin" || snap.ActiveShared != 1 || snap.OriginSavings <= 0 {
+		t.Fatalf("catalog snapshot = %+v", snap)
+	}
+
+	var dep eventResponse
+	if code := postEvent(t, ts, 1, eventRequest{Type: "catalog-depart", CatalogID: "ch-003"}, &dep); code != http.StatusOK {
+		t.Fatalf("catalog-depart: status %d", code)
+	}
+	if dep.Catalog == nil || !dep.Catalog.Removed || dep.Catalog.Refs != 1 || dep.Catalog.Evicted {
+		t.Fatalf("catalog depart = %+v", dep.Catalog)
+	}
+
+	var e errorResponse
+	if code := postEvent(t, ts, 0, eventRequest{Type: "catalog-offer", CatalogID: "nope"}, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown catalog id: status %d (%+v)", code, e)
+	}
+
+	// A fleet built with the catalog off 404s the whole surface.
+	off := cfg
+	off.costModel = "off"
+	bare, err := buildCluster(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	bareTS := httptest.NewServer(newHandler(bare))
+	defer bareTS.Close()
+	resp2, err := http.Get(bareTS.URL + "/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("catalog-off snapshot: status %d", resp2.StatusCode)
+	}
+	if code := postEvent(t, bareTS, 0, eventRequest{Type: "catalog-offer", CatalogID: "ch-000"}, &e); code != http.StatusNotFound {
+		t.Fatalf("catalog-off offer: status %d", code)
+	}
+}

@@ -8,21 +8,30 @@
 //	mmdserve [-tenants 8] [-shards 0] [-channels 40] [-gateways 10]
 //	         [-seed 1] [-rounds 2] [-batch 16] [-policy online]
 //	         [-depart-every 3] [-churn-every 0] [-resolve-every 0]
+//	         [-cost-model isolated|shared|off] [-share-fraction 0.25]
 //	         [-http addr]
 //
 // Without -http the deterministic report (fleet summary, per-shard
-// stats, per-tenant table) goes to stdout: two invocations with the
-// same flags produce byte-identical output. Wall-clock throughput,
-// which is not deterministic, goes to stderr.
+// stats, per-tenant table, catalog table) goes to stdout: two
+// invocations with the same flags produce byte-identical output.
+// Wall-clock throughput, which is not deterministic, goes to stderr.
+//
+// Every channel is bound into the fleet catalog as stream "ch-NNN" at
+// every tenant; -cost-model shared prices later admissions of an
+// already-carried stream at -share-fraction of the origin cost.
 //
 // With -http the fleet serves a JSON ingestion front end instead — a
-// thin codec over the serving API v2 request/response structs:
+// thin codec over the serving API v2/v3 request/response structs:
 //
-//	POST /v1/tenants/{id}/events   {"type":"offer","stream":3}
+//	POST /v1/tenants/{id}/events        {"type":"offer","stream":3}
+//	POST /v1/tenants/{id}/events        {"type":"catalog-offer","catalog_id":"ch-003"}
+//	POST /v1/tenants/{id}/events:batch  [{"type":"offer","stream":3}, ...]
 //	GET  /v1/fleet/snapshot
+//	GET  /v1/catalog
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +57,8 @@ func main() {
 	flag.IntVar(&cfg.departEvery, "depart-every", 3, "inject a stream departure every k arrivals (0 = off)")
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "inject a gateway leave/join every k arrivals (0 = off)")
 	flag.IntVar(&cfg.resolveEvery, "resolve-every", 0, "offline re-solve after every n churn events (0 = off)")
+	flag.StringVar(&cfg.costModel, "cost-model", "isolated", "fleet catalog cost model: isolated, shared, or off (no catalog)")
+	flag.Float64Var(&cfg.shareFraction, "share-fraction", 0.25, "replication fraction later tenants pay under -cost-model shared")
 	flag.StringVar(&httpAddr, "http", "", "serve the fleet over HTTP on this address instead of running the synthetic workload")
 	flag.Parse()
 	if httpAddr != "" {
@@ -69,6 +80,37 @@ type config struct {
 	departEvery, churnEvery, resolveEvery int
 	seed                                  int64
 	policy                                string
+	costModel                             string
+	shareFraction                         float64
+}
+
+// catalogOptions builds the fleet catalog config: every channel index s
+// is the same fleet stream "ch-NNN" at every tenant (the tenants are
+// same-shaped CableTV head-ends, so local and fleet indexes coincide —
+// the fully-overlapping regional-CDN workload).
+func catalogOptions(cfg config) (*videodist.CatalogOptions, error) {
+	var model videodist.CatalogCostModel
+	switch cfg.costModel {
+	case "", "isolated":
+		model = videodist.CatalogIsolated{}
+	case "shared":
+		model = videodist.CatalogSharedOrigin{ReplicationFraction: cfg.shareFraction}
+	case "off":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown cost model %q (want isolated, shared, or off)", cfg.costModel)
+	}
+	return &videodist.CatalogOptions{
+		Streams:   videodist.IdentityCatalogBindings(cfg.tenants, cfg.channels, channelID),
+		CostModel: model,
+	}, nil
+}
+
+// channelID is the single binding between a channel index and its
+// fleet catalog identity (used both when binding the catalog and when
+// offering through it).
+func channelID(s int) videodist.CatalogID {
+	return videodist.CatalogID(fmt.Sprintf("ch-%03d", s))
 }
 
 // buildCluster builds the fleet described by cfg: cfg.tenants cable-TV
@@ -92,10 +134,15 @@ func buildCluster(cfg config) (*videodist.Cluster, error) {
 		}
 		tenants[i] = videodist.ClusterTenant{Instance: in, Policy: pol}
 	}
+	cat, err := catalogOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return videodist.NewCluster(tenants, videodist.ClusterOptions{
 		Shards:       cfg.shards,
 		BatchSize:    cfg.batch,
 		ResolveEvery: cfg.resolveEvery,
+		Catalog:      cat,
 	})
 }
 
@@ -113,7 +160,12 @@ func serve(cfg config, addr string, log io.Writer) error {
 }
 
 // run builds the fleet, drives the workload, and writes the
-// deterministic report to out and timing to timing.
+// deterministic report to out and timing to timing. With a catalog
+// configured, a retune phase follows the synthetic workload: every
+// tenant departs its lineup and re-admits the fleet catalog by
+// CatalogID in index order — so the report's catalog table shows live
+// cross-shard reference counts and, under -cost-model shared, the
+// origin-cost savings of transcoding each popular stream once.
 func run(cfg config, out, timing io.Writer) error {
 	c, err := buildCluster(cfg)
 	if err != nil {
@@ -126,6 +178,28 @@ func run(cfg config, out, timing io.Writer) error {
 		DepartEvery: cfg.departEvery,
 		ChurnEvery:  cfg.churnEvery,
 	})
+	if err == nil && cfg.costModel != "off" {
+		ctx := context.Background()
+		for ti := 0; ti < cfg.tenants && err == nil; ti++ {
+			for s := 0; s < cfg.channels; s++ {
+				if _, err = c.DepartStream(ctx, ti, s); err != nil {
+					break
+				}
+				total++
+			}
+		}
+		for s := 0; s < cfg.channels && err == nil; s++ {
+			for ti := 0; ti < cfg.tenants; ti++ {
+				if _, err = c.OfferCatalogStream(ctx, ti, channelID(s)); err != nil {
+					break
+				}
+				total++
+			}
+		}
+		if err == nil {
+			fs, err = c.Snapshot()
+		}
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		_ = c.Close()

@@ -8,9 +8,11 @@ package benchkit
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	videodist "repro"
+	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/generator"
 	"repro/internal/headend"
@@ -90,6 +92,47 @@ func GuardedAdmissionLedger(b *testing.B) {
 					continue
 				}
 				ledger.Add(u, s)
+				assn.Add(u, s)
+				admitted = append(admitted, [2]int{u, s})
+			}
+		}
+		if len(admitted) == 0 {
+			b.Fatal("nothing admitted")
+		}
+		for _, p := range admitted {
+			ledger.Remove(p[0], p[1])
+			assn.Remove(p[0], p[1])
+		}
+	}
+}
+
+// CatalogAdmissionLedger sweeps the identical admit/depart cycle as
+// GuardedAdmissionLedger through the *scaled* guard path — the
+// admission fast path of the fleet catalog (serving API v3):
+// FitsDeltaScaled prices the server-cost delta at the shared-origin
+// replication fraction, AddScaled records the charge scale for the
+// eventual refund. scale 1 is the Isolated cost model (bit-identical
+// decisions to the unscaled path); scale 0.25 is the SharedOrigin
+// discount, which admits more pairs per sweep on the contended
+// instance. Both must stay allocation-free — the catalog's registry
+// round trip happens outside this path, once per fleet admission, not
+// per candidate.
+func CatalogAdmissionLedger(b *testing.B, scale float64) {
+	in := admissionInstance(b)
+	cand := admissionCandidates(in)
+	assn := mmd.NewAssignment(in.NumUsers())
+	ledger := mmd.NewLoadLedger(in)
+	var admitted [][2]int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		admitted = admitted[:0]
+		for s := range cand {
+			for _, u := range cand[s] {
+				if !ledger.FitsDeltaScaled(u, s, scale) {
+					continue
+				}
+				ledger.AddScaled(u, s, scale)
 				assn.Add(u, s)
 				admitted = append(admitted, [2]int{u, s})
 			}
@@ -240,6 +283,73 @@ func ClusterAck(b *testing.B) {
 	b.ReportMetric(float64(events), "events/op")
 }
 
+// ClusterCatalog drives the 8-tenant fleet entirely through the
+// catalog surface: every stream is fleet-bound at every tenant, each
+// event is an OfferCatalogStream/DepartCatalogStream session call (the
+// three-step acquire/admit/commit protocol per admission), and shared
+// selects SharedOrigin pricing over Isolated. events/op counts session
+// calls — the end-to-end cost of fleet-identified admission.
+func ClusterCatalog(b *testing.B, shared bool) {
+	instances := clusterTenants(b)
+	channels := instances[0].NumStreams()
+	bindings := catalog.IdentityBindings(len(instances), channels, func(s int) videodist.CatalogID {
+		return videodist.CatalogID(fmt.Sprintf("s-%03d", s))
+	})
+	var model videodist.CatalogCostModel = videodist.CatalogIsolated{}
+	if shared {
+		model = videodist.CatalogSharedOrigin{ReplicationFraction: 0.25}
+	}
+	// Real callers hold stable CatalogIDs; formatting them inside the
+	// timed loop would charge ID construction to the catalog path.
+	ids := make([]videodist.CatalogID, channels)
+	for s := range ids {
+		ids[s] = bindings[s].ID
+	}
+	ctx := context.Background()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: 8, BatchSize: 16,
+			Catalog: &videodist.CatalogOptions{Streams: bindings, CostModel: model},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for ti := 0; ti < c.NumTenants(); ti++ {
+			for s := 0; s < channels; s++ {
+				if _, err := c.OfferCatalogStream(ctx, ti, ids[s]); err != nil {
+					b.Fatal(err)
+				}
+				total++
+				if s%3 == 2 {
+					if _, err := c.DepartCatalogStream(ctx, ti, ids[s]); err != nil {
+						b.Fatal(err)
+					}
+					total++
+				}
+			}
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if !fs.AllFeasible {
+			b.Fatal("fleet infeasible")
+		}
+		events = total
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
 // Bench names one serving benchmark for programmatic runs.
 type Bench struct {
 	// Name keys the benchmark in BENCH_serving.json.
@@ -250,15 +360,21 @@ type Bench struct {
 
 // ServingBenchmarks returns the suite snapshotted by `mmdbench -json`:
 // the guarded-admission pair (reference rescan vs ledger), the
-// end-to-end online policy pair, and the cluster throughput trio.
+// catalog-admission pair (isolated vs shared-origin pricing), the
+// end-to-end online policy pair, the cluster throughput trio, and the
+// catalog session workloads.
 func ServingBenchmarks() []Bench {
 	return []Bench{
 		{Name: "GuardedAdmission/rescan", F: GuardedAdmissionRescan},
 		{Name: "GuardedAdmission/ledger", F: GuardedAdmissionLedger},
+		{Name: "CatalogAdmission/isolated", F: func(b *testing.B) { CatalogAdmissionLedger(b, 1) }},
+		{Name: "CatalogAdmission/shared", F: func(b *testing.B) { CatalogAdmissionLedger(b, 0.25) }},
 		{Name: "OnlinePolicySweep/rescan", F: func(b *testing.B) { OnlinePolicySweep(b, false) }},
 		{Name: "OnlinePolicySweep/ledger", F: func(b *testing.B) { OnlinePolicySweep(b, true) }},
 		{Name: "ClusterSerial", F: func(b *testing.B) { ClusterWorkload(b, 1) }},
 		{Name: "ClusterSharded", F: func(b *testing.B) { ClusterWorkload(b, 8) }},
 		{Name: "ClusterAck", F: ClusterAck},
+		{Name: "ClusterCatalog/isolated", F: func(b *testing.B) { ClusterCatalog(b, false) }},
+		{Name: "ClusterCatalog/shared", F: func(b *testing.B) { ClusterCatalog(b, true) }},
 	}
 }

@@ -1,0 +1,637 @@
+// Package catalog makes streams first-class fleet entities. The paper's
+// setting is a fleet of head-ends multicasting video streams; until now
+// every tenant of internal/cluster was an isolated universe — a stream
+// admitted by tenant 3 cost tenant 7 full price all over again, and
+// nothing in the API could even say the two were carrying *the same*
+// stream. The catalog supplies the missing identity (ID, stable across
+// the fleet), a registry mapping each ID to the per-tenant local stream
+// index it appears as, cross-shard reference counts over who currently
+// carries it, and a pluggable CostModel that prices each admission from
+// the current reference count.
+//
+// # Ownership and concurrency
+//
+// The registry mirrors the cluster's share-nothing worker design: all
+// mutable state (reference counts, pending acquisitions, accounting) is
+// owned by a single goroutine, and every mutation travels to it as a
+// message over a channel — never a lock on the hot path. Any goroutine
+// may call Acquire/Commit/Release/Snapshot concurrently; the owner
+// serializes them, so reference counts can neither tear nor double-fire
+// an eviction. The immutable binding table (ID → local index) is read
+// without messages.
+//
+// # Admission protocol
+//
+// An admission is a three-step conversation (the cluster's
+// OfferCatalogStream orchestrates it):
+//
+//  1. Acquire(id, tenant) — the owner prices the admission from the
+//     confirmed reference count (CostModel.ScaleFor) and records a
+//     provisional reference, so a concurrent last-departure cannot
+//     evict the origin out from under an admission in flight.
+//  2. The tenant's shard worker runs the admission at the ticket's
+//     scale.
+//  3. The worker settles the reference right after deciding — Commit
+//     on success, Release(id, tenant, false) on rejection — so
+//     registry transitions follow the shard's FIFO order and can never
+//     desynchronize from the tenant's carried set.
+//
+// A departure is Release(id, tenant, true), likewise settled by the
+// worker; when the last reference (confirmed and provisional both
+// zero) leaves an occupied entry, the origin is evicted — exactly once
+// per occupancy cycle. Because commits and confirmed releases are
+// issued in shard-application order, a confirmed release always finds
+// its commit already applied; releasing a reference the tenant does
+// not hold is therefore a harmless no-op (standalone users must
+// preserve that ordering).
+//
+// Pricing is from *confirmed* references only: two tenants racing to be
+// first both pay full price (pessimistic, never undercharges the
+// origin). Driven serially — the deterministic experiment and test
+// path — pricing is a pure function of the call sequence.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ID is a stable fleet-wide stream identity. Two tenants bound to the
+// same ID carry the same stream, whatever local catalog index each one
+// knows it by.
+type ID string
+
+// CostModel prices a catalog admission from the number of tenants
+// already confirmed to carry the stream. Implementations must be pure
+// functions (the registry owner calls them; determinism of snapshots
+// depends on it).
+type CostModel interface {
+	// Name identifies the model in snapshots and reports.
+	Name() string
+	// ScaleFor returns the server-cost scale charged to a tenant
+	// admitting the stream when refs tenants already hold it. Scale 1
+	// is full price; the guarded admission path prices its feasibility
+	// delta at this scale (mmd.LoadLedger.FitsDeltaScaled). The value
+	// must lie in (0, 1]: zero would be indistinguishable from the
+	// Event sentinel for "unset" on the serving path, so out-of-range
+	// values are clamped to full price by the registry.
+	ScaleFor(refs int) float64
+}
+
+// clampScale enforces the ScaleFor contract: values outside (0, 1]
+// charge full price.
+func clampScale(scale float64) float64 {
+	if scale <= 0 || scale > 1 {
+		return 1
+	}
+	return scale
+}
+
+// Isolated is the default cost model: every tenant pays full price, as
+// if the catalog did not exist. Admissions under Isolated are
+// bit-identical to the pre-catalog serving path.
+type Isolated struct{}
+
+// Name implements CostModel.
+func (Isolated) Name() string { return "isolated" }
+
+// ScaleFor implements CostModel: always full price.
+func (Isolated) ScaleFor(int) float64 { return 1 }
+
+// DefaultReplicationFraction is the SharedOrigin discount applied when
+// the zero value is used.
+const DefaultReplicationFraction = 0.25
+
+// SharedOrigin is the regional-CDN cost model: the first admitting
+// tenant pays the full origin/transcode cost; every later tenant pays
+// only the multicast-replication fraction of the stream's server cost
+// vector. The charge is fixed at admission time (an early departure of
+// the full payer does not re-price the survivors), and the last
+// departure evicts and releases the origin.
+type SharedOrigin struct {
+	// ReplicationFraction is the scale later tenants pay, in (0, 1].
+	// Zero (the zero value) means DefaultReplicationFraction.
+	ReplicationFraction float64
+}
+
+// Name implements CostModel.
+func (SharedOrigin) Name() string { return "shared-origin" }
+
+// ScaleFor implements CostModel.
+func (m SharedOrigin) ScaleFor(refs int) float64 {
+	if refs == 0 {
+		return 1
+	}
+	f := m.ReplicationFraction
+	if f <= 0 || f > 1 {
+		f = DefaultReplicationFraction
+	}
+	return f
+}
+
+// Binding maps one fleet-wide ID to the local stream index each tenant
+// knows it by. Tenants absent from Local cannot admit the stream.
+type Binding struct {
+	// ID is the fleet-wide identity.
+	ID ID
+	// Local maps tenant index → that tenant's local stream index.
+	Local map[int]int
+}
+
+// IdentityBindings builds the fully overlapping catalog shape used by
+// same-shaped fleets (every tenant knows fleet stream s by local index
+// s): streams entries, each bound at all of tenants, with id naming
+// entry s. It is the binding constructor shared by mmdserve, the
+// benchmarks, and the experiments.
+func IdentityBindings(tenants, streams int, id func(s int) ID) []Binding {
+	bindings := make([]Binding, streams)
+	for s := 0; s < streams; s++ {
+		local := make(map[int]int, tenants)
+		for t := 0; t < tenants; t++ {
+			local[t] = s
+		}
+		bindings[s] = Binding{ID: id(s), Local: local}
+	}
+	return bindings
+}
+
+// Sentinel errors of the catalog registry; match with errors.Is.
+var (
+	// ErrUnknownID reports an ID with no binding in the registry.
+	ErrUnknownID = errors.New("catalog: unknown catalog id")
+	// ErrNotBound reports a tenant with no local binding for the ID.
+	ErrNotBound = errors.New("catalog: stream not bound for tenant")
+	// ErrClosed reports an operation on a closed registry.
+	ErrClosed = errors.New("catalog: closed")
+)
+
+// Ticket is the owner's answer to Acquire: the admission's price and
+// the sharing state it was priced against.
+type Ticket struct {
+	// Local is the tenant's local stream index for the ID.
+	Local int
+	// Scale is the server-cost scale this admission is charged at.
+	Scale float64
+	// Refs is the confirmed reference count before this admission.
+	Refs int
+	// SharedWith lists the confirmed holders (ascending tenant index)
+	// at decision time.
+	SharedWith []int
+	// Already reports that the tenant itself is a confirmed holder at
+	// decision time (Scale is then 1 — a holder re-offer is a no-op or
+	// a full-price re-admission, never a discount). A provisional
+	// reference is taken regardless, so the acquisition must be
+	// balanced like any other.
+	Already bool
+}
+
+// entry is the owner-goroutine state of one catalog stream.
+type entry struct {
+	id    ID
+	local map[int]int
+	// holders are the confirmed referencing tenants, ascending.
+	holders []int
+	// pending counts acquisitions whose admission is still in flight,
+	// per tenant; pendingCount is their sum (the eviction gate).
+	pending      map[int]int
+	pendingCount int
+	// occupied marks an origin brought up by a confirmed admission and
+	// not yet evicted; the eviction single-fire latch.
+	occupied bool
+
+	admissions, evictions int
+	fullCost, chargedCost float64
+}
+
+// Registry is the shard-safe fleet catalog: an immutable binding table
+// plus reference-counting state owned by a single goroutine. All
+// methods are safe for concurrent use.
+type Registry struct {
+	model    CostModel
+	entries  map[ID]*entry
+	order    []ID // sorted, the deterministic snapshot walk order
+	reqs     chan request
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+type opKind int
+
+const (
+	opAcquire opKind = iota + 1
+	opCommit
+	opRecharge
+	opRelease
+	opRefs
+	opSnapshot
+)
+
+type request struct {
+	op            opKind
+	id            ID
+	tenant        int
+	held          bool
+	full, charged float64
+	reply         chan response
+}
+
+type response struct {
+	ticket  Ticket
+	refs    int
+	evicted bool
+	snap    *Snapshot
+	err     error
+}
+
+// NewRegistry builds the registry and starts its owner goroutine.
+// Bindings must have unique IDs and nonnegative local indexes; model
+// nil means Isolated.
+func NewRegistry(bindings []Binding, model CostModel) (*Registry, error) {
+	if model == nil {
+		model = Isolated{}
+	}
+	r := &Registry{
+		model:   model,
+		entries: make(map[ID]*entry, len(bindings)),
+		reqs:    make(chan request),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, b := range bindings {
+		if b.ID == "" {
+			return nil, fmt.Errorf("catalog: empty catalog id")
+		}
+		if _, dup := r.entries[b.ID]; dup {
+			return nil, fmt.Errorf("catalog: duplicate catalog id %q", b.ID)
+		}
+		local := make(map[int]int, len(b.Local))
+		for tenant, s := range b.Local {
+			if tenant < 0 || s < 0 {
+				return nil, fmt.Errorf("catalog: id %q: bad binding tenant %d -> stream %d", b.ID, tenant, s)
+			}
+			local[tenant] = s
+		}
+		r.entries[b.ID] = &entry{id: b.ID, local: local, pending: make(map[int]int)}
+		r.order = append(r.order, b.ID)
+	}
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	go r.owner()
+	return r, nil
+}
+
+// NumStreams returns the number of catalog entries.
+func (r *Registry) NumStreams() int { return len(r.entries) }
+
+// Model returns the registry's cost model.
+func (r *Registry) Model() CostModel { return r.model }
+
+// Lookup returns the tenant's local stream index for id. The binding
+// table is immutable, so no owner round trip is needed.
+func (r *Registry) Lookup(id ID, tenant int) (int, error) {
+	e, ok := r.entries[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	s, ok := e.local[tenant]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q for tenant %d", ErrNotBound, id, tenant)
+	}
+	return s, nil
+}
+
+// IDs returns every catalog ID in sorted order (a copy).
+func (r *Registry) IDs() []ID {
+	out := make([]ID, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Acquire prices an admission of id by tenant and records a provisional
+// reference — also when the tenant already holds a confirmed one (see
+// Ticket.Already), so a concurrent departure cannot evict the origin
+// while this acquisition is in flight. Every successful Acquire must be
+// balanced by exactly one Commit (admission succeeded), Recharge
+// (admission under an existing reference), or Release(…, held=false)
+// (admission rejected or never ran).
+func (r *Registry) Acquire(id ID, tenant int) (Ticket, error) {
+	if _, err := r.Lookup(id, tenant); err != nil {
+		return Ticket{}, err
+	}
+	resp, ok := r.do(request{op: opAcquire, id: id, tenant: tenant})
+	if !ok {
+		return Ticket{}, ErrClosed
+	}
+	return resp.ticket, resp.err
+}
+
+// Commit confirms a provisionally acquired reference after a successful
+// admission, accumulating the accounting (fullCost is the undiscounted
+// scalar server cost, chargedCost the discounted one actually charged).
+// It returns the confirmed reference count after the commit.
+func (r *Registry) Commit(id ID, tenant int, fullCost, chargedCost float64) int {
+	resp, ok := r.do(request{op: opCommit, id: id, tenant: tenant, full: fullCost, charged: chargedCost})
+	if !ok {
+		return 0
+	}
+	return resp.refs
+}
+
+// Recharge settles an acquisition whose admission happened under an
+// existing confirmed reference — the re-offer of a fleet stream whose
+// local subscription the holder had dropped out of band (e.g. a
+// local-index departure). The provisional reference is consumed and the
+// admission counter and cost totals move; the confirmed count is
+// untouched, so Snapshot's origin-cost accounting stays truthful.
+func (r *Registry) Recharge(id ID, tenant int, fullCost, chargedCost float64) int {
+	resp, ok := r.do(request{op: opRecharge, id: id, tenant: tenant, full: fullCost, charged: chargedCost})
+	if !ok {
+		return 0
+	}
+	return resp.refs
+}
+
+// Release drops a reference: held true releases a confirmed reference
+// (a departure), held false a provisional one (a rejected admission).
+// It returns the confirmed count after the release and whether this
+// release evicted the origin (last reference of an occupied entry —
+// fires exactly once per occupancy cycle).
+func (r *Registry) Release(id ID, tenant int, held bool) (refs int, evicted bool) {
+	resp, ok := r.do(request{op: opRelease, id: id, tenant: tenant, held: held})
+	if !ok {
+		return 0, false
+	}
+	return resp.refs, resp.evicted
+}
+
+// Refs returns the confirmed reference count of id (0 for unknown IDs
+// or after Close) without touching any state.
+func (r *Registry) Refs(id ID) int {
+	resp, ok := r.do(request{op: opRefs, id: id})
+	if !ok {
+		return 0
+	}
+	return resp.refs
+}
+
+// Snapshot returns the deterministic registry state: entries in sorted
+// ID order, holders ascending. Nil after Close.
+func (r *Registry) Snapshot() *Snapshot {
+	resp, ok := r.do(request{op: opSnapshot})
+	if !ok {
+		return nil
+	}
+	return resp.snap
+}
+
+// Close stops the owner goroutine. Idempotent; concurrent calls return
+// zero values / ErrClosed afterwards.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// do sends one request to the owner and waits for its reply.
+func (r *Registry) do(req request) (response, bool) {
+	req.reply = make(chan response, 1)
+	select {
+	case r.reqs <- req:
+	case <-r.stop:
+		return response{}, false
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, true
+	case <-r.done:
+		// The owner replies (into the buffered channel) to every
+		// request it accepts before looping, so when Close races the
+		// reply both cases can be ready — prefer the reply: the
+		// operation was applied and its result must not be dropped.
+		select {
+		case resp := <-req.reply:
+			return resp, true
+		default:
+			return response{}, false
+		}
+	}
+}
+
+// owner is the single goroutine that owns all reference-count state.
+func (r *Registry) owner() {
+	defer close(r.done)
+	for {
+		select {
+		case req := <-r.reqs:
+			req.reply <- r.handle(req)
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// handle applies one request on the owner goroutine.
+func (r *Registry) handle(req request) response {
+	if req.op == opSnapshot {
+		return response{snap: r.snapshotLocked()}
+	}
+	e := r.entries[req.id]
+	if e == nil {
+		return response{err: fmt.Errorf("%w: %q", ErrUnknownID, req.id)}
+	}
+	switch req.op {
+	case opRefs:
+		return response{refs: len(e.holders)}
+	case opAcquire:
+		tk := Ticket{
+			Local:      e.local[req.tenant],
+			Scale:      1,
+			Refs:       len(e.holders),
+			SharedWith: e.sharedWith(req.tenant),
+			Already:    e.holds(req.tenant),
+		}
+		if !tk.Already {
+			tk.Scale = clampScale(r.model.ScaleFor(len(e.holders)))
+		}
+		e.pending[req.tenant]++
+		e.pendingCount++
+		return response{ticket: tk}
+	case opCommit:
+		e.dropPending(req.tenant)
+		if !e.holds(req.tenant) {
+			e.insert(req.tenant)
+			e.occupied = true
+			e.admissions++
+			e.fullCost += req.full
+			e.chargedCost += req.charged
+		}
+		return response{refs: len(e.holders)}
+	case opRecharge:
+		e.dropPending(req.tenant)
+		e.admissions++
+		e.fullCost += req.full
+		e.chargedCost += req.charged
+		return response{refs: len(e.holders)}
+	case opRelease:
+		if req.held {
+			// Releasing a reference the tenant does not hold is a
+			// no-op: commits and confirmed releases arrive in
+			// shard-application order (the cluster worker settles
+			// both), so a "release before commit" cannot occur and
+			// over-releasing must not poison later admissions.
+			e.remove(req.tenant)
+		} else {
+			e.dropPending(req.tenant)
+		}
+		resp := response{refs: len(e.holders)}
+		resp.evicted = e.maybeEvict()
+		return resp
+	}
+	return response{err: fmt.Errorf("catalog: unknown op %d", req.op)}
+}
+
+// dropPending decrements the tenant's in-flight acquisition count.
+func (e *entry) dropPending(tenant int) {
+	if e.pending[tenant] > 0 {
+		e.pending[tenant]--
+		e.pendingCount--
+	}
+}
+
+// maybeEvict fires the origin eviction when an occupied entry fully
+// drains (no confirmed holders, no in-flight acquisitions) — exactly
+// once per occupancy cycle.
+func (e *entry) maybeEvict() bool {
+	if e.occupied && len(e.holders) == 0 && e.pendingCount == 0 {
+		e.occupied = false
+		e.evictions++
+		return true
+	}
+	return false
+}
+
+// holds reports whether tenant is a confirmed holder.
+func (e *entry) holds(tenant int) bool {
+	i := sort.SearchInts(e.holders, tenant)
+	return i < len(e.holders) && e.holders[i] == tenant
+}
+
+// insert adds tenant to the sorted confirmed holders.
+func (e *entry) insert(tenant int) {
+	i := sort.SearchInts(e.holders, tenant)
+	e.holders = append(e.holders, 0)
+	copy(e.holders[i+1:], e.holders[i:])
+	e.holders[i] = tenant
+}
+
+// remove drops tenant from the confirmed holders (no-op when absent).
+func (e *entry) remove(tenant int) {
+	i := sort.SearchInts(e.holders, tenant)
+	if i < len(e.holders) && e.holders[i] == tenant {
+		e.holders = append(e.holders[:i], e.holders[i+1:]...)
+	}
+}
+
+// sharedWith returns the confirmed holders other than tenant (a copy,
+// ascending).
+func (e *entry) sharedWith(tenant int) []int {
+	var out []int
+	for _, t := range e.holders {
+		if t != tenant {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EntrySnapshot is one catalog stream's state in a Snapshot.
+type EntrySnapshot struct {
+	// ID is the fleet-wide identity.
+	ID ID `json:"id"`
+	// Refs is the confirmed reference count; Holders the confirmed
+	// tenants, ascending.
+	Refs    int   `json:"refs"`
+	Holders []int `json:"holders,omitempty"`
+	// Admissions and Evictions count confirmed admissions and origin
+	// evictions over the registry's lifetime.
+	Admissions int `json:"admissions"`
+	Evictions  int `json:"evictions"`
+	// FullCost is the cumulative undiscounted scalar server cost of all
+	// admissions; ChargedCost what was actually charged; Savings the
+	// difference (the origin/transcode cost the sharing saved).
+	FullCost    float64 `json:"full_cost"`
+	ChargedCost float64 `json:"charged_cost"`
+	Savings     float64 `json:"savings"`
+}
+
+// Snapshot is the deterministic registry state: entries in sorted ID
+// order plus fleet-wide totals.
+type Snapshot struct {
+	// Model is the cost model name.
+	Model string `json:"model"`
+	// Streams is the number of catalog entries; ActiveShared counts
+	// entries currently referenced by at least two tenants.
+	Streams      int `json:"streams"`
+	ActiveShared int `json:"active_shared"`
+	// Admissions / Evictions are lifetime totals over all entries.
+	Admissions int `json:"admissions"`
+	Evictions  int `json:"evictions"`
+	// FullCost / ChargedCost / OriginSavings are the fleet-wide
+	// accounting totals (origin cost units: scalar sums of server cost
+	// vectors).
+	FullCost      float64 `json:"full_cost"`
+	ChargedCost   float64 `json:"charged_cost"`
+	OriginSavings float64 `json:"origin_savings"`
+	// Entries holds one snapshot per catalog stream, sorted by ID.
+	Entries []EntrySnapshot `json:"entries"`
+}
+
+// snapshotLocked builds the snapshot on the owner goroutine.
+func (r *Registry) snapshotLocked() *Snapshot {
+	snap := &Snapshot{Model: r.model.Name(), Streams: len(r.order)}
+	for _, id := range r.order {
+		e := r.entries[id]
+		es := EntrySnapshot{
+			ID:          e.id,
+			Refs:        len(e.holders),
+			Holders:     append([]int(nil), e.holders...),
+			Admissions:  e.admissions,
+			Evictions:   e.evictions,
+			FullCost:    e.fullCost,
+			ChargedCost: e.chargedCost,
+			Savings:     e.fullCost - e.chargedCost,
+		}
+		snap.Entries = append(snap.Entries, es)
+		if es.Refs >= 2 {
+			snap.ActiveShared++
+		}
+		snap.Admissions += es.Admissions
+		snap.Evictions += es.Evictions
+		snap.FullCost += es.FullCost
+		snap.ChargedCost += es.ChargedCost
+	}
+	snap.OriginSavings = snap.FullCost - snap.ChargedCost
+	return snap
+}
+
+// Render returns the snapshot as a deterministic text table.
+func (s *Snapshot) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "catalog: %d streams, model %s\n", s.Streams, s.Model)
+	fmt.Fprintf(&sb, "  shared     %d streams referenced by 2+ tenants\n", s.ActiveShared)
+	fmt.Fprintf(&sb, "  admissions %d (%d evictions)\n", s.Admissions, s.Evictions)
+	fmt.Fprintf(&sb, "  origin     %.3f full, %.3f charged, %.3f saved\n",
+		s.FullCost, s.ChargedCost, s.OriginSavings)
+	sb.WriteString("\ncatalog-id            refs  holders           admits  evicts  saved\n")
+	for _, e := range s.Entries {
+		holders := "-"
+		if len(e.Holders) > 0 {
+			holders = strings.Trim(strings.Join(strings.Fields(fmt.Sprint(e.Holders)), ","), "[]")
+		}
+		fmt.Fprintf(&sb, "%-20s  %4d  %-16s  %6d  %6d  %.3f\n",
+			string(e.ID), e.Refs, holders, e.Admissions, e.Evictions, e.Savings)
+	}
+	return sb.String()
+}

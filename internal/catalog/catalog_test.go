@@ -1,0 +1,341 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func twoTenantRegistry(t *testing.T, model CostModel) *Registry {
+	t.Helper()
+	r, err := NewRegistry([]Binding{
+		{ID: "espn", Local: map[int]int{0: 3, 1: 7}},
+		{ID: "cnn", Local: map[int]int{0: 1}},
+	}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry([]Binding{{ID: ""}}, nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := NewRegistry([]Binding{
+		{ID: "x", Local: map[int]int{0: 0}},
+		{ID: "x", Local: map[int]int{1: 0}},
+	}, nil); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := NewRegistry([]Binding{{ID: "x", Local: map[int]int{-1: 0}}}, nil); err == nil {
+		t.Fatal("negative tenant accepted")
+	}
+	if _, err := NewRegistry([]Binding{{ID: "x", Local: map[int]int{0: -2}}}, nil); err == nil {
+		t.Fatal("negative stream accepted")
+	}
+}
+
+func TestRegistryLookupErrors(t *testing.T) {
+	r := twoTenantRegistry(t, nil)
+	if _, err := r.Acquire("nope", 0); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if _, err := r.Acquire("cnn", 1); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("unbound tenant: %v", err)
+	}
+	if s, err := r.Lookup("espn", 1); err != nil || s != 7 {
+		t.Fatalf("Lookup = %d, %v; want 7, nil", s, err)
+	}
+}
+
+// TestSharedOriginLifecycle walks one full occupancy cycle under the
+// SharedOrigin model: first admitter full price, second the fraction,
+// departures refund in order, last departure evicts exactly once.
+func TestSharedOriginLifecycle(t *testing.T) {
+	r := twoTenantRegistry(t, SharedOrigin{ReplicationFraction: 0.25})
+
+	tk0, err := r.Acquire("espn", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk0.Scale != 1 || tk0.Refs != 0 || tk0.Local != 3 || len(tk0.SharedWith) != 0 {
+		t.Fatalf("first ticket = %+v", tk0)
+	}
+	if refs := r.Commit("espn", 0, 10, 10); refs != 1 {
+		t.Fatalf("refs after first commit = %d, want 1", refs)
+	}
+
+	tk1, err := r.Acquire("espn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk1.Scale != 0.25 || tk1.Refs != 1 || tk1.Local != 7 {
+		t.Fatalf("second ticket = %+v", tk1)
+	}
+	if len(tk1.SharedWith) != 1 || tk1.SharedWith[0] != 0 {
+		t.Fatalf("SharedWith = %v, want [0]", tk1.SharedWith)
+	}
+	if refs := r.Commit("espn", 1, 10, 2.5); refs != 2 {
+		t.Fatalf("refs after second commit = %d, want 2", refs)
+	}
+
+	snap := r.Snapshot()
+	if snap.ActiveShared != 1 || snap.Admissions != 2 || snap.OriginSavings != 7.5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if e := snap.Entries[1]; e.ID != "espn" || e.Refs != 2 || e.Savings != 7.5 {
+		t.Fatalf("espn entry = %+v (entries sorted by ID: cnn, espn)", e)
+	}
+
+	// The full payer departs first; the survivor keeps its discount
+	// (charge fixed at admission time) and the origin stays up.
+	if refs, evicted := r.Release("espn", 0, true); refs != 1 || evicted {
+		t.Fatalf("first release = %d refs, evicted %v", refs, evicted)
+	}
+	// Re-offer by the remaining holder is flagged at full price, and
+	// (like every acquisition) takes a provisional reference that must
+	// be balanced — here by the rejection release.
+	again, err := r.Acquire("espn", 1)
+	if err != nil || !again.Already || again.Scale != 1 {
+		t.Fatalf("re-acquire by holder = %+v, %v", again, err)
+	}
+	if _, evicted := r.Release("espn", 1, false); evicted {
+		t.Fatal("balancing a holder re-acquire must not evict (holder remains)")
+	}
+	// Last departure evicts, exactly once.
+	if refs, evicted := r.Release("espn", 1, true); refs != 0 || !evicted {
+		t.Fatalf("last release = %d refs, evicted %v", refs, evicted)
+	}
+	if _, evicted := r.Release("espn", 1, true); evicted {
+		t.Fatal("eviction double-fired on a stray release")
+	}
+	snap = r.Snapshot()
+	if e := snap.Entries[1]; e.Refs != 0 || e.Evictions != 1 {
+		t.Fatalf("after drain: %+v", e)
+	}
+	// A fresh cycle starts at full price again.
+	tk, err := r.Acquire("espn", 1)
+	if err != nil || tk.Scale != 1 || tk.Refs != 0 {
+		t.Fatalf("post-eviction ticket = %+v, %v", tk, err)
+	}
+}
+
+// TestRejectedAdmissionReleasesPending: an Acquire balanced by a
+// Release(held=false) leaves no trace, and a pending acquisition holds
+// the origin open so a concurrent last-departure cannot evict an
+// admission in flight out from under it.
+func TestRejectedAdmissionReleasesPending(t *testing.T) {
+	r := twoTenantRegistry(t, SharedOrigin{})
+
+	if _, err := r.Acquire("espn", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Commit("espn", 0, 10, 10)
+	// Tenant 1's admission is in flight while tenant 0 departs: no
+	// eviction yet (pending holds the origin open).
+	if _, err := r.Acquire("espn", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, evicted := r.Release("espn", 0, true); evicted {
+		t.Fatal("evicted with an admission in flight")
+	}
+	// The in-flight admission is rejected: now the origin drains.
+	if _, evicted := r.Release("espn", 1, false); !evicted {
+		t.Fatal("expected eviction once pending drained")
+	}
+}
+
+func TestIsolatedScaleAlwaysOne(t *testing.T) {
+	m := Isolated{}
+	for refs := 0; refs < 5; refs++ {
+		if m.ScaleFor(refs) != 1 {
+			t.Fatalf("Isolated.ScaleFor(%d) != 1", refs)
+		}
+	}
+	s := SharedOrigin{} // zero value: default fraction
+	if s.ScaleFor(0) != 1 || s.ScaleFor(1) != DefaultReplicationFraction {
+		t.Fatalf("SharedOrigin zero value: %v, %v", s.ScaleFor(0), s.ScaleFor(1))
+	}
+}
+
+func TestRegistryCloseIdempotent(t *testing.T) {
+	r, err := NewRegistry([]Binding{{ID: "x", Local: map[int]int{0: 0}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close()
+	if _, err := r.Acquire("x", 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("snapshot after close: %+v", snap)
+	}
+}
+
+// TestRegistryConcurrentCycles hammers the owner with full
+// acquire/commit/release cycles from many goroutines (run under -race):
+// refcounts must end at zero, every occupancy cycle must fire exactly
+// one eviction, and the accounting must balance.
+func TestRegistryConcurrentCycles(t *testing.T) {
+	const tenants, rounds = 8, 50
+	local := make(map[int]int, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		local[ti] = 0
+	}
+	r, err := NewRegistry([]Binding{{ID: "hot", Local: local}}, SharedOrigin{ReplicationFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admissions, evictions := 0, 0
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				tk, err := r.Acquire("hot", tenant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if tk.Already {
+					t.Errorf("tenant %d: impossible Already (it holds nothing)", tenant)
+					return
+				}
+				if round%3 == 0 {
+					// Simulate a rejected admission. Its release can be
+					// the one that drains an occupied origin (the last
+					// confirmed holder may already have departed), so it
+					// counts toward the eviction tally too.
+					if _, evicted := r.Release("hot", tenant, false); evicted {
+						mu.Lock()
+						evictions++
+						mu.Unlock()
+					}
+					continue
+				}
+				r.Commit("hot", tenant, 4, tk.Scale*4)
+				mu.Lock()
+				admissions++
+				mu.Unlock()
+				_, evicted := r.Release("hot", tenant, true)
+				if evicted {
+					mu.Lock()
+					evictions++
+					mu.Unlock()
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	e := snap.Entries[0]
+	if e.Refs != 0 || len(e.Holders) != 0 {
+		t.Fatalf("refcount leaked: %+v", e)
+	}
+	if e.Admissions != admissions {
+		t.Fatalf("admissions = %d, callers saw %d", e.Admissions, admissions)
+	}
+	if e.Evictions != evictions {
+		t.Fatalf("evictions = %d, callers saw %d (double- or under-fire)", e.Evictions, evictions)
+	}
+	if e.Evictions < 1 || e.Evictions > e.Admissions {
+		t.Fatalf("evictions %d outside [1, %d]", e.Evictions, e.Admissions)
+	}
+	if e.Savings < 0 || e.ChargedCost > e.FullCost {
+		t.Fatalf("accounting: %+v", e)
+	}
+	// After the storm the entry must admit a fresh cycle at full price.
+	tk, err := r.Acquire("hot", 0)
+	if err != nil || tk.Scale != 1 {
+		t.Fatalf("post-storm ticket = %+v, %v", tk, err)
+	}
+	r.Release("hot", 0, false)
+}
+
+func TestSnapshotRenderDeterministic(t *testing.T) {
+	r := twoTenantRegistry(t, SharedOrigin{ReplicationFraction: 0.25})
+	if _, err := r.Acquire("espn", 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Commit("espn", 0, 10, 10)
+	a, b := r.Snapshot().Render(), r.Snapshot().Render()
+	if a != b {
+		t.Fatalf("render not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"catalog: 2 streams", "shared-origin", "espn", "cnn"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("render missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func ExampleSharedOrigin() {
+	m := SharedOrigin{ReplicationFraction: 0.2}
+	fmt.Println(m.ScaleFor(0), m.ScaleFor(1), m.ScaleFor(7))
+	// Output: 1 0.2 0.2
+}
+
+// badModel violates the ScaleFor contract; the registry must clamp it
+// to full price rather than hand the serving path an unusable scale.
+type badModel struct{ scale float64 }
+
+func (badModel) Name() string           { return "bad" }
+func (m badModel) ScaleFor(int) float64 { return m.scale }
+
+func TestScaleForContractClamped(t *testing.T) {
+	for _, scale := range []float64{0, -1, 2.5} {
+		r, err := NewRegistry([]Binding{{ID: "x", Local: map[int]int{0: 0}}}, badModel{scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := r.Acquire("x", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Scale != 1 {
+			t.Fatalf("ScaleFor %v not clamped: ticket scale %v", scale, tk.Scale)
+		}
+		r.Release("x", 0, false)
+		r.Close()
+	}
+}
+
+// TestStrayHeldReleaseIsNoOp pins the over-release contract the
+// cluster's install-reconcile path relies on: a confirmed Release for a
+// tenant that holds nothing — even one with an acquisition in flight —
+// must leave no trace and must not poison that acquisition's later
+// Commit.
+func TestStrayHeldReleaseIsNoOp(t *testing.T) {
+	r := twoTenantRegistry(t, SharedOrigin{ReplicationFraction: 0.25})
+
+	tk, err := r.Acquire("espn", 0)
+	if err != nil || tk.Scale != 1 {
+		t.Fatalf("acquire = %+v, %v", tk, err)
+	}
+	// Stray confirmed release while the acquisition is in flight: no
+	// refs, no eviction (pending gates it), and crucially no debt.
+	if refs, evicted := r.Release("espn", 0, true); refs != 0 || evicted {
+		t.Fatalf("stray release = %d refs, evicted %v", refs, evicted)
+	}
+	// The in-flight admission commits normally.
+	if refs := r.Commit("espn", 0, 10, 10); refs != 1 {
+		t.Fatalf("commit after stray release = %d refs, want 1", refs)
+	}
+	if refs, evicted := r.Release("espn", 0, true); refs != 0 || !evicted {
+		t.Fatalf("real release = %d refs, evicted %v", refs, evicted)
+	}
+	snap := r.Snapshot()
+	if e := snap.Entries[1]; e.Refs != 0 || e.Admissions != 1 || e.Evictions != 1 {
+		t.Fatalf("after cycle: %+v", e)
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+)
+
+// EventResult is the typed outcome of one event inside an ApplyBatch
+// call; exactly the field matching Type is populated. A failed re-solve
+// sets Err for its own slot without failing the batch.
+type EventResult struct {
+	// Type echoes the event's type.
+	Type EventType
+	// Offer / Depart / Churn / Resolve mirror the per-operation session
+	// results.
+	Offer   OfferResult
+	Depart  DepartResult
+	Churn   ChurnResult
+	Resolve ResolveResult
+	// Err is the per-event error (only re-solves can fail).
+	Err error
+}
+
+// ApplyBatch applies a sequence of events for one tenant as a single
+// shard message: the whole batch crosses the queue once, the worker
+// applies it in order inside one batch window (each contiguous run of
+// arrivals is coalesced exactly as the fire-and-forget replay path
+// coalesces), and one typed result per event comes back positionally.
+// This is the remote caller's answer to RunWorkload's batching — N
+// single session calls pay N queue crossings and N flush boundaries,
+// one ApplyBatch pays one of each.
+//
+// The Tenant, CostScale, and CatalogID fields of each event are
+// overridden (tenant from the call; CostScale and the catalog marks
+// cleared — discounts and fleet references are granted only by the
+// catalog's own acquire protocol, never by a caller-supplied event);
+// event types must be the serving event types (catalog offers are
+// orchestrated across registry and shard and cannot ride in a batch). On a context error the batch may still be
+// applied (it is already queued); only the results are lost, exactly
+// like the single-event session methods.
+func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([]EventResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// An empty batch still flows through enqueue, so it reports
+	// ErrClosed / ErrCanceled / ErrUnknownTenant exactly like every
+	// other session call instead of silently succeeding.
+	batch := make([]Event, len(events))
+	for i, ev := range events {
+		if err := validEventType(ev.Type); err != nil {
+			return nil, fmt.Errorf("cluster: batch event %d: %w", i, err)
+		}
+		ev.Tenant = tenant
+		ev.CostScale = 0
+		ev.CatalogID = ""
+		batch[i] = ev
+	}
+	msg := message{batch: batch, batchAck: make(chan []EventResult, 1)}
+	if err := c.enqueue(ctx, tenant, msg); err != nil {
+		return nil, err
+	}
+	select {
+	case out := <-msg.batchAck:
+		return out, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/generator"
+)
+
+func batchTestClusters(t *testing.T) (single, batched *Cluster) {
+	t.Helper()
+	build := func() *Cluster {
+		cfgs := make([]TenantConfig, 3)
+		for i := range cfgs {
+			in, err := generator.CableTV{
+				Channels: 15, Gateways: 5, Seed: 610 + int64(i), EgressFraction: 0.3,
+			}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = TenantConfig{Instance: in}
+		}
+		c, err := New(cfgs, Options{Shards: 2, BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	return build(), build()
+}
+
+// batchTestEvents is a mixed single-tenant schedule: arrival runs
+// interrupted by departures and gateway churn, ending in a resolve.
+func batchTestEvents() []Event {
+	var evs []Event
+	for s := 0; s < 10; s++ {
+		evs = append(evs, Event{Type: EventStreamArrival, Stream: s})
+	}
+	evs = append(evs,
+		Event{Type: EventStreamDeparture, Stream: 3},
+		Event{Type: EventUserLeave, User: 1},
+	)
+	for s := 10; s < 15; s++ {
+		evs = append(evs, Event{Type: EventStreamArrival, Stream: s})
+	}
+	evs = append(evs,
+		Event{Type: EventUserJoin, User: 1},
+		Event{Type: EventResolve},
+	)
+	return evs
+}
+
+// TestApplyBatchMatchesSingleCalls is the batching parity check: one
+// ApplyBatch call must produce exactly the per-event results and final
+// per-tenant state that the same schedule produces as N single session
+// calls — while crossing the shard queue once and coalescing arrivals
+// into full batch windows instead of N caller-flushed singletons.
+func TestApplyBatchMatchesSingleCalls(t *testing.T) {
+	singleC, batchC := batchTestClusters(t)
+	ctx := context.Background()
+	evs := batchTestEvents()
+
+	for ti := 0; ti < singleC.NumTenants(); ti++ {
+		var want []EventResult
+		for _, ev := range evs {
+			switch ev.Type {
+			case EventStreamArrival:
+				res, err := singleC.OfferStream(ctx, ti, ev.Stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, EventResult{Type: ev.Type, Offer: res})
+			case EventStreamDeparture:
+				res, err := singleC.DepartStream(ctx, ti, ev.Stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, EventResult{Type: ev.Type, Depart: res})
+			case EventUserLeave:
+				res, err := singleC.UserLeave(ctx, ti, ev.User)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, EventResult{Type: ev.Type, Churn: res})
+			case EventUserJoin:
+				res, err := singleC.UserJoin(ctx, ti, ev.User)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, EventResult{Type: ev.Type, Churn: res})
+			case EventResolve:
+				res, err := singleC.Resolve(ctx, ti, ResolveOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, EventResult{Type: ev.Type, Resolve: res})
+			}
+		}
+		got, err := batchC.ApplyBatch(ctx, ti, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tenant %d: %d results, want %d", ti, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("tenant %d event %d: batch %+v vs single %+v", ti, i, got[i], want[i])
+			}
+		}
+	}
+
+	sfs, err := singleC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := batchC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bfs.RenderTenants(), sfs.RenderTenants(); got != want {
+		t.Fatalf("tenant tables diverge:\n--- batch\n%s\n--- single\n%s", got, want)
+	}
+
+	// The point of the endpoint: the batch path coalesces. Each single
+	// acked arrival is its own flush boundary, so the single-call run
+	// pays one batch window per arrival; the batch run coalesces each
+	// contiguous arrival sequence into one window.
+	singleBatches, batchBatches, batchMax := 0, 0, 0
+	for _, st := range sfs.ShardStats {
+		singleBatches += st.Batches
+	}
+	for _, st := range bfs.ShardStats {
+		batchBatches += st.Batches
+		if st.MaxBatch > batchMax {
+			batchMax = st.MaxBatch
+		}
+	}
+	if batchBatches >= singleBatches {
+		t.Fatalf("batch run used %d windows, single run %d — no coalescing", batchBatches, singleBatches)
+	}
+	if batchMax < 10 {
+		t.Fatalf("batch MaxBatch = %d, want the 10-arrival run coalesced", batchMax)
+	}
+}
+
+// TestApplyBatchValidation pins the argument and sentinel behavior.
+func TestApplyBatchValidation(t *testing.T) {
+	c, _ := batchTestClusters(t)
+	ctx := context.Background()
+
+	if _, err := c.ApplyBatch(ctx, 99, batchTestEvents()); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: %v", err)
+	}
+	if _, err := c.ApplyBatch(ctx, 0, []Event{{Type: EventType(99)}}); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	out, err := c.ApplyBatch(ctx, 0, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch = %v, %v", out, err)
+	}
+	// The Tenant field of batch events is overridden by the call's
+	// tenant: a stray value cannot cross tenants.
+	res, err := c.ApplyBatch(ctx, 1, []Event{{Tenant: 0, Type: EventStreamArrival, Stream: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Tenants[0].StreamsOffered != 0 || fs.Tenants[1].StreamsOffered != 1 {
+		t.Fatalf("batch tenant override failed: %+v (res %+v)", fs.Tenants, res)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.ApplyBatch(canceled, 0, batchTestEvents()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyBatch(ctx, 0, batchTestEvents()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed: %v", err)
+	}
+	// An empty batch honors the taxonomy too — no silent success on a
+	// closed cluster.
+	if _, err := c.ApplyBatch(ctx, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed empty batch: %v", err)
+	}
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// Serving API v3: cross-shard shared streams.
+//
+// OfferCatalogStream and DepartCatalogStream are the fleet-identity
+// siblings of OfferStream/DepartStream: the stream is named by its
+// catalog.ID rather than a per-tenant local index, the admission is
+// priced by the catalog's cost model from the cross-shard reference
+// count, and the result reports who else carries the stream and what
+// was charged. The orchestration is the catalog package's three-step
+// protocol: the caller Acquires (pricing + a provisional reference),
+// the event is routed to the tenant's shard, and the worker settles the
+// reference (Commit on admit, Release on reject or removal) right
+// after applying the event — so registry transitions happen in shard
+// FIFO order and concurrent same-tenant calls can never desynchronize
+// refcounts from the tenant's carried set. All state stays
+// share-nothing: refcounts live with the registry's owner goroutine,
+// tenant state with the shard worker; the worker's settlement is a
+// message round trip, never a shared lock, and the registry owner
+// never calls back into shards.
+//
+// Catalog-managed streams must be departed through DepartCatalogStream;
+// departing one via the local-index DepartStream releases the tenant's
+// subscription but leaks the fleet reference until a
+// DepartCatalogStream (which releases a held reference even when
+// nothing is carried), a catalog re-offer, or an installing re-solve
+// reconciles it.
+
+// Sentinel errors of the catalog session surface; match with errors.Is.
+var (
+	// ErrNoCatalog reports a catalog call on a cluster built without
+	// Options.Catalog.
+	ErrNoCatalog = errors.New("cluster: no catalog configured")
+	// ErrUnknownCatalogStream reports an ID the catalog does not know,
+	// or one the tenant has no binding for. It also matches the
+	// underlying catalog.ErrUnknownID / catalog.ErrNotBound.
+	ErrUnknownCatalogStream = errors.New("cluster: unknown catalog stream")
+)
+
+// CatalogResult is the typed outcome of a catalog offer or departure.
+type CatalogResult struct {
+	// Admitted reports whether the tenant now carries the stream (offer
+	// path); Removed whether it stopped carrying it (depart path).
+	Admitted bool `json:"admitted,omitempty"`
+	Removed  bool `json:"removed,omitempty"`
+	// Subscribers are the users receiving (offer) or released from
+	// (depart) the stream; Utility is the utility added by an admission.
+	Subscribers []int   `json:"subscribers,omitempty"`
+	Utility     float64 `json:"utility,omitempty"`
+	// Refs is the confirmed cross-shard reference count after the call.
+	Refs int `json:"refs"`
+	// SharedWith lists the other tenants confirmed to carry the stream
+	// at decision time (ascending tenant index).
+	SharedWith []int `json:"shared_with,omitempty"`
+	// CostScale is the server-cost scale the admission was priced at;
+	// FullCost the undiscounted scalar server cost of the stream;
+	// CostCharged the scaled cost actually charged (offer path, when
+	// admitted).
+	CostScale   float64 `json:"cost_scale,omitempty"`
+	FullCost    float64 `json:"full_cost,omitempty"`
+	CostCharged float64 `json:"cost_charged,omitempty"`
+	// Evicted reports that this departure was the last reference and
+	// released the origin (depart path).
+	Evicted bool `json:"evicted,omitempty"`
+}
+
+// OfferCatalogStream offers the fleet-identified stream id to tenant t:
+// the catalog prices the admission from the current cross-shard
+// reference count (first admitting tenant pays the full origin cost;
+// under SharedOrigin later tenants pay the replication fraction), the
+// tenant's policy decides at that price on its shard worker — guarded
+// admission asks its feasibility ledger with the discounted delta — and
+// a successful admission takes a fleet reference. A rejection (policy
+// "no", or the tenant already carries the stream) is a successful call
+// with Admitted false, mirroring OfferStream.
+func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog.ID) (CatalogResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg, err := c.catalogFor(tenant)
+	if err != nil {
+		return CatalogResult{}, err
+	}
+	// Acquire takes a provisional reference in every case — also when
+	// the tenant already holds the stream — so a concurrent departure
+	// cannot evict the origin while this admission is in flight. The
+	// worker classifies the settlement (commit, recharge for a re-offer
+	// under an existing reference, release on rejection) against its
+	// own held-reference set at apply time; a re-offer of a stream the
+	// tenant still carries is a rejection, exactly like OfferStream.
+	tk, err := reg.Acquire(id, tenant)
+	if err != nil {
+		return CatalogResult{}, wrapCatalogErr(err)
+	}
+	ev := Event{Tenant: tenant, Type: EventStreamArrival, Stream: tk.Local,
+		CostScale: tk.Scale, CatalogID: id}
+	ack := make(chan result, 1)
+	if err := c.submit(ctx, ev, ack); err != nil {
+		// Never enqueued: the provisional reference is dropped.
+		reg.Release(id, tenant, false)
+		return CatalogResult{}, err
+	}
+	// Once enqueued, the worker settles the reference itself (commit or
+	// release, in shard FIFO order) — a canceled caller has nothing to
+	// reconcile.
+	var res result
+	select {
+	case res = <-ack:
+	case <-ctx.Done():
+		return CatalogResult{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+	out := CatalogResult{
+		Admitted:    res.offer.Accepted,
+		Subscribers: res.offer.Subscribers,
+		Utility:     res.offer.Utility,
+		Refs:        res.refs,
+		SharedWith:  tk.SharedWith,
+		CostScale:   tk.Scale,
+		FullCost:    c.tenants[tenant].Instance().StreamCostSum(tk.Local),
+		// A rejected offer's released provisional reference can be the
+		// one that drains an occupied origin (the last confirmed holder
+		// already departed while this admission was in flight).
+		Evicted: res.evicted,
+	}
+	if out.Admitted {
+		out.CostCharged = tk.Scale * out.FullCost
+	}
+	return out, nil
+}
+
+// DepartCatalogStream departs the fleet-identified stream id from
+// tenant t, releasing its fleet reference; the last departure evicts
+// the stream's origin (Evicted). Departing a stream the tenant does not
+// carry is a successful call with Removed false, mirroring
+// DepartStream — but a fleet reference the tenant still holds (leaked
+// by an out-of-band local-index departure) is released even then, so an
+// explicit by-ID departure always cleans up.
+func (c *Cluster) DepartCatalogStream(ctx context.Context, tenant int, id catalog.ID) (CatalogResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg, err := c.catalogFor(tenant)
+	if err != nil {
+		return CatalogResult{}, err
+	}
+	local, err := reg.Lookup(id, tenant)
+	if err != nil {
+		return CatalogResult{}, wrapCatalogErr(err)
+	}
+	// The worker settles the reference (release on removal) in shard
+	// FIFO order; a canceled caller has nothing to reconcile.
+	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventStreamDeparture, Stream: local, CatalogID: id})
+	if err != nil {
+		return CatalogResult{}, err
+	}
+	return CatalogResult{
+		Removed:     res.depart.Removed,
+		Subscribers: res.depart.Subscribers,
+		Refs:        res.refs,
+		Evicted:     res.evicted,
+	}, nil
+}
+
+// CatalogSnapshot returns the registry state on demand (the same
+// section Snapshot embeds), without a shard barrier.
+func (c *Cluster) CatalogSnapshot() (*catalog.Snapshot, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.catalog == nil {
+		return nil, ErrNoCatalog
+	}
+	return c.catalog.Snapshot(), nil
+}
+
+// catalogLocal pairs a fleet stream identity with its local index at
+// one tenant (the per-tenant view of a catalog.Binding).
+type catalogLocal struct {
+	id    catalog.ID
+	local int
+}
+
+// catalogFor validates the tenant index and the presence of a catalog.
+func (c *Cluster) catalogFor(tenant int) (*catalog.Registry, error) {
+	if tenant < 0 || tenant >= len(c.tenants) {
+		return nil, fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, tenant, len(c.tenants))
+	}
+	if c.catalog == nil {
+		return nil, ErrNoCatalog
+	}
+	return c.catalog, nil
+}
+
+// wrapCatalogErr maps registry errors onto the cluster sentinel while
+// keeping the original in the chain.
+func wrapCatalogErr(err error) error {
+	if errors.Is(err, catalog.ErrUnknownID) || errors.Is(err, catalog.ErrNotBound) {
+		return fmt.Errorf("%w: %w", ErrUnknownCatalogStream, err)
+	}
+	if errors.Is(err, catalog.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}

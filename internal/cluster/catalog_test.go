@@ -1,0 +1,618 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/generator"
+	"repro/internal/headend"
+)
+
+// catalogTestFleet builds n CableTV tenants with every stream bound
+// into the catalog under identity mapping ("s-NNN" → local s at every
+// tenant — the fully overlapping regional-CDN shape).
+func catalogTestFleet(t *testing.T, n, channels, gateways int, seed int64, egress float64,
+	shards int, model catalog.CostModel) *Cluster {
+	t.Helper()
+	cfgs := make([]TenantConfig, n)
+	for i := range cfgs {
+		in, err := generator.CableTV{
+			Channels: channels, Gateways: gateways,
+			Seed: seed + int64(i), EgressFraction: egress,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = TenantConfig{Instance: in}
+	}
+	bindings := catalog.IdentityBindings(n, channels, func(s int) catalog.ID {
+		return catalog.ID(fmt.Sprintf("s-%03d", s))
+	})
+	c, err := New(cfgs, Options{
+		Shards: shards, BatchSize: 8,
+		Catalog: &CatalogOptions{Streams: bindings, CostModel: model},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// catalogSchedule is a deterministic interleaved offer/depart schedule:
+// each step names a tenant, a stream, and whether to depart instead of
+// offer. It is a pure function of the seed.
+type catalogStep struct {
+	tenant, stream int
+	depart         bool
+}
+
+func catalogScheduleFor(tenants, channels int, seed int64) []catalogStep {
+	rng := rand.New(rand.NewSource(seed))
+	var steps []catalogStep
+	var carried [][]int
+	carried = make([][]int, tenants)
+	for round := 0; round < 2; round++ {
+		for ti := 0; ti < tenants; ti++ {
+			for k, s := range rng.Perm(channels) {
+				steps = append(steps, catalogStep{tenant: ti, stream: s})
+				carried[ti] = append(carried[ti], s)
+				if k%3 == 2 {
+					d := carried[ti][0]
+					carried[ti] = carried[ti][1:]
+					steps = append(steps, catalogStep{tenant: ti, stream: d, depart: true})
+				}
+			}
+		}
+	}
+	return steps
+}
+
+// TestCatalogIsolatedBitIdenticalToPlainSessions is the tentpole's
+// differential acceptance check: under the Isolated cost model (the
+// default), driving the fleet through the catalog surface
+// (OfferCatalogStream/DepartCatalogStream by fleet identity) must
+// produce per-tenant snapshots bit-identical to the PR 3 serving path
+// (OfferStream/DepartStream by local index) over the same schedule, at
+// every shard count. The catalog with Isolated is pure identity plus
+// reference counting — it must never change an admission decision.
+func TestCatalogIsolatedBitIdenticalToPlainSessions(t *testing.T) {
+	const tenants, channels, gateways = 6, 20, 6
+	steps := catalogScheduleFor(tenants, channels, 770)
+	ctx := context.Background()
+
+	// Reference: plain serving API v2 on a single shard, no catalog.
+	var refTable string
+	var refOffers []OfferResult
+	{
+		cfgs := make([]TenantConfig, tenants)
+		for i := range cfgs {
+			in, err := generator.CableTV{
+				Channels: channels, Gateways: gateways,
+				Seed: 770 + int64(i), EgressFraction: 0.25,
+			}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = TenantConfig{Instance: in}
+		}
+		c, err := New(cfgs, Options{Shards: 1, BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for _, st := range steps {
+			if st.depart {
+				if _, err := c.DepartStream(ctx, st.tenant, st.stream); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			res, err := c.OfferStream(ctx, st.tenant, st.stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refOffers = append(refOffers, res)
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refTable = fs.RenderTenants()
+		if fs.Catalog != nil {
+			t.Fatal("plain cluster grew a catalog section")
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		c := catalogTestFleet(t, tenants, channels, gateways, 770, 0.25, shards, catalog.Isolated{})
+		var offers []CatalogResult
+		for _, st := range steps {
+			id := catalog.ID(fmt.Sprintf("s-%03d", st.stream))
+			if st.depart {
+				if _, err := c.DepartCatalogStream(ctx, st.tenant, id); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			res, err := c.OfferCatalogStream(ctx, st.tenant, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offers = append(offers, res)
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fs.RenderTenants(); got != refTable {
+			t.Fatalf("shards=%d: catalog(Isolated) tenant table differs from plain sessions:\n--- catalog\n%s\n--- plain\n%s",
+				shards, got, refTable)
+		}
+		if len(offers) != len(refOffers) {
+			t.Fatalf("shards=%d: %d offers vs %d", shards, len(offers), len(refOffers))
+		}
+		for i, res := range offers {
+			want := refOffers[i]
+			if res.Admitted != want.Accepted || res.Utility != want.Utility ||
+				len(res.Subscribers) != len(want.Subscribers) {
+				t.Fatalf("shards=%d offer %d: catalog %+v vs plain %+v", shards, i, res, want)
+			}
+			if res.CostScale != 1 {
+				t.Fatalf("shards=%d offer %d: Isolated charged scale %v", shards, i, res.CostScale)
+			}
+			if res.Admitted && res.CostCharged != res.FullCost {
+				t.Fatalf("shards=%d offer %d: Isolated discounted: %+v", shards, i, res)
+			}
+		}
+		// Fleet-wide accounting under Isolated: zero savings, and the
+		// registry state itself is shard-count invariant.
+		if fs.Catalog == nil {
+			t.Fatalf("shards=%d: no catalog section", shards)
+		}
+		if fs.Catalog.OriginSavings != 0 {
+			t.Fatalf("shards=%d: Isolated saved %v", shards, fs.Catalog.OriginSavings)
+		}
+	}
+}
+
+// TestCatalogSharedOriginLifecycle drives the SharedOrigin protocol end
+// to end through the cluster session surface: discount pricing, shared
+// references, fixed-at-admission charges, eviction on last departure,
+// and the snapshot accounting.
+func TestCatalogSharedOriginLifecycle(t *testing.T) {
+	ctx := context.Background()
+	c := catalogTestFleet(t, 3, 10, 5, 40, 0.9, 2, catalog.SharedOrigin{ReplicationFraction: 0.25})
+	id := catalog.ID("s-004")
+
+	first, err := c.OfferCatalogStream(ctx, 0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Admitted {
+		t.Fatalf("first offer rejected: %+v", first)
+	}
+	if first.CostScale != 1 || first.CostCharged != first.FullCost || first.Refs != 1 {
+		t.Fatalf("first offer = %+v", first)
+	}
+	second, err := c.OfferCatalogStream(ctx, 1, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Admitted {
+		t.Fatalf("second offer rejected: %+v", second)
+	}
+	if second.CostScale != 0.25 || second.Refs != 2 {
+		t.Fatalf("second offer = %+v", second)
+	}
+	if want := 0.25 * second.FullCost; second.CostCharged != want {
+		t.Fatalf("second charge = %v, want %v", second.CostCharged, want)
+	}
+	if len(second.SharedWith) != 1 || second.SharedWith[0] != 0 {
+		t.Fatalf("second SharedWith = %v", second.SharedWith)
+	}
+
+	// Re-offer by a holder: rejection, refcount untouched.
+	again, err := c.OfferCatalogStream(ctx, 0, id)
+	if err != nil || again.Admitted || again.Refs != 2 {
+		t.Fatalf("re-offer = %+v, %v", again, err)
+	}
+
+	// Snapshot carries the catalog section with the savings.
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Catalog == nil || fs.Catalog.ActiveShared != 1 {
+		t.Fatalf("catalog section = %+v", fs.Catalog)
+	}
+	if want := 0.75 * second.FullCost; fs.Catalog.OriginSavings != want {
+		t.Fatalf("savings = %v, want %v", fs.Catalog.OriginSavings, want)
+	}
+	if !fs.AllFeasible {
+		t.Fatal("fleet infeasible under discounted pricing")
+	}
+
+	// Departures: the full payer first (survivor keeps its discount),
+	// then the survivor, which evicts.
+	dep0, err := c.DepartCatalogStream(ctx, 0, id)
+	if err != nil || !dep0.Removed || dep0.Refs != 1 || dep0.Evicted {
+		t.Fatalf("first depart = %+v, %v", dep0, err)
+	}
+	dep1, err := c.DepartCatalogStream(ctx, 1, id)
+	if err != nil || !dep1.Removed || dep1.Refs != 0 || !dep1.Evicted {
+		t.Fatalf("last depart = %+v, %v", dep1, err)
+	}
+	// Departing a stream the tenant does not carry: Removed false.
+	dep2, err := c.DepartCatalogStream(ctx, 2, id)
+	if err != nil || dep2.Removed || dep2.Evicted {
+		t.Fatalf("uncarried depart = %+v, %v", dep2, err)
+	}
+	// A fresh admission starts a new occupancy cycle at full price.
+	fresh, err := c.OfferCatalogStream(ctx, 2, id)
+	if err != nil || !fresh.Admitted || fresh.CostScale != 1 {
+		t.Fatalf("post-eviction offer = %+v, %v", fresh, err)
+	}
+}
+
+// TestCatalogErrors pins the sentinel taxonomy of the catalog surface.
+func TestCatalogErrors(t *testing.T) {
+	ctx := context.Background()
+
+	// No catalog configured.
+	in, err := generator.CableTV{Channels: 5, Gateways: 3, Seed: 9}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := New([]TenantConfig{{Instance: in}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.OfferCatalogStream(ctx, 0, "x"); !errors.Is(err, ErrNoCatalog) {
+		t.Fatalf("no catalog: %v", err)
+	}
+	if _, err := bare.CatalogSnapshot(); !errors.Is(err, ErrNoCatalog) {
+		t.Fatalf("no catalog snapshot: %v", err)
+	}
+
+	c := catalogTestFleet(t, 2, 5, 3, 11, 0.5, 1, nil)
+	if _, err := c.OfferCatalogStream(ctx, 0, "nope"); !errors.Is(err, ErrUnknownCatalogStream) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	if _, err := c.DepartCatalogStream(ctx, 0, "nope"); !errors.Is(err, ErrUnknownCatalogStream) {
+		t.Fatalf("unknown id depart: %v", err)
+	}
+	if _, err := c.OfferCatalogStream(ctx, 7, "s-000"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: %v", err)
+	}
+
+	// Bad bindings are rejected at construction.
+	if _, err := New([]TenantConfig{{Instance: in}}, Options{
+		Catalog: &CatalogOptions{Streams: []catalog.Binding{
+			{ID: "x", Local: map[int]int{0: 99}},
+		}},
+	}); err == nil {
+		t.Fatal("out-of-range binding accepted")
+	}
+	if _, err := New([]TenantConfig{{Instance: in}}, Options{
+		Catalog: &CatalogOptions{Streams: []catalog.Binding{
+			{ID: "x", Local: map[int]int{3: 0}},
+		}},
+	}); err == nil {
+		t.Fatal("out-of-range tenant binding accepted")
+	}
+}
+
+// TestCatalogConcurrentOffersDeparts is the cross-shard race check: all
+// shards hammer the same CatalogIDs with offers and departures
+// concurrently (run under -race). At the end every reference count must
+// be zero, the accounting must balance, and evictions must not have
+// double-fired (the registry's lifetime eviction count can never exceed
+// its admission count, and a fresh post-storm admission is priced at
+// full cost — proof the occupancy state drained cleanly).
+func TestCatalogConcurrentOffersDeparts(t *testing.T) {
+	const tenants, channels, rounds = 8, 6, 30
+	c := catalogTestFleet(t, tenants, channels, 6, 530, 0.5, 4,
+		catalog.SharedOrigin{ReplicationFraction: 0.25})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	observedEvictions := 0
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + tenant)))
+			for r := 0; r < rounds; r++ {
+				id := catalog.ID(fmt.Sprintf("s-%03d", rng.Intn(channels)))
+				res, err := c.OfferCatalogStream(ctx, tenant, id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Admitted {
+					dep, err := c.DepartCatalogStream(ctx, tenant, id)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !dep.Removed {
+						t.Errorf("tenant %d: admitted %s but depart found nothing", tenant, id)
+						return
+					}
+					if dep.Evicted {
+						mu.Lock()
+						observedEvictions++
+						mu.Unlock()
+					}
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Catalog
+	if snap == nil {
+		t.Fatal("no catalog section")
+	}
+	for _, e := range snap.Entries {
+		if e.Refs != 0 || len(e.Holders) != 0 {
+			t.Fatalf("refcount leaked: %+v", e)
+		}
+		if e.Evictions > e.Admissions {
+			t.Fatalf("eviction double-fired: %+v", e)
+		}
+		if e.ChargedCost > e.FullCost || e.Savings < 0 {
+			t.Fatalf("accounting: %+v", e)
+		}
+	}
+	if snap.Evictions < observedEvictions {
+		t.Fatalf("registry evictions %d < observed %d", snap.Evictions, observedEvictions)
+	}
+	// Post-storm: every entry starts a fresh cycle at full price.
+	for s := 0; s < channels; s++ {
+		id := catalog.ID(fmt.Sprintf("s-%03d", s))
+		res, err := c.OfferCatalogStream(ctx, 0, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted && res.CostScale != 1 {
+			t.Fatalf("post-storm %s priced at %v", id, res.CostScale)
+		}
+	}
+}
+
+// TestInstallReleasesDroppedCatalogRefs: an installing re-solve adopts
+// the offline lineup wholesale, dropping catalog-admitted streams the
+// offline solution excludes — their fleet references must be released,
+// or later tenants would be discounted against an origin nobody pays
+// for and the origin could never be evicted.
+func TestInstallReleasesDroppedCatalogRefs(t *testing.T) {
+	ctx := context.Background()
+	in, err := generator.CableTV{Channels: 12, Gateways: 5, Seed: 901, EgressFraction: 0.3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := headend.NewThresholdPolicy(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := make([]catalog.Binding, in.NumStreams())
+	for s := range bindings {
+		bindings[s] = catalog.Binding{ID: catalog.ID(fmt.Sprintf("s-%03d", s)), Local: map[int]int{0: s}}
+	}
+	c, err := New([]TenantConfig{{Instance: in, Policy: pol}}, Options{
+		Shards:  1,
+		Catalog: &CatalogOptions{Streams: bindings, CostModel: catalog.SharedOrigin{ReplicationFraction: 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for s := 0; s < in.NumStreams(); s++ {
+		if _, err := c.OfferCatalogStream(ctx, 0, catalog.ID(fmt.Sprintf("s-%03d", s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refsBefore := 0
+	for _, e := range before.Catalog.Entries {
+		refsBefore += e.Refs
+	}
+	if refsBefore == 0 {
+		t.Fatal("nothing admitted; workload cannot exercise the install-drop path")
+	}
+
+	rr, err := c.Resolve(ctx, 0, ResolveOptions{Install: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Installed {
+		t.Fatalf("install skipped: %+v", rr)
+	}
+	after, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconcile runs in both directions: with every stream bound,
+	// the reference count must equal the installed lineup's carried
+	// stream count exactly — dropped streams released, picked-up
+	// streams registered.
+	refsAfter := 0
+	for _, e := range after.Catalog.Entries {
+		refsAfter += e.Refs
+	}
+	if refsAfter != after.Tenants[0].ActiveStreams {
+		t.Fatalf("refs after install = %d, carried streams = %d (registry desynced)",
+			refsAfter, after.Tenants[0].ActiveStreams)
+	}
+	if refsAfter == refsBefore {
+		t.Fatalf("install changed nothing (%d refs both sides); the offline lineup must "+
+			"differ from the greedy one for this test to bite", refsBefore)
+	}
+
+	// No ghost references in either direction: a reference implies a
+	// carried stream (depart removes it), no reference implies nothing
+	// carried, and draining everything ends at zero refs fleet-wide.
+	for _, e := range after.Catalog.Entries {
+		dep, err := c.DepartCatalogStream(ctx, 0, e.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Refs == 1 && !dep.Removed {
+			t.Fatalf("%s: ref held but stream not carried (ghost reference)", e.ID)
+		}
+		if e.Refs == 0 && dep.Removed {
+			t.Fatalf("%s: stream carried without a reference (ghost carry)", e.ID)
+		}
+		if e.Refs == 0 && dep.Evicted {
+			t.Fatalf("%s: eviction without a reference", e.ID)
+		}
+	}
+	final, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range final.Catalog.Entries {
+		if e.Refs != 0 {
+			t.Fatalf("%s: %d refs leaked after full drain", e.ID, e.Refs)
+		}
+	}
+}
+
+// TestApplyBatchIgnoresCallerCostScale: Event.CostScale is owned by the
+// catalog's acquire protocol; a caller-supplied value must not buy a
+// discount on the feasibility guard.
+func TestApplyBatchIgnoresCallerCostScale(t *testing.T) {
+	honest, cheater := batchTestClusters(t)
+	ctx := context.Background()
+	var plain, scaled []Event
+	for s := 0; s < 15; s++ {
+		plain = append(plain, Event{Type: EventStreamArrival, Stream: s})
+		scaled = append(scaled, Event{Type: EventStreamArrival, Stream: s, CostScale: 1e-9})
+	}
+	for ti := 0; ti < honest.NumTenants(); ti++ {
+		if _, err := honest.ApplyBatch(ctx, ti, plain); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cheater.ApplyBatch(ctx, ti, scaled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hfs, err := honest.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs, err := cheater.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hfs.RenderTenants() != cfs.RenderTenants() {
+		t.Fatalf("caller-supplied CostScale changed admissions:\n--- scaled\n%s\n--- plain\n%s",
+			cfs.RenderTenants(), hfs.RenderTenants())
+	}
+}
+
+// TestCatalogReofferAfterLocalDepartIsAccounted: departing a
+// catalog-managed stream by local index leaks the fleet reference (the
+// documented misuse); a later catalog re-offer under that ghost
+// reference actually admits, and the registry accounting must record
+// the admission rather than assume a no-op.
+func TestCatalogReofferAfterLocalDepartIsAccounted(t *testing.T) {
+	ctx := context.Background()
+	c := catalogTestFleet(t, 2, 10, 5, 41, 0.9, 1, catalog.SharedOrigin{ReplicationFraction: 0.25})
+	id := catalog.ID("s-002")
+
+	first, err := c.OfferCatalogStream(ctx, 0, id)
+	if err != nil || !first.Admitted {
+		t.Fatalf("first offer = %+v, %v", first, err)
+	}
+	// The misuse: local-index departure keeps the fleet reference.
+	if _, err := c.DepartStream(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.OfferCatalogStream(ctx, 0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Admitted {
+		t.Fatalf("re-offer under ghost reference not admitted: %+v", again)
+	}
+	if again.CostScale != 1 || again.CostCharged != again.FullCost {
+		t.Fatalf("ghost re-offer must be full price: %+v", again)
+	}
+	if again.Refs != 1 {
+		t.Fatalf("ghost re-offer grew refs: %+v", again)
+	}
+	snap, err := c.CatalogSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e *catalog.EntrySnapshot
+	for i := range snap.Entries {
+		if snap.Entries[i].ID == id {
+			e = &snap.Entries[i]
+		}
+	}
+	if e == nil || e.Admissions != 2 {
+		t.Fatalf("ghost admission missing from accounting: %+v", e)
+	}
+	if want := first.FullCost + again.FullCost; e.FullCost != want {
+		t.Fatalf("entry full cost = %v, want %v", e.FullCost, want)
+	}
+
+	// And the cleanup contract: a by-ID departure releases a leaked
+	// reference even when nothing is carried anymore.
+	if _, err := c.DepartStream(ctx, 0, 2); err != nil { // leak again
+		t.Fatal(err)
+	}
+	cleanup, err := c.DepartCatalogStream(ctx, 0, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanup.Removed || cleanup.Refs != 0 || !cleanup.Evicted {
+		t.Fatalf("ghost cleanup = %+v (want Removed false, refs 0, evicted)", cleanup)
+	}
+}
+
+// TestCatalogNilContextAndDuplicateBindings pins two construction/entry
+// edges: the catalog session methods accept a nil context like every
+// other session method, and a (tenant, local stream) pair may back at
+// most one catalog ID.
+func TestCatalogNilContextAndDuplicateBindings(t *testing.T) {
+	c := catalogTestFleet(t, 2, 5, 3, 12, 0.9, 1, nil)
+	if _, err := c.OfferCatalogStream(nil, 0, "s-001"); err != nil { //lint:ignore SA1012 nil ctx is part of the session contract
+		t.Fatalf("nil ctx offer: %v", err)
+	}
+	if _, err := c.DepartCatalogStream(nil, 0, "s-001"); err != nil { //lint:ignore SA1012 nil ctx is part of the session contract
+		t.Fatalf("nil ctx depart: %v", err)
+	}
+
+	in, err := generator.CableTV{Channels: 5, Gateways: 3, Seed: 9}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]TenantConfig{{Instance: in}}, Options{
+		Catalog: &CatalogOptions{Streams: []catalog.Binding{
+			{ID: "x", Local: map[int]int{0: 2}},
+			{ID: "y", Local: map[int]int{0: 2}},
+		}},
+	}); err == nil {
+		t.Fatal("two catalog IDs bound to one (tenant, stream) accepted")
+	}
+}

@@ -57,9 +57,23 @@
 // serving-path benchmarks are snapshotted by `mmdbench -json` into
 // BENCH_serving.json.
 //
-// Tenants are fully isolated: streams are not shared across shards (a
-// stream admitted by tenant 3 costs nothing to tenant 5), which is
-// recorded as an open item in ROADMAP.md.
+// # Fleet catalog (serving API v3)
+//
+// With Options.Catalog, streams gain fleet-wide identity: a catalog.ID
+// names the same stream across tenants, whatever local index each
+// tenant's instance knows it by. OfferCatalogStream/DepartCatalogStream
+// admit and release by ID; a registry owned by its own goroutine (the
+// same share-nothing message discipline as the shard workers — see
+// internal/catalog) maintains cross-shard reference counts, and a
+// pluggable cost model prices each admission from the current count.
+// Under catalog.Isolated (the default) every admission is full price
+// and results are bit-identical to the pre-catalog path; under
+// catalog.SharedOrigin the first admitting tenant pays the full
+// origin/transcode cost, later tenants the replication fraction — the
+// guard asks the tenant's feasibility ledger with the discounted delta
+// — and the last departure evicts the origin. Snapshot embeds the
+// registry state (reference counts, origin savings) when a catalog is
+// configured.
 package cluster
 
 import (
@@ -67,6 +81,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/headend"
 	"repro/internal/mmd"
@@ -106,6 +121,26 @@ type Event struct {
 	// Install asks a resolve event to install the offline assignment
 	// (see Cluster.Resolve and headend.Tenant.Resolve).
 	Install bool
+	// CostScale prices an arrival's server-cost delta (0 means 1, full
+	// price). Set by the catalog path (OfferCatalogStream) from the
+	// cost model's ticket; see headend.Tenant.OfferStreamScaled.
+	CostScale float64
+	// CatalogID marks a catalog-managed arrival or departure. The
+	// worker settles the fleet reference (commit or recharge on admit,
+	// release on reject or removal — classified against its own
+	// held-reference set) immediately after applying the event, so
+	// registry transitions follow shard FIFO order exactly — caller
+	// ordering races cannot desynchronize refcounts from tenant state.
+	// Set only by the catalog session methods.
+	CatalogID catalog.ID
+}
+
+// scale returns the arrival's effective server-cost scale.
+func (ev Event) scale() float64 {
+	if ev.CostScale == 0 {
+		return 1
+	}
+	return ev.CostScale
 }
 
 // TenantSnapshot is the per-tenant summary (see headend.TenantSnapshot).
@@ -141,6 +176,22 @@ type Options struct {
 	// Backpressure selects the enqueue behavior when a shard queue is
 	// full: BackpressureBlock (default) or BackpressureReject.
 	Backpressure Backpressure
+	// Catalog configures the fleet-level shared-stream catalog (serving
+	// API v3); nil disables the catalog surface and the catalog session
+	// methods fail with ErrNoCatalog.
+	Catalog *CatalogOptions
+}
+
+// CatalogOptions configures the fleet catalog: which streams have
+// fleet-wide identity and how later admissions are priced.
+type CatalogOptions struct {
+	// Streams binds fleet-wide catalog IDs to per-tenant local stream
+	// indexes (see catalog.Binding).
+	Streams []catalog.Binding
+	// CostModel prices admissions from the current reference count; nil
+	// means catalog.Isolated (full price everywhere — bit-identical to
+	// the pre-catalog serving path).
+	CostModel catalog.CostModel
 }
 
 func (o Options) withDefaults(tenants int) Options {
@@ -172,14 +223,17 @@ type ShardStats struct {
 }
 
 // message is the shard channel payload: an event (with an optional
-// per-event completion channel), or a barrier request when snap is
-// non-nil. ack is always buffered with capacity 1 so the worker never
-// blocks delivering a result, even when the caller has abandoned the
-// call on context cancellation.
+// per-event completion channel), a single-tenant event batch when batch
+// is non-nil (see Cluster.ApplyBatch), or a barrier request when snap is
+// non-nil. ack and batchAck are always buffered with capacity 1 so the
+// worker never blocks delivering a result, even when the caller has
+// abandoned the call on context cancellation.
 type message struct {
-	ev   Event
-	ack  chan result
-	snap chan shardReport
+	ev       Event
+	ack      chan result
+	batch    []Event
+	batchAck chan []EventResult
+	snap     chan shardReport
 }
 
 type shardReport struct {
@@ -210,6 +264,21 @@ type Cluster struct {
 	tenants []*headend.Tenant
 	shardOf []int
 	shards  []*shard
+	// catalog is the fleet-level shared-stream registry (nil when
+	// Options.Catalog is nil); see OfferCatalogStream.
+	catalog *catalog.Registry
+	// catalogLocals[tenant] lists the tenant's catalog bindings in
+	// Options.Catalog.Streams order — the worker walks it after an
+	// installing re-solve to find fleet streams the new lineup dropped,
+	// so their references can be released (see applyEvent).
+	catalogLocals [][]catalogLocal
+	// heldCatalog[tenant] is the worker-maintained set of fleet streams
+	// the tenant holds a confirmed reference for. Every reference
+	// transition is settled by the owning shard worker, so the set is
+	// exact, lock-free, and lets the install-reconcile path release
+	// only references actually held (no registry round trips for the
+	// rest of the catalog).
+	heldCatalog []map[catalog.ID]bool
 
 	mu     sync.RWMutex
 	closed bool
@@ -246,6 +315,47 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 		}
 		c.tenants[i] = t
 		c.shardOf[i] = i % opts.Shards
+	}
+	if opts.Catalog != nil {
+		// Each (tenant, local stream) pair may back at most one catalog
+		// ID: two IDs sharing a local stream would let a departure by
+		// one ID strand the other's confirmed reference forever.
+		type tenantLocal struct{ tenant, local int }
+		bound := make(map[tenantLocal]catalog.ID)
+		for _, b := range opts.Catalog.Streams {
+			for tenant, s := range b.Local {
+				if tenant < 0 || tenant >= len(c.tenants) {
+					return nil, fmt.Errorf("cluster: catalog %q: tenant %d out of range [0,%d)",
+						b.ID, tenant, len(c.tenants))
+				}
+				if n := c.tenants[tenant].Instance().NumStreams(); s >= n {
+					return nil, fmt.Errorf("cluster: catalog %q: tenant %d stream %d out of range [0,%d)",
+						b.ID, tenant, s, n)
+				}
+				key := tenantLocal{tenant, s}
+				if prev, dup := bound[key]; dup {
+					return nil, fmt.Errorf("cluster: catalog %q: tenant %d stream %d already bound to %q",
+						b.ID, tenant, s, prev)
+				}
+				bound[key] = b.ID
+			}
+		}
+		reg, err := catalog.NewRegistry(opts.Catalog.Streams, opts.Catalog.CostModel)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.catalog = reg
+		c.catalogLocals = make([][]catalogLocal, len(c.tenants))
+		c.heldCatalog = make([]map[catalog.ID]bool, len(c.tenants))
+		for _, b := range opts.Catalog.Streams {
+			for tenant, s := range b.Local {
+				c.catalogLocals[tenant] = append(c.catalogLocals[tenant],
+					catalogLocal{id: b.ID, local: s})
+			}
+		}
+		for i := range c.heldCatalog {
+			c.heldCatalog[i] = make(map[catalog.ID]bool)
+		}
 	}
 	for s := range c.shards {
 		sh := &shard{
@@ -313,6 +423,13 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if c.catalog != nil {
+		// Taken after every shard barrier replied, so all catalog
+		// traffic submitted-and-acknowledged before Snapshot is
+		// reflected; the registry owner renders entries in sorted ID
+		// order, keeping the section deterministic.
+		fs.Catalog = c.catalog.Snapshot()
+	}
 	for i := range c.tenants {
 		snap := snaps[i]
 		fs.Tenants[i] = snap
@@ -355,6 +472,9 @@ func (c *Cluster) Close() error {
 			firstErr = sh.err
 		}
 	}
+	if c.catalog != nil {
+		c.catalog.Close()
+	}
 	return firstErr
 }
 
@@ -376,25 +496,15 @@ func (c *Cluster) worker(sh *shard) {
 		// independent, so results match pure FIFO.
 		for len(batch) > 0 {
 			ti := batch[0].ev.Tenant
-			t := c.tenants[ti]
-			in := t.Instance()
 			keep := batch[:0]
 			for _, msg := range batch {
 				if msg.ev.Tenant != ti {
 					keep = append(keep, msg)
 					continue
 				}
-				sh.stats.Arrivals++
-				users := t.OfferStream(msg.ev.Stream)
-				if len(users) > 0 {
-					sh.stats.Admitted++
-				}
+				res := c.applyArrival(sh, msg.ev, msg.ack != nil)
 				if msg.ack != nil {
-					res := OfferResult{Accepted: len(users) > 0, Subscribers: users}
-					for _, u := range users {
-						res.Utility += in.Users[u].Utility[msg.ev.Stream]
-					}
-					msg.ack <- result{offer: res}
+					msg.ack <- res
 				}
 			}
 			batch = keep
@@ -404,6 +514,15 @@ func (c *Cluster) worker(sh *shard) {
 		if msg.snap != nil {
 			flush()
 			msg.snap <- c.reportShard(sh)
+			continue
+		}
+		if msg.batch != nil {
+			// A single-tenant event batch (ApplyBatch, the HTTP batch
+			// endpoint): one shard message, applied as its own batch
+			// window — flush the pending window first so ordering stays
+			// FIFO per tenant.
+			flush()
+			msg.batchAck <- c.applyEventBatch(sh, msg.batch)
 			continue
 		}
 		sh.stats.Events++
@@ -420,16 +539,66 @@ func (c *Cluster) worker(sh *shard) {
 			continue
 		}
 		flush()
-		c.applyChurn(sh, msg)
+		res := c.applyEvent(sh, msg.ev, msg.ack == nil)
+		if msg.ack != nil {
+			msg.ack <- res
+		}
 	}
 	flush()
 }
 
-// applyChurn handles every non-arrival event and the churn-triggered
-// re-solve policy, delivering the typed result when the event carries a
-// completion channel.
-func (c *Cluster) applyChurn(sh *shard, msg message) {
-	ev := msg.ev
+// applyArrival admits one stream arrival on the worker goroutine and
+// returns the typed decision (shared by the coalescing flush path and
+// the batch path). The utility sum is computed only when a caller will
+// read it (needResult); fire-and-forget replay arrivals skip it. For a
+// catalog-managed arrival the fleet reference is settled here, in shard
+// FIFO order: commit on admit, release of the provisional reference on
+// reject, recharge accounting for an admission under an existing
+// reference (CatalogAlready).
+func (c *Cluster) applyArrival(sh *shard, ev Event, needResult bool) result {
+	t := c.tenants[ev.Tenant]
+	sh.stats.Arrivals++
+	users := t.OfferStreamScaled(ev.Stream, ev.scale())
+	if len(users) > 0 {
+		sh.stats.Admitted++
+	}
+	res := result{offer: OfferResult{Accepted: len(users) > 0, Subscribers: users}}
+	if needResult {
+		in := t.Instance()
+		for _, u := range users {
+			res.offer.Utility += in.Users[u].Utility[ev.Stream]
+		}
+	}
+	if ev.CatalogID != "" && c.catalog != nil {
+		// The held-reference set is maintained by this worker alongside
+		// every registry transition for the tenant, so it decides
+		// commit-vs-recharge exactly — a caller-side classification
+		// could be stale by the time the event is applied.
+		switch held := c.heldCatalog[ev.Tenant]; {
+		case !res.offer.Accepted:
+			res.refs, res.evicted = c.catalog.Release(ev.CatalogID, ev.Tenant, false)
+		case held[ev.CatalogID]:
+			// The tenant already holds the reference but the local
+			// stream had been dropped out of band: a real admission
+			// under the existing reference, charged at the scale the
+			// guard actually priced (a holder's ticket is full price;
+			// only exotic interleaves carry a discount here).
+			full := t.Instance().StreamCostSum(ev.Stream)
+			res.refs = c.catalog.Recharge(ev.CatalogID, ev.Tenant, full, ev.scale()*full)
+		default:
+			full := t.Instance().StreamCostSum(ev.Stream)
+			res.refs = c.catalog.Commit(ev.CatalogID, ev.Tenant, full, ev.scale()*full)
+			held[ev.CatalogID] = true
+		}
+	}
+	return res
+}
+
+// applyEvent handles every non-arrival event and the churn-triggered
+// re-solve policy, returning the typed result. background marks events
+// with no caller to inform (fire-and-forget replay), whose resolve
+// errors latch as the shard's first error.
+func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
 	t := c.tenants[ev.Tenant]
 	var res result
 	churned := false
@@ -439,6 +608,20 @@ func (c *Cluster) applyChurn(sh *shard, msg message) {
 		carried := t.Carries(ev.Stream)
 		users := t.DepartStream(ev.Stream)
 		res.depart = DepartResult{Removed: carried, Subscribers: users}
+		if ev.CatalogID != "" && c.catalog != nil {
+			// Catalog-managed departure: settle the fleet reference in
+			// shard FIFO order (see applyArrival). A held reference is
+			// released even when nothing was carried (Removed false) —
+			// that is the cleanup of a reference leaked by an
+			// out-of-band local-index departure.
+			held := c.heldCatalog[ev.Tenant]
+			if res.depart.Removed || held[ev.CatalogID] {
+				res.refs, res.evicted = c.catalog.Release(ev.CatalogID, ev.Tenant, true)
+				delete(held, ev.CatalogID)
+			} else {
+				res.refs = c.catalog.Refs(ev.CatalogID)
+			}
+		}
 		churned = true
 	case EventUserLeave:
 		sh.stats.Leaves++
@@ -453,7 +636,39 @@ func (c *Cluster) applyChurn(sh *shard, msg message) {
 		res.churn = ChurnResult{Changed: wasAway}
 		churned = true
 	case EventResolve:
-		res.resolve, res.err = c.resolve(sh, ev.Tenant, ev.Install, msg.ack == nil)
+		res.resolve, res.err = c.resolve(sh, ev.Tenant, ev.Install, background)
+		if res.err == nil && res.resolve.Installed && c.catalog != nil {
+			// An install adopts the offline lineup wholesale — dropping
+			// catalog-admitted streams outside it and picking up
+			// catalog-bound streams inside it. The worker (which owns
+			// both the tenant's carried set and its held-reference set)
+			// reconciles the registry in both directions: it releases
+			// exactly the references whose stream the new lineup no
+			// longer carries (a retained ghost reference would discount
+			// later tenants against an origin nobody pays for), and it
+			// registers a full-price reference for every bound stream
+			// the install picked up (a carried-but-unreferenced stream
+			// would let a survivor's departure evict an origin still in
+			// use). Settling here keeps registry transitions in shard
+			// FIFO order and covers background installs, which have no
+			// caller.
+			held := c.heldCatalog[ev.Tenant]
+			for _, cl := range c.catalogLocals[ev.Tenant] {
+				switch carries := t.Carries(cl.local); {
+				case held[cl.id] && !carries:
+					c.catalog.Release(cl.id, ev.Tenant, true)
+					delete(held, cl.id)
+				case !held[cl.id] && carries:
+					// Installs re-price at full (isolated) cost, like
+					// LoadLedger.Rebuild and Tenant.install.
+					if _, err := c.catalog.Acquire(cl.id, ev.Tenant); err == nil {
+						full := t.Instance().StreamCostSum(cl.local)
+						c.catalog.Commit(cl.id, ev.Tenant, full, full)
+						held[cl.id] = true
+					}
+				}
+			}
+		}
 	}
 	if churned && c.opts.ResolveEvery > 0 {
 		sh.churn[ev.Tenant]++
@@ -461,9 +676,42 @@ func (c *Cluster) applyChurn(sh *shard, msg message) {
 			_, _ = c.resolve(sh, ev.Tenant, false, true)
 		}
 	}
-	if msg.ack != nil {
-		msg.ack <- res
+	return res
+}
+
+// applyEventBatch applies one single-tenant event sequence in
+// submission order on the worker goroutine. Each contiguous run of
+// arrivals is one batch window for the shard stats (the coalescing a
+// remote caller gets from the batch endpoint); non-arrival events are
+// applied between windows exactly as in the FIFO path. Per-event
+// results are positional.
+func (c *Cluster) applyEventBatch(sh *shard, evs []Event) []EventResult {
+	out := make([]EventResult, len(evs))
+	for i := 0; i < len(evs); {
+		sh.stats.Events++
+		ev := evs[i]
+		if ev.Type != EventStreamArrival {
+			res := c.applyEvent(sh, ev, false)
+			out[i] = EventResult{Type: ev.Type, Depart: res.depart, Churn: res.churn,
+				Resolve: res.resolve, Err: res.err}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(evs) && evs[j].Type == EventStreamArrival {
+			sh.stats.Events++
+			j++
+		}
+		sh.stats.Batches++
+		if j-i > sh.stats.MaxBatch {
+			sh.stats.MaxBatch = j - i
+		}
+		for k := i; k < j; k++ {
+			out[k] = EventResult{Type: EventStreamArrival, Offer: c.applyArrival(sh, evs[k], true).offer}
+		}
+		i = j
 	}
+	return out
 }
 
 // resolve runs one offline re-solve on the worker goroutine. A

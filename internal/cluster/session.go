@@ -130,19 +130,25 @@ func (c *Cluster) UserJoin(ctx context.Context, tenant, user int) (ChurnResult, 
 // Resolve re-runs the offline Theorem 1.1 pipeline for tenant t on its
 // shard worker. With opts.Install the offline assignment is installed
 // via a make-before-break policy-state rebuild (never downgrading the
-// running lineup); without it the re-solve only measures drift.
+// running lineup); without it the re-solve only measures drift. When a
+// catalog is configured, the worker releases the fleet references of
+// catalog streams the installed lineup dropped before replying.
 func (c *Cluster) Resolve(ctx context.Context, tenant int, opts ResolveOptions) (ResolveResult, error) {
 	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventResolve, Install: opts.Install})
 	return res.resolve, err
 }
 
 // result is the union payload delivered on a per-event completion
-// channel; exactly the field for the event's type is populated.
+// channel; exactly the field for the event's type is populated. refs
+// and evicted report the fleet-reference state the worker settled for a
+// catalog-managed event (Event.CatalogID set).
 type result struct {
 	offer   OfferResult
 	depart  DepartResult
 	churn   ChurnResult
 	resolve ResolveResult
+	refs    int
+	evicted bool
 	err     error
 }
 
@@ -171,8 +177,30 @@ func (c *Cluster) call(ctx context.Context, ev Event) (result, error) {
 // backpressure mode. ack may be nil (fire-and-forget, used by the
 // workload replay path).
 func (c *Cluster) submit(ctx context.Context, ev Event, ack chan result) error {
-	if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
-		return fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, ev.Tenant, len(c.tenants))
+	if err := validEventType(ev.Type); err != nil {
+		return err
+	}
+	return c.enqueue(ctx, ev.Tenant, message{ev: ev, ack: ack})
+}
+
+// validEventType is the single serving-event allowlist shared by the
+// single-event and batch submission paths.
+func validEventType(t EventType) error {
+	switch t {
+	case EventStreamArrival, EventStreamDeparture, EventUserLeave, EventUserJoin, EventResolve:
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown event type %d", t)
+	}
+}
+
+// enqueue is the single shard-channel send shared by every submission
+// path: it validates the tenant index and the open state, then delivers
+// msg to the owning shard under the cluster's backpressure mode. The
+// read lock is held only for the send, never across a result wait.
+func (c *Cluster) enqueue(ctx context.Context, tenant int, msg message) error {
+	if tenant < 0 || tenant >= len(c.tenants) {
+		return fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, tenant, len(c.tenants))
 	}
 	// An already-done context must not enqueue: without this guard the
 	// send and ctx.Done() cases below could both be ready and the event
@@ -180,24 +208,18 @@ func (c *Cluster) submit(ctx context.Context, ev Event, ack chan result) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
-	switch ev.Type {
-	case EventStreamArrival, EventStreamDeparture, EventUserLeave, EventUserJoin, EventResolve:
-	default:
-		return fmt.Errorf("cluster: unknown event type %d", ev.Type)
-	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
 		return ErrClosed
 	}
-	ch := c.shards[c.shardOf[ev.Tenant]].ch
-	msg := message{ev: ev, ack: ack}
+	ch := c.shards[c.shardOf[tenant]].ch
 	if c.opts.Backpressure == BackpressureReject {
 		select {
 		case ch <- msg:
 			return nil
 		default:
-			return fmt.Errorf("%w: shard %d", ErrQueueFull, c.shardOf[ev.Tenant])
+			return fmt.Errorf("%w: shard %d", ErrQueueFull, c.shardOf[tenant])
 		}
 	}
 	select {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/catalog"
 )
 
 // FleetSnapshot is the aggregated state of the whole cluster at a
@@ -25,6 +27,10 @@ type FleetSnapshot struct {
 	// AllFeasible is true when every tenant's assignment satisfies its
 	// budgets and capacities.
 	AllFeasible bool
+	// Catalog is the fleet catalog state (per-stream reference counts,
+	// origin-cost accounting) — nil when no catalog is configured, so
+	// pre-catalog snapshots are unchanged.
+	Catalog *catalog.Snapshot
 }
 
 // Render returns the snapshot as deterministic text tables (fleet
@@ -51,6 +57,9 @@ func (fs *FleetSnapshot) Render() string {
 	}
 
 	sb.WriteString("\n" + fs.RenderTenants())
+	if fs.Catalog != nil {
+		sb.WriteString("\n" + fs.Catalog.Render())
+	}
 	return sb.String()
 }
 

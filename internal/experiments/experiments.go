@@ -20,6 +20,7 @@
 //	E10 end-to-end: simulated head-end, delivery, zero overload
 //	E11 footnote 1: finite-duration streams and gateway churn
 //	E12 fleet scale: sharded multi-tenant cluster, shard-count invariance
+//	E13 fleet catalog: shared-origin pricing vs isolated tenants
 //	A1  ablation: paper-faithful lift vs greedy-merging lift
 //	A2  ablation: raw greedy vs fixed greedy on the blocking family
 //	A3  ablation: online allocator sensitivity to mu
@@ -106,6 +107,7 @@ func All() ([]*Table, error) {
 		{"E10", func() (*Table, error) { return E10EndToEnd(DefaultE10()) }},
 		{"E11", func() (*Table, error) { return E11Churn(DefaultE11()) }},
 		{"E12", func() (*Table, error) { return E12Cluster(DefaultE12()) }},
+		{"E13", func() (*Table, error) { return E13SharedCatalog(DefaultE13()) }},
 		{"A1", func() (*Table, error) { return A1LiftAblation(DefaultA1()) }},
 		{"A2", func() (*Table, error) { return A2BlockingFamily(DefaultA2()) }},
 		{"A3", func() (*Table, error) { return A3MuSensitivity(DefaultA3()) }},

@@ -105,6 +105,29 @@ func TestE12HoldsOnReducedConfig(t *testing.T) {
 	}
 }
 
+func TestE13HoldsOnDefaultConfig(t *testing.T) {
+	tab, err := E13SharedCatalog(DefaultE13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E13 verdict = %s", tab.Verdict)
+	}
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatal("E13 table malformed")
+	}
+	// The default config is chosen so the claim is not vacuous: at full
+	// overlap the shared fleet strictly beats the isolated fleet and
+	// saves strictly more origin cost than at half overlap.
+	last, mid := tab.Rows[2], tab.Rows[1]
+	if last[1] == last[2] {
+		t.Fatalf("E13: shared utility did not strictly improve: %v", last)
+	}
+	if mid[3] == last[3] {
+		t.Fatalf("E13: savings did not strictly grow with overlap: %v vs %v", mid, last)
+	}
+}
+
 func TestAblationsRun(t *testing.T) {
 	a1, err := A1LiftAblation(A1Config{Trials: 4, Streams: 8, Users: 3, M: 2, MC: 2, Seed: 11})
 	if err != nil {

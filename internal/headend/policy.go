@@ -35,11 +35,35 @@ type Policy interface {
 // leave the policy untouched when it returns an error, and afterwards
 // the policy's view of live load must match assn (so future arrival
 // decisions price the installed lineup correctly).
+//
+// Reinstall restarts, not replays: the rebuilt state reflects only the
+// installed assignment, never the arrival history that preceded it. For
+// the online policy this means the allocator's exponential-cost phase
+// begins afresh from the installed load — a fresh competitive phase, as
+// if the installed lineup had been the initial state — rather than
+// re-running the offers that were seen before the install
+// (TestReinstallRestartsExponentialPhase pins this down).
 type ReinstallablePolicy interface {
 	Policy
 	// Reinstall rebuilds the policy state around assn. The policy must
 	// not retain assn; it clones what it keeps.
 	Reinstall(assn *mmd.Assignment) error
+}
+
+// ScaledAdmissionPolicy is implemented by policies whose admission
+// guard can price an arrival's server-cost delta at a fraction of the
+// catalog cost — the hook the fleet catalog (internal/catalog via
+// Tenant.OfferStreamScaled) uses for the SharedOrigin cost model: a
+// tenant admitting a stream whose origin another tenant already pays
+// charges only the multicast-replication fraction against its own
+// budgets. serverCostScale 1 must decide bit-identically to
+// OnStreamArrival. Policies that do not implement it admit at full
+// price; the discount then affects only the catalog's accounting.
+type ScaledAdmissionPolicy interface {
+	Policy
+	// OnStreamArrivalScaled is OnStreamArrival with the guard's
+	// server-cost delta scaled by serverCostScale.
+	OnStreamArrivalScaled(s int, serverCostScale float64) []int
 }
 
 // OnlinePolicy drives the Section 5 Allocate algorithm. When Guarded,
@@ -64,7 +88,11 @@ type OnlinePolicy struct {
 	savedUtility map[int][]float64
 }
 
-var _ Policy = (*OnlinePolicy)(nil)
+var (
+	_ Policy                = (*OnlinePolicy)(nil)
+	_ ScaledAdmissionPolicy = (*OnlinePolicy)(nil)
+	_ ReinstallablePolicy   = (*OnlinePolicy)(nil)
+)
 
 // NewOnlinePolicy builds the policy for the instance. guarded should be
 // true unless the instance satisfies online.CheckSmallStreams.
@@ -117,6 +145,20 @@ func (p *OnlinePolicy) Name() string {
 
 // OnStreamArrival implements Policy.
 func (p *OnlinePolicy) OnStreamArrival(s int) []int {
+	return p.OnStreamArrivalScaled(s, 1)
+}
+
+// OnStreamArrivalScaled implements ScaledAdmissionPolicy: the guard's
+// server-cost delta is priced at serverCostScale (the shared-catalog
+// discount; see mmd.LoadLedger.AddScaled). The allocator's competitive
+// pricing is unchanged — the discount is a physical-plant fact (the
+// origin is already transcoded elsewhere), not a utility signal — only
+// the feasibility backstop prices the cheaper delta. Scale 1 is
+// bit-identical to the PR 3 path. The retained rescan reference
+// (NewRescanOnlinePolicy) has no scaled rescan; it guards at full price
+// regardless of the scale, which is why the differential tests compare
+// it only under the Isolated cost model.
+func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []int {
 	users := p.allocator.Offer(s)
 	if !p.guarded {
 		for _, u := range users {
@@ -149,10 +191,10 @@ func (p *OnlinePolicy) OnStreamArrival(s int) []int {
 	// the E10/E12 workloads.
 	var kept []int
 	for _, u := range users {
-		if !p.ledger.FitsDelta(u, s) {
+		if !p.ledger.FitsDeltaScaled(u, s, serverCostScale) {
 			continue
 		}
-		p.ledger.Add(u, s)
+		p.ledger.AddScaled(u, s, serverCostScale)
 		p.assn.Add(u, s)
 		kept = append(kept, u)
 	}

@@ -1,0 +1,153 @@
+package headend_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/headend"
+)
+
+// TestReinstallRestartsExponentialPhase pins the PR 2 nuance documented
+// on ReinstallablePolicy: on Resolve(Install: true) the online policy's
+// allocator restarts its exponential-cost phase from the installed load
+// — a fresh competitive phase, as if the installed lineup had been the
+// initial state — rather than replaying the arrival history that
+// preceded the install.
+//
+// Restart semantics means the post-install state is a pure function of
+// (instance, installed assignment): a tenant that saw a long, churny
+// arrival history and then installed must behave identically to a
+// tenant that installed the same lineup with no history at all. The
+// replay alternative (re-offering the historical arrivals into a fresh
+// allocator) produces a different state, which the third tenant below
+// demonstrates — so the equality in part one is not vacuous.
+func TestReinstallRestartsExponentialPhase(t *testing.T) {
+	in, err := generator.CableTV{Channels: 40, Gateways: 10, Seed: 83, EgressFraction: 0.2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTenant := func() *headend.Tenant {
+		t.Helper()
+		pol, err := headend.NewOnlinePolicy(in, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := headend.NewTenant(in, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn
+	}
+	// The pre-install history: two thirds of the catalog, every third
+	// offer departed again.
+	history := func(tn *headend.Tenant) {
+		for s := 0; s < 2*in.NumStreams()/3; s++ {
+			tn.OfferStream(s)
+			if s%3 == 2 {
+				tn.DepartStream(s)
+			}
+		}
+	}
+	futures := func(tn *headend.Tenant) [][]int {
+		var out [][]int
+		for s := 0; s < in.NumStreams(); s++ {
+			out = append(out, append([]int(nil), tn.OfferStream(s)...))
+		}
+		return out
+	}
+
+	// Tenant A: history, then an installing re-solve.
+	a := newTenant()
+	history(a)
+	outA, err := a.Resolve(core.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outA.Installed {
+		t.Fatalf("install skipped (offline %.3f < online %.3f); pick a churnier history",
+			outA.OfflineValue, outA.OnlineValue)
+	}
+
+	// Tenant B: no history at all, same installing re-solve. With no
+	// away gateways the offline pipeline is a pure function of the
+	// instance, so both tenants install the identical lineup.
+	b := newTenant()
+	outB, err := b.Resolve(core.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outB.Installed {
+		t.Fatalf("fresh install skipped: %+v", outB)
+	}
+	if outA.OfflineValue != outB.OfflineValue {
+		t.Fatalf("offline values differ: %v vs %v", outA.OfflineValue, outB.OfflineValue)
+	}
+	if !a.Assignment().Equal(b.Assignment()) {
+		t.Fatal("installed assignments differ")
+	}
+
+	// Part one — restart: the histories were different (A churned, B
+	// did nothing) yet every post-install decision must be identical.
+	futA, futB := futures(a), futures(b)
+	if !reflect.DeepEqual(futA, futB) {
+		for s := range futA {
+			if !reflect.DeepEqual(futA[s], futB[s]) {
+				t.Fatalf("post-install decisions diverge at stream %d: %v vs %v — the "+
+					"allocator phase depends on pre-install history", s, futA[s], futB[s])
+			}
+		}
+	}
+
+	// Part two — not replay: a tenant that merely replayed A's history
+	// (no install) is in a genuinely different state, so the equality
+	// above is a real constraint, not a fixed point of this workload.
+	c := newTenant()
+	history(c)
+	futC := futures(c)
+	if reflect.DeepEqual(futC, futB) {
+		t.Fatal("replayed-history tenant matches the installed tenant everywhere; " +
+			"the workload cannot distinguish restart from replay — tighten it")
+	}
+}
+
+// TestScaledAdmissionAdmitsMore pins the point of the shared-origin
+// discount: on a budget-contended instance the guarded online policy
+// admits strictly more (user, stream) pairs when arrivals are priced at
+// the replication fraction than at full price, and the tenant snapshot
+// prices feasibility at the recorded charge scales (the origin work
+// happens at another head-end).
+func TestScaledAdmissionAdmitsMore(t *testing.T) {
+	in, err := generator.CableTV{Channels: 60, Gateways: 15, Seed: 91, EgressFraction: 0.03}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(scale float64) headend.TenantSnapshot {
+		t.Helper()
+		pol, err := headend.NewOnlinePolicy(in, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := headend.NewTenant(in, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < in.NumStreams(); s++ {
+			tn.OfferStreamScaled(s, scale)
+		}
+		return tn.Snapshot()
+	}
+	iso, shared := sweep(1), sweep(0.25)
+	if shared.Pairs < iso.Pairs || shared.Utility < iso.Utility {
+		t.Fatalf("discount lost ground: shared %d pairs / %.3f vs isolated %d pairs / %.3f",
+			shared.Pairs, shared.Utility, iso.Pairs, iso.Utility)
+	}
+	if shared.Pairs == iso.Pairs {
+		t.Fatalf("discount changed nothing (%d pairs both ways); the instance is not contended", shared.Pairs)
+	}
+	if !iso.Feasible || !shared.Feasible {
+		t.Fatalf("feasibility: isolated %v, shared %v (shared must be priced at its charge scales)",
+			iso.Feasible, shared.Feasible)
+	}
+}

@@ -24,6 +24,11 @@ type Tenant struct {
 	// live maps a carried stream to the users admitted for it; a stream
 	// stays carried (and further offers are no-ops) until DepartStream.
 	live map[int][]int
+	// scale records the server-cost charge scale of live streams
+	// admitted at a discount (OfferStreamScaled with scale != 1; the
+	// shared-catalog path). Absent streams were charged at full price.
+	// Snapshot feasibility prices these streams at their recorded scale.
+	scale map[int]float64
 	// away marks gateways currently offline.
 	away []bool
 
@@ -88,7 +93,19 @@ func (t *Tenant) Assignment() *mmd.Assignment { return t.assn }
 // It returns the users that now receive s (nil when the stream is
 // rejected, out of range, or already carried). Users that are away are
 // filtered defensively even if a churn-unaware policy selected them.
-func (t *Tenant) OfferStream(s int) []int {
+func (t *Tenant) OfferStream(s int) []int { return t.OfferStreamScaled(s, 1) }
+
+// OfferStreamScaled is OfferStream with the admission guard's
+// server-cost delta priced at serverCostScale — the admit hook the
+// fleet catalog (internal/catalog) calls into so a SharedOrigin
+// admission asks the feasibility ledger with the discounted delta. The
+// scale reaches the policy only when it implements
+// ScaledAdmissionPolicy (the guarded online policy does); other
+// policies admit at full price and the discount affects only the
+// catalog's accounting. Scale 1 is identical to OfferStream. The
+// matching release hook is DepartStream: the ledger refunds the scale
+// the stream was charged at.
+func (t *Tenant) OfferStreamScaled(s int, serverCostScale float64) []int {
 	if s < 0 || s >= t.in.NumStreams() {
 		return nil
 	}
@@ -96,7 +113,12 @@ func (t *Tenant) OfferStream(s int) []int {
 	if _, alive := t.live[s]; alive {
 		return nil
 	}
-	users := t.policy.OnStreamArrival(s)
+	var users []int
+	if sp, ok := t.policy.(ScaledAdmissionPolicy); ok {
+		users = sp.OnStreamArrivalScaled(s, serverCostScale)
+	} else {
+		users = t.policy.OnStreamArrival(s)
+	}
 	kept := make([]int, 0, len(users))
 	for _, u := range users {
 		if u >= 0 && u < len(t.away) && !t.away[u] {
@@ -108,6 +130,12 @@ func (t *Tenant) OfferStream(s int) []int {
 	}
 	t.admitted++
 	t.live[s] = kept
+	if serverCostScale != 1 {
+		if t.scale == nil {
+			t.scale = make(map[int]float64)
+		}
+		t.scale[s] = serverCostScale
+	}
 	for _, u := range kept {
 		t.assn.Add(u, s)
 	}
@@ -124,6 +152,7 @@ func (t *Tenant) DepartStream(s int) []int {
 	}
 	t.departed++
 	delete(t.live, s)
+	delete(t.scale, s)
 	for _, u := range users {
 		t.assn.Remove(u, s)
 	}
@@ -279,6 +308,9 @@ func (t *Tenant) install(assn *mmd.Assignment) error {
 	}
 	t.assn = assn
 	t.live = live
+	// An installed lineup is re-priced at full (isolated) cost, exactly
+	// like LoadLedger.Rebuild resets its charge scales.
+	t.scale = nil
 	return nil
 }
 
@@ -297,6 +329,23 @@ func (t *Tenant) Snapshot() TenantSnapshot {
 		LastResolveValue: t.lastResolve,
 		ActiveStreams:    t.assn.RangeSize(),
 		Pairs:            t.assn.Pairs(),
-		Feasible:         t.assn.CheckFeasible(t.in) == nil,
+		Feasible:         t.feasible(),
 	}
+}
+
+// feasible verifies the running assignment against the instance's
+// budgets and capacities. Streams admitted at a shared-catalog discount
+// are priced at their recorded charge scale (the origin work happens at
+// another head-end); with no discounted streams this is exactly the
+// full-price CheckFeasible rescan the pre-catalog snapshots ran.
+func (t *Tenant) feasible() bool {
+	if len(t.scale) == 0 {
+		return t.assn.CheckFeasible(t.in) == nil
+	}
+	return t.assn.CheckFeasibleScaled(t.in, func(s int) float64 {
+		if sc, ok := t.scale[s]; ok {
+			return sc
+		}
+		return 1
+	}) == nil
 }

@@ -269,8 +269,30 @@ func (e *FeasibilityError) Error() string {
 // against. Serving paths should answer the per-admission question with
 // LoadLedger.FitsDelta instead of calling this per candidate.
 func (a *Assignment) CheckFeasible(in *Instance) error {
+	return a.CheckFeasibleScaled(in, nil)
+}
+
+// CheckFeasibleScaled is CheckFeasible with each carried stream's
+// server cost priced at scaleOf(s) — the shared-catalog accounting,
+// where a stream whose origin another tenant pays consumes only the
+// replication fraction of this head-end's budgets. User capacities are
+// checked at full load (each gateway receives the whole stream).
+// scaleOf nil (how CheckFeasible delegates here — this function is the
+// single copy of the feasibility walk) or ≡ 1 is full price; the
+// accumulation always walks the range in ascending stream order, so
+// the two pricings are bit-identical up to the scale factors.
+func (a *Assignment) CheckFeasibleScaled(in *Instance, scaleOf func(s int) float64) error {
 	for i := range in.Budgets {
-		cost := a.ServerCost(in, i)
+		cost := 0.0
+		for _, s := range a.rangeList {
+			c := in.Streams[s].Costs[i]
+			if scaleOf != nil {
+				if scale := scaleOf(s); scale != 1 {
+					c *= scale
+				}
+			}
+			cost += c
+		}
 		if limit := in.Budgets[i]; exceedsLimit(cost, limit) {
 			return &FeasibilityError{Server: true, Measure: i, Total: cost, Limit: limit}
 		}

@@ -33,6 +33,11 @@ type LoadLedger struct {
 	// holders[s] counts users currently holding stream s; the stream
 	// contributes its server costs while the count is positive.
 	holders []int
+	// chargeScale[s] is the server-cost scale stream s was charged at
+	// when it entered the range (1 outside the shared-catalog path). The
+	// refund on the last holder's Remove uses the recorded scale, so
+	// charge and credit always cancel exactly.
+	chargeScale []float64
 	// serverCost[i] is c_i(S(A)), the range cost in measure i.
 	serverCost []float64
 	// userLoad[u][j] is k^u_j(A(u)), user u's load in capacity measure j.
@@ -42,10 +47,14 @@ type LoadLedger struct {
 // NewLoadLedger returns an empty ledger for the instance.
 func NewLoadLedger(in *Instance) *LoadLedger {
 	l := &LoadLedger{
-		in:         in,
-		holders:    make([]int, in.NumStreams()),
-		serverCost: make([]float64, in.M()),
-		userLoad:   make([][]float64, in.NumUsers()),
+		in:          in,
+		holders:     make([]int, in.NumStreams()),
+		chargeScale: make([]float64, in.NumStreams()),
+		serverCost:  make([]float64, in.M()),
+		userLoad:    make([][]float64, in.NumUsers()),
+	}
+	for i := range l.chargeScale {
+		l.chargeScale[i] = 1
 	}
 	for u := range l.userLoad {
 		l.userLoad[u] = make([]float64, len(in.Users[u].Capacities))
@@ -57,9 +66,23 @@ func NewLoadLedger(in *Instance) *LoadLedger {
 // always, the server costs only when s enters the range. Mirror it with
 // Assignment.Add; never double-charge a pair the assignment already
 // holds. O(m + m_c).
-func (l *LoadLedger) Add(u, s int) {
+func (l *LoadLedger) Add(u, s int) { l.AddScaled(u, s, 1) }
+
+// AddScaled is Add with the server-cost delta priced at serverScale —
+// the shared-catalog discount: a head-end admitting a stream whose
+// origin another tenant already pays charges only the multicast-
+// replication fraction of the stream's cost vector against its own
+// budgets. User loads are never scaled (each gateway still receives the
+// full stream over its own downlink). The scale applies only when s
+// enters the range and is recorded so the eventual refund matches;
+// serverScale 1 is bit-identical to Add.
+func (l *LoadLedger) AddScaled(u, s int, serverScale float64) {
 	if l.holders[s]++; l.holders[s] == 1 {
+		l.chargeScale[s] = serverScale
 		for i, c := range l.in.Streams[s].Costs {
+			if serverScale != 1 {
+				c *= serverScale
+			}
 			l.serverCost[i] += c
 		}
 	}
@@ -70,11 +93,17 @@ func (l *LoadLedger) Add(u, s int) {
 }
 
 // Remove credits back the delivery of stream s to user u, releasing the
-// server costs when the last holder leaves. Small negative floating-
-// point residues are clamped to zero. O(m + m_c).
+// server costs (at the scale they were charged at) when the last holder
+// leaves. Small negative floating-point residues are clamped to zero.
+// O(m + m_c).
 func (l *LoadLedger) Remove(u, s int) {
 	if l.holders[s]--; l.holders[s] == 0 {
+		scale := l.chargeScale[s]
+		l.chargeScale[s] = 1
 		for i, c := range l.in.Streams[s].Costs {
+			if scale != 1 {
+				c *= scale
+			}
 			l.serverCost[i] -= c
 			if l.serverCost[i] < 0 {
 				l.serverCost[i] = 0
@@ -97,9 +126,19 @@ func (l *LoadLedger) Remove(u, s int) {
 // server measures (when s is not yet in the range) and u's own
 // capacities, so no other constraint can newly fail. O(m + m_c),
 // allocation-free (use CanAdmit for a diagnosed rejection).
-func (l *LoadLedger) FitsDelta(u, s int) bool {
+func (l *LoadLedger) FitsDelta(u, s int) bool { return l.FitsDeltaScaled(u, s, 1) }
+
+// FitsDeltaScaled is FitsDelta with the server-cost delta priced at
+// serverScale (see AddScaled). When s is already in the range the server
+// side was charged at admission time, so only u's capacities are
+// checked; serverScale 1 is bit-identical to FitsDelta. O(m + m_c),
+// allocation-free.
+func (l *LoadLedger) FitsDeltaScaled(u, s int, serverScale float64) bool {
 	if l.holders[s] == 0 {
 		for i, c := range l.in.Streams[s].Costs {
+			if serverScale != 1 {
+				c *= serverScale
+			}
 			if exceedsLimit(l.serverCost[i]+c, l.in.Budgets[i]) {
 				return false
 			}
@@ -137,11 +176,17 @@ func (l *LoadLedger) CanAdmit(u, s int) error {
 // Rebuild resets the ledger to the aggregate state of assn, summing in
 // increasing stream order so the totals are bit-identical to a fresh
 // CheckFeasible accumulation over the same assignment. Pairs outside the
-// instance's dimensions are ignored. Used by the make-before-break
-// Reinstall paths. O(instance).
+// instance's dimensions are ignored, and every charge scale resets to 1
+// — an installed lineup is re-priced at full (isolated) cost; catalog
+// discounts apply only to admissions made through the scaled path after
+// the rebuild. Used by the make-before-break Reinstall paths.
+// O(instance).
 func (l *LoadLedger) Rebuild(assn *Assignment) {
 	clear(l.holders)
 	clear(l.serverCost)
+	for s := range l.chargeScale {
+		l.chargeScale[s] = 1
+	}
 	for u := range l.userLoad {
 		clear(l.userLoad[u])
 	}
@@ -177,3 +222,18 @@ func (l *LoadLedger) UserLoad(u, j int) float64 { return l.userLoad[u][j] }
 
 // Holders returns the number of users currently holding stream s.
 func (l *LoadLedger) Holders(s int) int { return l.holders[s] }
+
+// ChargeScale returns the server-cost scale stream s was charged at (1
+// when s is not in the range or was admitted outside the catalog path).
+func (l *LoadLedger) ChargeScale(s int) float64 { return l.chargeScale[s] }
+
+// StreamCostSum returns the scalar sum of stream s's server cost vector
+// — the "origin cost units" the shared-catalog accounting reports
+// savings in.
+func (in *Instance) StreamCostSum(s int) float64 {
+	total := 0.0
+	for _, c := range in.Streams[s].Costs {
+		total += c
+	}
+	return total
+}

@@ -177,3 +177,127 @@ func TestAssignmentNegativeAddIgnored(t *testing.T) {
 	}
 	a.Remove(0, -3) // no-op, must not panic
 }
+
+// TestLedgerScaledPathBitIdenticalAtScaleOne: the scaled entry points
+// with serverScale 1 must be indistinguishable from the unscaled ones —
+// same decisions, bit-identical totals — because the catalog's Isolated
+// cost model routes every admission through them.
+func TestLedgerScaledPathBitIdenticalAtScaleOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng, 2+rng.Intn(15), 1+rng.Intn(6))
+		plain, scaled := NewLoadLedger(in), NewLoadLedger(in)
+		for step := 0; step < 300; step++ {
+			u, s := rng.Intn(in.NumUsers()), rng.Intn(in.NumStreams())
+			if rng.Float64() < 0.6 {
+				p, q := plain.FitsDelta(u, s), scaled.FitsDeltaScaled(u, s, 1)
+				if p != q {
+					t.Fatalf("trial %d step %d: FitsDelta=%v FitsDeltaScaled(1)=%v", trial, step, p, q)
+				}
+				if p {
+					plain.Add(u, s)
+					scaled.AddScaled(u, s, 1)
+				}
+			} else if plain.Holders(s) > 0 {
+				plain.Remove(u, s)
+				scaled.Remove(u, s)
+			}
+			for i := 0; i < in.M(); i++ {
+				if plain.ServerCost(i) != scaled.ServerCost(i) {
+					t.Fatalf("trial %d step %d: ServerCost diverged: %v vs %v",
+						trial, step, plain.ServerCost(i), scaled.ServerCost(i))
+				}
+			}
+		}
+	}
+}
+
+// TestLedgerScaledChargeAndRefund: a discounted admission charges
+// scale×cost against the budgets, records the scale, and the last
+// holder's Remove credits back exactly what was charged — the ledger
+// returns to zero even when charge scales vary stream to stream.
+func TestLedgerScaledChargeAndRefund(t *testing.T) {
+	in := &Instance{
+		Streams: []Stream{{Costs: []float64{8, 2}}, {Costs: []float64{4, 4}}},
+		Users: []User{{
+			Utility:    []float64{1, 1},
+			Loads:      [][]float64{{1, 1}},
+			Capacities: []float64{10},
+		}, {
+			Utility:    []float64{1, 1},
+			Loads:      [][]float64{{1, 1}},
+			Capacities: []float64{10},
+		}},
+		Budgets: []float64{10, 10},
+	}
+	l := NewLoadLedger(in)
+
+	// Stream 0 at full price: 8 of the 10-budget gone.
+	l.AddScaled(0, 0, 1)
+	if got := l.ServerCost(0); got != 8 {
+		t.Fatalf("ServerCost(0) = %v, want 8", got)
+	}
+	if got := l.ChargeScale(0); got != 1 {
+		t.Fatalf("ChargeScale(0) = %v, want 1", got)
+	}
+	// Stream 1 at full price would blow measure 0 (8+4 > 10)…
+	if l.FitsDeltaScaled(0, 1, 1) {
+		t.Fatal("full-price stream 1 should not fit")
+	}
+	// …but at the shared-origin fraction it fits (8 + 0.25×4 = 9).
+	if !l.FitsDeltaScaled(0, 1, 0.25) {
+		t.Fatal("discounted stream 1 should fit")
+	}
+	l.AddScaled(0, 1, 0.25)
+	if got := l.ServerCost(0); got != 9 {
+		t.Fatalf("ServerCost(0) after discounted add = %v, want 9", got)
+	}
+	if got := l.ChargeScale(1); got != 0.25 {
+		t.Fatalf("ChargeScale(1) = %v, want 0.25", got)
+	}
+	// A second holder of the discounted stream adds no server cost and
+	// keeps the recorded scale.
+	l.AddScaled(1, 1, 1)
+	if got := l.ServerCost(0); got != 9 {
+		t.Fatalf("ServerCost(0) after second holder = %v, want 9", got)
+	}
+	if got := l.ChargeScale(1); got != 0.25 {
+		t.Fatalf("ChargeScale(1) after second holder = %v, want 0.25", got)
+	}
+	// Refunds: the last holder releases 0.25×cost, not the full cost.
+	l.Remove(0, 1)
+	if got := l.ServerCost(0); got != 9 {
+		t.Fatalf("ServerCost(0) after first release = %v, want 9", got)
+	}
+	l.Remove(1, 1)
+	if got := l.ServerCost(0); got != 8 {
+		t.Fatalf("ServerCost(0) after last release = %v, want 8", got)
+	}
+	if got := l.ChargeScale(1); got != 1 {
+		t.Fatalf("ChargeScale(1) after eviction = %v, want 1 (reset)", got)
+	}
+	l.Remove(0, 0)
+	for i := 0; i < in.M(); i++ {
+		if got := l.ServerCost(i); got != 0 {
+			t.Fatalf("ServerCost(%d) after draining = %v, want 0", i, got)
+		}
+	}
+}
+
+// TestLedgerRebuildResetsChargeScales: Rebuild re-prices at full cost,
+// so a pre-rebuild discount must not leak into post-rebuild refunds.
+func TestLedgerRebuildResetsChargeScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	in := randomInstance(rng, 6, 3)
+	l := NewLoadLedger(in)
+	l.AddScaled(0, 2, 0.25)
+	a := NewAssignment(in.NumUsers())
+	a.Add(0, 2)
+	l.Rebuild(a)
+	if got := l.ChargeScale(2); got != 1 {
+		t.Fatalf("ChargeScale(2) after Rebuild = %v, want 1", got)
+	}
+	if got, want := l.ServerCost(0), a.ServerCost(in, 0); got != want {
+		t.Fatalf("ServerCost(0) after Rebuild = %v, want %v", got, want)
+	}
+}

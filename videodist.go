@@ -35,7 +35,14 @@
 // sessions with sentinel errors (ErrUnknownTenant, ErrQueueFull,
 // ErrClosed, ErrCanceled) and configurable backpressure; Resolve can
 // install the offline Theorem 1.1 solution make-before-break
-// (cmd/mmdserve is the CLI and HTTP/JSON front end).
+// (cmd/mmdserve is the CLI and HTTP/JSON front end). With
+// CatalogOptions the fleet shares streams across tenants (serving API
+// v3): OfferCatalogStream/DepartCatalogStream admit by fleet-wide
+// CatalogID under cross-shard reference counting, and the
+// CatalogSharedOrigin cost model charges later tenants only the
+// multicast-replication fraction of an already-transcoded origin.
+// ApplyBatch applies a single-tenant event sequence as one shard
+// message (the batched-ingestion path).
 //
 // Everything — the solvers, the exact branch-and-bound reference, the
 // workload generators, the discrete-event multicast network, and the
@@ -47,6 +54,7 @@ package videodist
 import (
 	"repro/internal/baseline"
 	"repro/internal/bounds"
+	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -154,6 +162,54 @@ type (
 	ResolveOptions = cluster.ResolveOptions
 	// Backpressure selects block-with-ctx vs fail-fast enqueueing.
 	Backpressure = cluster.Backpressure
+	// ClusterEvent is one routed tenant event; the element type of
+	// Cluster.ApplyBatch's input.
+	ClusterEvent = cluster.Event
+	// EventResult is one typed per-event outcome of Cluster.ApplyBatch.
+	EventResult = cluster.EventResult
+)
+
+// Fleet catalog (serving API v3): streams as first-class fleet entities
+// with cross-shard reference-counted admission (see internal/catalog
+// and the cluster package docs).
+type (
+	// CatalogID is a stable fleet-wide stream identity.
+	CatalogID = catalog.ID
+	// CatalogBinding maps one CatalogID to each tenant's local stream
+	// index.
+	CatalogBinding = catalog.Binding
+	// CatalogCostModel prices a catalog admission from the cross-shard
+	// reference count.
+	CatalogCostModel = catalog.CostModel
+	// CatalogIsolated is the default model: full price everywhere,
+	// bit-identical to the pre-catalog serving path.
+	CatalogIsolated = catalog.Isolated
+	// CatalogSharedOrigin is the regional-CDN model: first admitting
+	// tenant pays the full origin cost, later tenants the replication
+	// fraction, last departure evicts the origin.
+	CatalogSharedOrigin = catalog.SharedOrigin
+	// CatalogOptions configures the fleet catalog on ClusterOptions.
+	CatalogOptions = cluster.CatalogOptions
+	// CatalogResult is the typed outcome of Cluster.OfferCatalogStream
+	// and Cluster.DepartCatalogStream.
+	CatalogResult = cluster.CatalogResult
+	// CatalogSnapshot is the registry state embedded in FleetSnapshot
+	// (per-stream reference counts, origin-cost savings).
+	CatalogSnapshot = catalog.Snapshot
+)
+
+// Event types for ClusterEvent (the ApplyBatch element type).
+const (
+	// ClusterStreamArrival offers ClusterEvent.Stream to the tenant.
+	ClusterStreamArrival = cluster.EventStreamArrival
+	// ClusterStreamDeparture removes a carried stream.
+	ClusterStreamDeparture = cluster.EventStreamDeparture
+	// ClusterUserLeave / ClusterUserJoin churn gateway ClusterEvent.User.
+	ClusterUserLeave = cluster.EventUserLeave
+	ClusterUserJoin  = cluster.EventUserJoin
+	// ClusterResolve re-runs the offline pipeline (ClusterEvent.Install
+	// installs).
+	ClusterResolve = cluster.EventResolve
 )
 
 // Backpressure modes for ClusterOptions.Backpressure.
@@ -176,7 +232,20 @@ var (
 	// ErrCanceled reports a canceled or expired context; it also
 	// matches the context package's error under errors.Is.
 	ErrCanceled = cluster.ErrCanceled
+	// ErrNoCatalog reports a catalog call on a cluster built without
+	// CatalogOptions.
+	ErrNoCatalog = cluster.ErrNoCatalog
+	// ErrUnknownCatalogStream reports a CatalogID the fleet does not
+	// know, or one the tenant has no binding for.
+	ErrUnknownCatalogStream = cluster.ErrUnknownCatalogStream
 )
+
+// IdentityCatalogBindings builds the fully overlapping catalog shape
+// for same-shaped fleets: streams entries, each bound at every tenant
+// under local index s, with id naming entry s.
+func IdentityCatalogBindings(tenants, streams int, id func(s int) CatalogID) []CatalogBinding {
+	return catalog.IdentityBindings(tenants, streams, id)
+}
 
 // NewCluster builds a sharded multi-tenant head-end cluster and starts
 // its shard workers. Close it when done.
