@@ -456,6 +456,19 @@ func BenchmarkClusterCatalog(b *testing.B) {
 	b.Run("shared", func(b *testing.B) { benchkit.ClusterCatalog(b, true) })
 }
 
+// BenchmarkStreamIngest measures remote ingestion throughput through
+// the real HTTP front end (serving API v4): the same ~10k-event
+// workload submitted over one persistent /v1/stream NDJSON connection,
+// as :batch posts of 16 events, and as one POST per event. The
+// stream's pipelining amortizes the per-request round trip away, so
+// events/sec for stream must be >= 2x the per-request paths — the v4
+// acceptance bar recorded in BENCH_serving.json.
+func BenchmarkStreamIngest(b *testing.B) {
+	b.Run("stream", func(b *testing.B) { benchkit.StreamIngest(b, "stream") })
+	b.Run("batch16", func(b *testing.B) { benchkit.StreamIngest(b, "batch") })
+	b.Run("single", func(b *testing.B) { benchkit.StreamIngest(b, "single") })
+}
+
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.
 func BenchmarkExperimentSuite(b *testing.B) {

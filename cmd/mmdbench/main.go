@@ -75,6 +75,9 @@ type benchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	// EventsPerSec is reported by the ingestion benchmarks
+	// (StreamIngest/*) — the serving API v4 acceptance metric.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // servingBaseline is the BENCH_serving.json document.
@@ -106,6 +109,9 @@ func writeServingBaseline(path string) error {
 		}
 		if v, ok := res.Extra["events/op"]; ok {
 			rec.EventsPerOp = v
+		}
+		if v, ok := res.Extra["events/sec"]; ok {
+			rec.EventsPerSec = v
 		}
 		base.Benchmarks[bench.Name] = rec
 	}

@@ -1,7 +1,8 @@
 // Command mmdserve runs a sharded multi-tenant head-end cluster from
-// generator configs, either driving a deterministic synthetic workload
-// and printing per-shard and fleet-wide tables, or serving the fleet
-// over HTTP.
+// generator configs: driving a deterministic synthetic workload and
+// printing per-shard and fleet-wide tables, serving the fleet over
+// HTTP, or driving the same workload against a remote fleet as a
+// streaming load client.
 //
 // Usage:
 //
@@ -9,10 +10,10 @@
 //	         [-seed 1] [-rounds 2] [-batch 16] [-policy online]
 //	         [-depart-every 3] [-churn-every 0] [-resolve-every 0]
 //	         [-cost-model isolated|shared|off] [-share-fraction 0.25]
-//	         [-http addr]
+//	         [-http addr | -stream url [-via stream|batch|single]]
 //
-// Without -http the deterministic report (fleet summary, per-shard
-// stats, per-tenant table, catalog table) goes to stdout: two
+// Without -http or -stream the deterministic report (fleet summary,
+// per-shard stats, per-tenant table, catalog table) goes to stdout: two
 // invocations with the same flags produce byte-identical output.
 // Wall-clock throughput, which is not deterministic, goes to stderr.
 //
@@ -20,18 +21,32 @@
 // every tenant; -cost-model shared prices later admissions of an
 // already-carried stream at -share-fraction of the origin cost.
 //
-// With -http the fleet serves a JSON ingestion front end instead — a
-// thin codec over the serving API v2/v3 request/response structs:
+// With -http the fleet serves the JSON ingestion front end
+// (internal/httpserve) — a thin codec over the serving API v2/v3/v4
+// request/response structs:
 //
 //	POST /v1/tenants/{id}/events        {"type":"offer","stream":3}
 //	POST /v1/tenants/{id}/events        {"type":"catalog-offer","catalog_id":"ch-003"}
 //	POST /v1/tenants/{id}/events:batch  [{"type":"offer","stream":3}, ...]
+//	POST /v1/stream                     NDJSON in, NDJSON out (persistent)
 //	GET  /v1/fleet/snapshot
 //	GET  /v1/catalog
+//
+// With -stream it is the load client instead: the synthetic workload
+// schedule the local mode's RunWorkload phase would submit (arrivals,
+// departures, churn; the local report's closing catalog retune phase is
+// not replayed) is derived from the flags and piped to a remote
+// mmdserve -http fleet — over one persistent /v1/stream connection
+// (-via stream, the default), as :batch posts of -batch events (-via
+// batch), or as one POST per event (-via single). The remote per-tenant
+// table goes to stdout; because all three submission paths preserve
+// per-tenant order, it is byte-identical across -via modes — the parity
+// check CI runs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,18 +56,21 @@ import (
 
 	videodist "repro"
 	"repro/internal/generator"
+	"repro/internal/httpserve"
+	"repro/internal/loaddrive"
+	"repro/streamclient"
 )
 
 func main() {
 	var cfg config
-	var httpAddr string
+	var httpAddr, streamURL, via string
 	flag.IntVar(&cfg.tenants, "tenants", 8, "number of tenant head-ends")
 	flag.IntVar(&cfg.shards, "shards", 0, "shard workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.channels, "channels", 40, "channels per tenant")
 	flag.IntVar(&cfg.gateways, "gateways", 10, "gateways per tenant")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.IntVar(&cfg.rounds, "rounds", 2, "catalog replays per tenant")
-	flag.IntVar(&cfg.batch, "batch", 16, "arrivals coalesced per shard before admission")
+	flag.IntVar(&cfg.batch, "batch", 16, "arrivals coalesced per shard before admission (and events per -via batch post)")
 	flag.StringVar(&cfg.policy, "policy", "online", "admission policy: online, online-unguarded, threshold, oracle, static")
 	flag.IntVar(&cfg.departEvery, "depart-every", 3, "inject a stream departure every k arrivals (0 = off)")
 	flag.IntVar(&cfg.churnEvery, "churn-every", 0, "inject a gateway leave/join every k arrivals (0 = off)")
@@ -60,17 +78,25 @@ func main() {
 	flag.StringVar(&cfg.costModel, "cost-model", "isolated", "fleet catalog cost model: isolated, shared, or off (no catalog)")
 	flag.Float64Var(&cfg.shareFraction, "share-fraction", 0.25, "replication fraction later tenants pay under -cost-model shared")
 	flag.StringVar(&httpAddr, "http", "", "serve the fleet over HTTP on this address instead of running the synthetic workload")
+	flag.StringVar(&streamURL, "stream", "", "drive the synthetic workload against a remote mmdserve -http fleet at this base URL")
+	flag.StringVar(&via, "via", "stream", "remote submission path for -stream: stream, batch, or single")
 	flag.Parse()
-	if httpAddr != "" {
+	switch {
+	case httpAddr != "":
 		if err := serve(cfg, httpAddr, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "mmdserve:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := run(cfg, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "mmdserve:", err)
-		os.Exit(1)
+	case streamURL != "":
+		if err := drive(cfg, streamURL, via, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "mmdserve:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(cfg, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "mmdserve:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -113,14 +139,15 @@ func channelID(s int) videodist.CatalogID {
 	return videodist.CatalogID(fmt.Sprintf("ch-%03d", s))
 }
 
-// buildCluster builds the fleet described by cfg: cfg.tenants cable-TV
-// head-ends with the chosen admission policy.
-func buildCluster(cfg config) (*videodist.Cluster, error) {
+// instances generates the fleet's tenant instances from cfg — shared by
+// the local serving modes and the remote load client, which must derive
+// the identical workload schedule.
+func instances(cfg config) ([]*videodist.Instance, error) {
 	if cfg.tenants < 1 {
 		return nil, fmt.Errorf("need at least one tenant")
 	}
-	tenants := make([]videodist.ClusterTenant, cfg.tenants)
-	for i := range tenants {
+	out := make([]*videodist.Instance, cfg.tenants)
+	for i := range out {
 		in, err := generator.CableTV{
 			Channels: cfg.channels, Gateways: cfg.gateways,
 			Seed: cfg.seed + int64(i), EgressFraction: 0.25,
@@ -128,6 +155,20 @@ func buildCluster(cfg config) (*videodist.Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// buildCluster builds the fleet described by cfg: cfg.tenants cable-TV
+// head-ends with the chosen admission policy.
+func buildCluster(cfg config) (*videodist.Cluster, error) {
+	ins, err := instances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]videodist.ClusterTenant, len(ins))
+	for i, in := range ins {
 		pol, err := videodist.NewAdmissionPolicy(in, cfg.policy)
 		if err != nil {
 			return nil, err
@@ -156,7 +197,7 @@ func serve(cfg config, addr string, log io.Writer) error {
 	defer c.Close()
 	fmt.Fprintf(log, "mmdserve: %d tenants on %d shards, policy=%s, listening on %s\n",
 		c.NumTenants(), c.NumShards(), cfg.policy, addr)
-	return http.ListenAndServe(addr, newHandler(c))
+	return http.ListenAndServe(addr, httpserve.NewHandler(c))
 }
 
 // run builds the fleet, drives the workload, and writes the
@@ -214,5 +255,98 @@ func run(cfg config, out, timing io.Writer) error {
 	fmt.Fprint(out, fs.Render())
 	fmt.Fprintf(timing, "processed %d events in %v (%.0f events/s)\n",
 		total, elapsed.Round(time.Microsecond), float64(total)/elapsed.Seconds())
+	return nil
+}
+
+// wireType maps a routed event type onto its wire name.
+func wireType(t videodist.ClusterEvent) (string, error) {
+	switch t.Type {
+	case videodist.ClusterStreamArrival:
+		return "offer", nil
+	case videodist.ClusterStreamDeparture:
+		return "depart", nil
+	case videodist.ClusterUserLeave:
+		return "leave", nil
+	case videodist.ClusterUserJoin:
+		return "join", nil
+	case videodist.ClusterResolve:
+		return "resolve", nil
+	}
+	return "", fmt.Errorf("event type %d has no wire form", t.Type)
+}
+
+// schedules derives every tenant's synthetic event schedule from cfg —
+// the exact sequence a local RunWorkload would submit — already mapped
+// onto the wire form.
+func schedules(cfg config) ([][]streamclient.Event, error) {
+	ins, err := instances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := videodist.ClusterWorkload{
+		Seed:        cfg.seed,
+		Rounds:      cfg.rounds,
+		DepartEvery: cfg.departEvery,
+		ChurnEvery:  cfg.churnEvery,
+	}
+	out := make([][]streamclient.Event, len(ins))
+	for ti, in := range ins {
+		for _, ev := range w.EventsForInstance(in, ti) {
+			typ, err := wireType(ev)
+			if err != nil {
+				return nil, err
+			}
+			out[ti] = append(out[ti], streamclient.Event{
+				Tenant: ti, Type: typ, Stream: ev.Stream, User: ev.User, Install: ev.Install,
+			})
+		}
+	}
+	return out, nil
+}
+
+// drive is the remote load client: it submits the synthetic workload's
+// arrival/departure/churn schedule (the RunWorkload half of the local
+// mode; the local report's catalog retune phase is not replayed — under
+// a shared cost model its pipelined pricing would depend on settlement
+// timing) to a remote fleet over the chosen path, fetches the final
+// snapshot, and prints the per-tenant table — which is byte-identical
+// across -via modes (all three preserve per-tenant submission order).
+func drive(cfg config, target, via string, out, timing io.Writer) error {
+	seqs, err := schedules(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var total int
+	switch via {
+	case "", "stream":
+		total, err = loaddrive.Stream(target, loaddrive.Interleave(seqs))
+	case "batch":
+		total, err = loaddrive.Batch(target, seqs, cfg.batch)
+	case "single":
+		total, err = loaddrive.Single(target, loaddrive.Interleave(seqs))
+	default:
+		return fmt.Errorf("unknown -via %q (want stream, batch, or single)", via)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	resp, err := http.Get(target + "/v1/fleet/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("snapshot: server status %s", resp.Status)
+	}
+	var fs videodist.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return err
+	}
+	fmt.Fprint(out, fs.RenderTenants())
+	fmt.Fprintf(timing, "submitted %d events via %s in %v (%.0f events/s)\n",
+		total, via, elapsed.Round(time.Microsecond), float64(total)/elapsed.Seconds())
 	return nil
 }

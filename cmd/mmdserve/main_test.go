@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"io"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/httpserve"
 )
 
 func defaultTestConfig() config {
@@ -49,6 +52,39 @@ func TestRunByteIdentical(t *testing.T) {
 	a, b := render(), render()
 	if !bytes.Equal(a, b) {
 		t.Fatalf("reports differ across identical invocations:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// TestDriveParityAcrossVias is the in-repo version of the CI streaming
+// smoke: the same synthetic workload driven against three identically
+// configured remote fleets — over one /v1/stream connection, as :batch
+// posts, and as single posts — prints byte-identical per-tenant tables
+// (all three paths preserve per-tenant submission order).
+func TestDriveParityAcrossVias(t *testing.T) {
+	cfg := defaultTestConfig()
+	outputs := map[string]string{}
+	for _, via := range []string{"stream", "batch", "single"} {
+		c, err := buildCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(httpserve.NewHandler(c))
+		var out bytes.Buffer
+		if err := drive(cfg, ts.URL, via, &out, io.Discard); err != nil {
+			t.Fatalf("drive via %s: %v", via, err)
+		}
+		ts.Close()
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		outputs[via] = out.String()
+	}
+	if outputs["stream"] == "" || !strings.Contains(outputs["stream"], "tenant  policy") {
+		t.Fatalf("stream output not a tenant table:\n%s", outputs["stream"])
+	}
+	if outputs["stream"] != outputs["batch"] || outputs["stream"] != outputs["single"] {
+		t.Fatalf("tenant tables diverge across -via modes:\n--- stream\n%s\n--- batch\n%s\n--- single\n%s",
+			outputs["stream"], outputs["batch"], outputs["single"])
 	}
 }
 

@@ -9,6 +9,8 @@ package benchkit
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	videodist "repro"
@@ -16,7 +18,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/generator"
 	"repro/internal/headend"
+	"repro/internal/httpserve"
+	"repro/internal/loaddrive"
 	"repro/internal/mmd"
+	"repro/streamclient"
 )
 
 // admissionInstance is the CableTV-sized workload the guarded-admission
@@ -350,6 +355,93 @@ func ClusterCatalog(b *testing.B, shared bool) {
 	b.ReportMetric(float64(events), "events/op")
 }
 
+// streamIngestEvents derives the ~10k-event StreamIngest workload (8
+// tenants x 40 channels x 24 rounds of arrivals with departures every
+// third) as per-tenant wire-form schedules.
+func streamIngestEvents(instances []*videodist.Instance) [][]streamclient.Event {
+	w := videodist.ClusterWorkload{Seed: 200, Rounds: 24, DepartEvery: 3}
+	out := make([][]streamclient.Event, len(instances))
+	for ti, in := range instances {
+		for _, ev := range w.EventsForInstance(in, ti) {
+			typ := "offer"
+			if ev.Type == cluster.EventStreamDeparture {
+				typ = "depart"
+			}
+			out[ti] = append(out[ti], streamclient.Event{Tenant: ti, Type: typ, Stream: ev.Stream})
+		}
+	}
+	return out
+}
+
+// StreamIngest measures remote ingestion throughput through the real
+// HTTP front end (internal/httpserve behind an httptest listener): the
+// same ~10k-event workload is submitted via one persistent /v1/stream
+// connection ("stream"), as :batch posts of 16 events round-robin
+// across tenants ("batch"), or as one POST per event ("single") — all
+// through internal/loaddrive, the same driver code mmdserve -stream
+// runs, so the benchmark measures exactly the CLI's protocol. The
+// fleet and listener are built outside the timer, so ns/op — and the
+// derived events/sec metric — is pure ingestion cost; all three paths
+// preserve per-tenant order and land the fleet in the identical final
+// state (pinned by TestDriveParityAcrossVias and the CI smoke). The
+// acceptance bar for serving API v4 is stream >= 2x the per-request
+// paths on events/sec.
+func StreamIngest(b *testing.B, via string) {
+	instances := clusterTenants(b)
+	seqs := streamIngestEvents(instances)
+	events := loaddrive.Interleave(seqs)
+	total := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{Shards: 8, BatchSize: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(httpserve.NewHandler(c))
+		// Collect the construction garbage now: without this, marking
+		// debt from the (untimed) fleet build spills into whichever
+		// timed ingestion section the GC happens to interrupt.
+		runtime.GC()
+		b.StartTimer()
+
+		n := 0
+		switch via {
+		case "stream":
+			n, err = loaddrive.Stream(ts.URL, events)
+		case "batch":
+			n, err = loaddrive.Batch(ts.URL, seqs, 16)
+		case "single":
+			n, err = loaddrive.Single(ts.URL, events)
+		default:
+			b.Fatalf("unknown via %q", via)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(events) {
+			b.Fatalf("submitted %d of %d events", n, len(events))
+		}
+		total = n
+
+		b.StopTimer()
+		ts.Close()
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(total), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total*b.N)/secs, "events/sec")
+	}
+}
+
 // Bench names one serving benchmark for programmatic runs.
 type Bench struct {
 	// Name keys the benchmark in BENCH_serving.json.
@@ -361,8 +453,9 @@ type Bench struct {
 // ServingBenchmarks returns the suite snapshotted by `mmdbench -json`:
 // the guarded-admission pair (reference rescan vs ledger), the
 // catalog-admission pair (isolated vs shared-origin pricing), the
-// end-to-end online policy pair, the cluster throughput trio, and the
-// catalog session workloads.
+// end-to-end online policy pair, the cluster throughput trio, the
+// catalog session workloads, and the HTTP ingestion trio (persistent
+// stream vs batch posts vs single posts).
 func ServingBenchmarks() []Bench {
 	return []Bench{
 		{Name: "GuardedAdmission/rescan", F: GuardedAdmissionRescan},
@@ -376,5 +469,8 @@ func ServingBenchmarks() []Bench {
 		{Name: "ClusterAck", F: ClusterAck},
 		{Name: "ClusterCatalog/isolated", F: func(b *testing.B) { ClusterCatalog(b, false) }},
 		{Name: "ClusterCatalog/shared", F: func(b *testing.B) { ClusterCatalog(b, true) }},
+		{Name: "StreamIngest/stream", F: func(b *testing.B) { StreamIngest(b, "stream") }},
+		{Name: "StreamIngest/batch16", F: func(b *testing.B) { StreamIngest(b, "batch") }},
+		{Name: "StreamIngest/single", F: func(b *testing.B) { StreamIngest(b, "single") }},
 	}
 }

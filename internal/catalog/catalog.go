@@ -49,6 +49,9 @@
 // first both pay full price (pessimistic, never undercharges the
 // origin). Driven serially — the deterministic experiment and test
 // path — pricing is a pure function of the call sequence.
+//
+// ARCHITECTURE.md (repo root) places this layer in the system map and
+// lists the refcount-equals-carriage invariants the tests pin.
 package catalog
 
 import (

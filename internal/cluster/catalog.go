@@ -27,12 +27,14 @@ import (
 // message round trip, never a shared lock, and the registry owner
 // never calls back into shards.
 //
-// Catalog-managed streams must be departed through DepartCatalogStream;
-// departing one via the local-index DepartStream releases the tenant's
-// subscription but leaks the fleet reference until a
-// DepartCatalogStream (which releases a held reference even when
-// nothing is carried), a catalog re-offer, or an installing re-solve
-// reconciles it.
+// Departing a catalog-managed stream through the local-index
+// DepartStream is equivalent to DepartCatalogStream: the shard worker
+// resolves the local index back to its fleet ID and releases the held
+// reference in the same FIFO settlement, so reference counts track
+// carriage no matter which surface the departure came through. (Offers
+// are not symmetric: a local-index OfferStream admits outside the
+// catalog and takes no fleet reference — fleet identity is granted only
+// by the catalog's own acquire protocol.)
 
 // Sentinel errors of the catalog session surface; match with errors.Is.
 var (
@@ -140,9 +142,8 @@ func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog
 // tenant t, releasing its fleet reference; the last departure evicts
 // the stream's origin (Evicted). Departing a stream the tenant does not
 // carry is a successful call with Removed false, mirroring
-// DepartStream — but a fleet reference the tenant still holds (leaked
-// by an out-of-band local-index departure) is released even then, so an
-// explicit by-ID departure always cleans up.
+// DepartStream — but a fleet reference the tenant still holds is
+// released even then, so a by-ID departure always cleans up.
 func (c *Cluster) DepartCatalogStream(ctx context.Context, tenant int, id catalog.ID) (CatalogResult, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -528,66 +528,90 @@ func TestApplyBatchIgnoresCallerCostScale(t *testing.T) {
 	}
 }
 
-// TestCatalogReofferAfterLocalDepartIsAccounted: departing a
-// catalog-managed stream by local index leaks the fleet reference (the
-// documented misuse); a later catalog re-offer under that ghost
-// reference actually admits, and the registry accounting must record
-// the admission rather than assume a no-op.
-func TestCatalogReofferAfterLocalDepartIsAccounted(t *testing.T) {
+// TestLocalIndexDepartReleasesFleetReference is the regression test for
+// ROADMAP nuance (c): departing a catalog-managed stream by local index
+// (plain DepartStream) must settle its fleet reference exactly like
+// DepartCatalogStream — the shard worker resolves the binding and
+// releases its held reference, so refs track carriage no matter which
+// surface the departure came through, and a re-offer is a fresh
+// full-price admission, not a ghost.
+func TestLocalIndexDepartReleasesFleetReference(t *testing.T) {
 	ctx := context.Background()
 	c := catalogTestFleet(t, 2, 10, 5, 41, 0.9, 1, catalog.SharedOrigin{ReplicationFraction: 0.25})
 	id := catalog.ID("s-002")
 
 	first, err := c.OfferCatalogStream(ctx, 0, id)
-	if err != nil || !first.Admitted {
+	if err != nil || !first.Admitted || first.Refs != 1 {
 		t.Fatalf("first offer = %+v, %v", first, err)
 	}
-	// The misuse: local-index departure keeps the fleet reference.
+	// Local-index departure: the worker must release the held fleet
+	// reference (it was the last one, so the origin is evicted).
 	if _, err := c.DepartStream(ctx, 0, 2); err != nil {
 		t.Fatal(err)
-	}
-	again, err := c.OfferCatalogStream(ctx, 0, id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !again.Admitted {
-		t.Fatalf("re-offer under ghost reference not admitted: %+v", again)
-	}
-	if again.CostScale != 1 || again.CostCharged != again.FullCost {
-		t.Fatalf("ghost re-offer must be full price: %+v", again)
-	}
-	if again.Refs != 1 {
-		t.Fatalf("ghost re-offer grew refs: %+v", again)
 	}
 	snap, err := c.CatalogSnapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e *catalog.EntrySnapshot
-	for i := range snap.Entries {
-		if snap.Entries[i].ID == id {
-			e = &snap.Entries[i]
-		}
-	}
-	if e == nil || e.Admissions != 2 {
-		t.Fatalf("ghost admission missing from accounting: %+v", e)
-	}
-	if want := first.FullCost + again.FullCost; e.FullCost != want {
-		t.Fatalf("entry full cost = %v, want %v", e.FullCost, want)
+	e := entryFor(t, snap, id)
+	if e.Refs != 0 || e.Evictions != 1 {
+		t.Fatalf("local-index depart leaked the reference: %+v", e)
 	}
 
-	// And the cleanup contract: a by-ID departure releases a leaked
-	// reference even when nothing is carried anymore.
-	if _, err := c.DepartStream(ctx, 0, 2); err != nil { // leak again
+	// A second holder keeps the origin alive across one tenant's
+	// local-index departure.
+	for ti := 0; ti < 2; ti++ {
+		if res, err := c.OfferCatalogStream(ctx, ti, id); err != nil || !res.Admitted {
+			t.Fatalf("tenant %d re-offer = %+v, %v", ti, res, err)
+		}
+	}
+	if _, err := c.DepartStream(ctx, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	cleanup, err := c.DepartCatalogStream(ctx, 0, id)
-	if err != nil {
+	if snap, err = c.CatalogSnapshot(); err != nil {
 		t.Fatal(err)
 	}
-	if cleanup.Removed || cleanup.Refs != 0 || !cleanup.Evicted {
-		t.Fatalf("ghost cleanup = %+v (want Removed false, refs 0, evicted)", cleanup)
+	if e = entryFor(t, snap, id); e.Refs != 1 || e.Evictions != 1 {
+		t.Fatalf("shared origin mis-settled after local-index depart: %+v", e)
 	}
+
+	// The re-offer after a local-index departure is a fresh admission at
+	// the cost model's price (tenant 1 still holds the origin, so tenant
+	// 0 pays the replication fraction), and the accounting records it.
+	again, err := c.OfferCatalogStream(ctx, 0, id)
+	if err != nil || !again.Admitted {
+		t.Fatalf("re-offer = %+v, %v", again, err)
+	}
+	if again.CostScale != 0.25 || again.Refs != 2 {
+		t.Fatalf("re-offer after release mispriced: %+v", again)
+	}
+
+	// Draining through either surface ends at zero refs — nothing leaks.
+	if _, err := c.DepartStream(ctx, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := c.DepartCatalogStream(ctx, 1, id)
+	if err != nil || !dep.Removed || dep.Refs != 0 || !dep.Evicted {
+		t.Fatalf("final depart = %+v, %v", dep, err)
+	}
+	if snap, err = c.CatalogSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if e = entryFor(t, snap, id); e.Refs != 0 {
+		t.Fatalf("refs leaked after full drain: %+v", e)
+	}
+}
+
+// entryFor returns the snapshot entry for id.
+func entryFor(t *testing.T, snap *catalog.Snapshot, id catalog.ID) *catalog.EntrySnapshot {
+	t.Helper()
+	for i := range snap.Entries {
+		if snap.Entries[i].ID == id {
+			return &snap.Entries[i]
+		}
+	}
+	t.Fatalf("no catalog entry %q", id)
+	return nil
 }
 
 // TestCatalogNilContextAndDuplicateBindings pins two construction/entry

@@ -74,6 +74,21 @@
 // — and the last departure evicts the origin. Snapshot embeds the
 // registry state (reference counts, origin savings) when a catalog is
 // configured.
+//
+// # Streaming ingestion (serving API v4)
+//
+// OpenStream returns a StreamConn, a persistent pipelined session over
+// the same primitives: one goroutine Submits events without waiting,
+// another Recvs typed results in submission order, and a bounded
+// in-flight window (block or reject) is the backpressure point.
+// Catalog events ride streams with no special casing because the shard
+// worker settles every fleet reference in FIFO order — see stream.go.
+// The HTTP face of this surface lives in internal/httpserve
+// (POST /v1/stream) with repro/streamclient as the wire client.
+//
+// ARCHITECTURE.md (repo root) maps how this layer sits between the
+// head-end and the serving front end, and which invariants the
+// differential tests pin.
 package cluster
 
 import (
@@ -131,7 +146,9 @@ type Event struct {
 	// held-reference set) immediately after applying the event, so
 	// registry transitions follow shard FIFO order exactly — caller
 	// ordering races cannot desynchronize refcounts from tenant state.
-	// Set only by the catalog session methods.
+	// Set only by the catalog session methods; a departure with no
+	// CatalogID still settles a held reference when its local stream is
+	// catalog-bound (the worker resolves the binding itself).
 	CatalogID catalog.ID
 }
 
@@ -272,6 +289,12 @@ type Cluster struct {
 	// installing re-solve to find fleet streams the new lineup dropped,
 	// so their references can be released (see applyEvent).
 	catalogLocals [][]catalogLocal
+	// catalogByLocal[tenant] inverts the binding table (local stream
+	// index → fleet ID) so a local-index departure of a catalog-bound
+	// stream can settle its fleet reference on the worker exactly like a
+	// by-ID departure (see applyEvent) — a plain DepartStream must not
+	// leak the reference.
+	catalogByLocal []map[int]catalog.ID
 	// heldCatalog[tenant] is the worker-maintained set of fleet streams
 	// the tenant holds a confirmed reference for. Every reference
 	// transition is settled by the owning shard worker, so the set is
@@ -346,11 +369,16 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 		}
 		c.catalog = reg
 		c.catalogLocals = make([][]catalogLocal, len(c.tenants))
+		c.catalogByLocal = make([]map[int]catalog.ID, len(c.tenants))
 		c.heldCatalog = make([]map[catalog.ID]bool, len(c.tenants))
 		for _, b := range opts.Catalog.Streams {
 			for tenant, s := range b.Local {
 				c.catalogLocals[tenant] = append(c.catalogLocals[tenant],
 					catalogLocal{id: b.ID, local: s})
+				if c.catalogByLocal[tenant] == nil {
+					c.catalogByLocal[tenant] = make(map[int]catalog.ID)
+				}
+				c.catalogByLocal[tenant][s] = b.ID
 			}
 		}
 		for i := range c.heldCatalog {
@@ -608,18 +636,30 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
 		carried := t.Carries(ev.Stream)
 		users := t.DepartStream(ev.Stream)
 		res.depart = DepartResult{Removed: carried, Subscribers: users}
-		if ev.CatalogID != "" && c.catalog != nil {
-			// Catalog-managed departure: settle the fleet reference in
-			// shard FIFO order (see applyArrival). A held reference is
-			// released even when nothing was carried (Removed false) —
-			// that is the cleanup of a reference leaked by an
-			// out-of-band local-index departure.
+		if c.catalog != nil {
+			// Settle the fleet reference in shard FIFO order (see
+			// applyArrival) — for a by-ID departure and equally for a
+			// local-index departure of a catalog-bound stream (the worker
+			// resolves the binding itself, so a plain DepartStream cannot
+			// leak the reference). A held reference is released even when
+			// nothing was carried (Removed false): that is the cleanup of
+			// a stream whose local subscription was already gone.
+			id, byID := ev.CatalogID, ev.CatalogID != ""
+			if !byID {
+				id = c.catalogByLocal[ev.Tenant][ev.Stream]
+			}
 			held := c.heldCatalog[ev.Tenant]
-			if res.depart.Removed || held[ev.CatalogID] {
-				res.refs, res.evicted = c.catalog.Release(ev.CatalogID, ev.Tenant, true)
-				delete(held, ev.CatalogID)
-			} else {
-				res.refs = c.catalog.Refs(ev.CatalogID)
+			switch {
+			case id != "" && held[id]:
+				res.refs, res.evicted = c.catalog.Release(id, ev.Tenant, true)
+				delete(held, id)
+			case byID && res.depart.Removed:
+				// Carried without a reference (admitted by local index
+				// outside the catalog): the registry remove is a no-op,
+				// but report the refs the caller asked about.
+				res.refs, res.evicted = c.catalog.Release(id, ev.Tenant, true)
+			case byID:
+				res.refs = c.catalog.Refs(id)
 			}
 		}
 		churned = true

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/generator"
 	"repro/internal/headend"
@@ -17,6 +19,104 @@ import (
 // replay of the exact same event schedule on tenants running the retained
 // pre-ledger rescan implementation (NewRescanOnlinePolicy), at every
 // shard count.
+// TestClusterSharedOriginLedgerMatchesRescanReference extends the
+// differential to the shared catalog (ROADMAP nuance (d)): with the
+// SharedOrigin cost model pricing later admissions at the replication
+// fraction, the ledger guard (FitsDeltaScaled) and the retained rescan
+// reference guard (CheckFeasibleScaled over recorded charge scales)
+// must admit bit-identically — per-tenant snapshots and the registry's
+// accounting equal at every shard count, not just under Isolated.
+func TestClusterSharedOriginLedgerMatchesRescanReference(t *testing.T) {
+	const tenants, channels, gateways = 6, 20, 6
+	steps := catalogScheduleFor(tenants, channels, 880)
+	model := catalog.SharedOrigin{ReplicationFraction: 0.25}
+	ctx := context.Background()
+
+	build := func(shards int, rescan bool) *Cluster {
+		cfgs := make([]TenantConfig, tenants)
+		for i := range cfgs {
+			in, err := generator.CableTV{
+				Channels: channels, Gateways: gateways,
+				Seed: 880 + int64(i), EgressFraction: 0.25,
+			}.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = TenantConfig{Instance: in}
+			if rescan {
+				pol, err := headend.NewRescanOnlinePolicy(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfgs[i].Policy = pol
+			}
+		}
+		bindings := catalog.IdentityBindings(tenants, channels, func(s int) catalog.ID {
+			return catalog.ID(fmt.Sprintf("s-%03d", s))
+		})
+		c, err := New(cfgs, Options{
+			Shards: shards, BatchSize: 8,
+			Catalog: &CatalogOptions{Streams: bindings, CostModel: model},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	drive := func(c *Cluster) (tenantsSnap []headend.TenantSnapshot, catalogTable string) {
+		for _, st := range steps {
+			id := catalog.ID(fmt.Sprintf("s-%03d", st.stream))
+			if st.depart {
+				if _, err := c.DepartCatalogStream(ctx, st.tenant, id); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if _, err := c.OfferCatalogStream(ctx, st.tenant, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs, err := c.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs.Tenants, fs.Catalog.Render()
+	}
+
+	ref := build(1, true)
+	refTenants, refCatalog := drive(ref)
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range refTenants {
+		if ts.StreamsAdmitted == 0 {
+			t.Fatal("reference admitted nothing; schedule cannot exercise the scaled guard")
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		c := build(shards, false)
+		gotTenants, gotCatalog := drive(c)
+		for i := range gotTenants {
+			// The policy name differs only in implementation, never in
+			// behavior; normalize it before the bit-identity check.
+			g, r := gotTenants[i], refTenants[i]
+			g.Policy, r.Policy = "", ""
+			if g != r {
+				t.Errorf("shards=%d tenant %d diverged from scaled rescan reference:\nledger: %+v\nrescan: %+v",
+					shards, i, g, r)
+			}
+		}
+		if gotCatalog != refCatalog {
+			t.Errorf("shards=%d catalog accounting diverged:\n--- ledger\n%s\n--- rescan\n%s",
+				shards, gotCatalog, refCatalog)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestClusterLedgerMatchesRescanReference(t *testing.T) {
 	const tenants = 6
 	w := Workload{Seed: 120, Rounds: 2, DepartEvery: 3, ChurnEvery: 5}

@@ -222,10 +222,18 @@ func (c *Cluster) enqueue(ctx context.Context, tenant int, msg message) error {
 			return fmt.Errorf("%w: shard %d", ErrQueueFull, c.shardOf[tenant])
 		}
 	}
+	// Fast path: a context that can never be canceled (Background and
+	// friends) needs no select — a plain channel send is markedly
+	// cheaper on the per-event hot path.
+	done := ctx.Done()
+	if done == nil {
+		ch <- msg
+		return nil
+	}
 	select {
 	case ch <- msg:
 		return nil
-	case <-ctx.Done():
+	case <-done:
 		return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 	}
 }

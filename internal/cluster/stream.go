@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/catalog"
+)
+
+// Serving API v4: persistent streaming ingestion.
+//
+// A StreamConn is a long-lived, pipelined session over the cluster: the
+// submitter pushes events one after another without waiting for their
+// results, the shard workers apply them in submission order (per
+// tenant, exactly like the single-event session methods), and the
+// receiver reads one typed result per event back in submission order.
+// Between the two sides sits a bounded in-flight window — the stream's
+// backpressure point: when Window results are unread, Submit blocks (or
+// fails fast with ErrQueueFull under BackpressureReject) until the
+// receiver catches up, so a slow reader can never queue unbounded
+// state.
+//
+// Catalog events need no special casing: Submit runs the same
+// acquire-then-route protocol as OfferCatalogStream (the registry
+// prices the admission and takes a provisional reference before the
+// event crosses the shard queue), and the shard worker settles the
+// fleet reference in FIFO order right after applying the event. A
+// connection that is dropped with results unread therefore leaks
+// nothing — every enqueued event still applies and settles on its
+// worker; only the results go unobserved.
+//
+// Because every streamed event crosses the shard queue as an
+// acknowledged single event, a streamed schedule produces bit-identical
+// fleet snapshots to the same schedule submitted through the
+// per-operation session methods — and (per-tenant tables) to ApplyBatch
+// — at any shard count. The HTTP front end exposes this surface as
+// `POST /v1/stream` (NDJSON in, NDJSON out; see internal/httpserve and
+// repro/streamclient).
+
+// StreamOptions configures one StreamConn.
+type StreamOptions struct {
+	// Window bounds the number of in-flight events (submitted, result
+	// not yet received). Default 64.
+	Window int
+	// Backpressure selects what Submit does when the window is full:
+	// BackpressureBlock (default) parks the submitter until the receiver
+	// drains a result or ctx is done; BackpressureReject fails fast with
+	// ErrQueueFull. Independent of the cluster's own shard-queue mode.
+	Backpressure Backpressure
+}
+
+// StreamResult is one event's typed outcome on a stream, delivered in
+// submission order. Exactly the field matching Type (and, for
+// catalog-managed events, Catalog) is populated. Err carries a
+// per-event failure — unknown tenant, unknown catalog stream, a failed
+// re-solve, or a transport sentinel from the shard enqueue — without
+// ending the stream; match it with errors.Is against the serving
+// taxonomy.
+type StreamResult struct {
+	// Seq is the event's submission index on this stream (0-based).
+	Seq int
+	// Type echoes the event's type.
+	Type EventType
+	// CatalogID echoes the fleet identity of a catalog-managed event.
+	CatalogID catalog.ID
+	// Offer / Depart / Churn / Resolve mirror the per-operation session
+	// results (plain events).
+	Offer   OfferResult
+	Depart  DepartResult
+	Churn   ChurnResult
+	Resolve ResolveResult
+	// Catalog is the typed outcome of a catalog-managed offer or
+	// departure (CatalogID non-empty), mirroring OfferCatalogStream /
+	// DepartCatalogStream.
+	Catalog CatalogResult
+	// Err is the per-event error; the stream itself stays usable.
+	Err error
+}
+
+// streamPending rides the in-flight window: one entry per submitted
+// event, in submission order. ack is buffered (capacity 1) and always
+// receives exactly one result — from the shard worker, or from Submit
+// itself when the event failed before enqueueing.
+type streamPending struct {
+	seq int
+	typ EventType
+	id  catalog.ID
+	// catalog offer context captured at submit time (acquire protocol).
+	catalogOffer bool
+	tk           catalog.Ticket
+	fullCost     float64
+	ack          chan result
+}
+
+// StreamConn is a persistent, pipelined ingestion session (serving API
+// v4). One goroutine calls Submit (and finally CloseSend); another
+// calls Recv until io.EOF — each side is independently serialized, so
+// exactly one submitter and one receiver may run concurrently. Results
+// arrive in submission order.
+type StreamConn struct {
+	c      *Cluster
+	window Backpressure
+
+	sendMu     sync.Mutex
+	sendClosed bool
+	seq        int
+	pending    chan *streamPending
+	// free recycles settled pending entries (and their one-shot ack
+	// channels, consumed exactly once by Recv before recycling) back to
+	// Submit — the stream hot path allocates nothing per event once
+	// warm. Entries abandoned by Close are simply not recycled.
+	free chan *streamPending
+
+	recvMu sync.Mutex
+	// head is the oldest in-flight event, popped from pending but not
+	// yet settled — the one-slot peek TryRecv needs to check "is the
+	// next result ready?" without consuming it.
+	head *streamPending
+}
+
+// OpenStream opens a streaming ingestion session over the cluster. The
+// connection stays valid until CloseSend (graceful: Recv drains the
+// remaining results, then reports io.EOF) or until the cluster closes.
+func (c *Cluster) OpenStream(opts StreamOptions) (*StreamConn, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if opts.Window <= 0 {
+		opts.Window = 64
+	}
+	return &StreamConn{
+		c:       c,
+		window:  opts.Backpressure,
+		pending: make(chan *streamPending, opts.Window),
+		free:    make(chan *streamPending, opts.Window),
+	}, nil
+}
+
+// Submit pipelines one event onto the stream: it reserves the next
+// in-flight window slot (blocking or rejecting per the stream's
+// backpressure mode), routes the event to its shard worker, and returns
+// without waiting for the result — Recv delivers it, in submission
+// order. ev follows the ApplyBatch conventions: Type must be a serving
+// event type and CostScale is ignored (discounts are granted only by
+// the catalog's acquire protocol). Unlike ApplyBatch, catalog-managed
+// events are first-class: an arrival or departure carrying a CatalogID
+// runs the catalog protocol exactly like OfferCatalogStream /
+// DepartCatalogStream, with the shard worker settling the fleet
+// reference in FIFO order.
+//
+// Submit fails only when no window slot could be reserved (ErrClosed
+// after CloseSend, ErrQueueFull under BackpressureReject, ErrCanceled);
+// every other failure — unknown tenant or catalog stream, a full shard
+// queue, a closed cluster — is delivered in-band as the event's
+// StreamResult.Err, keeping the one-result-per-event contract.
+func (sc *StreamConn) Submit(ctx context.Context, ev Event) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	if sc.sendClosed {
+		return ErrClosed
+	}
+	var p *streamPending
+	select {
+	case p = <-sc.free:
+		*p = streamPending{seq: sc.seq, typ: ev.Type, id: ev.CatalogID, ack: p.ack}
+	default:
+		p = &streamPending{seq: sc.seq, typ: ev.Type, id: ev.CatalogID, ack: make(chan result, 1)}
+	}
+	if sc.window == BackpressureReject {
+		select {
+		case sc.pending <- p:
+		default:
+			return fmt.Errorf("%w: stream window (%d in flight)", ErrQueueFull, cap(sc.pending))
+		}
+	} else {
+		// An already-done context must not reserve a slot (mirrors
+		// enqueue): otherwise both cases below could be ready and the
+		// event would be submitted ~half the time under ErrCanceled.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
+		if done := ctx.Done(); done == nil {
+			sc.pending <- p
+		} else {
+			select {
+			case sc.pending <- p:
+			case <-done:
+				return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+			}
+		}
+	}
+	sc.seq++
+	sc.route(ctx, ev, p)
+	return nil
+}
+
+// route validates and enqueues one slotted event, running the catalog
+// acquire protocol for catalog-managed arrivals and departures. Any
+// failure is delivered into the event's ack so the receiver sees it
+// in-band, in order.
+func (sc *StreamConn) route(ctx context.Context, ev Event, p *streamPending) {
+	fail := func(err error) { p.ack <- result{err: err} }
+	if err := validEventType(ev.Type); err != nil {
+		fail(err)
+		return
+	}
+	// Discounts and fleet references are granted only by the catalog's
+	// own acquire protocol, never by a caller-supplied event (the
+	// ApplyBatch rule).
+	ev.CostScale = 0
+	if ev.CatalogID != "" && ev.Type != EventStreamArrival && ev.Type != EventStreamDeparture {
+		ev.CatalogID, p.id = "", ""
+	}
+	if ev.CatalogID != "" {
+		reg, err := sc.c.catalogFor(ev.Tenant)
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch ev.Type {
+		case EventStreamArrival:
+			// Acquire prices the admission and takes a provisional
+			// reference so a concurrent departure cannot evict the
+			// origin while this event crosses the shard queue (see
+			// OfferCatalogStream).
+			tk, err := reg.Acquire(ev.CatalogID, ev.Tenant)
+			if err != nil {
+				fail(wrapCatalogErr(err))
+				return
+			}
+			p.catalogOffer = true
+			p.tk = tk
+			p.fullCost = sc.c.tenants[ev.Tenant].Instance().StreamCostSum(tk.Local)
+			ev.Stream, ev.CostScale = tk.Local, tk.Scale
+		case EventStreamDeparture:
+			local, err := reg.Lookup(ev.CatalogID, ev.Tenant)
+			if err != nil {
+				fail(wrapCatalogErr(err))
+				return
+			}
+			ev.Stream = local
+		}
+	}
+	if err := sc.c.enqueue(ctx, ev.Tenant, message{ev: ev, ack: p.ack}); err != nil {
+		// Never enqueued: a catalog offer's provisional reference is
+		// dropped (once enqueued, the worker settles it — see
+		// applyArrival).
+		if p.catalogOffer {
+			sc.c.catalog.Release(ev.CatalogID, ev.Tenant, false)
+		}
+		fail(err)
+	}
+}
+
+// Recv returns the next event's typed result, in submission order. It
+// blocks until the event settles on its shard worker; after CloseSend
+// it drains the remaining in-flight results and then reports io.EOF.
+// Per-event failures arrive as StreamResult.Err with a nil Recv error.
+// A Recv aborted by ctx loses nothing: the event it was waiting on
+// stays at the head of the stream for the next Recv.
+func (sc *StreamConn) Recv(ctx context.Context) (StreamResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc.recvMu.Lock()
+	defer sc.recvMu.Unlock()
+	done := ctx.Done()
+	if sc.head == nil {
+		if done == nil {
+			q, ok := <-sc.pending
+			if !ok {
+				return StreamResult{}, io.EOF
+			}
+			sc.head = q
+		} else {
+			select {
+			case q, ok := <-sc.pending:
+				if !ok {
+					return StreamResult{}, io.EOF
+				}
+				sc.head = q
+			case <-done:
+				return StreamResult{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+			}
+		}
+	}
+	if done == nil {
+		res := <-sc.head.ack
+		return sc.settleHead(res), nil
+	}
+	select {
+	case res := <-sc.head.ack:
+		return sc.settleHead(res), nil
+	case <-done:
+		return StreamResult{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}
+
+// settleHead assembles the head's result and recycles the entry
+// (called with recvMu held, after its ack was consumed).
+func (sc *StreamConn) settleHead(res result) StreamResult {
+	p := sc.head
+	sc.head = nil
+	out := assembleResult(p, res)
+	select {
+	case sc.free <- p:
+	default:
+	}
+	return out
+}
+
+// TryRecv is the non-blocking Recv: it returns the next result only if
+// it has already settled (ok true). ok false means no result is ready
+// right now — including the drained-after-CloseSend state, which the
+// next blocking Recv reports as io.EOF. Remote writers use it to
+// coalesce flushes: drain everything that is ready, then flush once.
+func (sc *StreamConn) TryRecv() (StreamResult, bool) {
+	sc.recvMu.Lock()
+	defer sc.recvMu.Unlock()
+	if sc.head == nil {
+		select {
+		case q, ok := <-sc.pending:
+			if !ok {
+				return StreamResult{}, false
+			}
+			sc.head = q
+		default:
+			return StreamResult{}, false
+		}
+	}
+	select {
+	case res := <-sc.head.ack:
+		return sc.settleHead(res), true
+	default:
+		return StreamResult{}, false
+	}
+}
+
+// assembleResult builds the typed StreamResult for a settled event.
+func assembleResult(p *streamPending, res result) StreamResult {
+	out := StreamResult{Seq: p.seq, Type: p.typ, CatalogID: p.id, Err: res.err}
+	switch {
+	case res.err != nil:
+	case p.id != "" && p.typ == EventStreamArrival:
+		out.Catalog = CatalogResult{
+			Admitted:    res.offer.Accepted,
+			Subscribers: res.offer.Subscribers,
+			Utility:     res.offer.Utility,
+			Refs:        res.refs,
+			SharedWith:  p.tk.SharedWith,
+			CostScale:   p.tk.Scale,
+			FullCost:    p.fullCost,
+			Evicted:     res.evicted,
+		}
+		if out.Catalog.Admitted {
+			out.Catalog.CostCharged = p.tk.Scale * p.fullCost
+		}
+	case p.id != "" && p.typ == EventStreamDeparture:
+		out.Catalog = CatalogResult{
+			Removed:     res.depart.Removed,
+			Subscribers: res.depart.Subscribers,
+			Refs:        res.refs,
+			Evicted:     res.evicted,
+		}
+	case p.typ == EventStreamArrival:
+		out.Offer = res.offer
+	case p.typ == EventStreamDeparture:
+		out.Depart = res.depart
+	case p.typ == EventUserLeave, p.typ == EventUserJoin:
+		out.Churn = res.churn
+	case p.typ == EventResolve:
+		out.Resolve = res.resolve
+	}
+	return out
+}
+
+// CloseSend ends the submit side: subsequent Submits fail with
+// ErrClosed, and once the in-flight results are drained Recv reports
+// io.EOF. Idempotent.
+func (sc *StreamConn) CloseSend() {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	if !sc.sendClosed {
+		sc.sendClosed = true
+		close(sc.pending)
+	}
+}
+
+// Close abandons the stream: the submit side is closed and any unread
+// results are discarded. Every in-flight event still applies and
+// settles on its shard worker (catalog references included), so closing
+// mid-stream leaks nothing. Safe to call at any time, from any
+// goroutine, including after CloseSend.
+func (sc *StreamConn) Close() error {
+	sc.CloseSend()
+	return nil
+}

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/mmd"
 )
 
 // Workload is a deterministic synthetic event schedule for a cluster:
@@ -29,12 +31,19 @@ type Workload struct {
 // Events generates tenant ti's event sequence. Exposed so tests can
 // replay the exact schedule a RunWorkload call submitted.
 func (w Workload) Events(c *Cluster, ti int) []Event {
+	return w.EventsForInstance(c.tenants[ti].Instance(), ti)
+}
+
+// EventsForInstance generates tenant ti's event sequence from the
+// tenant's instance alone — no live cluster needed, so remote load
+// drivers (mmdserve -stream) can derive the exact schedule a local
+// RunWorkload would submit and pipe it over the wire.
+func (w Workload) EventsForInstance(in *mmd.Instance, ti int) []Event {
 	rounds := w.Rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
 	rng := rand.New(rand.NewSource(w.Seed + int64(ti)*1_000_003 + 1))
-	in := c.tenants[ti].Instance()
 	var evs []Event
 	arrivals := 0
 	var carried []int // offered streams, oldest first, for departures

@@ -22,7 +22,9 @@ type DeparturePolicy interface {
 
 // OnStreamDeparture implements DeparturePolicy for the online policy by
 // releasing the stream from the allocator, the running assignment, and
-// (guarded mode) the feasibility ledger.
+// (guarded mode) the feasibility ledger — or, on the rescan reference
+// path, the recorded charge scale (the refund side of a discounted
+// admission, mirroring the ledger's scale bookkeeping).
 func (p *OnlinePolicy) OnStreamDeparture(s int) {
 	p.allocator.Release(s)
 	for u := 0; u < p.assn.NumUsers(); u++ {
@@ -34,6 +36,7 @@ func (p *OnlinePolicy) OnStreamDeparture(s int) {
 			p.ledger.Remove(u, s)
 		}
 	}
+	delete(p.scale, s)
 }
 
 // OnStreamDeparture implements DeparturePolicy for the threshold policy.

@@ -3,7 +3,9 @@
 // policy (the paper's algorithms or the deployed-world threshold
 // baseline), and the simulated multicast plant underneath. Streams
 // arrive over virtual time; the policy decides, subscriptions are
-// installed in the network, and delivery is accounted.
+// installed in the network, and delivery is accounted. Tenant is the
+// event-facing step core the sharded cluster (internal/cluster)
+// drives; see ARCHITECTURE.md at the repo root for the layer map.
 package headend
 
 import (
@@ -83,6 +85,13 @@ type OnlinePolicy struct {
 	// ledger mirrors assn (guarded mode only; nil otherwise) so guarded
 	// admission is a delta query instead of a fleet rescan.
 	ledger *mmd.LoadLedger
+	// scale records the server-cost charge scale of streams admitted at
+	// a discount by the rescan reference guard (ledger == nil; the
+	// ledger path records its own scales). Absent streams were charged
+	// full price. It keeps the reference guard's scaled rescans
+	// comparable to LoadLedger.FitsDeltaScaled, so differential tests
+	// can compare the two paths under SharedOrigin, not just Isolated.
+	scale map[int]float64
 	// savedUtility keeps the zeroed utility rows of away users (gateway
 	// churn, see UserChurnPolicy).
 	savedUtility map[int][]float64
@@ -102,10 +111,13 @@ func NewOnlinePolicy(in *mmd.Instance, guarded bool) (*OnlinePolicy, error) {
 
 // NewRescanOnlinePolicy builds the guarded online policy with the
 // retained pre-ledger guard: every candidate is trial-added and the
-// whole fleet state is re-verified with Assignment.CheckFeasible. It is
-// kept (not deleted) as the reference implementation the differential
-// determinism tests and BenchmarkGuardedAdmission compare the ledger
-// path against; production callers should use NewOnlinePolicy.
+// whole fleet state is re-verified with Assignment.CheckFeasibleScaled
+// (full price under Isolated; recorded charge scales under a shared
+// catalog, mirroring the ledger's accounting). It is kept (not deleted)
+// as the reference implementation the differential determinism tests
+// and BenchmarkGuardedAdmission compare the ledger path against —
+// under both the Isolated and SharedOrigin cost models; production
+// callers should use NewOnlinePolicy.
 func NewRescanOnlinePolicy(in *mmd.Instance) (*OnlinePolicy, error) {
 	return newOnlinePolicy(in, true, false)
 }
@@ -155,9 +167,11 @@ func (p *OnlinePolicy) OnStreamArrival(s int) []int {
 // origin is already transcoded elsewhere), not a utility signal — only
 // the feasibility backstop prices the cheaper delta. Scale 1 is
 // bit-identical to the PR 3 path. The retained rescan reference
-// (NewRescanOnlinePolicy) has no scaled rescan; it guards at full price
-// regardless of the scale, which is why the differential tests compare
-// it only under the Isolated cost model.
+// (NewRescanOnlinePolicy) guards the same way at scale: each trial
+// rescan prices every carried stream at its recorded charge scale and
+// the candidate at serverCostScale (Assignment.CheckFeasibleScaled), so
+// the differential tests compare the two guards under SharedOrigin as
+// well as Isolated.
 func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []int {
 	users := p.allocator.Offer(s)
 	if !p.guarded {
@@ -168,15 +182,34 @@ func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []i
 	}
 	if p.ledger == nil {
 		// Reference path (NewRescanOnlinePolicy): trial-add each
-		// candidate and rescan the whole fleet state.
+		// candidate and rescan the whole fleet state. With no discounts
+		// anywhere the walk is exactly the pre-catalog CheckFeasible.
+		var scaleOf func(int) float64
+		if serverCostScale != 1 || len(p.scale) > 0 {
+			scaleOf = func(stream int) float64 {
+				if stream == s {
+					return serverCostScale
+				}
+				if sc, ok := p.scale[stream]; ok {
+					return sc
+				}
+				return 1
+			}
+		}
 		var kept []int
 		for _, u := range users {
 			p.assn.Add(u, s)
-			if p.assn.CheckFeasible(p.in) != nil {
+			if p.assn.CheckFeasibleScaled(p.in, scaleOf) != nil {
 				p.assn.Remove(u, s)
 				continue
 			}
 			kept = append(kept, u)
+		}
+		if len(kept) > 0 && serverCostScale != 1 {
+			if p.scale == nil {
+				p.scale = make(map[int]float64)
+			}
+			p.scale[s] = serverCostScale
 		}
 		return kept
 	}
@@ -225,6 +258,9 @@ func (p *OnlinePolicy) Reinstall(assn *mmd.Assignment) error {
 	if p.ledger != nil {
 		p.ledger.Rebuild(p.assn)
 	}
+	// An installed lineup is re-priced at full cost, exactly like
+	// LoadLedger.Rebuild resets its charge scales.
+	p.scale = nil
 	return nil
 }
 

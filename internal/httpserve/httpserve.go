@@ -1,0 +1,750 @@
+// Package httpserve is the HTTP/JSON ingestion front end over the
+// serving API (a thin codec — no state lives in the handlers; the
+// cluster session is the whole contract):
+//
+//	POST /v1/tenants/{id}/events        one event, one response (v2/v3)
+//	POST /v1/tenants/{id}/events:batch  a JSON array as one shard message (v3)
+//	POST /v1/stream                     persistent NDJSON session (v4)
+//	GET  /v1/fleet/snapshot             barrier + aggregated fleet state
+//	GET  /v1/catalog                    fleet catalog registry state
+//
+// Events decode into the typed per-operation calls and the typed
+// results marshal straight back; sentinel errors map onto HTTP status
+// codes (writeTransportError). The /v1/stream endpoint upgrades the
+// request to a full-duplex NDJSON session over Cluster.OpenStream: one
+// Event line in, one Result line out, in submission order, with the
+// stream's bounded in-flight window as the flow-control point (see
+// repro/streamclient for the wire structs and the Go client).
+//
+// It lives in internal/ so cmd/mmdserve, the benchmarks
+// (internal/benchkit), and the tests share one handler; cmd/mmdserve
+// is the thin main around it.
+package httpserve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	videodist "repro"
+	"repro/streamclient"
+)
+
+// eventRequest is the wire form of one tenant event on the per-tenant
+// endpoints (the tenant index rides in the URL).
+type eventRequest struct {
+	// Type selects the operation: "offer", "depart", "leave", "join",
+	// "resolve", "catalog-offer", or "catalog-depart".
+	Type string `json:"type"`
+	// Stream is the stream index (offer, depart).
+	Stream int `json:"stream,omitempty"`
+	// User is the gateway index (leave, join).
+	User int `json:"user,omitempty"`
+	// Install asks a resolve to install the offline assignment.
+	Install bool `json:"install,omitempty"`
+	// CatalogID is the fleet-wide stream identity (catalog-offer,
+	// catalog-depart).
+	CatalogID string `json:"catalog_id,omitempty"`
+}
+
+// eventResponse is the wire form of a typed result; exactly the field
+// matching the request type is set. Error carries a per-event failure
+// inside a batch response (the batch itself still succeeds).
+type eventResponse struct {
+	Type    string                   `json:"type"`
+	Offer   *videodist.OfferResult   `json:"offer,omitempty"`
+	Depart  *videodist.DepartResult  `json:"depart,omitempty"`
+	Churn   *videodist.ChurnResult   `json:"churn,omitempty"`
+	Resolve *videodist.ResolveResult `json:"resolve,omitempty"`
+	Catalog *videodist.CatalogResult `json:"catalog,omitempty"`
+	Error   string                   `json:"error,omitempty"`
+}
+
+// errorResponse is the wire form of a failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP/JSON ingestion front end over a cluster.
+func NewHandler(c *videodist.Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvent(c, w, r)
+	})
+	mux.HandleFunc("POST /v1/tenants/{id}/events:batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(c, w, r)
+	})
+	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(c, w, r)
+	})
+	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(c, w)
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		handleCatalog(c, w)
+	})
+	return mux
+}
+
+func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	tenant, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
+		return
+	}
+	var req eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad event body: %w", err))
+		return
+	}
+	ctx := r.Context()
+	resp := eventResponse{Type: req.Type}
+	switch req.Type {
+	case "offer":
+		res, err := c.OfferStream(ctx, tenant, req.Stream)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Offer = &res
+	case "depart":
+		res, err := c.DepartStream(ctx, tenant, req.Stream)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Depart = &res
+	case "leave":
+		res, err := c.UserLeave(ctx, tenant, req.User)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Churn = &res
+	case "join":
+		res, err := c.UserJoin(ctx, tenant, req.User)
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Churn = &res
+	case "resolve":
+		res, err := c.Resolve(ctx, tenant, videodist.ResolveOptions{Install: req.Install})
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Resolve = &res
+	case "catalog-offer":
+		res, err := c.OfferCatalogStream(ctx, tenant, videodist.CatalogID(req.CatalogID))
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Catalog = &res
+	case "catalog-depart":
+		res, err := c.DepartCatalogStream(ctx, tenant, videodist.CatalogID(req.CatalogID))
+		if err != nil {
+			writeTransportError(w, err)
+			return
+		}
+		resp.Catalog = &res
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown event type %q", req.Type))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchEventTypes maps the wire names accepted by the batch endpoint to
+// routed event types. Catalog events are orchestrated across the
+// registry and the shard and cannot ride in a single shard message.
+var batchEventTypes = map[string]videodist.ClusterEvent{
+	"offer":   {Type: videodist.ClusterStreamArrival},
+	"depart":  {Type: videodist.ClusterStreamDeparture},
+	"leave":   {Type: videodist.ClusterUserLeave},
+	"join":    {Type: videodist.ClusterUserJoin},
+	"resolve": {Type: videodist.ClusterResolve},
+}
+
+// handleBatch applies a JSON array of events as one Cluster.ApplyBatch
+// call: the whole sequence crosses the tenant's shard queue as a single
+// message, so remote callers get the same arrival coalescing the
+// RunWorkload replay path enjoys. The response is one eventResponse per
+// event, positionally.
+func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	tenant, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
+		return
+	}
+	var reqs []eventRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	events := make([]videodist.ClusterEvent, len(reqs))
+	for i, req := range reqs {
+		ev, ok := batchEventTypes[req.Type]
+		if !ok {
+			if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
+				writeError(w, http.StatusBadRequest, fmt.Errorf(
+					"batch event %d: catalog events cannot ride in a batch; use POST /v1/tenants/{id}/events or /v1/stream", i))
+				return
+			}
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: unknown event type %q", i, req.Type))
+			return
+		}
+		ev.Stream, ev.User, ev.Install = req.Stream, req.User, req.Install
+		events[i] = ev
+	}
+	results, err := c.ApplyBatch(r.Context(), tenant, events)
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	resps := make([]eventResponse, len(results))
+	for i, res := range results {
+		resps[i] = eventResponse{Type: reqs[i].Type}
+		switch res.Type {
+		case videodist.ClusterStreamArrival:
+			offer := res.Offer
+			resps[i].Offer = &offer
+		case videodist.ClusterStreamDeparture:
+			depart := res.Depart
+			resps[i].Depart = &depart
+		case videodist.ClusterUserLeave, videodist.ClusterUserJoin:
+			churn := res.Churn
+			resps[i].Churn = &churn
+		case videodist.ClusterResolve:
+			resolve := res.Resolve
+			resps[i].Resolve = &resolve
+		}
+		if res.Err != nil {
+			resps[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resps)
+}
+
+// readLine returns the next newline-terminated line (newline and any
+// trailing \r stripped; blank lines come back empty for the caller to
+// skip). Long lines are stitched together in *scratch. On io.EOF the
+// final unterminated line, if any, is returned alongside the error.
+func readLine(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		*scratch = append((*scratch)[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = br.ReadSlice('\n')
+			*scratch = append(*scratch, line...)
+		}
+		line = *scratch
+	}
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line, err
+}
+
+// parseStreamEvent decodes one wire line: the hand-rolled scanner
+// handles the canonical single-line shape every known client emits
+// (flat object, plain-ASCII strings) without allocation, and anything
+// it cannot prove canonical falls back to the stdlib decoder — exotic
+// but valid JSON still works, invalid JSON still fails with the
+// stdlib's message.
+func parseStreamEvent(line []byte) (videodist.ClusterEvent, error) {
+	if req, ok := fastParseEvent(line); ok {
+		return streamEvent(req)
+	}
+	var req streamclient.Event
+	if err := json.Unmarshal(line, &req); err != nil {
+		return videodist.ClusterEvent{}, fmt.Errorf("bad stream line: %w", err)
+	}
+	return streamEvent(req)
+}
+
+// fastParseEvent scans a canonical wire line (a flat JSON object of
+// known keys with integer, boolean, or escape-free string values). ok
+// false means "not provably canonical — use the stdlib", never an
+// error of its own.
+func fastParseEvent(line []byte) (streamclient.Event, bool) {
+	var ev streamclient.Event
+	i, n := 0, len(line)
+	skip := func() {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+	}
+	skip()
+	if i >= n || line[i] != '{' {
+		return ev, false
+	}
+	i++
+	skip()
+	if i < n && line[i] == '}' {
+		return ev, i+1 == n || allWS(line[i+1:])
+	}
+	for {
+		// Key.
+		skip()
+		if i >= n || line[i] != '"' {
+			return ev, false
+		}
+		i++
+		ks := i
+		for i < n && line[i] != '"' {
+			if line[i] == '\\' {
+				return ev, false
+			}
+			i++
+		}
+		if i >= n {
+			return ev, false
+		}
+		key := line[ks:i]
+		i++
+		skip()
+		if i >= n || line[i] != ':' {
+			return ev, false
+		}
+		i++
+		skip()
+		// Value, typed by key.
+		switch string(key) {
+		case "tenant", "stream", "user":
+			neg := false
+			if i < n && line[i] == '-' {
+				neg = true
+				i++
+			}
+			v, ds := 0, i
+			for i < n && line[i] >= '0' && line[i] <= '9' {
+				v = v*10 + int(line[i]-'0')
+				i++
+			}
+			if i == ds || i-ds > 9 {
+				return ev, false // empty, or large enough to overflow
+			}
+			if line[ds] == '0' && i-ds > 1 {
+				return ev, false // leading zero: invalid JSON, let the stdlib reject it
+			}
+			if neg {
+				v = -v
+			}
+			switch key[0] {
+			case 't':
+				ev.Tenant = v
+			case 's':
+				ev.Stream = v
+			default:
+				ev.User = v
+			}
+		case "type", "catalog_id":
+			if i >= n || line[i] != '"' {
+				return ev, false
+			}
+			i++
+			vs := i
+			for i < n && line[i] != '"' {
+				if line[i] == '\\' || line[i] >= 0x7f {
+					return ev, false
+				}
+				i++
+			}
+			if i >= n {
+				return ev, false
+			}
+			if key[0] == 't' {
+				ev.Type = wireToken(line[vs:i])
+				if ev.Type == "" {
+					return ev, false // unknown token: let the stdlib path shape the error
+				}
+			} else {
+				ev.CatalogID = string(line[vs:i])
+			}
+			i++
+		case "install":
+			switch {
+			case bytes.HasPrefix(line[i:], []byte("true")):
+				ev.Install = true
+				i += 4
+			case bytes.HasPrefix(line[i:], []byte("false")):
+				i += 5
+			default:
+				return ev, false
+			}
+		default:
+			return ev, false
+		}
+		skip()
+		if i < n && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < n && line[i] == '}' {
+			i++
+			return ev, i == n || allWS(line[i:])
+		}
+		return ev, false
+	}
+}
+
+// wireToken interns a wire type token so the hot path stores no new
+// string; unknown tokens return "".
+func wireToken(b []byte) string {
+	switch string(b) {
+	case "offer":
+		return "offer"
+	case "depart":
+		return "depart"
+	case "leave":
+		return "leave"
+	case "join":
+		return "join"
+	case "resolve":
+		return "resolve"
+	case "catalog-offer":
+		return "catalog-offer"
+	case "catalog-depart":
+		return "catalog-depart"
+	}
+	return ""
+}
+
+// allWS reports whether b is only JSON whitespace.
+func allWS(b []byte) bool {
+	for _, ch := range b {
+		if ch != ' ' && ch != '\t' && ch != '\r' && ch != '\n' {
+			return false
+		}
+	}
+	return true
+}
+
+// streamEvent maps one wire line onto a routed cluster event. Unlike
+// the batch endpoint, catalog events are first-class here: the stream's
+// Submit runs the catalog acquire protocol and the shard worker settles
+// the reference in FIFO order, so no orchestration is lost.
+func streamEvent(req streamclient.Event) (videodist.ClusterEvent, error) {
+	if ev, ok := batchEventTypes[req.Type]; ok {
+		ev.Tenant, ev.Stream, ev.User, ev.Install = req.Tenant, req.Stream, req.User, req.Install
+		return ev, nil
+	}
+	switch req.Type {
+	case "catalog-offer":
+		return videodist.ClusterEvent{Tenant: req.Tenant, Type: videodist.ClusterStreamArrival,
+			CatalogID: videodist.CatalogID(req.CatalogID)}, nil
+	case "catalog-depart":
+		return videodist.ClusterEvent{Tenant: req.Tenant, Type: videodist.ClusterStreamDeparture,
+			CatalogID: videodist.CatalogID(req.CatalogID)}, nil
+	}
+	return videodist.ClusterEvent{}, fmt.Errorf("unknown event type %q", req.Type)
+}
+
+// wireTypeName maps a routed type (plus the catalog mark) back onto
+// its wire name.
+func wireTypeName(res videodist.StreamResult) string {
+	switch {
+	case res.CatalogID != "" && res.Type == videodist.ClusterStreamArrival:
+		return "catalog-offer"
+	case res.CatalogID != "" && res.Type == videodist.ClusterStreamDeparture:
+		return "catalog-depart"
+	case res.Type == videodist.ClusterStreamArrival:
+		return "offer"
+	case res.Type == videodist.ClusterStreamDeparture:
+		return "depart"
+	case res.Type == videodist.ClusterUserLeave:
+		return "leave"
+	case res.Type == videodist.ClusterUserJoin:
+		return "join"
+	case res.Type == videodist.ClusterResolve:
+		return "resolve"
+	}
+	return ""
+}
+
+// appendResultLine appends one result's NDJSON wire line (trailing
+// newline included) to buf. It is the hand-rolled twin of marshaling a
+// streamclient.Result — the stream hot path writes tens of thousands
+// of these per second, and reflection-based encoding was a top-three
+// cost in the ingestion profile. Decoded values must stay identical to
+// the stdlib encoding of the same result (the HTTP parity test pins
+// this), so slice fields follow stdlib semantics exactly: nil
+// marshals as null on always-emitted fields and empty slices are
+// dropped on omitempty fields.
+func appendResultLine(buf []byte, res videodist.StreamResult) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendInt(buf, int64(res.Seq), 10)
+	if typ := wireTypeName(res); typ != "" {
+		// Wire type names are fixed ASCII tokens; no escaping needed.
+		buf = append(buf, `,"type":"`...)
+		buf = append(buf, typ...)
+		buf = append(buf, '"')
+	}
+	switch {
+	case res.Err != nil:
+		buf = append(buf, `,"error":`...)
+		buf = appendJSONString(buf, res.Err.Error())
+	case res.CatalogID != "":
+		buf = append(buf, `,"catalog":`...)
+		buf = appendCatalogResult(buf, res.Catalog)
+	case res.Type == videodist.ClusterStreamArrival:
+		buf = append(buf, `,"offer":{"Accepted":`...)
+		buf = strconv.AppendBool(buf, res.Offer.Accepted)
+		buf = append(buf, `,"Subscribers":`...)
+		buf = appendIntSlice(buf, res.Offer.Subscribers)
+		buf = append(buf, `,"Utility":`...)
+		buf = appendFloat(buf, res.Offer.Utility)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterStreamDeparture:
+		buf = append(buf, `,"depart":{"Removed":`...)
+		buf = strconv.AppendBool(buf, res.Depart.Removed)
+		buf = append(buf, `,"Subscribers":`...)
+		buf = appendIntSlice(buf, res.Depart.Subscribers)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterUserLeave, res.Type == videodist.ClusterUserJoin:
+		buf = append(buf, `,"churn":{"Changed":`...)
+		buf = strconv.AppendBool(buf, res.Churn.Changed)
+		buf = append(buf, `,"Streams":`...)
+		buf = appendIntSlice(buf, res.Churn.Streams)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterResolve:
+		buf = append(buf, `,"resolve":{"Installed":`...)
+		buf = strconv.AppendBool(buf, res.Resolve.Installed)
+		buf = append(buf, `,"OnlineValue":`...)
+		buf = appendFloat(buf, res.Resolve.OnlineValue)
+		buf = append(buf, `,"OfflineValue":`...)
+		buf = appendFloat(buf, res.Resolve.OfflineValue)
+		buf = append(buf, '}')
+	}
+	return append(buf, "}\n"...)
+}
+
+// appendCatalogResult appends a CatalogResult object following its
+// json tags (refs always present, the rest omitempty).
+func appendCatalogResult(buf []byte, v videodist.CatalogResult) []byte {
+	buf = append(buf, `{"refs":`...)
+	buf = strconv.AppendInt(buf, int64(v.Refs), 10)
+	if v.Admitted {
+		buf = append(buf, `,"admitted":true`...)
+	}
+	if v.Removed {
+		buf = append(buf, `,"removed":true`...)
+	}
+	if len(v.Subscribers) > 0 {
+		buf = append(buf, `,"subscribers":`...)
+		buf = appendIntSlice(buf, v.Subscribers)
+	}
+	if v.Utility != 0 {
+		buf = append(buf, `,"utility":`...)
+		buf = appendFloat(buf, v.Utility)
+	}
+	if len(v.SharedWith) > 0 {
+		buf = append(buf, `,"shared_with":`...)
+		buf = appendIntSlice(buf, v.SharedWith)
+	}
+	if v.CostScale != 0 {
+		buf = append(buf, `,"cost_scale":`...)
+		buf = appendFloat(buf, v.CostScale)
+	}
+	if v.FullCost != 0 {
+		buf = append(buf, `,"full_cost":`...)
+		buf = appendFloat(buf, v.FullCost)
+	}
+	if v.CostCharged != 0 {
+		buf = append(buf, `,"cost_charged":`...)
+		buf = appendFloat(buf, v.CostCharged)
+	}
+	if v.Evicted {
+		buf = append(buf, `,"evicted":true`...)
+	}
+	return append(buf, '}')
+}
+
+// appendIntSlice appends s with stdlib semantics: nil encodes as null,
+// anything else as an array.
+func appendIntSlice(buf []byte, s []int) []byte {
+	if s == nil {
+		return append(buf, `null`...)
+	}
+	buf = append(buf, '[')
+	for i, v := range s {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	return append(buf, ']')
+}
+
+// appendFloat appends a finite float as a JSON number.
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendJSONString appends s as a JSON string, escaping through the
+// stdlib only when needed (error messages are plain ASCII in practice).
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if ch := s[i]; ch < 0x20 || ch == '"' || ch == '\\' || ch >= 0x7f {
+			quoted, _ := json.Marshal(s)
+			return append(buf, quoted...)
+		}
+	}
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}
+
+// handleStream is the serving API v4 endpoint: a persistent NDJSON
+// session over one HTTP request. The request body is read line by line
+// and pipelined onto a Cluster.OpenStream session; a writer goroutine
+// streams each settled result back as its own flushed NDJSON line, in
+// submission order. The stream's bounded in-flight window is the flow
+// control: a client that stops reading results eventually parks the
+// reader loop (window full), which parks the TCP receive window —
+// backpressure end to end with no unbounded buffering.
+//
+// Data-level failures (unknown tenant, unknown catalog stream) come
+// back in-band as per-line errors; a protocol violation (malformed
+// line, unknown event type) stops reading, drains the in-flight
+// results, and appends a final Error-only line. A dropped client
+// cancels the request context; every event already submitted still
+// applies and settles on its shard worker (catalog references
+// included), so disconnects leak nothing.
+func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	sc, err := c.OpenStream(videodist.StreamOptions{})
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	defer sc.Close()
+	rc := http.NewResponseController(w)
+	// HTTP/1 servers half-close by default; the stream needs to read
+	// request-body lines while writing response lines. (Errors mean the
+	// transport is already duplex or cannot be — either way we proceed.)
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	ctx := r.Context()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var buf []byte
+		for {
+			res, err := sc.Recv(ctx)
+			if err != nil {
+				// io.EOF after CloseSend, or the client went away.
+				return
+			}
+			// Adaptive flushing: batch every result that has already
+			// settled into one write — a single syscall carries many
+			// lines under load — and flush exactly when nothing more is
+			// ready, because then a client may be blocked on the lines
+			// written so far. The burst is bounded by the stream's
+			// in-flight window.
+			buf = appendResultLine(buf[:0], res)
+			for {
+				res, ok := sc.TryRecv()
+				if !ok {
+					break
+				}
+				buf = appendResultLine(buf, res)
+			}
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	var protoErr error
+	body := bufio.NewReaderSize(r.Body, 32<<10)
+	var scratch []byte
+	for {
+		line, err := readLine(body, &scratch)
+		if len(line) > 0 {
+			ev, perr := parseStreamEvent(line)
+			if perr != nil {
+				protoErr = perr
+				break
+			}
+			if serr := sc.Submit(ctx, ev); serr != nil {
+				// Window reservation failed (client gone or cluster
+				// closed); the in-flight results still drain below.
+				break
+			}
+		}
+		if err != nil {
+			// io.EOF is the client's CloseSend; anything else is a dead
+			// connection.
+			break
+		}
+	}
+	sc.CloseSend()
+	<-done
+	if protoErr != nil {
+		// All settled results are out; tell the client why the stream
+		// ended early (an Error-only line, seq -1).
+		_ = json.NewEncoder(w).Encode(streamclient.Result{Seq: -1, Error: protoErr.Error()})
+		_ = rc.Flush()
+	}
+}
+
+// handleCatalog serves the fleet catalog snapshot; 404 when the fleet
+// was built without a catalog.
+func handleCatalog(c *videodist.Cluster, w http.ResponseWriter) {
+	snap, err := c.CatalogSnapshot()
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func handleSnapshot(c *videodist.Cluster, w http.ResponseWriter) {
+	fs, err := c.Snapshot()
+	if err != nil {
+		writeTransportError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fs)
+}
+
+// writeTransportError maps the sentinel error taxonomy onto HTTP
+// status codes.
+func writeTransportError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, videodist.ErrUnknownTenant),
+		errors.Is(err, videodist.ErrNoCatalog),
+		errors.Is(err, videodist.ErrUnknownCatalogStream):
+		code = http.StatusNotFound
+	case errors.Is(err, videodist.ErrQueueFull):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, videodist.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, videodist.ErrCanceled):
+		code = http.StatusRequestTimeout
+	}
+	writeError(w, code, err)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,143 @@
+// Package loaddrive submits wire-form workloads to a remote fleet over
+// the three ingestion paths — one persistent /v1/stream connection,
+// :batch posts, or one POST per event. It is shared by the mmdserve
+// -stream load client and the StreamIngest benchmarks so that the
+// protocol the benchmark measures is, line for line, the one the CLI
+// drives (one copy of the interleaving, the chunking, and the error
+// handling). All three paths preserve per-tenant submission order, so
+// a fixed workload lands a fleet in the identical final state
+// whichever one carries it.
+package loaddrive
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/streamclient"
+)
+
+// Interleave merges per-tenant schedules round-robin — the same
+// shard-mixing order cluster.RunWorkload submits in.
+func Interleave(seqs [][]streamclient.Event) []streamclient.Event {
+	var all []streamclient.Event
+	for i := 0; ; i++ {
+		any := false
+		for ti := range seqs {
+			if i < len(seqs[ti]) {
+				all = append(all, seqs[ti][i])
+				any = true
+			}
+		}
+		if !any {
+			return all
+		}
+	}
+}
+
+// Stream pipes the whole schedule through one persistent /v1/stream
+// connection: a sender goroutine pipelines the lines, the caller
+// drains the results (raw — counted and error-sniffed, not decoded).
+// It returns the number of clean results received.
+func Stream(target string, events []streamclient.Event) (int, error) {
+	conn, err := streamclient.Dial(target)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := range events {
+			if err := conn.Send(events[i]); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- conn.CloseSend()
+	}()
+	got := 0
+	for {
+		line, err := conn.RecvRaw()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return got, err
+		}
+		if bytes.Contains(line, []byte(`"error"`)) {
+			return got, fmt.Errorf("stream error: %s", line)
+		}
+		got++
+	}
+	if err := <-sendErr; err != nil {
+		return got, err
+	}
+	if got != len(events) {
+		return got, fmt.Errorf("stream returned %d results for %d events", got, len(events))
+	}
+	return got, nil
+}
+
+// Batch submits each tenant's schedule as :batch posts of batchSize
+// events, round-robin across tenants so shard queues see the same
+// tenant mix as the streamed run.
+func Batch(target string, seqs [][]streamclient.Event, batchSize int) (int, error) {
+	if batchSize < 1 {
+		batchSize = 16
+	}
+	total := 0
+	for chunk := 0; ; chunk++ {
+		any := false
+		for ti := range seqs {
+			lo := chunk * batchSize
+			if lo >= len(seqs[ti]) {
+				continue
+			}
+			any = true
+			hi := min(lo+batchSize, len(seqs[ti]))
+			body, err := json.Marshal(seqs[ti][lo:hi])
+			if err != nil {
+				return total, err
+			}
+			if err := postOK(fmt.Sprintf("%s/v1/tenants/%d/events:batch", target, ti), body); err != nil {
+				return total, err
+			}
+			total += hi - lo
+		}
+		if !any {
+			return total, nil
+		}
+	}
+}
+
+// Single submits one POST per event.
+func Single(target string, events []streamclient.Event) (int, error) {
+	for i := range events {
+		body, err := json.Marshal(events[i])
+		if err != nil {
+			return i, err
+		}
+		if err := postOK(fmt.Sprintf("%s/v1/tenants/%d/events", target, events[i].Tenant), body); err != nil {
+			return i, err
+		}
+	}
+	return len(events), nil
+}
+
+// postOK posts a JSON body, fails on any non-200, and drains the
+// response so the transport reuses the connection.
+func postOK(url string, body []byte) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("%s: server status %s: %s", url, resp.Status, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -42,7 +42,14 @@
 // CatalogSharedOrigin cost model charges later tenants only the
 // multicast-replication fraction of an already-transcoded origin.
 // ApplyBatch applies a single-tenant event sequence as one shard
-// message (the batched-ingestion path).
+// message (the batched-ingestion path), and OpenStream (serving API v4)
+// opens a persistent pipelined session — Submit events without waiting,
+// Recv typed results in submission order under a bounded in-flight
+// window — which the HTTP front end exposes as a long-lived NDJSON
+// stream (POST /v1/stream; repro/streamclient is the Go client).
+//
+// ARCHITECTURE.md maps how these layers (solvers → headend → cluster →
+// catalog → serving) fit together and which invariants pin them.
 //
 // Everything — the solvers, the exact branch-and-bound reference, the
 // workload generators, the discrete-event multicast network, and the
@@ -163,10 +170,20 @@ type (
 	// Backpressure selects block-with-ctx vs fail-fast enqueueing.
 	Backpressure = cluster.Backpressure
 	// ClusterEvent is one routed tenant event; the element type of
-	// Cluster.ApplyBatch's input.
+	// Cluster.ApplyBatch's input and Cluster's streaming Submit.
 	ClusterEvent = cluster.Event
 	// EventResult is one typed per-event outcome of Cluster.ApplyBatch.
 	EventResult = cluster.EventResult
+
+	// StreamConn is a persistent pipelined ingestion session (serving
+	// API v4): open with Cluster.OpenStream, Submit events without
+	// waiting, Recv typed results in submission order.
+	StreamConn = cluster.StreamConn
+	// StreamOptions configures a StreamConn (in-flight window size and
+	// window backpressure mode).
+	StreamOptions = cluster.StreamOptions
+	// StreamResult is one event's typed outcome on a StreamConn.
+	StreamResult = cluster.StreamResult
 )
 
 // Fleet catalog (serving API v3): streams as first-class fleet entities
