@@ -1,0 +1,128 @@
+// Schema check for the checked-in serving perf baseline. CI runs this
+// test by name right after regenerating a throwaway baseline, so a
+// drive-by edit to BENCH_serving.json — or a mmdbench change that
+// silently drops a section — fails fast instead of rotting the
+// trajectory future PRs diff against.
+package videodist_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchBaseline mirrors the BENCH_serving.json document written by
+// `mmdbench -json`. It is intentionally redeclared here (the writer
+// lives in package main) so the schema is pinned from the consumer
+// side: a writer-side field rename breaks this test, not just readers.
+type benchBaseline struct {
+	Command    string `json:"command"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Benchmarks map[string]struct {
+		Iterations   int     `json:"iterations"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		AllocsPerOp  int64   `json:"allocs_per_op"`
+		BytesPerOp   int64   `json:"bytes_per_op"`
+		EventsPerOp  float64 `json:"events_per_op"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"benchmarks"`
+	Saturation []struct {
+		Shards       int     `json:"shards"`
+		GoMaxProcs   int     `json:"gomaxprocs"`
+		Submitters   int     `json:"submitters"`
+		Events       int     `json:"events"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		AckP50Ms     float64 `json:"ack_p50_ms"`
+		AckP99Ms     float64 `json:"ack_p99_ms"`
+	} `json:"saturation"`
+}
+
+// benchBaselinePath lets CI point the schema check at a freshly
+// generated file; default is the checked-in baseline.
+func benchBaselinePath() string {
+	if p := os.Getenv("BENCH_SERVING_PATH"); p != "" {
+		return p
+	}
+	return "BENCH_serving.json"
+}
+
+func TestBenchServingBaselineSchema(t *testing.T) {
+	buf, err := os.ReadFile(benchBaselinePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&base); err != nil {
+		t.Fatalf("baseline has fields outside the pinned schema: %v", err)
+	}
+	if base.Command != "mmdbench -json" {
+		t.Fatalf("command = %q", base.Command)
+	}
+	if base.GoVersion == "" || base.GoMaxProcs < 1 || base.NumCPU < 1 {
+		t.Fatalf("bad environment stamp: go_version=%q gomaxprocs=%d num_cpu=%d",
+			base.GoVersion, base.GoMaxProcs, base.NumCPU)
+	}
+
+	// Every serving benchmark must be present with a real measurement;
+	// the ingestion trio and the session benchmarks must carry their
+	// headline extras.
+	required := []string{
+		"GuardedAdmission/rescan", "GuardedAdmission/ledger",
+		"CatalogAdmission/isolated", "CatalogAdmission/shared",
+		"OnlinePolicySweep/rescan", "OnlinePolicySweep/ledger",
+		"ClusterSerial", "ClusterSharded", "ClusterAck",
+		"ClusterCatalog/isolated", "ClusterCatalog/shared",
+		"StreamIngest/stream", "StreamIngest/batch16", "StreamIngest/single",
+	}
+	for _, name := range required {
+		rec, ok := base.Benchmarks[name]
+		if !ok {
+			t.Fatalf("benchmark %q missing from baseline", name)
+		}
+		if rec.Iterations < 1 || rec.NsPerOp <= 0 {
+			t.Fatalf("benchmark %q: iterations=%d ns_per_op=%v", name, rec.Iterations, rec.NsPerOp)
+		}
+	}
+	for _, name := range []string{"StreamIngest/stream", "StreamIngest/batch16", "StreamIngest/single"} {
+		if rec := base.Benchmarks[name]; rec.EventsPerSec <= 0 {
+			t.Fatalf("benchmark %q: events_per_sec=%v", name, rec.EventsPerSec)
+		}
+	}
+
+	// The scaling curve: the full shard axis must be covered, the
+	// GOMAXPROCS axis must extend past 1, and every cell must be a
+	// complete measurement with ordered quantiles.
+	if len(base.Saturation) == 0 {
+		t.Fatal("saturation section empty")
+	}
+	shardsSeen := map[int]bool{}
+	procsAbove1 := false
+	for i, pt := range base.Saturation {
+		if pt.Shards < 1 || pt.GoMaxProcs < 1 || pt.Submitters < 1 || pt.Events < 1 {
+			t.Fatalf("saturation[%d]: incomplete cell %+v", i, pt)
+		}
+		if pt.EventsPerSec <= 0 {
+			t.Fatalf("saturation[%d]: events_per_sec=%v", i, pt.EventsPerSec)
+		}
+		if pt.AckP50Ms <= 0 || pt.AckP99Ms < pt.AckP50Ms {
+			t.Fatalf("saturation[%d]: quantiles p50=%v p99=%v", i, pt.AckP50Ms, pt.AckP99Ms)
+		}
+		shardsSeen[pt.Shards] = true
+		if pt.GoMaxProcs > 1 {
+			procsAbove1 = true
+		}
+	}
+	for _, s := range []int{1, 2, 4, 8} {
+		if !shardsSeen[s] {
+			t.Fatalf("saturation curve missing shards=%d", s)
+		}
+	}
+	if !procsAbove1 {
+		t.Fatal("saturation curve has no GOMAXPROCS>1 cell")
+	}
+}

@@ -6,8 +6,10 @@
 package videodist_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -467,6 +469,25 @@ func BenchmarkStreamIngest(b *testing.B) {
 	b.Run("stream", func(b *testing.B) { benchkit.StreamIngest(b, "stream") })
 	b.Run("batch16", func(b *testing.B) { benchkit.StreamIngest(b, "batch") })
 	b.Run("single", func(b *testing.B) { benchkit.StreamIngest(b, "single") })
+}
+
+// BenchmarkSaturation runs one cell of the saturation harness — the
+// concurrent-submitter session workload behind BENCH_serving.json's
+// scaling curve — with GOMAXPROCS pinned above 1, so `go test -bench`
+// (and CI's -benchtime=1x smoke) exercises concurrent submitters and
+// the ack-latency histogram on every run. The full shards x GOMAXPROCS
+// grid is swept by `mmdbench -json`.
+func BenchmarkSaturation(b *testing.B) {
+	procs := runtime.NumCPU()
+	if procs > 4 {
+		procs = 4
+	}
+	if procs < 2 {
+		procs = 2
+	}
+	b.Run(fmt.Sprintf("shards_8_procs_%d", procs), func(b *testing.B) {
+		benchkit.SaturationBench(b, 8, procs)
+	})
 }
 
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once

@@ -8,12 +8,17 @@
 // and writes a machine-readable baseline — ns/op, allocs/op, B/op, and
 // events/op — to the given file (conventionally BENCH_serving.json at
 // the repo root), so successive PRs have a trajectory to diff against.
+// The baseline's "saturation" section is the scaling curve: the
+// concurrent-submitter harness swept over a shards x GOMAXPROCS grid,
+// each cell reporting acked events/sec and p50/p99 ack latency
+// (-sat-shards, -sat-procs, -sat-rounds tune the sweep).
 //
 // Usage:
 //
 //	mmdbench                        # run every experiment
 //	mmdbench -only E5               # run one experiment
 //	mmdbench -json BENCH_serving.json  # write the serving perf baseline
+//	mmdbench -json out.json -sat-shards 1,8 -sat-procs 2 -sat-rounds 1
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -33,9 +39,12 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E10, A1..A3)")
 	jsonPath := flag.String("json", "", "write the serving benchmark baseline to this file instead of running experiments")
+	satShards := flag.String("sat-shards", "1,2,4,8", "comma-separated shard counts for the saturation sweep")
+	satProcs := flag.String("sat-procs", "1,2,4,8", "comma-separated GOMAXPROCS values for the saturation sweep")
+	satRounds := flag.Int("sat-rounds", 2, "workload rounds per saturation cell")
 	flag.Parse()
 	if *jsonPath != "" {
-		if err := writeServingBaseline(*jsonPath); err != nil {
+		if err := writeServingBaseline(*jsonPath, *satShards, *satProcs, *satRounds); err != nil {
 			fmt.Fprintln(os.Stderr, "mmdbench:", err)
 			os.Exit(1)
 		}
@@ -80,19 +89,60 @@ type benchRecord struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
-// servingBaseline is the BENCH_serving.json document.
-type servingBaseline struct {
-	Command    string                 `json:"command"`
-	GoVersion  string                 `json:"go_version"`
-	GoMaxProcs int                    `json:"gomaxprocs"`
-	Benchmarks map[string]benchRecord `json:"benchmarks"`
+// saturationRecord is one cell of the baseline's scaling curve: the
+// concurrent-submitter session workload measured at one
+// (shards, GOMAXPROCS) setting.
+type saturationRecord struct {
+	Shards       int     `json:"shards"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Submitters   int     `json:"submitters"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AckP50Ms and AckP99Ms are histogram-quantile upper bounds on
+	// per-call ack latency, in milliseconds.
+	AckP50Ms float64 `json:"ack_p50_ms"`
+	AckP99Ms float64 `json:"ack_p99_ms"`
 }
 
-func writeServingBaseline(path string) error {
+// servingBaseline is the BENCH_serving.json document.
+type servingBaseline struct {
+	Command    string `json:"command"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU records the host parallelism the saturation sweep's
+	// GOMAXPROCS axis should be read against.
+	NumCPU     int                    `json:"num_cpu"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+	Saturation []saturationRecord     `json:"saturation"`
+}
+
+// parseGrid parses a comma-separated list of positive ints.
+func parseGrid(flagName, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-%s: bad value %q", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeServingBaseline(path, satShards, satProcs string, satRounds int) error {
+	shardGrid, err := parseGrid("sat-shards", satShards)
+	if err != nil {
+		return err
+	}
+	procGrid, err := parseGrid("sat-procs", satProcs)
+	if err != nil {
+		return err
+	}
 	base := servingBaseline{
 		Command:    "mmdbench -json",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Benchmarks: map[string]benchRecord{},
 	}
 	for _, bench := range benchkit.ServingBenchmarks() {
@@ -115,6 +165,24 @@ func writeServingBaseline(path string) error {
 		}
 		base.Benchmarks[bench.Name] = rec
 	}
+	for _, s := range shardGrid {
+		for _, p := range procGrid {
+			fmt.Fprintf(os.Stderr, "saturating shards=%d gomaxprocs=%d...\n", s, p)
+			pt, err := benchkit.Saturate(s, p, satRounds)
+			if err != nil {
+				return fmt.Errorf("saturation shards=%d procs=%d: %w", s, p, err)
+			}
+			base.Saturation = append(base.Saturation, saturationRecord{
+				Shards:       pt.Shards,
+				GoMaxProcs:   pt.GoMaxProcs,
+				Submitters:   pt.Submitters,
+				Events:       pt.Events,
+				EventsPerSec: pt.EventsPerSec,
+				AckP50Ms:     pt.AckP50Micros / 1e3,
+				AckP99Ms:     pt.AckP99Micros / 1e3,
+			})
+		}
+	}
 	buf, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
@@ -123,6 +191,6 @@ func writeServingBaseline(path string) error {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d benchmarks to %s\n", len(base.Benchmarks), path)
+	fmt.Printf("wrote %d benchmarks and %d saturation cells to %s\n", len(base.Benchmarks), len(base.Saturation), path)
 	return nil
 }

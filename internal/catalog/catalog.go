@@ -45,10 +45,27 @@
 // not hold is therefore a harmless no-op (standalone users must
 // preserve that ordering).
 //
-// Pricing is from *confirmed* references only: two tenants racing to be
-// first both pay full price (pessimistic, never undercharges the
-// origin). Driven serially — the deterministic experiment and test
-// path — pricing is a pure function of the call sequence.
+// Pricing counts confirmed references plus in-flight acquisitions that
+// were themselves priced at full cost (prospective origin payers): the
+// first acquisition of an unoccupied origin pays full price, and every
+// acquisition racing it is quoted the shared discount — exactly one
+// admitter funds the origin per occupancy cycle. Quotes are honored: if
+// the prospective payer's admission is later rejected, acquisitions
+// already quoted keep their discount (the same stance SharedOrigin
+// takes on an early departure of the full payer), and the next fresh
+// acquisition is quoted full price again. Driven serially — the
+// deterministic experiment and test path — pricing is a pure function
+// of the call sequence.
+//
+// # Batched operation
+//
+// AcquireBatch prices a whole single-tenant event batch in one owner
+// round trip (each acquisition sees the ones before it in the batch,
+// exactly as if they had been submitted back to back), and SettleBatch
+// applies a shard worker's ordered settlement run — commits, recharges,
+// releases, install adoptions — in one round trip. Both write results
+// into caller-owned buffers, so a worker can reuse its settlement
+// scratch across batch windows without allocation.
 //
 // ARCHITECTURE.md (repo root) places this layer in the system map and
 // lists the refcount-equals-carriage invariants the tests pin.
@@ -189,6 +206,13 @@ type Ticket struct {
 	// reference is taken regardless, so the acquisition must be
 	// balanced like any other.
 	Already bool
+	// OriginPayer marks the acquisition that was quoted the full origin
+	// cost for this occupancy cycle (no confirmed holder and no other
+	// full-priced acquisition in flight at decision time). The flag must
+	// be echoed back on whichever settlement balances the acquisition
+	// (Settlement.Origin, or the origin argument of Commit / Recharge /
+	// Release) so the owner can retire the prospective-payer slot.
+	OriginPayer bool
 }
 
 // entry is the owner-goroutine state of one catalog stream.
@@ -201,6 +225,11 @@ type entry struct {
 	// per tenant; pendingCount is their sum (the eviction gate).
 	pending      map[int]int
 	pendingCount int
+	// fullPending counts in-flight acquisitions that were priced at the
+	// full origin cost (Ticket.OriginPayer); while it is nonzero, new
+	// acquisitions are quoted the shared discount even though no holder
+	// has committed yet — the fix for the double-full-price race.
+	fullPending int
 	// occupied marks an origin brought up by a confirmed admission and
 	// not yet evicted; the eviction single-fire latch.
 	occupied bool
@@ -220,26 +249,79 @@ type Registry struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+	// replies recycles the one-shot reply channels of do(); a channel
+	// is only returned to the pool after its reply was received, so a
+	// pooled channel is always empty.
+	replies sync.Pool
 }
 
 type opKind int
 
 const (
 	opAcquire opKind = iota + 1
-	opCommit
-	opRecharge
-	opRelease
+	opSettle
 	opRefs
 	opSnapshot
+	opAcquireBatch
+	opSettleBatch
 )
+
+// SettleOp names one registry transition a settlement applies.
+type SettleOp uint8
+
+const (
+	// SettleCommit confirms a provisionally acquired reference after a
+	// successful admission.
+	SettleCommit SettleOp = iota + 1
+	// SettleRecharge consumes a provisional reference whose admission
+	// ran under an existing confirmed reference (see Recharge).
+	SettleRecharge
+	// SettleRelease drops a confirmed reference (a departure).
+	SettleRelease
+	// SettleReleasePending drops a provisional reference (a rejected or
+	// abandoned admission).
+	SettleReleasePending
+	// SettleAdopt confirms a full-price reference with no prior Acquire
+	// — the install-reconcile pickup of a catalog-bound stream a
+	// re-solve added to the lineup. Atomic, so no provisional window.
+	SettleAdopt
+)
+
+// Settlement is one ordered registry transition in a SettleBatch.
+type Settlement struct {
+	Op     SettleOp
+	ID     ID
+	Tenant int
+	// Full and Charged accumulate accounting on commit / recharge /
+	// adopt (adopt charges Full regardless of Charged).
+	Full, Charged float64
+	// Origin echoes Ticket.OriginPayer for the settlements that balance
+	// an acquisition (commit, recharge, release-pending).
+	Origin bool
+}
+
+// SettleResult is one settlement's outcome.
+type SettleResult struct {
+	// Refs is the confirmed reference count after the transition.
+	Refs int
+	// Evicted reports that the transition drained an occupied origin.
+	Evicted bool
+}
 
 type request struct {
 	op            opKind
 	id            ID
 	tenant        int
-	held          bool
+	settleOp      SettleOp
 	full, charged float64
-	reply         chan response
+	origin        bool
+	// Batch payloads; results are written into the caller-owned output
+	// slices before the reply is sent (the reply is the memory barrier).
+	ids       []ID
+	tickets   []Ticket
+	settles   []Settlement
+	settleOut []SettleResult
+	reply     chan response
 }
 
 type response struct {
@@ -319,7 +401,7 @@ func (r *Registry) IDs() []ID {
 // while this acquisition is in flight. Every successful Acquire must be
 // balanced by exactly one Commit (admission succeeded), Recharge
 // (admission under an existing reference), or Release(…, held=false)
-// (admission rejected or never ran).
+// (admission rejected or never ran), each echoing Ticket.OriginPayer.
 func (r *Registry) Acquire(id ID, tenant int) (Ticket, error) {
 	if _, err := r.Lookup(id, tenant); err != nil {
 		return Ticket{}, err
@@ -331,12 +413,39 @@ func (r *Registry) Acquire(id ID, tenant int) (Ticket, error) {
 	return resp.ticket, resp.err
 }
 
+// AcquireBatch prices admissions of ids by one tenant in a single owner
+// round trip, writing one ticket per id into out (whose length must
+// equal len(ids)). Each acquisition is priced as if submitted right
+// after the one before it — the first fresh acquisition of an
+// unoccupied origin in the batch is the origin payer, later ones get
+// the shared discount. All bindings are validated up front; on error no
+// reference is taken. Every ticket must be balanced exactly like a
+// single Acquire's.
+func (r *Registry) AcquireBatch(tenant int, ids []ID, out []Ticket) error {
+	if len(out) != len(ids) {
+		return fmt.Errorf("catalog: AcquireBatch: %d ids but %d ticket slots", len(ids), len(out))
+	}
+	for _, id := range ids {
+		if _, err := r.Lookup(id, tenant); err != nil {
+			return err
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	if _, ok := r.do(request{op: opAcquireBatch, tenant: tenant, ids: ids, tickets: out}); !ok {
+		return ErrClosed
+	}
+	return nil
+}
+
 // Commit confirms a provisionally acquired reference after a successful
 // admission, accumulating the accounting (fullCost is the undiscounted
-// scalar server cost, chargedCost the discounted one actually charged).
-// It returns the confirmed reference count after the commit.
-func (r *Registry) Commit(id ID, tenant int, fullCost, chargedCost float64) int {
-	resp, ok := r.do(request{op: opCommit, id: id, tenant: tenant, full: fullCost, charged: chargedCost})
+// scalar server cost, chargedCost the discounted one actually charged);
+// origin echoes the ticket's OriginPayer flag. It returns the confirmed
+// reference count after the commit.
+func (r *Registry) Commit(id ID, tenant int, fullCost, chargedCost float64, origin bool) int {
+	resp, ok := r.do(request{op: opSettle, settleOp: SettleCommit, id: id, tenant: tenant, full: fullCost, charged: chargedCost, origin: origin})
 	if !ok {
 		return 0
 	}
@@ -349,8 +458,9 @@ func (r *Registry) Commit(id ID, tenant int, fullCost, chargedCost float64) int 
 // local-index departure). The provisional reference is consumed and the
 // admission counter and cost totals move; the confirmed count is
 // untouched, so Snapshot's origin-cost accounting stays truthful.
-func (r *Registry) Recharge(id ID, tenant int, fullCost, chargedCost float64) int {
-	resp, ok := r.do(request{op: opRecharge, id: id, tenant: tenant, full: fullCost, charged: chargedCost})
+// origin echoes the ticket's OriginPayer flag.
+func (r *Registry) Recharge(id ID, tenant int, fullCost, chargedCost float64, origin bool) int {
+	resp, ok := r.do(request{op: opSettle, settleOp: SettleRecharge, id: id, tenant: tenant, full: fullCost, charged: chargedCost, origin: origin})
 	if !ok {
 		return 0
 	}
@@ -358,16 +468,40 @@ func (r *Registry) Recharge(id ID, tenant int, fullCost, chargedCost float64) in
 }
 
 // Release drops a reference: held true releases a confirmed reference
-// (a departure), held false a provisional one (a rejected admission).
-// It returns the confirmed count after the release and whether this
-// release evicted the origin (last reference of an occupied entry —
-// fires exactly once per occupancy cycle).
-func (r *Registry) Release(id ID, tenant int, held bool) (refs int, evicted bool) {
-	resp, ok := r.do(request{op: opRelease, id: id, tenant: tenant, held: held})
+// (a departure), held false a provisional one (a rejected admission,
+// which must echo the ticket's OriginPayer flag as origin). It returns
+// the confirmed count after the release and whether this release
+// evicted the origin (last reference of an occupied entry — fires
+// exactly once per occupancy cycle).
+func (r *Registry) Release(id ID, tenant int, held, origin bool) (refs int, evicted bool) {
+	op := SettleReleasePending
+	if held {
+		op = SettleRelease
+	}
+	resp, ok := r.do(request{op: opSettle, settleOp: op, id: id, tenant: tenant, origin: origin})
 	if !ok {
 		return 0, false
 	}
 	return resp.refs, resp.evicted
+}
+
+// SettleBatch applies a shard worker's ordered settlement run in one
+// owner round trip. When out is non-nil its length must equal len(ops)
+// and each settlement's outcome is written into the matching slot;
+// unknown IDs are no-ops with a zero result (matching the single-op
+// methods after Close). Both slices stay caller-owned — the reply is
+// the memory barrier — so workers can reuse them across batches.
+func (r *Registry) SettleBatch(ops []Settlement, out []SettleResult) error {
+	if out != nil && len(out) != len(ops) {
+		return fmt.Errorf("catalog: SettleBatch: %d ops but %d result slots", len(ops), len(out))
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if _, ok := r.do(request{op: opSettleBatch, settles: ops, settleOut: out}); !ok {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Refs returns the confirmed reference count of id (0 for unknown IDs
@@ -397,16 +531,26 @@ func (r *Registry) Close() {
 	<-r.done
 }
 
-// do sends one request to the owner and waits for its reply.
+// do sends one request to the owner and waits for its reply. Reply
+// channels are pooled: a channel goes back to the pool only after its
+// reply was drained, so pooled channels are always empty; on the Close
+// race where the reply may still arrive, the channel is abandoned to
+// the garbage collector instead.
 func (r *Registry) do(req request) (response, bool) {
-	req.reply = make(chan response, 1)
+	reply, _ := r.replies.Get().(chan response)
+	if reply == nil {
+		reply = make(chan response, 1)
+	}
+	req.reply = reply
 	select {
 	case r.reqs <- req:
 	case <-r.stop:
+		r.replies.Put(reply)
 		return response{}, false
 	}
 	select {
-	case resp := <-req.reply:
+	case resp := <-reply:
+		r.replies.Put(reply)
 		return resp, true
 	case <-r.done:
 		// The owner replies (into the buffered channel) to every
@@ -414,7 +558,8 @@ func (r *Registry) do(req request) (response, bool) {
 		// reply both cases can be ready — prefer the reply: the
 		// operation was applied and its result must not be dropped.
 		select {
-		case resp := <-req.reply:
+		case resp := <-reply:
+			r.replies.Put(reply)
 			return resp, true
 		default:
 			return response{}, false
@@ -437,8 +582,26 @@ func (r *Registry) owner() {
 
 // handle applies one request on the owner goroutine.
 func (r *Registry) handle(req request) response {
-	if req.op == opSnapshot {
+	switch req.op {
+	case opSnapshot:
 		return response{snap: r.snapshotLocked()}
+	case opAcquireBatch:
+		for i, id := range req.ids {
+			// Bindings were validated by AcquireBatch before the send.
+			req.tickets[i] = r.acquire(r.entries[id], req.tenant)
+		}
+		return response{}
+	case opSettleBatch:
+		for i, s := range req.settles {
+			var res SettleResult
+			if e := r.entries[s.ID]; e != nil {
+				res = r.settleOne(e, s)
+			}
+			if req.settleOut != nil {
+				req.settleOut[i] = res
+			}
+		}
+		return response{}
 	}
 	e := r.entries[req.id]
 	if e == nil {
@@ -448,58 +611,97 @@ func (r *Registry) handle(req request) response {
 	case opRefs:
 		return response{refs: len(e.holders)}
 	case opAcquire:
-		tk := Ticket{
-			Local:      e.local[req.tenant],
-			Scale:      1,
-			Refs:       len(e.holders),
-			SharedWith: e.sharedWith(req.tenant),
-			Already:    e.holds(req.tenant),
-		}
-		if !tk.Already {
-			tk.Scale = clampScale(r.model.ScaleFor(len(e.holders)))
-		}
-		e.pending[req.tenant]++
-		e.pendingCount++
-		return response{ticket: tk}
-	case opCommit:
-		e.dropPending(req.tenant)
-		if !e.holds(req.tenant) {
-			e.insert(req.tenant)
-			e.occupied = true
-			e.admissions++
-			e.fullCost += req.full
-			e.chargedCost += req.charged
-		}
-		return response{refs: len(e.holders)}
-	case opRecharge:
-		e.dropPending(req.tenant)
-		e.admissions++
-		e.fullCost += req.full
-		e.chargedCost += req.charged
-		return response{refs: len(e.holders)}
-	case opRelease:
-		if req.held {
-			// Releasing a reference the tenant does not hold is a
-			// no-op: commits and confirmed releases arrive in
-			// shard-application order (the cluster worker settles
-			// both), so a "release before commit" cannot occur and
-			// over-releasing must not poison later admissions.
-			e.remove(req.tenant)
-		} else {
-			e.dropPending(req.tenant)
-		}
-		resp := response{refs: len(e.holders)}
-		resp.evicted = e.maybeEvict()
-		return resp
+		return response{ticket: r.acquire(e, req.tenant)}
+	case opSettle:
+		res := r.settleOne(e, Settlement{
+			Op: req.settleOp, ID: req.id, Tenant: req.tenant,
+			Full: req.full, Charged: req.charged, Origin: req.origin,
+		})
+		return response{refs: res.Refs, evicted: res.Evicted}
 	}
 	return response{err: fmt.Errorf("catalog: unknown op %d", req.op)}
 }
 
-// dropPending decrements the tenant's in-flight acquisition count.
-func (e *entry) dropPending(tenant int) {
+// acquire prices one admission on the owner goroutine and records the
+// provisional reference.
+func (r *Registry) acquire(e *entry, tenant int) Ticket {
+	tk := Ticket{
+		Local:      e.local[tenant],
+		Scale:      1,
+		Refs:       len(e.holders),
+		SharedWith: e.sharedWith(tenant),
+		Already:    e.holds(tenant),
+	}
+	if !tk.Already {
+		// Price from confirmed holders plus in-flight full-priced
+		// acquisitions: concurrent first admissions see each other, so
+		// exactly one is quoted the full origin cost.
+		effective := len(e.holders) + e.fullPending
+		tk.Scale = clampScale(r.model.ScaleFor(effective))
+		if effective == 0 {
+			tk.OriginPayer = true
+			e.fullPending++
+		}
+	}
+	e.pending[tenant]++
+	e.pendingCount++
+	return tk
+}
+
+// settleOne applies one settlement on the owner goroutine.
+func (r *Registry) settleOne(e *entry, s Settlement) SettleResult {
+	switch s.Op {
+	case SettleCommit:
+		e.dropPending(s.Tenant, s.Origin)
+		if !e.holds(s.Tenant) {
+			e.insert(s.Tenant)
+			e.occupied = true
+			e.admissions++
+			e.fullCost += s.Full
+			e.chargedCost += s.Charged
+		}
+		return SettleResult{Refs: len(e.holders)}
+	case SettleRecharge:
+		e.dropPending(s.Tenant, s.Origin)
+		e.admissions++
+		e.fullCost += s.Full
+		e.chargedCost += s.Charged
+		return SettleResult{Refs: len(e.holders)}
+	case SettleAdopt:
+		if !e.holds(s.Tenant) {
+			e.insert(s.Tenant)
+			e.occupied = true
+			e.admissions++
+			e.fullCost += s.Full
+			e.chargedCost += s.Full
+		}
+		return SettleResult{Refs: len(e.holders)}
+	case SettleRelease:
+		// Releasing a reference the tenant does not hold is a no-op:
+		// commits and confirmed releases arrive in shard-application
+		// order (the cluster worker settles both), so a "release before
+		// commit" cannot occur and over-releasing must not poison later
+		// admissions.
+		e.remove(s.Tenant)
+	case SettleReleasePending:
+		e.dropPending(s.Tenant, s.Origin)
+	}
+	res := SettleResult{Refs: len(e.holders)}
+	res.Evicted = e.maybeEvict()
+	return res
+}
+
+// dropPending decrements the tenant's in-flight acquisition count and,
+// when the settled acquisition was the prospective origin payer,
+// retires the full-priced slot so a later fresh acquisition is quoted
+// full price again.
+func (e *entry) dropPending(tenant int, origin bool) {
 	if e.pending[tenant] > 0 {
 		e.pending[tenant]--
 		e.pendingCount--
+	}
+	if origin && e.fullPending > 0 {
+		e.fullPending--
 	}
 }
 

@@ -1,0 +1,150 @@
+package cluster
+
+// Allocation-budget regression tests for the pooled serving hot path.
+// The v6 pooling work (recycled completion channels, recycled stream
+// entries, scratch buffers in the allocator and guard) made the steady
+// states below allocation-free; these tests pin that with
+// testing.AllocsPerRun so a stray per-event allocation fails CI rather
+// than silently eroding the BENCH_serving.json numbers.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/generator"
+)
+
+func allocTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	in, err := generator.CableTV{Channels: 20, Gateways: 6, Seed: 401, EgressFraction: 0.25}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New([]TenantConfig{{Instance: in}}, Options{Shards: 1, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// admittedStream probes for a stream the tenant's policy admits (and
+// departs it again so the caller starts from a clean slate).
+func admittedStream(t *testing.T, c *Cluster) int {
+	t.Helper()
+	ctx := context.Background()
+	for s := 0; s < 20; s++ {
+		res, err := c.OfferStream(ctx, 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			if _, err := c.DepartStream(ctx, 0, s); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+	}
+	t.Fatal("no admissible stream")
+	return -1
+}
+
+// TestSessionSteadyStateAllocationFree pins the pooled session path
+// (the ClusterAck benchmark's hot path): once warm, an offer that the
+// tenant rejects (already carried) and a departure of a stream it does
+// not carry cross the shard queue, settle, and reply without a single
+// allocation — the completion channel comes from the pool and goes
+// back, and no result payload is built for a no-op.
+func TestSessionSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counters are unreliable under -race")
+	}
+	c := allocTestCluster(t)
+	ctx := context.Background()
+	s := admittedStream(t, c)
+	if res, err := c.OfferStream(ctx, 0, s); err != nil || !res.Accepted {
+		t.Fatalf("warmup offer = %+v, %v", res, err)
+	}
+
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := c.OfferStream(ctx, 0, s); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("rejected re-offer allocates %.2f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := c.DepartStream(ctx, 0, 19); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("no-op departure allocates %.2f per op, want 0", avg)
+	}
+}
+
+// TestSessionOfferDepartCycleAllocBudget pins the full admit/release
+// cycle: the only per-cycle allocations left are the ones that must
+// outlive the call (the tenant's retained subscriber list and the
+// churn of its sorted stream sets). The budget has slack for exactly
+// those; the pre-pooling path spent ~6 allocations on channels and
+// result plumbing alone.
+func TestSessionOfferDepartCycleAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counters are unreliable under -race")
+	}
+	c := allocTestCluster(t)
+	ctx := context.Background()
+	// admittedStream warms one full cycle, growing every slice to its
+	// steady capacity.
+	s := admittedStream(t, c)
+	if avg := testing.AllocsPerRun(200, func() {
+		if res, err := c.OfferStream(ctx, 0, s); err != nil || !res.Accepted {
+			t.Fatalf("offer = %+v, %v", res, err)
+		}
+		if res, err := c.DepartStream(ctx, 0, s); err != nil || !res.Removed {
+			t.Fatalf("depart = %+v, %v", res, err)
+		}
+	}); avg > 6 {
+		t.Fatalf("offer+depart cycle allocates %.2f per cycle, budget 6", avg)
+	}
+}
+
+// TestStreamSteadyStateAllocationFree pins the pooled pipelined path
+// (the StreamIngest benchmark's cluster-side hot path): a warm
+// StreamConn recycles its pending entries and ack channels, so a
+// submit+recv of a rejected offer allocates nothing at all.
+func TestStreamSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counters are unreliable under -race")
+	}
+	c := allocTestCluster(t)
+	ctx := context.Background()
+	s := admittedStream(t, c)
+	if res, err := c.OfferStream(ctx, 0, s); err != nil || !res.Accepted {
+		t.Fatalf("warmup offer = %+v, %v", res, err)
+	}
+	sc, err := c.OpenStream(StreamOptions{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm: cycle the window once so the free list is populated (the
+	// offers are rejections — the tenant already carries s).
+	for i := 0; i < 8; i++ {
+		if err := sc.Submit(ctx, Event{Tenant: 0, Type: EventStreamArrival, Stream: s}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Recv(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := sc.Submit(ctx, Event{Tenant: 0, Type: EventStreamArrival, Stream: s}); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := sc.Recv(ctx); err != nil || res.Err != nil {
+			t.Fatalf("recv = %+v, %v", res, err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm stream submit+recv allocates %.2f per op, want 0", avg)
+	}
+}

@@ -3,20 +3,29 @@ package cluster
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/catalog"
 )
 
 // EventResult is the typed outcome of one event inside an ApplyBatch
-// call; exactly the field matching Type is populated. A failed re-solve
-// sets Err for its own slot without failing the batch.
+// call; exactly the field matching Type (and, for catalog-managed
+// events, Catalog) is populated. A failed re-solve sets Err for its own
+// slot without failing the batch.
 type EventResult struct {
 	// Type echoes the event's type.
 	Type EventType
+	// CatalogID echoes the fleet identity of a catalog-managed event.
+	CatalogID catalog.ID
 	// Offer / Depart / Churn / Resolve mirror the per-operation session
-	// results.
+	// results (plain events).
 	Offer   OfferResult
 	Depart  DepartResult
 	Churn   ChurnResult
 	Resolve ResolveResult
+	// Catalog is the typed outcome of a catalog-managed offer or
+	// departure (CatalogID non-empty), mirroring OfferCatalogStream /
+	// DepartCatalogStream.
+	Catalog CatalogResult
 	// Err is the per-event error (only re-solves can fail).
 	Err error
 }
@@ -30,12 +39,28 @@ type EventResult struct {
 // single session calls pay N queue crossings and N flush boundaries,
 // one ApplyBatch pays one of each.
 //
-// The Tenant, CostScale, and CatalogID fields of each event are
-// overridden (tenant from the call; CostScale and the catalog marks
-// cleared — discounts and fleet references are granted only by the
-// catalog's own acquire protocol, never by a caller-supplied event);
-// event types must be the serving event types (catalog offers are
-// orchestrated across registry and shard and cannot ride in a batch). On a context error the batch may still be
+// Catalog events are first-class batch citizens: an arrival or
+// departure carrying a CatalogID runs the catalog protocol exactly like
+// OfferCatalogStream / DepartCatalogStream, with two differences of
+// mechanics, not semantics. All of the batch's catalog arrivals are
+// priced in one registry round trip (catalog.Registry.AcquireBatch)
+// before the batch crosses the shard queue — each acquisition sees the
+// ones before it, exactly as if the events had been pipelined on a
+// StreamConn — and the worker flushes the batch's settlements in one
+// ordered SettleBatch round trip before acking, preserving worker-FIFO
+// settlement order exactly. Because pricing happens at submission (as
+// on a pipelined stream), a depart-then-re-offer of the same CatalogID
+// *within one batch* is quoted against the pre-batch sharing state;
+// split phases across batches when serial per-call pricing is wanted.
+//
+// The Tenant and CostScale fields of each event are overridden (tenant
+// from the call; the scale from the catalog ticket, or cleared —
+// discounts and fleet references are granted only by the catalog's own
+// acquire protocol, never by a caller-supplied event); CatalogID is
+// honored on arrivals and departures and cleared on other event types,
+// following the StreamConn convention. Catalog events require
+// Options.Catalog and known bindings; violations fail the whole batch
+// before any event applies. On a context error the batch may still be
 // applied (it is already queued); only the results are lost, exactly
 // like the single-event session methods.
 func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([]EventResult, error) {
@@ -46,23 +71,99 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 	// ErrClosed / ErrCanceled / ErrUnknownTenant exactly like every
 	// other session call instead of silently succeeding.
 	batch := make([]Event, len(events))
+	var offers []int // batch indexes of catalog arrivals, in order
+	var ids []catalog.ID
 	for i, ev := range events {
 		if err := validEventType(ev.Type); err != nil {
 			return nil, fmt.Errorf("cluster: batch event %d: %w", i, err)
 		}
 		ev.Tenant = tenant
 		ev.CostScale = 0
-		ev.CatalogID = ""
+		ev.originPayer = false
+		if ev.CatalogID != "" && ev.Type != EventStreamArrival && ev.Type != EventStreamDeparture {
+			ev.CatalogID = ""
+		}
+		if ev.CatalogID != "" {
+			if c.catalog == nil {
+				return nil, fmt.Errorf("cluster: batch event %d: %w", i, ErrNoCatalog)
+			}
+			local, err := c.catalog.Lookup(ev.CatalogID, tenant)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: batch event %d: %w", i, wrapCatalogErr(err))
+			}
+			ev.Stream = local
+			if ev.Type == EventStreamArrival {
+				offers = append(offers, i)
+				ids = append(ids, ev.CatalogID)
+			}
+		}
 		batch[i] = ev
 	}
-	msg := message{batch: batch, batchAck: make(chan []EventResult, 1)}
-	if err := c.enqueue(ctx, tenant, msg); err != nil {
+	var tickets []catalog.Ticket
+	if len(ids) > 0 {
+		// One pricing round trip for the whole batch; every ticket takes
+		// a provisional reference the worker will settle in order.
+		tickets = make([]catalog.Ticket, len(ids))
+		if err := c.catalog.AcquireBatch(tenant, ids, tickets); err != nil {
+			return nil, fmt.Errorf("cluster: batch: %w", wrapCatalogErr(err))
+		}
+		for k, i := range offers {
+			batch[i].Stream = tickets[k].Local
+			batch[i].CostScale = tickets[k].Scale
+			batch[i].originPayer = tickets[k].OriginPayer
+		}
+	}
+	ack := c.getBatchAck()
+	if err := c.enqueue(ctx, tenant, message{batch: batch, batchAck: ack}); err != nil {
+		c.putBatchAck(ack)
+		// Never enqueued: drop every provisional reference the batch
+		// acquired, in one round trip.
+		if len(tickets) > 0 {
+			rel := make([]catalog.Settlement, len(tickets))
+			for k, tk := range tickets {
+				rel[k] = catalog.Settlement{Op: catalog.SettleReleasePending,
+					ID: ids[k], Tenant: tenant, Origin: tk.OriginPayer}
+			}
+			_ = c.catalog.SettleBatch(rel, nil)
+		}
 		return nil, err
 	}
+	var out []EventResult
 	select {
-	case out := <-msg.batchAck:
-		return out, nil
+	case out = <-ack:
+		c.putBatchAck(ack)
 	case <-ctx.Done():
+		// Once enqueued, the worker settles every reference itself; an
+		// abandoned ack is leaked to the garbage collector, never
+		// recycled (the worker may still deliver into it).
 		return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 	}
+	// Assemble the catalog results the worker could not know (ticket
+	// context lives caller-side, mirroring the stream path): the worker
+	// backfilled Catalog.Refs/Evicted from its settlement flush.
+	for k, i := range offers {
+		tk := tickets[k]
+		res := &out[i]
+		res.CatalogID = ids[k]
+		res.Catalog.Admitted = res.Offer.Accepted
+		res.Catalog.Subscribers = res.Offer.Subscribers
+		res.Catalog.Utility = res.Offer.Utility
+		res.Catalog.SharedWith = tk.SharedWith
+		res.Catalog.CostScale = tk.Scale
+		res.Catalog.FullCost = c.tenants[tenant].Instance().StreamCostSum(tk.Local)
+		if res.Catalog.Admitted {
+			res.Catalog.CostCharged = tk.Scale * res.Catalog.FullCost
+		}
+		res.Offer = OfferResult{}
+	}
+	for i := range batch {
+		if batch[i].CatalogID != "" && batch[i].Type == EventStreamDeparture {
+			res := &out[i]
+			res.CatalogID = batch[i].CatalogID
+			res.Catalog.Removed = res.Depart.Removed
+			res.Catalog.Subscribers = res.Depart.Subscribers
+			res.Depart = DepartResult{}
+		}
+	}
+	return out, nil
 }

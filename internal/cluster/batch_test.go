@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/generator"
 )
 
@@ -191,5 +193,114 @@ func TestApplyBatchValidation(t *testing.T) {
 	// closed cluster.
 	if _, err := c.ApplyBatch(ctx, 0, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("closed empty batch: %v", err)
+	}
+}
+
+// TestApplyBatchCatalogMatchesSessions is the batched-catalog-admission
+// acceptance check: catalog events submitted through ApplyBatch — one
+// AcquireBatch round trip per batch, one SettleBatch flush per batch —
+// must produce per-event CatalogResults and fleet snapshots
+// bit-identical to the same schedule driven through the per-operation
+// catalog sessions, at every shard count and under both cost models.
+//
+// The chunker starts a new batch whenever a CatalogID repeats within
+// the current one: a batch prices all of its catalog arrivals against
+// the pre-batch sharing state (the pipelined-acquire semantics), so
+// same-ID depart-then-reoffer inside one batch would legitimately see
+// different sharing state than the settled-one-by-one reference.
+func TestApplyBatchCatalogMatchesSessions(t *testing.T) {
+	const tenants, channels = 4, 12
+	steps := catalogScheduleFor(tenants, channels, 930)
+	ctx := context.Background()
+	for _, model := range []catalog.CostModel{
+		catalog.Isolated{},
+		catalog.SharedOrigin{ReplicationFraction: 0.25},
+	} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			sessions := catalogTestFleet(t, tenants, channels, 5, 930, 0.3, shards, model)
+			batched := catalogTestFleet(t, tenants, channels, 5, 930, 0.3, shards, model)
+
+			// Chunk the schedule: batch boundaries at tenant changes and
+			// at same-ID repeats within a batch.
+			type chunk struct {
+				tenant int
+				evs    []Event
+			}
+			var chunks []chunk
+			seen := map[catalog.ID]bool{}
+			for _, st := range steps {
+				id := catalog.ID(fmt.Sprintf("s-%03d", st.stream))
+				typ := EventStreamArrival
+				if st.depart {
+					typ = EventStreamDeparture
+				}
+				if len(chunks) == 0 || chunks[len(chunks)-1].tenant != st.tenant || seen[id] {
+					chunks = append(chunks, chunk{tenant: st.tenant})
+					clear(seen)
+				}
+				seen[id] = true
+				last := &chunks[len(chunks)-1]
+				last.evs = append(last.evs, Event{Type: typ, CatalogID: id})
+			}
+
+			var want []CatalogResult
+			for _, st := range steps {
+				id := catalog.ID(fmt.Sprintf("s-%03d", st.stream))
+				var res CatalogResult
+				var err error
+				if st.depart {
+					res, err = sessions.DepartCatalogStream(ctx, st.tenant, id)
+				} else {
+					res, err = sessions.OfferCatalogStream(ctx, st.tenant, id)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, res)
+			}
+
+			var got []CatalogResult
+			for _, ch := range chunks {
+				out, err := batched.ApplyBatch(ctx, ch.tenant, ch.evs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, res := range out {
+					if res.Err != nil {
+						t.Fatalf("batch event %d: %v", i, res.Err)
+					}
+					got = append(got, res.Catalog)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%d shards: %d batch results, want %d", model.Name(), shards, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%s/%d shards: step %d: batch %+v vs session %+v",
+						model.Name(), shards, i, got[i], want[i])
+				}
+			}
+
+			sfs, err := sessions.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bfs, err := batched.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tenant tables and the catalog section must be bit-identical;
+			// the shard stats legitimately differ (coalescing into fewer,
+			// larger admission windows is the point of the batch path).
+			if gotR, wantR := bfs.RenderTenants(), sfs.RenderTenants(); gotR != wantR {
+				t.Fatalf("%s/%d shards: batched tenant tables diverged:\n--- batch\n%s\n--- sessions\n%s",
+					model.Name(), shards, gotR, wantR)
+			}
+			if gotR, wantR := bfs.Catalog.Render(), sfs.Catalog.Render(); gotR != wantR {
+				t.Fatalf("%s/%d shards: batched catalog state diverged:\n--- batch\n%s\n--- sessions\n%s",
+					model.Name(), shards, gotR, wantR)
+			}
+		}
 	}
 }

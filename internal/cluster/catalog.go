@@ -103,19 +103,21 @@ func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog
 		return CatalogResult{}, wrapCatalogErr(err)
 	}
 	ev := Event{Tenant: tenant, Type: EventStreamArrival, Stream: tk.Local,
-		CostScale: tk.Scale, CatalogID: id}
-	ack := make(chan result, 1)
+		CostScale: tk.Scale, CatalogID: id, originPayer: tk.OriginPayer}
+	ack := c.getAck()
 	if err := c.submit(ctx, ev, ack); err != nil {
 		// Never enqueued: the provisional reference is dropped.
-		reg.Release(id, tenant, false)
+		c.putAck(ack)
+		reg.Release(id, tenant, false, tk.OriginPayer)
 		return CatalogResult{}, err
 	}
 	// Once enqueued, the worker settles the reference itself (commit or
 	// release, in shard FIFO order) — a canceled caller has nothing to
-	// reconcile.
+	// reconcile. An abandoned ack is leaked, never recycled.
 	var res result
 	select {
 	case res = <-ack:
+		c.putAck(ack)
 	case <-ctx.Done():
 		return CatalogResult{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 	}

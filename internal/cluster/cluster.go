@@ -150,6 +150,11 @@ type Event struct {
 	// CatalogID still settles a held reference when its local stream is
 	// catalog-bound (the worker resolves the binding itself).
 	CatalogID catalog.ID
+	// originPayer echoes catalog.Ticket.OriginPayer for a catalog
+	// arrival: the acquisition was quoted the full origin cost, and the
+	// settlement that balances it must say so. Set only by the acquire
+	// paths inside this package (never caller-visible).
+	originPayer bool
 }
 
 // scale returns the arrival's effective server-cost scale.
@@ -270,6 +275,17 @@ type shard struct {
 	stats ShardStats
 	churn map[int]int // tenant -> churn events seen (ResolveEvery)
 	err   error
+
+	// Settlement scratch, worker-owned and reused across batch windows:
+	// a batch defers its catalog settlements here and flushes them to
+	// the registry in one SettleBatch round trip (see dispatchSettle);
+	// settleSlots records which result slot each settlement backfills
+	// (-1 for none). settleOne is the immediate-mode one-op buffer.
+	settles      []catalog.Settlement
+	settleSlots  []int
+	settleRes    []catalog.SettleResult
+	settleOne    [1]catalog.Settlement
+	settleOneRes [1]catalog.SettleResult
 }
 
 // Cluster is a sharded multi-tenant head-end service. The session
@@ -303,9 +319,63 @@ type Cluster struct {
 	// rest of the catalog).
 	heldCatalog []map[catalog.ID]bool
 
+	// Hot-path pools. Ownership rule for every pooled completion
+	// channel: the side that *receives* the reply recycles the channel,
+	// and only after draining it — a call abandoned on context
+	// cancellation never recycles (the worker may still deliver into
+	// it), it leaks the channel to the garbage collector instead.
+	// Snapshot's barrier buffers follow the same rule: the reply
+	// channel and the per-shard snapshot maps come from pools, and
+	// Snapshot returns them only after the barrier fully drained.
+	ackPool      sync.Pool // chan result, capacity 1
+	batchAckPool sync.Pool // chan []EventResult, capacity 1
+	snapChPool   sync.Pool // chan shardReport, capacity len(shards)
+	snapMapPool  sync.Pool // map[int]headend.TenantSnapshot
+
 	mu     sync.RWMutex
 	closed bool
 }
+
+// getAck returns a pooled one-shot result channel.
+func (c *Cluster) getAck() chan result {
+	if ch, ok := c.ackPool.Get().(chan result); ok {
+		return ch
+	}
+	return make(chan result, 1)
+}
+
+// putAck recycles a drained result channel. Never call it on a channel
+// a worker may still deliver into (an abandoned call).
+func (c *Cluster) putAck(ch chan result) {
+	if poisonAck != nil {
+		poisonAck(ch)
+	}
+	c.ackPool.Put(ch)
+}
+
+// poisonAck, when non-nil (set only by test builds), inspects a result
+// channel at the moment it is recycled — the -race pool-discipline
+// tests install a checker that fails loudly on an undrained delivery,
+// which would mean a future caller could receive a stale result.
+var poisonAck func(chan result)
+
+// getBatchAck / putBatchAck mirror getAck for batch completion channels.
+func (c *Cluster) getBatchAck() chan []EventResult {
+	if ch, ok := c.batchAckPool.Get().(chan []EventResult); ok {
+		return ch
+	}
+	return make(chan []EventResult, 1)
+}
+
+func (c *Cluster) putBatchAck(ch chan []EventResult) {
+	if poisonBatchAck != nil {
+		poisonBatchAck(ch)
+	}
+	c.batchAckPool.Put(ch)
+}
+
+// poisonBatchAck mirrors poisonAck for batch completion channels.
+var poisonBatchAck func(chan []EventResult)
 
 // New builds the cluster and starts one worker per shard. Tenant i is
 // pinned to shard i mod Shards.
@@ -425,10 +495,16 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
-	replies := make([]chan shardReport, len(c.shards))
-	for s, sh := range c.shards {
-		replies[s] = make(chan shardReport, 1)
-		sh.ch <- message{snap: replies[s]}
+	// The barrier reuses one pooled reply channel for all shards (its
+	// capacity is len(shards), so workers never block) and pooled
+	// per-shard snapshot maps; both go back to their pools only after
+	// the barrier fully drained, so a pooled buffer is never in flight.
+	replies, _ := c.snapChPool.Get().(chan shardReport)
+	if replies == nil {
+		replies = make(chan shardReport, len(c.shards))
+	}
+	for _, sh := range c.shards {
+		sh.ch <- message{snap: replies}
 	}
 	fs := &FleetSnapshot{
 		Shards:      len(c.shards),
@@ -437,17 +513,19 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 		AllFeasible: true,
 	}
 	var firstErr error
-	snaps := make(map[int]headend.TenantSnapshot, len(c.tenants))
-	for s := range c.shards {
-		rep := <-replies[s]
-		fs.ShardStats[s] = rep.stats
+	for range c.shards {
+		rep := <-replies
+		fs.ShardStats[rep.stats.Shard] = rep.stats
 		for i, snap := range rep.snaps {
-			snaps[i] = snap
+			fs.Tenants[i] = snap
 		}
+		clear(rep.snaps)
+		c.snapMapPool.Put(rep.snaps)
 		if rep.err != nil && firstErr == nil {
 			firstErr = rep.err
 		}
 	}
+	c.snapChPool.Put(replies)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -459,8 +537,7 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 		fs.Catalog = c.catalog.Snapshot()
 	}
 	for i := range c.tenants {
-		snap := snaps[i]
-		fs.Tenants[i] = snap
+		snap := fs.Tenants[i]
 		fs.Utility += snap.Utility
 		fs.Offered += snap.StreamsOffered
 		fs.Admitted += snap.StreamsAdmitted
@@ -530,7 +607,7 @@ func (c *Cluster) worker(sh *shard) {
 					keep = append(keep, msg)
 					continue
 				}
-				res := c.applyArrival(sh, msg.ev, msg.ack != nil)
+				res := c.applyArrival(sh, msg.ev, msg.ack != nil, false, -1)
 				if msg.ack != nil {
 					msg.ack <- res
 				}
@@ -567,12 +644,59 @@ func (c *Cluster) worker(sh *shard) {
 			continue
 		}
 		flush()
-		res := c.applyEvent(sh, msg.ev, msg.ack == nil)
+		res := c.applyEvent(sh, msg.ev, msg.ack == nil, false, -1)
 		if msg.ack != nil {
 			msg.ack <- res
 		}
 	}
 	flush()
+}
+
+// dispatchSettle routes one catalog settlement the worker decided:
+// immediately (deferred false — the FIFO single-event path, whose
+// caller is acked right after) via the shard's one-op scratch, or onto
+// the shard's settlement buffer (deferred true — the batch path, which
+// flushes the whole run in one SettleBatch round trip). slot is the
+// batch result index whose Catalog.Refs/Evicted the flush backfills
+// (-1 for settlements with no per-event result, e.g. install
+// reconciliation). Deferred settlements return a zero result; the
+// flush fills it in.
+func (c *Cluster) dispatchSettle(sh *shard, s catalog.Settlement, deferred bool, slot int) (refs int, evicted bool) {
+	if deferred {
+		sh.settles = append(sh.settles, s)
+		sh.settleSlots = append(sh.settleSlots, slot)
+		return 0, false
+	}
+	sh.settleOne[0] = s
+	if err := c.catalog.SettleBatch(sh.settleOne[:], sh.settleOneRes[:]); err != nil {
+		return 0, false
+	}
+	return sh.settleOneRes[0].Refs, sh.settleOneRes[0].Evicted
+}
+
+// flushSettles sends the shard's deferred settlement run to the
+// registry in one round trip and backfills per-event reference state
+// into the batch results. Ordering is exact: every registry transition
+// a batch produces — arrival settlements, departure releases, install
+// reconciliation — rides this single ordered buffer.
+func (c *Cluster) flushSettles(sh *shard, out []EventResult) {
+	if len(sh.settles) == 0 {
+		return
+	}
+	if cap(sh.settleRes) < len(sh.settles) {
+		sh.settleRes = make([]catalog.SettleResult, len(sh.settles))
+	}
+	res := sh.settleRes[:len(sh.settles)]
+	if err := c.catalog.SettleBatch(sh.settles, res); err == nil {
+		for k, slot := range sh.settleSlots {
+			if slot >= 0 && out != nil {
+				out[slot].Catalog.Refs = res[k].Refs
+				out[slot].Catalog.Evicted = res[k].Evicted
+			}
+		}
+	}
+	sh.settles = sh.settles[:0]
+	sh.settleSlots = sh.settleSlots[:0]
 }
 
 // applyArrival admits one stream arrival on the worker goroutine and
@@ -582,8 +706,9 @@ func (c *Cluster) worker(sh *shard) {
 // catalog-managed arrival the fleet reference is settled here, in shard
 // FIFO order: commit on admit, release of the provisional reference on
 // reject, recharge accounting for an admission under an existing
-// reference (CatalogAlready).
-func (c *Cluster) applyArrival(sh *shard, ev Event, needResult bool) result {
+// reference (Ticket.Already). deferred/slot select immediate or batched
+// settlement (see dispatchSettle).
+func (c *Cluster) applyArrival(sh *shard, ev Event, needResult, deferred bool, slot int) result {
 	t := c.tenants[ev.Tenant]
 	sh.stats.Arrivals++
 	users := t.OfferStreamScaled(ev.Stream, ev.scale())
@@ -602,22 +727,26 @@ func (c *Cluster) applyArrival(sh *shard, ev Event, needResult bool) result {
 		// every registry transition for the tenant, so it decides
 		// commit-vs-recharge exactly — a caller-side classification
 		// could be stale by the time the event is applied.
+		s := catalog.Settlement{ID: ev.CatalogID, Tenant: ev.Tenant, Origin: ev.originPayer}
 		switch held := c.heldCatalog[ev.Tenant]; {
 		case !res.offer.Accepted:
-			res.refs, res.evicted = c.catalog.Release(ev.CatalogID, ev.Tenant, false)
+			s.Op = catalog.SettleReleasePending
 		case held[ev.CatalogID]:
 			// The tenant already holds the reference but the local
 			// stream had been dropped out of band: a real admission
 			// under the existing reference, charged at the scale the
 			// guard actually priced (a holder's ticket is full price;
 			// only exotic interleaves carry a discount here).
-			full := t.Instance().StreamCostSum(ev.Stream)
-			res.refs = c.catalog.Recharge(ev.CatalogID, ev.Tenant, full, ev.scale()*full)
+			s.Op = catalog.SettleRecharge
+			s.Full = t.Instance().StreamCostSum(ev.Stream)
+			s.Charged = ev.scale() * s.Full
 		default:
-			full := t.Instance().StreamCostSum(ev.Stream)
-			res.refs = c.catalog.Commit(ev.CatalogID, ev.Tenant, full, ev.scale()*full)
+			s.Op = catalog.SettleCommit
+			s.Full = t.Instance().StreamCostSum(ev.Stream)
+			s.Charged = ev.scale() * s.Full
 			held[ev.CatalogID] = true
 		}
+		res.refs, res.evicted = c.dispatchSettle(sh, s, deferred, slot)
 	}
 	return res
 }
@@ -625,8 +754,9 @@ func (c *Cluster) applyArrival(sh *shard, ev Event, needResult bool) result {
 // applyEvent handles every non-arrival event and the churn-triggered
 // re-solve policy, returning the typed result. background marks events
 // with no caller to inform (fire-and-forget replay), whose resolve
-// errors latch as the shard's first error.
-func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
+// errors latch as the shard's first error. deferred/slot select
+// immediate or batched catalog settlement (see dispatchSettle).
+func (c *Cluster) applyEvent(sh *shard, ev Event, background, deferred bool, slot int) result {
 	t := c.tenants[ev.Tenant]
 	var res result
 	churned := false
@@ -643,23 +773,21 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
 			// resolves the binding itself, so a plain DepartStream cannot
 			// leak the reference). A held reference is released even when
 			// nothing was carried (Removed false): that is the cleanup of
-			// a stream whose local subscription was already gone.
+			// a stream whose local subscription was already gone. A by-ID
+			// departure with no held reference issues the release anyway:
+			// the registry remove is a no-op (an occupied-but-empty entry
+			// never persists across operations, so it cannot evict), and
+			// it reports the refs the caller asked about.
 			id, byID := ev.CatalogID, ev.CatalogID != ""
 			if !byID {
 				id = c.catalogByLocal[ev.Tenant][ev.Stream]
 			}
 			held := c.heldCatalog[ev.Tenant]
-			switch {
-			case id != "" && held[id]:
-				res.refs, res.evicted = c.catalog.Release(id, ev.Tenant, true)
+			if id != "" && (held[id] || byID) {
 				delete(held, id)
-			case byID && res.depart.Removed:
-				// Carried without a reference (admitted by local index
-				// outside the catalog): the registry remove is a no-op,
-				// but report the refs the caller asked about.
-				res.refs, res.evicted = c.catalog.Release(id, ev.Tenant, true)
-			case byID:
-				res.refs = c.catalog.Refs(id)
+				res.refs, res.evicted = c.dispatchSettle(sh,
+					catalog.Settlement{Op: catalog.SettleRelease, ID: id, Tenant: ev.Tenant},
+					deferred, slot)
 			}
 		}
 		churned = true
@@ -696,16 +824,22 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
 			for _, cl := range c.catalogLocals[ev.Tenant] {
 				switch carries := t.Carries(cl.local); {
 				case held[cl.id] && !carries:
-					c.catalog.Release(cl.id, ev.Tenant, true)
+					c.dispatchSettle(sh,
+						catalog.Settlement{Op: catalog.SettleRelease, ID: cl.id, Tenant: ev.Tenant},
+						deferred, -1)
 					delete(held, cl.id)
 				case !held[cl.id] && carries:
-					// Installs re-price at full (isolated) cost, like
-					// LoadLedger.Rebuild and Tenant.install.
-					if _, err := c.catalog.Acquire(cl.id, ev.Tenant); err == nil {
-						full := t.Instance().StreamCostSum(cl.local)
-						c.catalog.Commit(cl.id, ev.Tenant, full, full)
-						held[cl.id] = true
-					}
+					// A pickup adopts a full-price reference atomically
+					// (SettleAdopt — no provisional window to balance).
+					// The stream itself keeps whatever charge scale the
+					// tenant's lineup retained for it (Tenant.install);
+					// adoption at full price only covers streams the
+					// lineup picked up without a reference.
+					c.dispatchSettle(sh,
+						catalog.Settlement{Op: catalog.SettleAdopt, ID: cl.id, Tenant: ev.Tenant,
+							Full: t.Instance().StreamCostSum(cl.local)},
+						deferred, -1)
+					held[cl.id] = true
 				}
 			}
 		}
@@ -725,13 +859,20 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background bool) result {
 // remote caller gets from the batch endpoint); non-arrival events are
 // applied between windows exactly as in the FIFO path. Per-event
 // results are positional.
+//
+// Catalog settlements are deferred onto the shard's settlement buffer
+// and flushed in one registry round trip before the results are
+// delivered — the worker-FIFO settlement order is preserved exactly
+// (the buffer is ordered, and the flush completes before the batch
+// ack), only the number of registry crossings changes. The flush
+// backfills each catalog event's Catalog.Refs/Evicted.
 func (c *Cluster) applyEventBatch(sh *shard, evs []Event) []EventResult {
 	out := make([]EventResult, len(evs))
 	for i := 0; i < len(evs); {
 		sh.stats.Events++
 		ev := evs[i]
 		if ev.Type != EventStreamArrival {
-			res := c.applyEvent(sh, ev, false)
+			res := c.applyEvent(sh, ev, false, true, i)
 			out[i] = EventResult{Type: ev.Type, Depart: res.depart, Churn: res.churn,
 				Resolve: res.resolve, Err: res.err}
 			i++
@@ -747,10 +888,11 @@ func (c *Cluster) applyEventBatch(sh *shard, evs []Event) []EventResult {
 			sh.stats.MaxBatch = j - i
 		}
 		for k := i; k < j; k++ {
-			out[k] = EventResult{Type: EventStreamArrival, Offer: c.applyArrival(sh, evs[k], true).offer}
+			out[k] = EventResult{Type: EventStreamArrival, Offer: c.applyArrival(sh, evs[k], true, true, k).offer}
 		}
 		i = j
 	}
+	c.flushSettles(sh, out)
 	return out
 }
 
@@ -778,13 +920,14 @@ func (c *Cluster) resolve(sh *shard, tenant int, install, background bool) (Reso
 }
 
 // reportShard snapshots the shard's stats and its tenants (called on
-// the worker goroutine only).
+// the worker goroutine only). The snapshot map comes from the barrier
+// pool; Snapshot drains, clears, and recycles it after the barrier.
 func (c *Cluster) reportShard(sh *shard) shardReport {
-	rep := shardReport{
-		stats: sh.stats,
-		snaps: make(map[int]headend.TenantSnapshot, len(sh.tenants)),
-		err:   sh.err,
+	snaps, _ := c.snapMapPool.Get().(map[int]headend.TenantSnapshot)
+	if snaps == nil {
+		snaps = make(map[int]headend.TenantSnapshot, len(sh.tenants))
 	}
+	rep := shardReport{stats: sh.stats, snaps: snaps, err: sh.err}
 	for _, i := range sh.tenants {
 		rep.snaps[i] = c.tenants[i].Snapshot()
 	}

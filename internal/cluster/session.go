@@ -157,16 +157,24 @@ type result struct {
 // completion channel is its own flush boundary (the worker flushes the
 // batch immediately after appending it), so a blocked caller never
 // waits on a trailing partial batch.
+//
+// The completion channel is pooled: it is recycled after its result was
+// drained (or when the event never enqueued), and deliberately leaked
+// to the garbage collector when the caller abandons the wait on context
+// cancellation — the worker may still deliver into it, and a recycled
+// channel must never have a delivery in flight.
 func (c *Cluster) call(ctx context.Context, ev Event) (result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ack := make(chan result, 1)
+	ack := c.getAck()
 	if err := c.submit(ctx, ev, ack); err != nil {
+		c.putAck(ack)
 		return result{}, err
 	}
 	select {
 	case res := <-ack:
+		c.putAck(ack)
 		return res, res.err
 	case <-ctx.Done():
 		return result{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())

@@ -238,7 +238,7 @@ func (sc *StreamConn) route(ctx context.Context, ev Event, p *streamPending) {
 			p.catalogOffer = true
 			p.tk = tk
 			p.fullCost = sc.c.tenants[ev.Tenant].Instance().StreamCostSum(tk.Local)
-			ev.Stream, ev.CostScale = tk.Local, tk.Scale
+			ev.Stream, ev.CostScale, ev.originPayer = tk.Local, tk.Scale, tk.OriginPayer
 		case EventStreamDeparture:
 			local, err := reg.Lookup(ev.CatalogID, ev.Tenant)
 			if err != nil {
@@ -253,7 +253,7 @@ func (sc *StreamConn) route(ctx context.Context, ev Event, p *streamPending) {
 		// dropped (once enqueued, the worker settles it — see
 		// applyArrival).
 		if p.catalogOffer {
-			sc.c.catalog.Release(ev.CatalogID, ev.Tenant, false)
+			sc.c.catalog.Release(ev.CatalogID, ev.Tenant, false, p.tk.OriginPayer)
 		}
 		fail(err)
 	}
@@ -303,12 +303,25 @@ func (sc *StreamConn) Recv(ctx context.Context) (StreamResult, error) {
 	}
 }
 
+// poisonRecycled, when non-nil (set only by test builds), scribbles a
+// pending entry right before it returns to the free list, so any read
+// of a recycled entry observes garbage deterministically — and shows up
+// as a data race under -race when the reader is concurrent. Production
+// builds leave it nil.
+var poisonRecycled func(*streamPending)
+
 // settleHead assembles the head's result and recycles the entry
-// (called with recvMu held, after its ack was consumed).
+// (called with recvMu held, after its ack was consumed). Ownership
+// rule: the receiver — and only the receiver, only after draining the
+// entry's ack — puts the entry back; entries abandoned by Close are
+// leaked to the garbage collector, never recycled.
 func (sc *StreamConn) settleHead(res result) StreamResult {
 	p := sc.head
 	sc.head = nil
 	out := assembleResult(p, res)
+	if poisonRecycled != nil {
+		poisonRecycled(p)
+	}
 	select {
 	case sc.free <- p:
 	default:

@@ -92,6 +92,11 @@ type OnlinePolicy struct {
 	// comparable to LoadLedger.FitsDeltaScaled, so differential tests
 	// can compare the two paths under SharedOrigin, not just Isolated.
 	scale map[int]float64
+	// kept is the guarded-admission scratch buffer, reused across
+	// arrivals: the caller (Tenant.OfferStreamScaled) filters the
+	// returned users into its own slice before storing, so the policy
+	// never needs a fresh allocation per admission.
+	kept []int
 	// savedUtility keeps the zeroed utility rows of away users (gateway
 	// churn, see UserChurnPolicy).
 	savedUtility map[int][]float64
@@ -196,7 +201,7 @@ func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []i
 				return 1
 			}
 		}
-		var kept []int
+		kept := p.kept[:0]
 		for _, u := range users {
 			p.assn.Add(u, s)
 			if p.assn.CheckFeasibleScaled(p.in, scaleOf) != nil {
@@ -205,6 +210,7 @@ func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []i
 			}
 			kept = append(kept, u)
 		}
+		p.kept = kept
 		if len(kept) > 0 && serverCostScale != 1 {
 			if p.scale == nil {
 				p.scale = make(map[int]float64)
@@ -222,7 +228,7 @@ func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []i
 	// order, the rescan in stream order; see the LoadLedger doc). The
 	// differential tests pin the two paths to identical decisions on
 	// the E10/E12 workloads.
-	var kept []int
+	kept := p.kept[:0]
 	for _, u := range users {
 		if !p.ledger.FitsDeltaScaled(u, s, serverCostScale) {
 			continue
@@ -231,6 +237,7 @@ func (p *OnlinePolicy) OnStreamArrivalScaled(s int, serverCostScale float64) []i
 		p.assn.Add(u, s)
 		kept = append(kept, u)
 	}
+	p.kept = kept
 	return kept
 }
 
@@ -254,13 +261,44 @@ func (p *OnlinePolicy) Reinstall(assn *mmd.Assignment) error {
 	}
 	al.Install(assn)
 	p.allocator = al
-	p.assn = assn.Clone()
-	if p.ledger != nil {
-		p.ledger.Rebuild(p.assn)
+	// Streams the new lineup retains keep the charge scale they were
+	// admitted at: their shared-catalog origin is still paid for
+	// elsewhere, so re-pricing them at full cost would overstate the
+	// budget draw and desynchronize the guard from the refund recorded
+	// at departure. Only streams the install dropped lose their entry;
+	// fresh pickups are full price until a scaled admission says
+	// otherwise.
+	for s := range p.scale {
+		if !assn.InRange(s) {
+			delete(p.scale, s)
+		}
 	}
-	// An installed lineup is re-priced at full cost, exactly like
-	// LoadLedger.Rebuild resets its charge scales.
-	p.scale = nil
+	if p.ledger != nil {
+		// The ledger variant records its scales internally: capture the
+		// retained ones before the rebuild wipes them.
+		var retained map[int]float64
+		for _, s := range assn.Range() {
+			if sc := p.ledger.ChargeScale(s); sc != 1 {
+				if retained == nil {
+					retained = make(map[int]float64)
+				}
+				retained[s] = sc
+			}
+		}
+		scaleOf := func(s int) float64 {
+			if sc, ok := retained[s]; ok {
+				return sc
+			}
+			return 1
+		}
+		if retained == nil {
+			scaleOf = nil
+		}
+		p.assn = assn.Clone()
+		p.ledger.RebuildScaled(p.assn, scaleOf)
+		return nil
+	}
+	p.assn = assn.Clone()
 	return nil
 }
 

@@ -1,0 +1,172 @@
+package headend
+
+// Regression tests for the install re-pricing bug: an installing
+// re-solve used to reset every charge scale to 1, so a shared-catalog
+// stream the new lineup *retained* was suddenly priced at full cost —
+// overstating the budget draw (its origin is still paid for elsewhere)
+// and desynchronizing the guard from the discounted refund recorded
+// when the stream eventually departs. Retained streams must keep their
+// earned discount; only dropped streams lose it, and fresh pickups are
+// full price.
+
+import (
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/mmd"
+)
+
+func scaleTestInstance(t *testing.T, seed int64) *mmd.Instance {
+	t.Helper()
+	in, err := generator.CableTV{Channels: 16, Gateways: 5, Seed: seed, EgressFraction: 0.3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// admitScaled drives tn until at least one stream is admitted at the
+// given discount, returning the admitted stream.
+func admitScaled(t *testing.T, tn *Tenant, scale float64) int {
+	t.Helper()
+	for s := 0; s < tn.Instance().NumStreams(); s++ {
+		if users := tn.OfferStreamScaled(s, scale); len(users) > 0 {
+			return s
+		}
+	}
+	t.Fatal("no stream admitted at a discount")
+	return -1
+}
+
+// TestInstallRetainsEarnedDiscounts pins Tenant.install: the charge
+// scale of a discounted stream the installed lineup retains survives,
+// a dropped stream's entry is pruned, and the feasibility rescan keeps
+// pricing the retained stream at its discount.
+func TestInstallRetainsEarnedDiscounts(t *testing.T) {
+	in := scaleTestInstance(t, 211)
+	pol, err := NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := NewTenant(in, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := admitScaled(t, tn, 0.25)
+	var dropped int
+	for s := 0; s < in.NumStreams(); s++ {
+		if s == kept {
+			continue
+		}
+		if users := tn.OfferStreamScaled(s, 0.5); len(users) > 0 {
+			dropped = s
+			break
+		}
+	}
+	if tn.scale[kept] != 0.25 || tn.scale[dropped] != 0.5 {
+		t.Fatalf("pre-install scales = %v", tn.scale)
+	}
+
+	// Install a lineup that retains kept and drops dropped.
+	next := tn.Assignment().Clone()
+	for _, u := range tn.live[dropped] {
+		next.Remove(u, dropped)
+	}
+	if err := tn.install(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := tn.scale[kept]; got != 0.25 {
+		t.Fatalf("retained stream %d re-priced: scale = %v, want 0.25", kept, got)
+	}
+	if _, ok := tn.scale[dropped]; ok {
+		t.Fatalf("dropped stream %d kept a stale scale entry", dropped)
+	}
+	if !tn.feasible() {
+		t.Fatal("installed lineup infeasible under retained discount pricing")
+	}
+}
+
+// TestReinstallRetainsLedgerScales pins OnlinePolicy.Reinstall for the
+// ledger guard: the rebuilt ledger prices a retained discounted stream
+// at its recorded scale (so its eventual Remove refunds exactly what
+// the rebuild charged), and prices dropped / fresh streams at 1.
+func TestReinstallRetainsLedgerScales(t *testing.T) {
+	in := scaleTestInstance(t, 223)
+	pol, err := NewOnlinePolicy(in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ledger == nil {
+		t.Fatal("guarded online policy has no ledger")
+	}
+	var kept int
+	found := false
+	for s := 0; s < in.NumStreams() && !found; s++ {
+		if users := pol.OnStreamArrivalScaled(s, 0.25); len(users) > 0 {
+			kept, found = s, true
+		}
+	}
+	if !found {
+		t.Fatal("no discounted admission")
+	}
+	if got := pol.ledger.ChargeScale(kept); got != 0.25 {
+		t.Fatalf("pre-install ledger scale = %v", got)
+	}
+	fullBefore := pol.ledger.ServerCost(0)
+
+	if err := pol.Reinstall(pol.assn.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.ledger.ChargeScale(kept); got != 0.25 {
+		t.Fatalf("reinstall re-priced retained stream: ledger scale = %v, want 0.25", got)
+	}
+	if got := pol.ledger.ServerCost(0); got != fullBefore {
+		t.Fatalf("reinstall changed the budget draw of an identical lineup: %v -> %v", fullBefore, got)
+	}
+
+	// Reinstalling a lineup without the stream drops its scale: a later
+	// full-price re-admission must be charged (and refunded) at 1.
+	empty := mmd.NewAssignment(in.NumUsers())
+	if err := pol.Reinstall(empty); err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.ledger.ChargeScale(kept); got != 1 {
+		t.Fatalf("dropped stream kept ledger scale %v", got)
+	}
+}
+
+// TestReinstallRetainsRescanScales pins the rescan guard variant: the
+// policy's own scale map keeps retained entries and prunes dropped
+// ones across Reinstall.
+func TestReinstallRetainsRescanScales(t *testing.T) {
+	in := scaleTestInstance(t, 227)
+	pol, err := NewRescanOnlinePolicy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ledger != nil {
+		t.Fatal("rescan policy unexpectedly has a ledger")
+	}
+	var kept int
+	found := false
+	for s := 0; s < in.NumStreams() && !found; s++ {
+		if users := pol.OnStreamArrivalScaled(s, 0.25); len(users) > 0 {
+			kept, found = s, true
+		}
+	}
+	if !found {
+		t.Fatal("no discounted admission")
+	}
+	if err := pol.Reinstall(pol.assn.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.scale[kept]; got != 0.25 {
+		t.Fatalf("rescan guard re-priced retained stream: scale = %v, want 0.25", got)
+	}
+	if err := pol.Reinstall(mmd.NewAssignment(in.NumUsers())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pol.scale[kept]; ok {
+		t.Fatal("dropped stream kept a stale rescan scale entry")
+	}
+}

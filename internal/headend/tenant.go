@@ -308,9 +308,18 @@ func (t *Tenant) install(assn *mmd.Assignment) error {
 	}
 	t.assn = assn
 	t.live = live
-	// An installed lineup is re-priced at full (isolated) cost, exactly
-	// like LoadLedger.Rebuild resets its charge scales.
-	t.scale = nil
+	// Streams the install retains keep the charge scale they were
+	// admitted at — their shared-catalog origin is still paid for
+	// elsewhere, and the fleet reference survives the install, so the
+	// feasibility rescan must keep pricing them at the discount. Only
+	// streams the new lineup dropped lose their entry; pickups are full
+	// price (the cluster's reconcile adopts their reference at full
+	// cost).
+	for s := range t.scale {
+		if !assn.InRange(s) {
+			delete(t.scale, s)
+		}
+	}
 	return nil
 }
 

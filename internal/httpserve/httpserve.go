@@ -161,14 +161,19 @@ func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 }
 
 // batchEventTypes maps the wire names accepted by the batch endpoint to
-// routed event types. Catalog events are orchestrated across the
-// registry and the shard and cannot ride in a single shard message.
+// routed event types. Catalog events are first-class batch citizens:
+// ApplyBatch prices all of a batch's catalog arrivals in one registry
+// round trip and the shard worker settles them in one more, so a
+// catalog offer in a batch is cheaper, not forbidden, relative to the
+// per-event endpoint.
 var batchEventTypes = map[string]videodist.ClusterEvent{
-	"offer":   {Type: videodist.ClusterStreamArrival},
-	"depart":  {Type: videodist.ClusterStreamDeparture},
-	"leave":   {Type: videodist.ClusterUserLeave},
-	"join":    {Type: videodist.ClusterUserJoin},
-	"resolve": {Type: videodist.ClusterResolve},
+	"offer":          {Type: videodist.ClusterStreamArrival},
+	"depart":         {Type: videodist.ClusterStreamDeparture},
+	"leave":          {Type: videodist.ClusterUserLeave},
+	"join":           {Type: videodist.ClusterUserJoin},
+	"resolve":        {Type: videodist.ClusterResolve},
+	"catalog-offer":  {Type: videodist.ClusterStreamArrival},
+	"catalog-depart": {Type: videodist.ClusterStreamDeparture},
 }
 
 // handleBatch applies a JSON array of events as one Cluster.ApplyBatch
@@ -191,13 +196,15 @@ func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 	for i, req := range reqs {
 		ev, ok := batchEventTypes[req.Type]
 		if !ok {
-			if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
-				writeError(w, http.StatusBadRequest, fmt.Errorf(
-					"batch event %d: catalog events cannot ride in a batch; use POST /v1/tenants/{id}/events or /v1/stream", i))
-				return
-			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: unknown event type %q", i, req.Type))
 			return
+		}
+		if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
+			if req.CatalogID == "" {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: %s needs catalog_id", i, req.Type))
+				return
+			}
+			ev.CatalogID = videodist.CatalogID(req.CatalogID)
 		}
 		ev.Stream, ev.User, ev.Install = req.Stream, req.User, req.Install
 		events[i] = ev
@@ -210,17 +217,20 @@ func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 	resps := make([]eventResponse, len(results))
 	for i, res := range results {
 		resps[i] = eventResponse{Type: reqs[i].Type}
-		switch res.Type {
-		case videodist.ClusterStreamArrival:
+		switch {
+		case res.CatalogID != "":
+			cat := res.Catalog
+			resps[i].Catalog = &cat
+		case res.Type == videodist.ClusterStreamArrival:
 			offer := res.Offer
 			resps[i].Offer = &offer
-		case videodist.ClusterStreamDeparture:
+		case res.Type == videodist.ClusterStreamDeparture:
 			depart := res.Depart
 			resps[i].Depart = &depart
-		case videodist.ClusterUserLeave, videodist.ClusterUserJoin:
+		case res.Type == videodist.ClusterUserLeave, res.Type == videodist.ClusterUserJoin:
 			churn := res.Churn
 			resps[i].Churn = &churn
-		case videodist.ClusterResolve:
+		case res.Type == videodist.ClusterResolve:
 			resolve := res.Resolve
 			resps[i].Resolve = &resolve
 		}
@@ -426,24 +436,21 @@ func allWS(b []byte) bool {
 	return true
 }
 
-// streamEvent maps one wire line onto a routed cluster event. Unlike
-// the batch endpoint, catalog events are first-class here: the stream's
-// Submit runs the catalog acquire protocol and the shard worker settles
-// the reference in FIFO order, so no orchestration is lost.
+// streamEvent maps one wire line onto a routed cluster event. Catalog
+// events carry their fleet identity through: the stream's Submit runs
+// the catalog acquire protocol and the shard worker settles the
+// reference in FIFO order (the batch endpoint prices its catalog
+// events the same way, one registry round trip per batch).
 func streamEvent(req streamclient.Event) (videodist.ClusterEvent, error) {
-	if ev, ok := batchEventTypes[req.Type]; ok {
-		ev.Tenant, ev.Stream, ev.User, ev.Install = req.Tenant, req.Stream, req.User, req.Install
-		return ev, nil
+	ev, ok := batchEventTypes[req.Type]
+	if !ok {
+		return videodist.ClusterEvent{}, fmt.Errorf("unknown event type %q", req.Type)
 	}
-	switch req.Type {
-	case "catalog-offer":
-		return videodist.ClusterEvent{Tenant: req.Tenant, Type: videodist.ClusterStreamArrival,
-			CatalogID: videodist.CatalogID(req.CatalogID)}, nil
-	case "catalog-depart":
-		return videodist.ClusterEvent{Tenant: req.Tenant, Type: videodist.ClusterStreamDeparture,
-			CatalogID: videodist.CatalogID(req.CatalogID)}, nil
+	if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
+		ev.CatalogID = videodist.CatalogID(req.CatalogID)
 	}
-	return videodist.ClusterEvent{}, fmt.Errorf("unknown event type %q", req.Type)
+	ev.Tenant, ev.Stream, ev.User, ev.Install = req.Tenant, req.Stream, req.User, req.Install
+	return ev, nil
 }
 
 // wireTypeName maps a routed type (plus the catalog mark) back onto

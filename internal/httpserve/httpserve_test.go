@@ -208,7 +208,12 @@ func TestHTTPErrorMapping(t *testing.T) {
 }
 
 // batchParityEvents is the mixed single-tenant schedule shared by the
-// batch and stream parity tests.
+// batch and stream parity tests. Catalog events are kept out of this
+// shared mix on purpose: the stream parity test replays it for every
+// tenant over one pipelined connection, where cross-tenant catalog
+// reference counts legitimately depend on settlement timing. The batch
+// parity test appends its own single-tenant catalog section, and the
+// stream test pins catalog behavior with its single-tenant tail.
 func batchParityEvents(channels int) []eventRequest {
 	var events []eventRequest
 	for s := 0; s < channels; s++ {
@@ -237,7 +242,16 @@ func TestHTTPBatchParity(t *testing.T) {
 	batchTS := httptest.NewServer(NewHandler(batched))
 	defer batchTS.Close()
 
-	events := batchParityEvents(cfg.channels)
+	// The shared mix plus a single-tenant catalog section (catalog
+	// events are first-class batch citizens; the schedule avoids
+	// depart-then-reoffer of one CatalogID inside a single batch, whose
+	// pipelined acquires price against the pre-batch sharing state and
+	// can shift eviction timing relative to single posts).
+	events := append(batchParityEvents(cfg.channels),
+		eventRequest{Type: "catalog-offer", CatalogID: "ch-003"},
+		eventRequest{Type: "catalog-offer", CatalogID: "ch-005"},
+		eventRequest{Type: "catalog-depart", CatalogID: "ch-003"},
+	)
 
 	// Reference: N single posts.
 	var want []eventResponse
@@ -302,10 +316,11 @@ func TestHTTPBatchParity(t *testing.T) {
 			batchBatches, singleBatches)
 	}
 
-	// Error paths: unknown type inside the batch, catalog ops rejected.
+	// Error paths: unknown type inside the batch, a catalog event with
+	// no identity.
 	for _, bad := range []string{
 		`[{"type":"frobnicate"}]`,
-		`[{"type":"catalog-offer","catalog_id":"ch-000"}]`,
+		`[{"type":"catalog-offer"}]`,
 		`{not json`,
 	} {
 		resp, err := http.Post(batchTS.URL+"/v1/tenants/0/events:batch", "application/json",
@@ -398,8 +413,8 @@ func TestHTTPCatalog(t *testing.T) {
 // wire level: the same schedule submitted over one persistent
 // /v1/stream connection, as :batch posts, and as single posts must
 // yield positionally identical per-event results and byte-identical
-// per-tenant tables — including catalog events, which only the stream
-// and single paths carry.
+// per-tenant tables — including catalog events, which every ingestion
+// surface carries.
 func TestHTTPStreamParity(t *testing.T) {
 	cfg := defaultFleetConfig()
 	single := buildFleet(t, cfg)
@@ -412,9 +427,8 @@ func TestHTTPStreamParity(t *testing.T) {
 	batchTS := httptest.NewServer(NewHandler(batched))
 	defer batchTS.Close()
 
-	// The schedule: the batch parity mix for every tenant, plus catalog
-	// offers/departs (stream and single only — the batch endpoint
-	// rejects catalog events).
+	// The schedule: the batch parity mix for every tenant, plus a
+	// single-tenant catalog tail.
 	var schedule []streamclient.Event
 	for ti := 0; ti < cfg.tenants; ti++ {
 		for _, ev := range batchParityEvents(cfg.channels) {
@@ -496,8 +510,11 @@ func TestHTTPStreamParity(t *testing.T) {
 		}
 	}
 
-	// Batched: the non-catalog schedule per tenant (catalog tail via
-	// single posts so the final state matches).
+	// Batched: the shared schedule per tenant; the catalog tail rides
+	// the batch endpoint too, one event per batch — its
+	// depart/offer/depart of a single CatalogID must settle between
+	// acquires to match the reference run (the pipelined-acquire
+	// caveat), which one-event batches preserve.
 	for ti := 0; ti < cfg.tenants; ti++ {
 		var evs []eventRequest
 		for _, ev := range schedule {
@@ -521,9 +538,18 @@ func TestHTTPStreamParity(t *testing.T) {
 		}
 	}
 	for _, ev := range catalogTail {
-		req := eventRequest{Type: ev.Type, CatalogID: ev.CatalogID}
-		if code := postEvent(t, batchTS, ev.Tenant, req, nil); code != http.StatusOK {
-			t.Fatalf("batch catalog tail %+v: status %d", ev, code)
+		body, err := json.Marshal([]eventRequest{{Type: ev.Type, CatalogID: ev.CatalogID}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(fmt.Sprintf("%s/v1/tenants/%d/events:batch", batchTS.URL, ev.Tenant),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch catalog tail %+v: status %d", ev, resp.StatusCode)
 		}
 	}
 

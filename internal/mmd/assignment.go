@@ -45,6 +45,15 @@ func insertSorted(sorted []int, v int) ([]int, bool) {
 	if i < len(sorted) && sorted[i] == v {
 		return sorted, false
 	}
+	if len(sorted) == cap(sorted) {
+		// Grow with a floor of 8 slots: user stream sets and range
+		// lists start tiny, and the default 1->2->4 doubling charges
+		// the serving hot path several reallocations per set before
+		// amortization kicks in.
+		grown := make([]int, len(sorted), max(8, 2*cap(sorted)))
+		copy(grown, sorted)
+		sorted = grown
+	}
 	sorted = append(sorted, 0)
 	copy(sorted[i+1:], sorted[i:])
 	sorted[i] = v

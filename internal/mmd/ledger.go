@@ -175,13 +175,24 @@ func (l *LoadLedger) CanAdmit(u, s int) error {
 
 // Rebuild resets the ledger to the aggregate state of assn, summing in
 // increasing stream order so the totals are bit-identical to a fresh
-// CheckFeasible accumulation over the same assignment. Pairs outside the
-// instance's dimensions are ignored, and every charge scale resets to 1
-// — an installed lineup is re-priced at full (isolated) cost; catalog
-// discounts apply only to admissions made through the scaled path after
-// the rebuild. Used by the make-before-break Reinstall paths.
+// CheckFeasible accumulation over the same assignment, with every
+// charge scale reset to 1 (full isolated pricing). It is
+// RebuildScaled(assn, nil); use RebuildScaled to preserve earned
+// discounts across a reinstall. O(instance).
+func (l *LoadLedger) Rebuild(assn *Assignment) { l.RebuildScaled(assn, nil) }
+
+// RebuildScaled resets the ledger to the aggregate state of assn with
+// each in-range stream's server cost priced at scaleOf(s) (nil scaleOf
+// means full price everywhere, exactly Rebuild). The make-before-break
+// reinstall paths pass the charge scales their previous lineup had
+// earned for the streams the new lineup retains: a retained
+// shared-catalog stream keeps its discount across an install — its
+// origin is still paid for elsewhere, so re-pricing it at full cost
+// would both overstate the budget draw and desynchronize the ledger
+// from the refund recorded at its eventual departure. Streams the new
+// lineup picks up fresh carry scale 1 unless the caller says otherwise.
 // O(instance).
-func (l *LoadLedger) Rebuild(assn *Assignment) {
+func (l *LoadLedger) RebuildScaled(assn *Assignment, scaleOf func(s int) float64) {
 	clear(l.holders)
 	clear(l.serverCost)
 	for s := range l.chargeScale {
@@ -207,7 +218,15 @@ func (l *LoadLedger) Rebuild(assn *Assignment) {
 	}
 	for _, s := range assn.rangeList {
 		if s < len(l.holders) && l.holders[s] > 0 {
+			scale := 1.0
+			if scaleOf != nil {
+				scale = scaleOf(s)
+			}
+			l.chargeScale[s] = scale
 			for i, c := range l.in.Streams[s].Costs {
+				if scale != 1 {
+					c *= scale
+				}
 				l.serverCost[i] += c
 			}
 		}

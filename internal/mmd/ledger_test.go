@@ -2,6 +2,7 @@ package mmd
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -299,5 +300,65 @@ func TestLedgerRebuildResetsChargeScales(t *testing.T) {
 	}
 	if got, want := l.ServerCost(0), a.ServerCost(in, 0); got != want {
 		t.Fatalf("ServerCost(0) after Rebuild = %v, want %v", got, want)
+	}
+}
+
+// TestLedgerRebuildScaledRetainsDiscounts: RebuildScaled prices each
+// in-range stream at the caller's scale — the reinstall paths pass the
+// scales the previous lineup earned for retained streams — and the
+// eventual Remove refunds exactly what the rebuild charged.
+func TestLedgerRebuildScaledRetainsDiscounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	in := randomInstance(rng, 6, 3)
+	l := NewLoadLedger(in)
+	l.AddScaled(0, 2, 0.25)
+	l.Add(1, 4)
+	a := NewAssignment(in.NumUsers())
+	a.Add(0, 2)
+	a.Add(1, 4)
+	l.RebuildScaled(a, func(s int) float64 {
+		if s == 2 {
+			return 0.25
+		}
+		return 1
+	})
+	if got := l.ChargeScale(2); got != 0.25 {
+		t.Fatalf("ChargeScale(2) after RebuildScaled = %v, want 0.25", got)
+	}
+	if got := l.ChargeScale(4); got != 1 {
+		t.Fatalf("ChargeScale(4) after RebuildScaled = %v, want 1", got)
+	}
+	// Removing the retained discounted stream refunds at its scale:
+	// the ledger lands exactly on the state of the remaining lineup.
+	l.Remove(0, 2)
+	rest := NewAssignment(in.NumUsers())
+	rest.Add(1, 4)
+	for i := 0; i < in.M(); i++ {
+		if got, want := l.ServerCost(i), rest.ServerCost(in, i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ServerCost(%d) after discounted refund = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestLedgerRebuildScaledNilIsRebuild: a nil scaleOf is bit-identical
+// to Rebuild.
+func TestLedgerRebuildScaledNilIsRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	in := randomInstance(rng, 8, 2)
+	a := NewAssignment(in.NumUsers())
+	for u := 0; u < in.NumUsers(); u++ {
+		for s := 0; s < in.NumStreams(); s++ {
+			if rng.Float64() < 0.4 {
+				a.Add(u, s)
+			}
+		}
+	}
+	l1, l2 := NewLoadLedger(in), NewLoadLedger(in)
+	l1.Rebuild(a)
+	l2.RebuildScaled(a, nil)
+	for i := 0; i < in.M(); i++ {
+		if l1.ServerCost(i) != l2.ServerCost(i) {
+			t.Fatalf("ServerCost(%d): %v vs %v", i, l1.ServerCost(i), l2.ServerCost(i))
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/mmd"
@@ -228,6 +229,22 @@ type Allocator struct {
 
 	assn  *mmd.Assignment
 	value float64
+
+	// cands and users are Offer's scratch buffers, reused across calls
+	// so the serving hot path considers (and usually rejects) a stream
+	// without allocating. users doubles as the returned slice — see the
+	// ownership note on Offer.
+	cands []offerCand
+	users []int
+}
+
+// offerCand is one candidate row of Algorithm 2's maximal-subset
+// selection: a user, its utility for the offered stream, and its
+// marginal exponential cost.
+type offerCand struct {
+	u        int
+	w        float64
+	marginal float64
 }
 
 // NewAllocator builds an allocator for a normalized instance with the
@@ -290,33 +307,39 @@ func (al *Allocator) userMarginal(u, s int) float64 {
 // it was assigned to, in increasing order, or nil if the stream was
 // rejected. Offering the same stream again considers only users that do
 // not already hold it.
+//
+// The returned slice is a scratch buffer owned by the allocator: it is
+// valid until the next Offer call, and callers that retain the user set
+// must copy it. (Every current caller filters it into its own slice
+// before storing.) Offer itself allocates nothing once the buffers are
+// warm, which is what keeps the serving hot path allocation-free.
 func (al *Allocator) Offer(s int) []int {
-	type cand struct {
-		u        int
-		w        float64
-		marginal float64
-	}
-	cands := make([]cand, 0, al.in.NumUsers())
+	cands := al.cands[:0]
 	for u := range al.in.Users {
 		w := al.in.Users[u].Utility[s]
 		if w <= 0 || al.assn.Has(u, s) {
 			continue
 		}
-		cands = append(cands, cand{u: u, w: w, marginal: al.userMarginal(u, s)})
+		cands = append(cands, offerCand{u: u, w: w, marginal: al.userMarginal(u, s)})
 	}
+	al.cands = cands
 	if len(cands) == 0 {
 		return nil
 	}
 	// Remove users in decreasing order of marginal-cost-to-utility ratio
 	// until the aggregate condition holds (the paper's recipe for the
 	// maximal subset).
-	sort.Slice(cands, func(a, b int) bool {
-		ra := cands[a].marginal * cands[b].w
-		rb := cands[b].marginal * cands[a].w
-		if ra != rb {
-			return ra < rb // keep cheap users first
+	slices.SortFunc(cands, func(a, b offerCand) int {
+		ra := a.marginal * b.w
+		rb := b.marginal * a.w
+		switch {
+		case ra < rb: // keep cheap users first
+			return -1
+		case ra > rb:
+			return 1
+		default:
+			return a.u - b.u
 		}
-		return cands[a].u < cands[b].u
 	})
 	serverCost := al.serverMarginal(s)
 	sumW, sumMarginal := 0.0, 0.0
@@ -334,11 +357,12 @@ func (al *Allocator) Offer(s int) []int {
 		return nil
 	}
 
-	users := make([]int, 0, n)
+	users := al.users[:0]
 	for _, c := range cands[:n] {
 		users = append(users, c.u)
 	}
 	sort.Ints(users)
+	al.users = users
 	al.commit(s, users)
 	return users
 }
