@@ -471,6 +471,18 @@ func BenchmarkStreamIngest(b *testing.B) {
 	b.Run("single", func(b *testing.B) { benchkit.StreamIngest(b, "single") })
 }
 
+// BenchmarkStreamIngestWAL reruns the persistent-stream ingestion
+// workload with the durability subsystem on, one sub-benchmark per
+// WAL sync policy. The gap to BenchmarkStreamIngest/stream is the
+// WAL's whole price on the hot ingest path; the acceptance bar is
+// sync=batch (group commit) sustaining >= 70% of the WAL-off
+// events/sec, recorded in BENCH_serving.json's durability section.
+func BenchmarkStreamIngestWAL(b *testing.B) {
+	b.Run("none", func(b *testing.B) { benchkit.StreamIngestWAL(b, videodist.WALSyncNone) })
+	b.Run("interval", func(b *testing.B) { benchkit.StreamIngestWAL(b, videodist.WALSyncInterval) })
+	b.Run("batch", func(b *testing.B) { benchkit.StreamIngestWAL(b, videodist.WALSyncBatch) })
+}
+
 // BenchmarkSaturation runs one cell of the saturation harness — the
 // concurrent-submitter session workload behind BENCH_serving.json's
 // scaling curve — with GOMAXPROCS pinned above 1, so `go test -bench`

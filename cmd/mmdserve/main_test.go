@@ -64,7 +64,7 @@ func TestDriveParityAcrossVias(t *testing.T) {
 	cfg := defaultTestConfig()
 	outputs := map[string]string{}
 	for _, via := range []string{"stream", "batch", "single"} {
-		c, err := buildCluster(cfg)
+		c, _, err := buildCluster(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"testing"
 
@@ -470,6 +471,79 @@ func StreamIngest(b *testing.B, via string) {
 	}
 }
 
+// StreamIngestWAL reruns the StreamIngest "stream" workload with the
+// durability subsystem on: the same ~10k events arrive over one
+// persistent /v1/stream connection, but every shard journals each
+// event to its per-shard WAL segment under the given sync policy
+// before acking, so the gap to StreamIngest/stream is the WAL's whole
+// price on the hot ingest path. Each iteration logs into a fresh
+// directory, created and deleted outside the timer, so segment growth
+// from prior iterations never pollutes the measurement. The
+// durability acceptance bar is sync=batch (group commit — an acked
+// event survives power loss) sustaining >= 70% of WAL-off events/sec
+// on hosts where the committer's fsync can overlap the apply loop
+// (num_cpu > 1), and >= 45% on a single-CPU host, where the device
+// flush stalls the only core (see bench_baseline_test.go).
+func StreamIngestWAL(b *testing.B, sync videodist.WALSyncPolicy) {
+	instances := clusterTenants(b)
+	seqs := streamIngestEvents(instances)
+	events := loaddrive.Interleave(seqs)
+	total := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "benchwal-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants := make([]videodist.ClusterTenant, len(instances))
+		for j, in := range instances {
+			tenants[j] = videodist.ClusterTenant{Instance: in}
+		}
+		c, err := videodist.NewCluster(tenants, videodist.ClusterOptions{
+			Shards: 8, BatchSize: 16,
+			WAL: &videodist.WALOptions{Dir: dir, Sync: sync},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(httpserve.NewHandler(c))
+		// Collect construction garbage and drain the filesystem's
+		// pending journal work (segment creates, the previous
+		// iteration's unlinks) before the timer starts — otherwise
+		// that debt is paid inside whichever timed fsync the kernel
+		// happens to fold it into, and run-to-run variance swamps the
+		// steady-state ingest cost this benchmark exists to measure.
+		runtime.GC()
+		drainDisk()
+		b.StartTimer()
+
+		n, err := loaddrive.Stream(ts.URL, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(events) {
+			b.Fatalf("submitted %d of %d events", n, len(events))
+		}
+		total = n
+
+		b.StopTimer()
+		ts.Close()
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(total), "events/op")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(total*b.N)/secs, "events/sec")
+	}
+}
+
 // Bench names one serving benchmark for programmatic runs.
 type Bench struct {
 	// Name keys the benchmark in BENCH_serving.json.
@@ -500,5 +574,17 @@ func ServingBenchmarks() []Bench {
 		{Name: "StreamIngest/stream", F: func(b *testing.B) { StreamIngest(b, "stream") }},
 		{Name: "StreamIngest/batch16", F: func(b *testing.B) { StreamIngest(b, "batch") }},
 		{Name: "StreamIngest/single", F: func(b *testing.B) { StreamIngest(b, "single") }},
+	}
+}
+
+// DurabilityBenchmarks returns the WAL-on ingestion runs snapshotted
+// into the baseline's "durability" section: StreamIngest/stream with
+// each sync policy, measured against the WAL-off run for the ratio the
+// acceptance bar (batch >= 0.70) is read from.
+func DurabilityBenchmarks() []Bench {
+	return []Bench{
+		{Name: "StreamIngestWAL/none", F: func(b *testing.B) { StreamIngestWAL(b, videodist.WALSyncNone) }},
+		{Name: "StreamIngestWAL/interval", F: func(b *testing.B) { StreamIngestWAL(b, videodist.WALSyncInterval) }},
+		{Name: "StreamIngestWAL/batch", F: func(b *testing.B) { StreamIngestWAL(b, videodist.WALSyncBatch) }},
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package benchkit
+
+// drainDisk is a no-op where the whole-filesystem sync syscall is
+// unavailable; the WAL benchmarks just run with more variance there.
+func drainDisk() {}

@@ -1,0 +1,11 @@
+//go:build unix
+
+package benchkit
+
+import "syscall"
+
+// drainDisk flushes all pending filesystem writeback and journal
+// activity so a WAL benchmark's timed window starts from a quiet disk.
+// Called between StopTimer and StartTimer only — never on a serving
+// path.
+func drainDisk() { syscall.Sync() }

@@ -242,9 +242,14 @@ type entry struct {
 // plus reference-counting state owned by a single goroutine. All
 // methods are safe for concurrent use.
 type Registry struct {
-	model    CostModel
-	entries  map[ID]*entry
-	order    []ID // sorted, the deterministic snapshot walk order
+	model   CostModel
+	entries map[ID]*entry
+	order   []ID // sorted, the deterministic snapshot walk order
+	// logger, when set, receives every state-mutating operation in the
+	// owner's serialization order — the registry's durability log plane
+	// (see SetLogger). Owner-goroutine state: installed and read only
+	// there.
+	logger   Logger
 	reqs     chan request
 	stop     chan struct{}
 	done     chan struct{}
@@ -264,6 +269,9 @@ const (
 	opSnapshot
 	opAcquireBatch
 	opSettleBatch
+	opSetLogger
+	opReplayAcquire
+	opDangling
 )
 
 // SettleOp names one registry transition a settlement applies.
@@ -321,7 +329,11 @@ type request struct {
 	tickets   []Ticket
 	settles   []Settlement
 	settleOut []SettleResult
-	reply     chan response
+	// Durability-plane payloads: the logger to install (opSetLogger) and
+	// the replay flag suppressing logging on replayed settlements.
+	logger Logger
+	replay bool
+	reply  chan response
 }
 
 type response struct {
@@ -329,6 +341,7 @@ type response struct {
 	refs    int
 	evicted bool
 	snap    *Snapshot
+	settles []Settlement
 	err     error
 }
 
@@ -585,10 +598,16 @@ func (r *Registry) handle(req request) response {
 	switch req.op {
 	case opSnapshot:
 		return response{snap: r.snapshotLocked()}
+	case opSetLogger:
+		r.logger = req.logger
+		return response{}
 	case opAcquireBatch:
 		for i, id := range req.ids {
 			// Bindings were validated by AcquireBatch before the send.
 			req.tickets[i] = r.acquire(r.entries[id], req.tenant)
+			if r.logger != nil {
+				r.logger.LogAcquire(req.tenant, id, req.tickets[i].Scale, req.tickets[i].OriginPayer)
+			}
 		}
 		return response{}
 	case opSettleBatch:
@@ -596,12 +615,42 @@ func (r *Registry) handle(req request) response {
 			var res SettleResult
 			if e := r.entries[s.ID]; e != nil {
 				res = r.settleOne(e, s)
+				if r.logger != nil && !req.replay {
+					r.logger.LogSettle(s)
+				}
 			}
 			if req.settleOut != nil {
 				req.settleOut[i] = res
 			}
 		}
 		return response{}
+	case opDangling:
+		var out []Settlement
+		for _, id := range r.order {
+			e := r.entries[id]
+			if e.pendingCount == 0 {
+				continue
+			}
+			fullLeft := e.fullPending
+			tenants := make([]int, 0, len(e.pending))
+			for t, n := range e.pending {
+				if n > 0 {
+					tenants = append(tenants, t)
+				}
+			}
+			sort.Ints(tenants)
+			for _, t := range tenants {
+				for k := 0; k < e.pending[t]; k++ {
+					s := Settlement{Op: SettleReleasePending, ID: id, Tenant: t}
+					if fullLeft > 0 {
+						s.Origin = true
+						fullLeft--
+					}
+					out = append(out, s)
+				}
+			}
+		}
+		return response{settles: out}
 	}
 	e := r.entries[req.id]
 	if e == nil {
@@ -611,12 +660,31 @@ func (r *Registry) handle(req request) response {
 	case opRefs:
 		return response{refs: len(e.holders)}
 	case opAcquire:
-		return response{ticket: r.acquire(e, req.tenant)}
+		tk := r.acquire(e, req.tenant)
+		if r.logger != nil {
+			r.logger.LogAcquire(req.tenant, req.id, tk.Scale, tk.OriginPayer)
+		}
+		return response{ticket: tk}
+	case opReplayAcquire:
+		// Re-derive the quote from the rebuilt state and verify it against
+		// the logged one: the registry's op sequence is deterministic, so
+		// a mismatch means the log (or the replay order) is corrupt.
+		tk := r.acquire(e, req.tenant)
+		if tk.Scale != req.full || tk.OriginPayer != req.origin {
+			return response{err: fmt.Errorf(
+				"catalog: replay acquire %q tenant %d: logged scale %v origin %v, re-derived %v %v",
+				req.id, req.tenant, req.full, req.origin, tk.Scale, tk.OriginPayer)}
+		}
+		return response{ticket: tk}
 	case opSettle:
-		res := r.settleOne(e, Settlement{
+		s := Settlement{
 			Op: req.settleOp, ID: req.id, Tenant: req.tenant,
 			Full: req.full, Charged: req.charged, Origin: req.origin,
-		})
+		}
+		res := r.settleOne(e, s)
+		if r.logger != nil && !req.replay {
+			r.logger.LogSettle(s)
+		}
 		return response{refs: res.Refs, evicted: res.Evicted}
 	}
 	return response{err: fmt.Errorf("catalog: unknown op %d", req.op)}

@@ -1,0 +1,77 @@
+package catalog
+
+// The registry's durability-log plane. The cluster's eviction gate
+// counts in-flight acquisitions (entry.pendingCount, entry.fullPending)
+// and quotes are honored under concurrency, so no per-shard event log
+// can reproduce registry state: the only order that rebuilds it exactly
+// is the owner goroutine's own serialization order. The registry
+// therefore writes its own log — one record per acquisition and per
+// settlement, emitted by the owner right after applying the operation —
+// and recovery replays that plane directly back into the owner,
+// re-deriving each acquisition's quote from the rebuilt state and
+// verifying it against the logged one (a mismatch is corruption, not a
+// judgment call). See internal/wal and internal/cluster's recovery.
+
+// Logger receives every state-mutating registry operation in the
+// owner's serialization order. Implementations are called on the owner
+// goroutine and must not call back into the registry.
+type Logger interface {
+	// LogAcquire records one priced acquisition: the quoted scale and
+	// whether this acquisition was elected the origin payer.
+	LogAcquire(tenant int, id ID, scale float64, origin bool)
+	// LogSettle records one applied settlement.
+	LogSettle(s Settlement)
+}
+
+// SetLogger installs (or, with nil, removes) the registry's operation
+// logger via an owner round trip, so the change is serialized against
+// all in-flight operations. Replayed operations are never logged.
+func (r *Registry) SetLogger(l Logger) error {
+	if _, ok := r.do(request{op: opSetLogger, logger: l}); !ok {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ReplayAcquire re-applies one logged acquisition during recovery: the
+// owner re-runs the pricing against the rebuilt state and verifies the
+// re-derived quote (scale, origin-payer election) against the logged
+// one. The registry's operation sequence is deterministic, so a
+// mismatch means the log is corrupt or misordered and recovery must
+// fail loudly.
+func (r *Registry) ReplayAcquire(id ID, tenant int, scale float64, origin bool) error {
+	resp, ok := r.do(request{op: opReplayAcquire, id: id, tenant: tenant, full: scale, origin: origin})
+	if !ok {
+		return ErrClosed
+	}
+	return resp.err
+}
+
+// DanglingPending returns the settlements that would balance every
+// in-flight acquisition left behind by a crash (one SettleReleasePending
+// per pending count, Origin set on as many as the entry's full-priced
+// slots), in deterministic order: entries in the registry's sorted walk
+// order, tenants ascending. Recovery applies them through the normal
+// (logged) settlement path right after going live, so the log itself
+// records how the danglings were drained and every future replay
+// reproduces the same state — including the evictions the drain fires.
+func (r *Registry) DanglingPending() ([]Settlement, error) {
+	resp, ok := r.do(request{op: opDangling})
+	if !ok {
+		return nil, ErrClosed
+	}
+	return resp.settles, nil
+}
+
+// ReplaySettle re-applies one logged settlement during recovery,
+// without re-logging it.
+func (r *Registry) ReplaySettle(s Settlement) error {
+	resp, ok := r.do(request{
+		op: opSettle, replay: true, settleOp: s.Op, id: s.ID, tenant: s.Tenant,
+		full: s.Full, charged: s.Charged, origin: s.Origin,
+	})
+	if !ok {
+		return ErrClosed
+	}
+	return resp.err
+}

@@ -83,21 +83,34 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 		if ev.CatalogID != "" && ev.Type != EventStreamArrival && ev.Type != EventStreamDeparture {
 			ev.CatalogID = ""
 		}
-		if ev.CatalogID != "" {
-			if c.catalog == nil {
-				return nil, fmt.Errorf("cluster: batch event %d: %w", i, ErrNoCatalog)
-			}
-			local, err := c.catalog.Lookup(ev.CatalogID, tenant)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: batch event %d: %w", i, wrapCatalogErr(err))
-			}
-			ev.Stream = local
-			if ev.Type == EventStreamArrival {
-				offers = append(offers, i)
-				ids = append(ids, ev.CatalogID)
-			}
+		if ev.CatalogID != "" && ev.Type == EventStreamArrival {
+			offers = append(offers, i)
+			ids = append(ids, ev.CatalogID)
 		}
 		batch[i] = ev
+	}
+	// The catalog lookups, the pricing round trip, and the enqueue share
+	// one read-locked section (Reshard swaps the layout and the registry
+	// under the write lock); the lock drops before the result wait.
+	ack := c.getBatchAck()
+	fail := func(err error) ([]EventResult, error) {
+		c.mu.RUnlock()
+		c.putBatchAck(ack)
+		return nil, err
+	}
+	c.mu.RLock()
+	for i := range batch {
+		if batch[i].CatalogID == "" {
+			continue
+		}
+		if c.catalog == nil {
+			return fail(fmt.Errorf("cluster: batch event %d: %w", i, ErrNoCatalog))
+		}
+		local, err := c.catalog.Lookup(batch[i].CatalogID, tenant)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: batch event %d: %w", i, wrapCatalogErr(err)))
+		}
+		batch[i].Stream = local
 	}
 	var tickets []catalog.Ticket
 	if len(ids) > 0 {
@@ -105,7 +118,7 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 		// a provisional reference the worker will settle in order.
 		tickets = make([]catalog.Ticket, len(ids))
 		if err := c.catalog.AcquireBatch(tenant, ids, tickets); err != nil {
-			return nil, fmt.Errorf("cluster: batch: %w", wrapCatalogErr(err))
+			return fail(fmt.Errorf("cluster: batch: %w", wrapCatalogErr(err)))
 		}
 		for k, i := range offers {
 			batch[i].Stream = tickets[k].Local
@@ -113,11 +126,10 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 			batch[i].originPayer = tickets[k].OriginPayer
 		}
 	}
-	ack := c.getBatchAck()
-	if err := c.enqueue(ctx, tenant, message{batch: batch, batchAck: ack}); err != nil {
-		c.putBatchAck(ack)
+	if err := c.enqueueLocked(ctx, tenant, message{batch: batch, batchAck: ack}); err != nil {
 		// Never enqueued: drop every provisional reference the batch
-		// acquired, in one round trip.
+		// acquired, in one round trip (still under the lock, so the
+		// releases reach the registry that priced them).
 		if len(tickets) > 0 {
 			rel := make([]catalog.Settlement, len(tickets))
 			for k, tk := range tickets {
@@ -126,8 +138,10 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 			}
 			_ = c.catalog.SettleBatch(rel, nil)
 		}
-		return nil, err
+		return fail(err)
 	}
+	in := c.tenants[tenant].Instance()
+	c.mu.RUnlock()
 	var out []EventResult
 	select {
 	case out = <-ack:
@@ -150,7 +164,7 @@ func (c *Cluster) ApplyBatch(ctx context.Context, tenant int, events []Event) ([
 		res.Catalog.Utility = res.Offer.Utility
 		res.Catalog.SharedWith = tk.SharedWith
 		res.Catalog.CostScale = tk.Scale
-		res.Catalog.FullCost = c.tenants[tenant].Instance().StreamCostSum(tk.Local)
+		res.Catalog.FullCost = in.StreamCostSum(tk.Local)
 		if res.Catalog.Admitted {
 			res.Catalog.CostCharged = tk.Scale * res.Catalog.FullCost
 		}

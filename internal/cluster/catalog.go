@@ -87,8 +87,17 @@ func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The acquire, the enqueue, and the instance capture share one read-
+	// locked section: Reshard swaps the layout (and the registry) under
+	// the write lock, so the reference must land on the same registry
+	// generation the event will settle against. The lock drops before
+	// the result wait.
+	ack := c.getAck()
+	c.mu.RLock()
 	reg, err := c.catalogFor(tenant)
 	if err != nil {
+		c.mu.RUnlock()
+		c.putAck(ack)
 		return CatalogResult{}, err
 	}
 	// Acquire takes a provisional reference in every case — also when
@@ -100,17 +109,22 @@ func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog
 	// tenant still carries is a rejection, exactly like OfferStream.
 	tk, err := reg.Acquire(id, tenant)
 	if err != nil {
+		c.mu.RUnlock()
+		c.putAck(ack)
 		return CatalogResult{}, wrapCatalogErr(err)
 	}
 	ev := Event{Tenant: tenant, Type: EventStreamArrival, Stream: tk.Local,
 		CostScale: tk.Scale, CatalogID: id, originPayer: tk.OriginPayer}
-	ack := c.getAck()
-	if err := c.submit(ctx, ev, ack); err != nil {
-		// Never enqueued: the provisional reference is dropped.
-		c.putAck(ack)
+	in := c.tenants[tenant].Instance()
+	if err := c.enqueueLocked(ctx, tenant, message{ev: ev, ack: ack}); err != nil {
+		// Never enqueued: the provisional reference is dropped (still
+		// under the lock, so it reaches the registry it came from).
 		reg.Release(id, tenant, false, tk.OriginPayer)
+		c.mu.RUnlock()
+		c.putAck(ack)
 		return CatalogResult{}, err
 	}
+	c.mu.RUnlock()
 	// Once enqueued, the worker settles the reference itself (commit or
 	// release, in shard FIFO order) — a canceled caller has nothing to
 	// reconcile. An abandoned ack is leaked, never recycled.
@@ -128,7 +142,7 @@ func (c *Cluster) OfferCatalogStream(ctx context.Context, tenant int, id catalog
 		Refs:        res.refs,
 		SharedWith:  tk.SharedWith,
 		CostScale:   tk.Scale,
-		FullCost:    c.tenants[tenant].Instance().StreamCostSum(tk.Local),
+		FullCost:    in.StreamCostSum(tk.Local),
 		// A rejected offer's released provisional reference can be the
 		// one that drains an occupied origin (the last confirmed holder
 		// already departed while this admission was in flight).
@@ -150,19 +164,40 @@ func (c *Cluster) DepartCatalogStream(ctx context.Context, tenant int, id catalo
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Lookup and enqueue share one read-locked section (see
+	// OfferCatalogStream); the lock drops before the result wait.
+	ack := c.getAck()
+	c.mu.RLock()
 	reg, err := c.catalogFor(tenant)
 	if err != nil {
+		c.mu.RUnlock()
+		c.putAck(ack)
 		return CatalogResult{}, err
 	}
 	local, err := reg.Lookup(id, tenant)
 	if err != nil {
+		c.mu.RUnlock()
+		c.putAck(ack)
 		return CatalogResult{}, wrapCatalogErr(err)
+	}
+	ev := Event{Tenant: tenant, Type: EventStreamDeparture, Stream: local, CatalogID: id}
+	err = c.enqueueLocked(ctx, tenant, message{ev: ev, ack: ack})
+	c.mu.RUnlock()
+	if err != nil {
+		c.putAck(ack)
+		return CatalogResult{}, err
 	}
 	// The worker settles the reference (release on removal) in shard
 	// FIFO order; a canceled caller has nothing to reconcile.
-	res, err := c.call(ctx, Event{Tenant: tenant, Type: EventStreamDeparture, Stream: local, CatalogID: id})
-	if err != nil {
-		return CatalogResult{}, err
+	var res result
+	select {
+	case res = <-ack:
+		c.putAck(ack)
+	case <-ctx.Done():
+		return CatalogResult{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+	if res.err != nil {
+		return CatalogResult{}, res.err
 	}
 	return CatalogResult{
 		Removed:     res.depart.Removed,

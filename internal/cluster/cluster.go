@@ -95,11 +95,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/headend"
 	"repro/internal/mmd"
+	"repro/internal/wal"
 )
 
 // EventType discriminates cluster events.
@@ -202,6 +204,14 @@ type Options struct {
 	// API v3); nil disables the catalog surface and the catalog session
 	// methods fail with ErrNoCatalog.
 	Catalog *CatalogOptions
+	// WAL configures the durability subsystem (serving API v5): every
+	// applied event is appended to the owning shard's write-ahead log
+	// segment before its result is delivered, checkpoints fence the log
+	// with verified state renders, Recover rebuilds a crashed fleet from
+	// the directory, and Reshard replays the log into a new shard layout
+	// while the old one serves. nil disables durability entirely (the
+	// hot path is unchanged). See wal.go in this package.
+	WAL *WALOptions
 }
 
 // CatalogOptions configures the fleet catalog: which streams have
@@ -286,6 +296,64 @@ type shard struct {
 	settleRes    []catalog.SettleResult
 	settleOne    [1]catalog.Settlement
 	settleOneRes [1]catalog.SettleResult
+
+	// Durability plane, worker-owned. wal is the shard's segment
+	// appender (nil with no WAL, and during recovery/reshard replay —
+	// replayed events are already in the log). replay suppresses
+	// catalog settlements while the registry is rebuilt from its own
+	// log plane; it is flipped off at go-live, while the worker is
+	// provably idle. Under SyncBatch the worker defers result delivery
+	// (pendAcks/pendBatch) and hands a group off at each commit point —
+	// queue-empty, pending at commitGroupBound, barrier, or shutdown —
+	// to the
+	// shard's committer goroutine (commits/commitDone), which fsyncs
+	// both planes' segments before delivering the group's results:
+	// pipelined group commit. The worker keeps applying while the fsync
+	// runs; commitErr latches the committer's first failure and the
+	// worker folds it into err at barriers and shutdown.
+	wal        *wal.Appender
+	replay     bool
+	deferAcks  bool
+	pendAcks   []pendAck
+	pendBatch  []pendBatchAck
+	commits    chan commitGroup
+	commitDone chan struct{}
+	commitMu   sync.Mutex
+	commitErr  error
+
+	// Freelists recycling delivered groups' ack slices back to the
+	// worker (committer sends, releaseAcks receives; both non-blocking —
+	// a miss just allocates). At commitGroupBound-sized groups the
+	// slices are the batch path's dominant allocation, and without
+	// recycling each
+	// one lives exactly one commit round: steady GC pressure on the hot
+	// path for memory that is immediately reusable.
+	ackFree   chan []pendAck
+	batchFree chan []pendBatchAck
+}
+
+// pendAck and pendBatchAck are deferred result deliveries under the
+// SyncBatch group-commit policy (see shard).
+type pendAck struct {
+	ch  chan result
+	res result
+}
+
+type pendBatchAck struct {
+	ch  chan []EventResult
+	res []EventResult
+}
+
+// commitGroup is one deferred-acknowledgement group handed from a
+// shard worker to its committer: make the carried appenders durable,
+// then deliver the results. done, when non-nil, is closed after
+// delivery — the worker's drain barrier (such a group may carry no
+// results at all).
+type commitGroup struct {
+	wal, cat *wal.Appender
+	acks     []pendAck
+	batches  []pendBatchAck
+	done     chan struct{}
 }
 
 // Cluster is a sharded multi-tenant head-end service. The session
@@ -334,6 +402,26 @@ type Cluster struct {
 
 	mu     sync.RWMutex
 	closed bool
+
+	// Durability plane (wlog nil when Options.WAL is nil); see wal.go.
+	// walSeq is the shared global sequence counter — a pointer so a
+	// resharding shadow cluster stamps from the same sequence. walLive
+	// marks a cluster whose WAL is actively logging (false during
+	// recovery/reshard replay); it is written only while workers are
+	// quiesced. cfgs retains the tenant configs for Reshard's shadow
+	// rebuild. ckptKick/ckptQuit/ckptDone drive the automatic
+	// checkpoint goroutine; ckptEvery is Options.WAL.CheckpointEvery as
+	// the worker-side modulus. reshardMu serializes Reshard calls.
+	wlog      *wal.Log
+	walSeq    *atomic.Uint64
+	walCatApp *wal.Appender
+	walLive   bool
+	cfgs      []TenantConfig
+	ckptKick  chan struct{}
+	ckptQuit  chan struct{}
+	ckptDone  chan struct{}
+	ckptEvery uint64
+	reshardMu sync.Mutex
 }
 
 // getAck returns a pooled one-shot result channel.
@@ -378,8 +466,29 @@ func (c *Cluster) putBatchAck(ch chan []EventResult) {
 var poisonBatchAck func(chan []EventResult)
 
 // New builds the cluster and starts one worker per shard. Tenant i is
-// pinned to shard i mod Shards.
+// pinned to shard i mod Shards. With Options.WAL the durability log is
+// opened fresh (an existing log in the directory is an error — use
+// Recover to rebuild from one).
 func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
+	c, err := newCluster(tenants, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.WAL != nil {
+		if err := c.walStart(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// newCluster builds the cluster object and starts the workers. replay
+// marks a cluster being rebuilt from a durability log (recovery, or a
+// resharding shadow): its workers suppress catalog settlements — the
+// registry is rebuilt from its own log plane — and append nothing (no
+// appenders are attached until go-live).
+func newCluster(tenants []TenantConfig, opts Options, replay bool) (*Cluster, error) {
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("cluster: need at least one tenant")
 	}
@@ -389,6 +498,11 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 		tenants: make([]*headend.Tenant, len(tenants)),
 		shardOf: make([]int, len(tenants)),
 		shards:  make([]*shard, opts.Shards),
+		cfgs:    append([]TenantConfig(nil), tenants...),
+		walSeq:  new(atomic.Uint64),
+	}
+	if opts.WAL != nil {
+		c.ckptEvery = uint64(max(opts.WAL.CheckpointEvery, 0))
 	}
 	for i, cfg := range tenants {
 		if cfg.Instance == nil {
@@ -457,10 +571,12 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 	}
 	for s := range c.shards {
 		sh := &shard{
-			id:    s,
-			ch:    make(chan message, opts.QueueDepth),
-			done:  make(chan struct{}),
-			churn: make(map[int]int),
+			id:        s,
+			ch:        make(chan message, opts.QueueDepth),
+			done:      make(chan struct{}),
+			churn:     make(map[int]int),
+			replay:    replay,
+			deferAcks: opts.WAL != nil && opts.WAL.Sync == wal.SyncBatch,
 		}
 		for i := range c.tenants {
 			if c.shardOf[i] == s {
@@ -470,6 +586,13 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 		sh.stats.Shard = s
 		sh.stats.Tenants = len(sh.tenants)
 		c.shards[s] = sh
+		if sh.deferAcks {
+			sh.commits = make(chan commitGroup, 16)
+			sh.commitDone = make(chan struct{})
+			sh.ackFree = make(chan []pendAck, 4)
+			sh.batchFree = make(chan []pendBatchAck, 4)
+			go c.committer(sh)
+		}
 		go c.worker(sh)
 	}
 	return c, nil
@@ -478,11 +601,21 @@ func New(tenants []TenantConfig, opts Options) (*Cluster, error) {
 // NumTenants returns the number of tenants.
 func (c *Cluster) NumTenants() int { return len(c.tenants) }
 
-// NumShards returns the number of shard workers.
-func (c *Cluster) NumShards() int { return len(c.shards) }
+// NumShards returns the number of shard workers (it changes across a
+// live Reshard).
+func (c *Cluster) NumShards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.shards)
+}
 
-// ShardOf returns the shard owning tenant i.
-func (c *Cluster) ShardOf(i int) int { return c.shardOf[i] }
+// ShardOf returns the shard owning tenant i (it changes across a live
+// Reshard).
+func (c *Cluster) ShardOf(i int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shardOf[i]
+}
 
 // Snapshot flushes every shard (a barrier: all queued events are
 // applied first) and returns the aggregated fleet state. The reduction
@@ -495,12 +628,24 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+	return c.barrierSnapshot()
+}
+
+// barrierSnapshot runs the shard barrier and aggregates the fleet
+// state. Requires c.mu held: read-held for Snapshot (concurrent
+// submissions just land behind the barrier messages), write-held for
+// the durability quiesce points (checkpoint, reshard cutover, close) —
+// enqueue holds the read lock through its channel send, so the write
+// lock additionally guarantees no send is in flight and the queues
+// stay empty until release.
+func (c *Cluster) barrierSnapshot() (*FleetSnapshot, error) {
 	// The barrier reuses one pooled reply channel for all shards (its
 	// capacity is len(shards), so workers never block) and pooled
 	// per-shard snapshot maps; both go back to their pools only after
 	// the barrier fully drained, so a pooled buffer is never in flight.
+	// The capacity re-check matters after a reshard grows the fleet.
 	replies, _ := c.snapChPool.Get().(chan shardReport)
-	if replies == nil {
+	if replies == nil || cap(replies) < len(c.shards) {
 		replies = make(chan shardReport, len(c.shards))
 	}
 	for _, sh := range c.shards {
@@ -558,12 +703,22 @@ func (c *Cluster) Snapshot() (*FleetSnapshot, error) {
 // Close drains and stops all shard workers (queued request/response
 // events still receive their results). It is idempotent; the session
 // methods and Snapshot fail with ErrClosed after Close. The first
-// worker error (a failed re-solve) is returned.
+// worker error (a failed re-solve, or a latched WAL append error) is
+// returned. With a live WAL, Close quiesces the fleet and seals the
+// log with a "close" manifest, so the next Recover verifies its full
+// replay against the final state.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil
+	}
+	var closeMan *wal.Manifest
+	if c.wlog != nil && c.walLive {
+		if fs, err := c.barrierSnapshot(); err == nil {
+			m := c.manifestFor(fs, "close")
+			closeMan = &m
+		}
 	}
 	c.closed = true
 	for _, sh := range c.shards {
@@ -577,14 +732,29 @@ func (c *Cluster) Close() error {
 			firstErr = sh.err
 		}
 	}
+	if c.ckptQuit != nil {
+		close(c.ckptQuit)
+		<-c.ckptDone
+	}
 	if c.catalog != nil {
 		c.catalog.Close()
+	}
+	if c.wlog != nil {
+		if err := c.wlog.Close(closeMan); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
 
 // worker is the shard event loop: FIFO with arrival coalescing and
-// per-event result delivery.
+// per-event result delivery. Under the WAL's SyncBatch policy, result
+// delivery is deferred (see deliver) and the loop hands the pending
+// group to the shard's committer at every commit point: the queue
+// momentarily empty, the pending count reaching commitGroupBound, a barrier
+// (which additionally drains the committer), or shutdown. The
+// arrival-coalescing flush boundaries are untouched — they stay a pure
+// function of the submission sequence; only delivery is deferred.
 func (c *Cluster) worker(sh *shard) {
 	defer close(sh.done)
 	batch := make([]message, 0, c.opts.BatchSize)
@@ -609,17 +779,22 @@ func (c *Cluster) worker(sh *shard) {
 				}
 				res := c.applyArrival(sh, msg.ev, msg.ack != nil, false, -1)
 				if msg.ack != nil {
-					msg.ack <- res
+					c.deliver(sh, msg.ack, res)
 				}
 			}
 			batch = keep
 		}
 	}
-	for msg := range sh.ch {
+	process := func(msg message) {
 		if msg.snap != nil {
+			// A barrier is a commit point: everything applied so far is
+			// made durable and acknowledged before the reply, so the
+			// barrier's snapshot covers only acknowledged state.
 			flush()
+			c.releaseAcks(sh)
+			c.drainCommits(sh)
 			msg.snap <- c.reportShard(sh)
-			continue
+			return
 		}
 		if msg.batch != nil {
 			// A single-tenant event batch (ApplyBatch, the HTTP batch
@@ -627,8 +802,14 @@ func (c *Cluster) worker(sh *shard) {
 			// window — flush the pending window first so ordering stays
 			// FIFO per tenant.
 			flush()
-			msg.batchAck <- c.applyEventBatch(sh, msg.batch)
-			continue
+			res := c.applyEventBatch(sh, msg.batch)
+			if sh.deferAcks {
+				sh.pendBatch = append(sh.pendBatch, pendBatchAck{ch: msg.batchAck, res: res})
+				c.maybeRelease(sh)
+			} else {
+				msg.batchAck <- res
+			}
+			return
 		}
 		sh.stats.Events++
 		if msg.ev.Type == EventStreamArrival {
@@ -641,15 +822,217 @@ func (c *Cluster) worker(sh *shard) {
 			if len(batch) >= c.opts.BatchSize || msg.ack != nil {
 				flush()
 			}
-			continue
+			return
 		}
 		flush()
 		res := c.applyEvent(sh, msg.ev, msg.ack == nil, false, -1)
 		if msg.ack != nil {
-			msg.ack <- res
+			c.deliver(sh, msg.ack, res)
 		}
 	}
+	for {
+		msg, ok := <-sh.ch
+		if !ok {
+			break
+		}
+		process(msg)
+		// Drain the burst without blocking, then commit at the point
+		// the queue goes momentarily empty — the group-commit heuristic
+		// that amortizes one fsync over however many events arrived
+		// while the previous group was being written.
+		for ok {
+			select {
+			case msg, ok = <-sh.ch:
+				if ok {
+					process(msg)
+				}
+			default:
+				ok = false
+			}
+		}
+		c.releaseAcks(sh)
+	}
 	flush()
+	c.releaseAcks(sh)
+	if sh.deferAcks {
+		close(sh.commits)
+		<-sh.commitDone
+		sh.commitMu.Lock()
+		if sh.err == nil {
+			sh.err = sh.commitErr
+		}
+		sh.commitMu.Unlock()
+	}
+}
+
+// deliver hands one event result to its caller — immediately, or onto
+// the shard's pending group under SyncBatch (the result must not reach
+// the caller before its log record is durable; the committer fsyncs
+// the segment before delivering the group).
+func (c *Cluster) deliver(sh *shard, ch chan result, res result) {
+	if sh.deferAcks {
+		sh.pendAcks = append(sh.pendAcks, pendAck{ch: ch, res: res})
+		c.maybeRelease(sh)
+		return
+	}
+	ch <- res
+}
+
+// commitGroupBound caps a shard's deferred-acknowledgement group, in
+// events, under sustained load (an idle moment releases the group
+// regardless — see the worker's queue-empty release). The bound is a
+// durability batching window, not a queue depth: it exists so a
+// saturating submitter cannot defer acknowledgements without limit,
+// and every event under it shares one fsync. 2048 events is a few
+// milliseconds of apply work — the same order as the device flush it
+// amortizes — so raising it further adds ack latency without removing
+// syncs, and lowering it multiplies fsyncs under exactly the load
+// where they hurt.
+const commitGroupBound = 2048
+
+// maybeRelease bounds the pending group at commitGroupBound (or the
+// configured queue depth, if larger) so a saturating submitter cannot
+// defer acknowledgements without limit.
+func (c *Cluster) maybeRelease(sh *shard) {
+	bound := commitGroupBound
+	if c.opts.QueueDepth > bound {
+		bound = c.opts.QueueDepth
+	}
+	if len(sh.pendAcks)+len(sh.pendBatch) >= bound {
+		c.releaseAcks(sh)
+	}
+}
+
+// releaseAcks is the group-commit point: it hands the shard's pending
+// group — with the two planes' appenders (the registry's settlements
+// for the group's events are already in the catalog appender's buffer)
+// — to the committer, which fsyncs and then delivers every deferred
+// result in order. The worker returns immediately and keeps applying
+// while the fsync runs. A no-op outside SyncBatch.
+func (c *Cluster) releaseAcks(sh *shard) {
+	if !sh.deferAcks || (len(sh.pendAcks) == 0 && len(sh.pendBatch) == 0) {
+		return
+	}
+	g := commitGroup{wal: sh.wal, cat: c.walCatApp, acks: sh.pendAcks, batches: sh.pendBatch}
+	// Swap in a recycled slice, or start one with real capacity: the
+	// freelist is empty exactly when every slice is in flight behind an
+	// fsync, and growing from nil there puts the doubling copies on the
+	// hot path (they were the batch path's dominant timed allocation).
+	sh.pendAcks, sh.pendBatch = nil, nil
+	select {
+	case sh.pendAcks = <-sh.ackFree:
+	default:
+		sh.pendAcks = make([]pendAck, 0, commitGroupBound/4)
+	}
+	select {
+	case sh.pendBatch = <-sh.batchFree:
+	default:
+	}
+	sh.commits <- g
+}
+
+// committer is the shard's group-commit daemon: for each window of
+// handed-off groups it makes both planes' segments durable, then
+// delivers the groups' deferred results in order — an acknowledged
+// event is on disk before its caller unblocks, while the worker's
+// apply loop never waits on an fsync. Groups that queued up behind an
+// in-flight fsync are drained into the next window and share one
+// syscall (Appender.Commit covers everything appended before the
+// call), so a pipelined submitter pays roughly one fsync per disk
+// latency, not per ack group.
+func (c *Cluster) committer(sh *shard) {
+	defer close(sh.commitDone)
+	var window []commitGroup
+	for open := true; open; {
+		g, ok := <-sh.commits
+		if !ok {
+			return
+		}
+		window = append(window[:0], g)
+		for more := true; more; {
+			select {
+			case g2, ok2 := <-sh.commits:
+				if !ok2 {
+					open, more = false, false
+				} else {
+					window = append(window, g2)
+				}
+			default:
+				more = false
+			}
+		}
+		// One commit per distinct appender in the window (rotation can
+		// only change the pointers across a drain barrier, so a window
+		// almost always holds exactly one of each).
+		var prevWAL, prevCat *wal.Appender
+		for _, g := range window {
+			if g.wal != nil && g.wal != prevWAL {
+				prevWAL = g.wal
+				if err := g.wal.Commit(); err != nil {
+					c.latchCommitErr(sh, err)
+				}
+			}
+			if g.cat != nil && g.cat != prevCat {
+				prevCat = g.cat
+				if err := g.cat.Commit(); err != nil {
+					c.latchCommitErr(sh, err)
+				}
+			}
+		}
+		for _, g := range window {
+			for i := range g.acks {
+				g.acks[i].ch <- g.acks[i].res
+				g.acks[i] = pendAck{}
+			}
+			for i := range g.batches {
+				g.batches[i].ch <- g.batches[i].res
+				g.batches[i] = pendBatchAck{}
+			}
+			if cap(g.acks) > 0 {
+				select {
+				case sh.ackFree <- g.acks[:0]:
+				default:
+				}
+			}
+			if cap(g.batches) > 0 {
+				select {
+				case sh.batchFree <- g.batches[:0]:
+				default:
+				}
+			}
+			if g.done != nil {
+				close(g.done)
+			}
+		}
+	}
+}
+
+// latchCommitErr records the committer's first failure for the worker
+// to surface at its next drain point.
+func (c *Cluster) latchCommitErr(sh *shard, err error) {
+	sh.commitMu.Lock()
+	if sh.commitErr == nil {
+		sh.commitErr = err
+	}
+	sh.commitMu.Unlock()
+}
+
+// drainCommits blocks until the committer has delivered every group
+// enqueued so far and folds any commit error into the shard — the
+// barrier step that makes a snapshot cover only acknowledged, durable
+// state. A no-op outside SyncBatch.
+func (c *Cluster) drainCommits(sh *shard) {
+	if !sh.deferAcks {
+		return
+	}
+	done := make(chan struct{})
+	sh.commits <- commitGroup{done: done}
+	<-done
+	sh.commitMu.Lock()
+	if sh.err == nil {
+		sh.err = sh.commitErr
+	}
+	sh.commitMu.Unlock()
 }
 
 // dispatchSettle routes one catalog settlement the worker decided:
@@ -709,6 +1092,9 @@ func (c *Cluster) flushSettles(sh *shard, out []EventResult) {
 // reference (Ticket.Already). deferred/slot select immediate or batched
 // settlement (see dispatchSettle).
 func (c *Cluster) applyArrival(sh *shard, ev Event, needResult, deferred bool, slot int) result {
+	if sh.wal != nil {
+		c.logEvent(sh, &ev)
+	}
 	t := c.tenants[ev.Tenant]
 	sh.stats.Arrivals++
 	users := t.OfferStreamScaled(ev.Stream, ev.scale())
@@ -746,7 +1132,13 @@ func (c *Cluster) applyArrival(sh *shard, ev Event, needResult, deferred bool, s
 			s.Charged = ev.scale() * s.Full
 			held[ev.CatalogID] = true
 		}
-		res.refs, res.evicted = c.dispatchSettle(sh, s, deferred, slot)
+		// During log replay the registry is rebuilt from its own plane
+		// (the owner's serialization order — see internal/catalog), so
+		// the worker keeps classifying to maintain its held set but
+		// never re-issues the settlement.
+		if !sh.replay {
+			res.refs, res.evicted = c.dispatchSettle(sh, s, deferred, slot)
+		}
 	}
 	return res
 }
@@ -757,6 +1149,9 @@ func (c *Cluster) applyArrival(sh *shard, ev Event, needResult, deferred bool, s
 // errors latch as the shard's first error. deferred/slot select
 // immediate or batched catalog settlement (see dispatchSettle).
 func (c *Cluster) applyEvent(sh *shard, ev Event, background, deferred bool, slot int) result {
+	if sh.wal != nil {
+		c.logEvent(sh, &ev)
+	}
 	t := c.tenants[ev.Tenant]
 	var res result
 	churned := false
@@ -785,9 +1180,11 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background, deferred bool, slo
 			held := c.heldCatalog[ev.Tenant]
 			if id != "" && (held[id] || byID) {
 				delete(held, id)
-				res.refs, res.evicted = c.dispatchSettle(sh,
-					catalog.Settlement{Op: catalog.SettleRelease, ID: id, Tenant: ev.Tenant},
-					deferred, slot)
+				if !sh.replay {
+					res.refs, res.evicted = c.dispatchSettle(sh,
+						catalog.Settlement{Op: catalog.SettleRelease, ID: id, Tenant: ev.Tenant},
+						deferred, slot)
+				}
 			}
 		}
 		churned = true
@@ -824,9 +1221,11 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background, deferred bool, slo
 			for _, cl := range c.catalogLocals[ev.Tenant] {
 				switch carries := t.Carries(cl.local); {
 				case held[cl.id] && !carries:
-					c.dispatchSettle(sh,
-						catalog.Settlement{Op: catalog.SettleRelease, ID: cl.id, Tenant: ev.Tenant},
-						deferred, -1)
+					if !sh.replay {
+						c.dispatchSettle(sh,
+							catalog.Settlement{Op: catalog.SettleRelease, ID: cl.id, Tenant: ev.Tenant},
+							deferred, -1)
+					}
 					delete(held, cl.id)
 				case !held[cl.id] && carries:
 					// A pickup adopts a full-price reference atomically
@@ -835,10 +1234,12 @@ func (c *Cluster) applyEvent(sh *shard, ev Event, background, deferred bool, slo
 					// tenant's lineup retained for it (Tenant.install);
 					// adoption at full price only covers streams the
 					// lineup picked up without a reference.
-					c.dispatchSettle(sh,
-						catalog.Settlement{Op: catalog.SettleAdopt, ID: cl.id, Tenant: ev.Tenant,
-							Full: t.Instance().StreamCostSum(cl.local)},
-						deferred, -1)
+					if !sh.replay {
+						c.dispatchSettle(sh,
+							catalog.Settlement{Op: catalog.SettleAdopt, ID: cl.id, Tenant: ev.Tenant,
+								Full: t.Instance().StreamCostSum(cl.local)},
+							deferred, -1)
+					}
 					held[cl.id] = true
 				}
 			}

@@ -207,6 +207,19 @@ func validEventType(t EventType) error {
 // msg to the owning shard under the cluster's backpressure mode. The
 // read lock is held only for the send, never across a result wait.
 func (c *Cluster) enqueue(ctx context.Context, tenant int, msg message) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.enqueueLocked(ctx, tenant, msg)
+}
+
+// enqueueLocked is enqueue's body; it requires c.mu held (read or
+// write) and must stay in the same critical section as any read of the
+// cluster's layout fields (tenants, shardOf, shards, catalog) the
+// caller pairs it with — Reshard swaps those under the write lock, and
+// an event must land on the layout it was prepared against. Callers
+// already under the read lock use this directly (Go's RWMutex is not
+// reentrant: a recursive RLock can deadlock behind a waiting writer).
+func (c *Cluster) enqueueLocked(ctx context.Context, tenant int, msg message) error {
 	if tenant < 0 || tenant >= len(c.tenants) {
 		return fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, tenant, len(c.tenants))
 	}
@@ -216,8 +229,6 @@ func (c *Cluster) enqueue(ctx context.Context, tenant int, msg message) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if c.closed {
 		return ErrClosed
 	}

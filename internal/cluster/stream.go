@@ -218,9 +218,16 @@ func (sc *StreamConn) route(ctx context.Context, ev Event, p *streamPending) {
 	if ev.CatalogID != "" && ev.Type != EventStreamArrival && ev.Type != EventStreamDeparture {
 		ev.CatalogID, p.id = "", ""
 	}
+	// The acquire protocol and the enqueue share one read-locked section
+	// (Reshard swaps the layout and the registry under the write lock,
+	// and a pinned stream's tenant may change shard between two events);
+	// the lock is never held across a result wait.
+	c := sc.c
+	c.mu.RLock()
 	if ev.CatalogID != "" {
-		reg, err := sc.c.catalogFor(ev.Tenant)
+		reg, err := c.catalogFor(ev.Tenant)
 		if err != nil {
+			c.mu.RUnlock()
 			fail(err)
 			return
 		}
@@ -232,29 +239,33 @@ func (sc *StreamConn) route(ctx context.Context, ev Event, p *streamPending) {
 			// OfferCatalogStream).
 			tk, err := reg.Acquire(ev.CatalogID, ev.Tenant)
 			if err != nil {
+				c.mu.RUnlock()
 				fail(wrapCatalogErr(err))
 				return
 			}
 			p.catalogOffer = true
 			p.tk = tk
-			p.fullCost = sc.c.tenants[ev.Tenant].Instance().StreamCostSum(tk.Local)
+			p.fullCost = c.tenants[ev.Tenant].Instance().StreamCostSum(tk.Local)
 			ev.Stream, ev.CostScale, ev.originPayer = tk.Local, tk.Scale, tk.OriginPayer
 		case EventStreamDeparture:
 			local, err := reg.Lookup(ev.CatalogID, ev.Tenant)
 			if err != nil {
+				c.mu.RUnlock()
 				fail(wrapCatalogErr(err))
 				return
 			}
 			ev.Stream = local
 		}
 	}
-	if err := sc.c.enqueue(ctx, ev.Tenant, message{ev: ev, ack: p.ack}); err != nil {
-		// Never enqueued: a catalog offer's provisional reference is
-		// dropped (once enqueued, the worker settles it — see
-		// applyArrival).
-		if p.catalogOffer {
-			sc.c.catalog.Release(ev.CatalogID, ev.Tenant, false, p.tk.OriginPayer)
-		}
+	err := c.enqueueLocked(ctx, ev.Tenant, message{ev: ev, ack: p.ack})
+	if err != nil && p.catalogOffer {
+		// Never enqueued: the provisional reference is dropped (still
+		// under the lock, so it reaches the registry that granted it;
+		// once enqueued, the worker settles it — see applyArrival).
+		c.catalog.Release(ev.CatalogID, ev.Tenant, false, p.tk.OriginPayer)
+	}
+	c.mu.RUnlock()
+	if err != nil {
 		fail(err)
 	}
 }

@@ -1,0 +1,820 @@
+package cluster
+
+// Durability subsystem (serving API v5): per-shard write-ahead
+// logging, checkpointed recovery, and live resharding.
+//
+// # Two log planes
+//
+// The fleet's durable history is written on two planes, because the
+// fleet has two serialization orders that cannot be derived from each
+// other:
+//
+//   - The event plane: each shard worker appends one record per
+//     applied event (arrival, departure, churn, resolve) to its own
+//     segment, at apply time, before the result is delivered. The
+//     record carries the event exactly as applied — including the
+//     catalog cost scale and origin-payer election the admission ran
+//     under — stamped with a globally unique sequence number.
+//   - The registry plane: the catalog registry's owner goroutine logs
+//     every acquisition and settlement to its own segment, in its own
+//     serialization order. This plane exists because registry state is
+//     not a function of per-shard event order: the eviction gate
+//     counts in-flight acquisitions (a release while an acquisition is
+//     pending must NOT evict), and per-shard logs lose exactly that
+//     interleaving. See internal/catalog's walog.go.
+//
+// Recovery feeds the event plane back through the normal worker ingest
+// path (global sequence order, which preserves every per-tenant
+// suborder) with catalog settlements suppressed, and replays the
+// registry plane directly into the owner — re-deriving every quote and
+// verifying it against the logged one. After a torn crash the two
+// planes may disagree about the final few references; recovery drains
+// dangling acquisitions and reconciles held-versus-holders through the
+// normal (logged) settlement path, so the log itself records the
+// repair and every future replay reproduces it.
+//
+// # Checkpoints fence, they do not truncate
+//
+// A checkpoint quiesces the fleet (the same barrier Snapshot uses,
+// under the write lock so no submission is in flight), renders the
+// per-tenant tables and the catalog, writes the render into a manifest
+// that fences the log at the current sequence number, and rotates
+// every writer to a fresh segment generation. Recovery replays from
+// genesis and byte-compares its state against each fence it crosses —
+// the manifest is a verification artifact, not a restore point.
+// History is deliberately not truncated: tenant policy state is an
+// order-sensitive accumulation (allocator loads, ledger sums, phase
+// restarts), so a faithful restore-from-snapshot would have to
+// serialize every policy internals; replay-from-genesis needs nothing
+// but the event codec and is exactly as deterministic as the serving
+// path itself (the shard-count-invariance contract).
+//
+// # Resharding
+//
+// Reshard(n) builds a shadow cluster with the new layout and replays
+// the log into it while the old layout keeps serving; the cutover
+// quiesces the old fleet once, replays the tail, verifies the shadow
+// renders byte-identical, rotates the log to the new writer set, and
+// swaps the layouts — make-before-break, with the write lock held only
+// for the tail.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/wal"
+)
+
+// WALOptions configures the durability subsystem (Options.WAL).
+type WALOptions struct {
+	// Dir is the log directory (created if absent; must not already
+	// hold a log — use Recover for that).
+	Dir string
+	// Sync is the durability policy: wal.SyncNone, wal.SyncInterval,
+	// or wal.SyncBatch (group commit — an acknowledged event is
+	// durable; the default zero value is SyncNone).
+	Sync wal.SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval
+	// (default 50ms).
+	SyncInterval time.Duration
+	// CheckpointEvery takes an automatic checkpoint after roughly
+	// every N logged records (0 disables automatic checkpoints;
+	// explicit Checkpoint calls always work).
+	CheckpointEvery int
+}
+
+// ErrNoWAL reports a durability operation (Checkpoint, Reshard,
+// Recover) on a cluster built without Options.WAL.
+var ErrNoWAL = fmt.Errorf("cluster: no WAL configured")
+
+// RecoveryReport summarizes what Recover rebuilt.
+type RecoveryReport struct {
+	// Events and CatalogOps count replayed event-plane and
+	// registry-plane records.
+	Events     int `json:"events"`
+	CatalogOps int `json:"catalog_ops"`
+	// MaxSeq is the highest sequence number replayed.
+	MaxSeq uint64 `json:"max_seq"`
+	// CheckpointGen is the checkpoint generation whose manifest render
+	// the replayed state was verified against (0 when the log had no
+	// checkpoint); CheckpointVerified reports the byte-compare passed.
+	CheckpointGen      int  `json:"checkpoint_gen,omitempty"`
+	CheckpointVerified bool `json:"checkpoint_verified"`
+	// TruncatedSegments lists segment files whose torn final line was
+	// truncated away (sorted).
+	TruncatedSegments []string `json:"truncated_segments,omitempty"`
+	// DanglingReleased counts in-flight acquisitions the crash left
+	// unbalanced, drained through the normal settlement path;
+	// Reconciled counts held-versus-holders repairs across the two
+	// planes' torn window.
+	DanglingReleased int `json:"dangling_released,omitempty"`
+	Reconciled       int `json:"reconciled,omitempty"`
+	// Gen is the active segment generation after recovery (the
+	// "recovered" checkpoint opens it).
+	Gen int `json:"gen"`
+}
+
+// walStart opens a fresh durability log for a newly built cluster
+// (the New path; Recover has its own sequence).
+func (c *Cluster) walStart() error {
+	l, err := wal.Open(c.walLogOptions())
+	if err != nil {
+		return err
+	}
+	if !l.Empty() {
+		_ = l.Close(nil)
+		return fmt.Errorf("cluster: WAL directory %q already holds a log — use Recover", c.opts.WAL.Dir)
+	}
+	if err := l.Begin(wal.ShardWriters(len(c.shards), c.catalog != nil)); err != nil {
+		_ = l.Close(nil)
+		return err
+	}
+	c.wlog = l
+	if err := c.attachAppenders(); err != nil {
+		return err
+	}
+	c.goLive()
+	c.startCheckpointLoop()
+	return nil
+}
+
+func (c *Cluster) walLogOptions() wal.Options {
+	w := c.opts.WAL
+	return wal.Options{Dir: w.Dir, Sync: w.Sync, SyncInterval: w.SyncInterval}
+}
+
+// attachAppenders points every shard worker (and the registry logger)
+// at the active generation's appenders. Called only while the workers
+// are provably idle: at construction before any traffic, and at
+// checkpoint/reshard rotation under the write lock after the barrier
+// drained — the next channel receive publishes the new pointers.
+func (c *Cluster) attachAppenders() error {
+	for _, sh := range c.shards {
+		sh.wal = c.wlog.Appender(wal.ShardWriter(sh.id))
+	}
+	if c.catalog != nil {
+		c.walCatApp = c.wlog.Appender(wal.CatalogWriter)
+		if err := c.catalog.SetLogger(&catalogWALLogger{c: c, app: c.walCatApp}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goLive flips a replay-mode cluster into logging mode. Workers must
+// be idle (replay fed and barrier-drained, no external traffic yet).
+func (c *Cluster) goLive() {
+	for _, sh := range c.shards {
+		sh.replay = false
+	}
+	c.walLive = true
+}
+
+// logEvent appends one applied event to the shard's segment, stamping
+// the next global sequence number, and kicks the automatic checkpoint
+// when the count crosses the configured cadence. Called on the worker
+// goroutine, before the event's result is delivered.
+func (c *Cluster) logEvent(sh *shard, ev *Event) {
+	rec := wal.Record{
+		Seq:     c.walSeq.Add(1),
+		Type:    eventTypeToken(ev.Type),
+		Tenant:  ev.Tenant,
+		Stream:  ev.Stream,
+		User:    ev.User,
+		Install: ev.Install,
+		Catalog: string(ev.CatalogID),
+		Scale:   ev.CostScale,
+		Origin:  ev.originPayer,
+	}
+	if err := sh.wal.Append(&rec); err != nil && sh.err == nil {
+		sh.err = err
+	}
+	c.kickCheckpoint(rec.Seq)
+}
+
+// kickCheckpoint nudges the checkpoint goroutine (non-blocking; a kick
+// while one is pending is absorbed).
+func (c *Cluster) kickCheckpoint(seq uint64) {
+	if c.ckptKick == nil || c.ckptEvery == 0 || seq%c.ckptEvery != 0 {
+		return
+	}
+	select {
+	case c.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// startCheckpointLoop runs the automatic-checkpoint goroutine (a
+// no-op unless CheckpointEvery is set).
+func (c *Cluster) startCheckpointLoop() {
+	if c.opts.WAL.CheckpointEvery <= 0 {
+		return
+	}
+	c.ckptKick = make(chan struct{}, 1)
+	c.ckptQuit = make(chan struct{})
+	c.ckptDone = make(chan struct{})
+	go func() {
+		defer close(c.ckptDone)
+		for {
+			select {
+			case <-c.ckptQuit:
+				return
+			case <-c.ckptKick:
+				if _, err := c.Checkpoint("auto"); err != nil {
+					// ErrClosed at shutdown, or a latched I/O error the
+					// next explicit operation will surface.
+					return
+				}
+			}
+		}
+	}()
+}
+
+// eventTypeToken maps a cluster event type onto the shared codec
+// vocabulary (internal/wal).
+func eventTypeToken(t EventType) string {
+	switch t {
+	case EventStreamArrival:
+		return wal.TypeStreamArrival
+	case EventStreamDeparture:
+		return wal.TypeStreamDeparture
+	case EventUserLeave:
+		return wal.TypeUserLeave
+	case EventUserJoin:
+		return wal.TypeUserJoin
+	case EventResolve:
+		return wal.TypeResolve
+	}
+	return ""
+}
+
+// eventFromRecord rebuilds the as-applied event from its log record.
+func eventFromRecord(r *wal.Record) (Event, error) {
+	var typ EventType
+	switch r.Type {
+	case wal.TypeStreamArrival:
+		typ = EventStreamArrival
+	case wal.TypeStreamDeparture:
+		typ = EventStreamDeparture
+	case wal.TypeUserLeave:
+		typ = EventUserLeave
+	case wal.TypeUserJoin:
+		typ = EventUserJoin
+	case wal.TypeResolve:
+		typ = EventResolve
+	default:
+		return Event{}, fmt.Errorf("cluster: replay: record seq %d: unexpected type %q", r.Seq, r.Type)
+	}
+	return Event{
+		Tenant:      r.Tenant,
+		Type:        typ,
+		Stream:      r.Stream,
+		User:        r.User,
+		Install:     r.Install,
+		CostScale:   r.Scale,
+		CatalogID:   catalog.ID(r.Catalog),
+		originPayer: r.Origin,
+	}, nil
+}
+
+// settleOpToken / settleOpFromToken map registry settlement ops onto
+// the shared codec vocabulary.
+func settleOpToken(op catalog.SettleOp) string {
+	switch op {
+	case catalog.SettleCommit:
+		return wal.OpCommit
+	case catalog.SettleRecharge:
+		return wal.OpRecharge
+	case catalog.SettleRelease:
+		return wal.OpRelease
+	case catalog.SettleReleasePending:
+		return wal.OpReleasePending
+	case catalog.SettleAdopt:
+		return wal.OpAdopt
+	}
+	return ""
+}
+
+func settleOpFromToken(s string) (catalog.SettleOp, error) {
+	switch s {
+	case wal.OpCommit:
+		return catalog.SettleCommit, nil
+	case wal.OpRecharge:
+		return catalog.SettleRecharge, nil
+	case wal.OpRelease:
+		return catalog.SettleRelease, nil
+	case wal.OpReleasePending:
+		return catalog.SettleReleasePending, nil
+	case wal.OpAdopt:
+		return catalog.SettleAdopt, nil
+	}
+	return 0, fmt.Errorf("cluster: replay: unknown settle op %q", s)
+}
+
+// catalogWALLogger is the registry-plane appender: installed on the
+// registry owner goroutine, it stamps each registry operation with the
+// shared sequence counter and appends it to the "catalog" segment.
+type catalogWALLogger struct {
+	c   *Cluster
+	app *wal.Appender
+}
+
+func (l *catalogWALLogger) LogAcquire(tenant int, id catalog.ID, scale float64, origin bool) {
+	rec := wal.Record{
+		Seq:     l.c.walSeq.Add(1),
+		Type:    wal.TypeCatalogAcquire,
+		Tenant:  tenant,
+		Catalog: string(id),
+		Scale:   scale,
+		Origin:  origin,
+	}
+	_ = l.app.Append(&rec) // latched; surfaced at commit/rotate/close
+	l.c.kickCheckpoint(rec.Seq)
+}
+
+func (l *catalogWALLogger) LogSettle(s catalog.Settlement) {
+	rec := wal.Record{
+		Seq:     l.c.walSeq.Add(1),
+		Type:    wal.TypeCatalogSettle,
+		Tenant:  s.Tenant,
+		Catalog: string(s.ID),
+		Op:      settleOpToken(s.Op),
+		Full:    s.Full,
+		Charged: s.Charged,
+		Origin:  s.Origin,
+	}
+	_ = l.app.Append(&rec)
+	l.c.kickCheckpoint(rec.Seq)
+}
+
+// manifestFor renders a quiesced fleet snapshot into a checkpoint
+// manifest fencing the log at the current sequence number.
+func (c *Cluster) manifestFor(fs *FleetSnapshot, reason string) wal.Manifest {
+	m := wal.Manifest{
+		Seq:           c.walSeq.Load(),
+		Shards:        len(c.shards),
+		Tenants:       len(c.tenants),
+		Reason:        reason,
+		TenantsRender: fs.RenderTenants(),
+	}
+	if fs.Catalog != nil {
+		m.CatalogRender = fs.Catalog.Render()
+	}
+	return m
+}
+
+// Checkpoint quiesces the fleet (write-lock barrier: every queued
+// event applies, every pending acknowledgement delivers, nothing new
+// can enqueue), writes a manifest carrying the rendered per-tenant and
+// catalog state as the recovery verification artifact, and rotates
+// every writer to a fresh segment generation. reason is recorded in
+// the manifest ("auto" for the cadence-driven ones).
+func (c *Cluster) Checkpoint(reason string) (*wal.Manifest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.wlog == nil || !c.walLive {
+		return nil, ErrNoWAL
+	}
+	fs, err := c.barrierSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	m := c.manifestFor(fs, reason)
+	if err := c.wlog.Rotate(&m, wal.ShardWriters(len(c.shards), c.catalog != nil)); err != nil {
+		return nil, err
+	}
+	if err := c.attachAppenders(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Recover rebuilds a fleet from a durability log directory: it loads
+// every segment (truncating torn final lines — the crash signature),
+// replays the event plane through the normal worker ingest path and
+// the registry plane through the owner, verifies the rebuilt state
+// against the newest checkpoint manifest's renders, repairs the torn
+// window between the two planes, and goes live on a fresh segment
+// generation opened by a "recovered" checkpoint. tenants must be the
+// same configs (same instances, same policy construction) the crashed
+// cluster was built with — replay determinism is the caller's contract
+// exactly as it is for shard-count invariance; opts.Shards may differ
+// freely.
+func Recover(tenants []TenantConfig, opts Options) (*Cluster, *RecoveryReport, error) {
+	if opts.WAL == nil || opts.WAL.Dir == "" {
+		return nil, nil, ErrNoWAL
+	}
+	c, err := newCluster(tenants, opts, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := wal.Open(c.walLogOptions())
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	c.wlog = l
+	replay, err := l.ReadAll(true)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	rep := &RecoveryReport{MaxSeq: replay.MaxSeq}
+	for f := range replay.Truncated {
+		rep.TruncatedSegments = append(rep.TruncatedSegments, f)
+	}
+	sort.Strings(rep.TruncatedSegments)
+
+	fail := func(err error) (*Cluster, *RecoveryReport, error) {
+		c.Close()
+		return nil, nil, err
+	}
+	last := replay.LastManifest()
+	if last != nil && last.Seq > replay.MaxSeq {
+		return fail(fmt.Errorf("cluster: recover: log ends at seq %d, before checkpoint fence %d (segments missing)",
+			replay.MaxSeq, last.Seq))
+	}
+	fence := uint64(0)
+	if last != nil && last.Seq < replay.MaxSeq {
+		// The log continues past the newest checkpoint (a crash):
+		// replay the prefix, pause at the fence, verify the renders.
+		ev, cat, err := c.feedReplay(replay.Records, 0, last.Seq)
+		rep.Events, rep.CatalogOps = rep.Events+ev, rep.CatalogOps+cat
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.verifyManifest(last); err != nil {
+			return fail(err)
+		}
+		rep.CheckpointGen, rep.CheckpointVerified = last.Gen, true
+		fence = last.Seq
+	}
+	ev, cat, err := c.feedReplay(replay.Records, fence, ^uint64(0))
+	rep.Events, rep.CatalogOps = rep.Events+ev, rep.CatalogOps+cat
+	if err != nil {
+		return fail(err)
+	}
+	if last != nil && last.Seq == replay.MaxSeq {
+		// The log ends exactly at a quiesced checkpoint (a clean
+		// close): verify the full replay against it.
+		if err := c.verifyManifest(last); err != nil {
+			return fail(err)
+		}
+		rep.CheckpointGen, rep.CheckpointVerified = last.Gen, true
+	}
+
+	c.walSeq.Store(replay.MaxSeq)
+	if err := l.Begin(wal.ShardWriters(len(c.shards), c.catalog != nil)); err != nil {
+		return fail(err)
+	}
+	if err := c.attachAppenders(); err != nil {
+		return fail(err)
+	}
+	c.goLive()
+	if c.catalog != nil {
+		// Drain the acquisitions the crash left in flight — through the
+		// normal, logged settlement path, so the log itself records the
+		// drain and future replays reproduce it (including the
+		// evictions it fires). Then reconcile the torn window between
+		// the planes: an event record may have been durable while its
+		// settlement was still buffered, or vice versa.
+		dang, err := c.catalog.DanglingPending()
+		if err != nil {
+			return fail(err)
+		}
+		if len(dang) > 0 {
+			if err := c.catalog.SettleBatch(dang, nil); err != nil {
+				return fail(err)
+			}
+			rep.DanglingReleased = len(dang)
+		}
+		n, err := c.reconcileCatalog()
+		if err != nil {
+			return fail(err)
+		}
+		rep.Reconciled = n
+	}
+	c.startCheckpointLoop()
+	m, err := c.Checkpoint("recovered")
+	if err != nil {
+		return fail(err)
+	}
+	rep.Gen = m.Gen + 1
+	return c, rep, nil
+}
+
+// verifyManifest byte-compares the cluster's current (barriered) state
+// renders against a checkpoint manifest — the recovery verification.
+func (c *Cluster) verifyManifest(m *wal.Manifest) error {
+	if m.Tenants != len(c.tenants) {
+		return fmt.Errorf("cluster: recover: log has %d tenants, config has %d", m.Tenants, len(c.tenants))
+	}
+	fs, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	if got := fs.RenderTenants(); got != m.TenantsRender {
+		return fmt.Errorf("cluster: recover: tenant state diverges from checkpoint gen %d (%s) at seq %d",
+			m.Gen, m.Reason, m.Seq)
+	}
+	var catRender string
+	if fs.Catalog != nil {
+		catRender = fs.Catalog.Render()
+	}
+	if catRender != m.CatalogRender {
+		return fmt.Errorf("cluster: recover: catalog state diverges from checkpoint gen %d (%s) at seq %d",
+			m.Gen, m.Reason, m.Seq)
+	}
+	return nil
+}
+
+// feedReplay drives log records with from < Seq <= to into the
+// cluster: event-plane records go through the shard channels
+// (fire-and-forget, exactly the normal ingest path), registry-plane
+// records replay synchronously into the owner. The final barrier
+// (Snapshot) is the caller's job.
+func (c *Cluster) feedReplay(recs []wal.Record, from, to uint64) (events, catOps int, err error) {
+	for i := range recs {
+		r := &recs[i]
+		if r.Seq <= from || r.Seq > to {
+			continue
+		}
+		switch r.Type {
+		case wal.TypeCatalogAcquire:
+			if c.catalog == nil {
+				return events, catOps, fmt.Errorf("cluster: replay: catalog record seq %d without a catalog", r.Seq)
+			}
+			if err := c.catalog.ReplayAcquire(catalog.ID(r.Catalog), r.Tenant, r.Scale, r.Origin); err != nil {
+				return events, catOps, err
+			}
+			catOps++
+		case wal.TypeCatalogSettle:
+			if c.catalog == nil {
+				return events, catOps, fmt.Errorf("cluster: replay: catalog record seq %d without a catalog", r.Seq)
+			}
+			op, err := settleOpFromToken(r.Op)
+			if err != nil {
+				return events, catOps, err
+			}
+			if err := c.catalog.ReplaySettle(catalog.Settlement{
+				Op: op, ID: catalog.ID(r.Catalog), Tenant: r.Tenant,
+				Full: r.Full, Charged: r.Charged, Origin: r.Origin,
+			}); err != nil {
+				return events, catOps, err
+			}
+			catOps++
+		default:
+			ev, err := eventFromRecord(r)
+			if err != nil {
+				return events, catOps, err
+			}
+			if ev.Tenant < 0 || ev.Tenant >= len(c.tenants) {
+				return events, catOps, fmt.Errorf("cluster: replay: record seq %d: tenant %d out of range [0,%d)",
+					r.Seq, ev.Tenant, len(c.tenants))
+			}
+			c.shards[c.shardOf[ev.Tenant]].ch <- message{ev: ev}
+			events++
+		}
+	}
+	if _, err := c.Snapshot(); err != nil {
+		return events, catOps, err
+	}
+	return events, catOps, nil
+}
+
+// contiguousSeqPrefix returns the highest seq S such that every
+// sequence number from the first record's up to S is present in recs
+// (which are sorted by Seq). Records past the first gap are left for a
+// later quiesced read. Historical gaps (sequence numbers lost to a
+// crash and never re-issued) end the prefix early — conservative but
+// correct: the quiesced tail read replays the remainder.
+func contiguousSeqPrefix(recs []wal.Record) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	s := recs[0].Seq
+	for _, r := range recs[1:] {
+		if r.Seq != s+1 {
+			break
+		}
+		s = r.Seq
+	}
+	return s
+}
+
+// reconcileCatalog repairs the torn window between the two log planes
+// after a crash: for every (tenant, catalog stream) pair it compares
+// the worker-held reference set (event-plane truth — the tenant's
+// admissions are what was acknowledged) against the registry's
+// confirmed holders (registry-plane truth) and settles the difference
+// through the normal, logged path: a held-but-not-holding pair adopts
+// a full-price reference, a holding-but-not-held pair releases it.
+// Deterministic walk order (tenant ascending, bindings in catalog
+// declaration order); a consistent log reconciles nothing.
+func (c *Cluster) reconcileCatalog() (int, error) {
+	snap := c.catalog.Snapshot()
+	holding := make(map[catalog.ID]map[int]bool, len(snap.Entries))
+	for _, e := range snap.Entries {
+		m := make(map[int]bool, len(e.Holders))
+		for _, t := range e.Holders {
+			m[t] = true
+		}
+		holding[e.ID] = m
+	}
+	var fixes []catalog.Settlement
+	for t := range c.tenants {
+		held := c.heldCatalog[t]
+		for _, cl := range c.catalogLocals[t] {
+			switch {
+			case held[cl.id] && !holding[cl.id][t]:
+				fixes = append(fixes, catalog.Settlement{
+					Op: catalog.SettleAdopt, ID: cl.id, Tenant: t,
+					Full: c.tenants[t].Instance().StreamCostSum(cl.local),
+				})
+			case !held[cl.id] && holding[cl.id][t]:
+				fixes = append(fixes, catalog.Settlement{Op: catalog.SettleRelease, ID: cl.id, Tenant: t})
+			}
+		}
+	}
+	if len(fixes) == 0 {
+		return 0, nil
+	}
+	if err := c.catalog.SettleBatch(fixes, nil); err != nil {
+		return 0, err
+	}
+	return len(fixes), nil
+}
+
+// Reshard rebuilds the fleet onto newShards shard workers without
+// stopping service: a shadow cluster with the new layout replays the
+// durability log while the old layout keeps serving, then a single
+// write-locked cutover drains the old fleet, replays the tail,
+// verifies the shadow's per-tenant and catalog renders byte-identical
+// to the live fleet's, rotates the log to the new writer set, and
+// swaps the layouts (make-before-break; the old workers retire after
+// the swap). Requires a WAL, and tenants built with the default
+// policy (TenantConfig.Policy nil) — a caller-supplied policy object
+// cannot be rebuilt by replay.
+//
+// Results are unchanged by construction — the same shard-count
+// invariance the differential tests pin — and the shared global
+// sequence keeps every per-tenant order intact across any layout
+// change. Concurrent Reshard calls serialize; sessions keep working
+// throughout (pinned StreamConns included — their tenant moves shard
+// transparently).
+func (c *Cluster) Reshard(newShards int) error {
+	if newShards <= 0 {
+		return fmt.Errorf("cluster: reshard: need at least one shard, got %d", newShards)
+	}
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return ErrClosed
+	}
+	if c.wlog == nil || !c.walLive {
+		c.mu.RUnlock()
+		return fmt.Errorf("%w (resharding replays the log)", ErrNoWAL)
+	}
+	for i := range c.cfgs {
+		if c.cfgs[i].Policy != nil {
+			c.mu.RUnlock()
+			return fmt.Errorf("cluster: reshard: tenant %d has a caller-supplied policy, which replay cannot rebuild", i)
+		}
+	}
+	cur := len(c.shards)
+	c.mu.RUnlock()
+	if newShards > len(c.cfgs) {
+		newShards = len(c.cfgs)
+	}
+	if newShards == cur {
+		return nil
+	}
+
+	// Phase 1 — bulk: replay everything logged so far into a shadow
+	// cluster with the new layout, while the old one keeps serving.
+	// The shadow shares the log, the sequence counter, and the
+	// checkpoint kick channel; it gets appenders only at cutover.
+	opts := c.opts
+	opts.Shards = newShards
+	shadow, err := newCluster(c.cfgs, opts, true)
+	if err != nil {
+		return err
+	}
+	shadow.wlog = c.wlog
+	shadow.walSeq = c.walSeq
+	shadow.ckptKick = c.ckptKick
+	discard := func(err error) error {
+		for _, sh := range shadow.shards {
+			close(sh.ch)
+		}
+		for _, sh := range shadow.shards {
+			<-sh.done
+		}
+		if shadow.catalog != nil {
+			shadow.catalog.Close()
+		}
+		return err
+	}
+	if err := c.wlog.FlushAll(); err != nil {
+		return discard(err)
+	}
+	bulk, err := c.wlog.ReadAll(false)
+	if err != nil {
+		return discard(err)
+	}
+	// Feed only the contiguous sequence prefix: writers flush
+	// independently, so a live read can hold seq N while N-1 is still
+	// buffered in another writer — feeding past the first gap and then
+	// cutting the tail at MaxSeq would lose the gap forever. Everything
+	// after the prefix is replayed by the quiesced tail read below.
+	fed := contiguousSeqPrefix(bulk.Records)
+	if _, _, err := shadow.feedReplay(bulk.Records, 0, fed); err != nil {
+		return discard(err)
+	}
+
+	// Phase 2 — cutover, under the write lock: quiesce the old fleet,
+	// replay the tail the bulk pass missed, verify, rotate, swap.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return discard(ErrClosed)
+	}
+	fsOld, err := c.barrierSnapshot()
+	if err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	if err := c.wlog.FlushAll(); err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	tail, err := c.wlog.ReadAll(false)
+	if err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	if _, _, err := shadow.feedReplay(tail.Records, fed, ^uint64(0)); err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	fsNew, err := shadow.Snapshot()
+	if err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	if got, want := fsNew.RenderTenants(), fsOld.RenderTenants(); got != want {
+		c.mu.Unlock()
+		return discard(fmt.Errorf("cluster: reshard: shadow tenant state diverges from live fleet — cutover aborted"))
+	}
+	var oldCat, newCat string
+	if fsOld.Catalog != nil {
+		oldCat = fsOld.Catalog.Render()
+	}
+	if fsNew.Catalog != nil {
+		newCat = fsNew.Catalog.Render()
+	}
+	if oldCat != newCat {
+		c.mu.Unlock()
+		return discard(fmt.Errorf("cluster: reshard: shadow catalog state diverges from live fleet — cutover aborted"))
+	}
+	m := c.manifestFor(fsOld, "reshard")
+	m.Shards = newShards
+	if err := c.wlog.Rotate(&m, wal.ShardWriters(newShards, shadow.catalog != nil)); err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	if err := shadow.attachAppenders(); err != nil {
+		c.mu.Unlock()
+		return discard(err)
+	}
+	shadow.goLive()
+	oldShards, oldCatReg := c.shards, c.catalog
+	c.opts.Shards = newShards
+	c.tenants = shadow.tenants
+	c.shardOf = shadow.shardOf
+	c.shards = shadow.shards
+	c.catalog = shadow.catalog
+	c.catalogLocals = shadow.catalogLocals
+	c.catalogByLocal = shadow.catalogByLocal
+	c.heldCatalog = shadow.heldCatalog
+	c.walCatApp = shadow.walCatApp
+	for _, sh := range oldShards {
+		close(sh.ch)
+	}
+	c.mu.Unlock()
+	for _, sh := range oldShards {
+		<-sh.done
+	}
+	if oldCatReg != nil {
+		oldCatReg.Close()
+	}
+	return nil
+}

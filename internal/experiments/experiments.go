@@ -21,6 +21,7 @@
 //	E11 footnote 1: finite-duration streams and gateway churn
 //	E12 fleet scale: sharded multi-tenant cluster, shard-count invariance
 //	E13 fleet catalog: shared-origin pricing vs isolated tenants
+//	E14 durability: crash recovery from the per-shard WAL, layout-free
 //	A1  ablation: paper-faithful lift vs greedy-merging lift
 //	A2  ablation: raw greedy vs fixed greedy on the blocking family
 //	A3  ablation: online allocator sensitivity to mu
@@ -108,6 +109,7 @@ func All() ([]*Table, error) {
 		{"E11", func() (*Table, error) { return E11Churn(DefaultE11()) }},
 		{"E12", func() (*Table, error) { return E12Cluster(DefaultE12()) }},
 		{"E13", func() (*Table, error) { return E13SharedCatalog(DefaultE13()) }},
+		{"E14", func() (*Table, error) { return E14CrashRecovery(DefaultE14()) }},
 		{"A1", func() (*Table, error) { return A1LiftAblation(DefaultA1()) }},
 		{"A2", func() (*Table, error) { return A2BlockingFamily(DefaultA2()) }},
 		{"A3", func() (*Table, error) { return A3MuSensitivity(DefaultA3()) }},

@@ -105,6 +105,25 @@ func TestE12HoldsOnReducedConfig(t *testing.T) {
 	}
 }
 
+func TestE14HoldsOnDefaultConfig(t *testing.T) {
+	tab, err := E14CrashRecovery(DefaultE14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E14 verdict = %s", tab.Verdict)
+	}
+	// 3 shard counts x 2 cost models, every row verified and identical.
+	if len(tab.Rows) != 6 || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("E14 table malformed: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "true" || row[5] != "true" {
+			t.Fatalf("E14 row not bit-identical: %v", row)
+		}
+	}
+}
+
 func TestE13HoldsOnDefaultConfig(t *testing.T) {
 	tab, err := E13SharedCatalog(DefaultE13())
 	if err != nil {

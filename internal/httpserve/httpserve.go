@@ -5,6 +5,7 @@
 //	POST /v1/tenants/{id}/events        one event, one response (v2/v3)
 //	POST /v1/tenants/{id}/events:batch  a JSON array as one shard message (v3)
 //	POST /v1/stream                     persistent NDJSON session (v4)
+//	POST /v1/admin/reshard              live shard-count change (v5, needs a WAL)
 //	GET  /v1/fleet/snapshot             barrier + aggregated fleet state
 //	GET  /v1/catalog                    fleet catalog registry state
 //
@@ -27,8 +28,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 
 	videodist "repro"
 	"repro/streamclient"
@@ -80,6 +83,9 @@ func NewHandler(c *videodist.Cluster) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(c, w, r)
+	})
+	mux.HandleFunc("POST /v1/admin/reshard", func(w http.ResponseWriter, r *http.Request) {
+		handleReshard(c, w, r)
 	})
 	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		handleSnapshot(c, w)
@@ -176,69 +182,251 @@ var batchEventTypes = map[string]videodist.ClusterEvent{
 	"catalog-depart": {Type: videodist.ClusterStreamDeparture},
 }
 
+// batchScratch is the per-request working set of the batch endpoint,
+// pooled across requests: the raw body, the decoded events, the wire
+// type name per event (interned tokens on the fast path, so storing
+// them allocates nothing), the stdlib-fallback decode target, and the
+// hand-encoded response bytes. Every field is recycled by the handler
+// that took it from the pool (the receiver-recycles rule) — nothing
+// here escapes the request: ApplyBatch copies the event slice before
+// returning, and w.Write copies the response buffer.
+type batchScratch struct {
+	body   []byte
+	events []videodist.ClusterEvent
+	types  []string
+	reqs   []eventRequest
+	out    []byte
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// readFullBody reads r to EOF into buf's backing array, growing it only
+// when the request is larger than any the scratch has seen.
+func readFullBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// appendBatchEvent validates and appends one decoded wire event to the
+// scratch, shared by the fast and fallback parse paths so both produce
+// identical routed events and identical rejection messages.
+func appendBatchEvent(s *batchScratch, typ string, stream, user int, install bool, catalogID string) error {
+	i := len(s.events)
+	ev, ok := batchEventTypes[typ]
+	if !ok {
+		return fmt.Errorf("batch event %d: unknown event type %q", i, typ)
+	}
+	if typ == "catalog-offer" || typ == "catalog-depart" {
+		if catalogID == "" {
+			return fmt.Errorf("batch event %d: %s needs catalog_id", i, typ)
+		}
+		ev.CatalogID = videodist.CatalogID(catalogID)
+	}
+	ev.Stream, ev.User, ev.Install = stream, user, install
+	s.events = append(s.events, ev)
+	s.types = append(s.types, typ)
+	return nil
+}
+
+// fastParseBatch scans a canonical batch body — a JSON array of the
+// same canonical flat objects the stream's line scanner accepts — into
+// the scratch without allocating (catalog IDs excepted; those strings
+// outlive the buffer). ok false means "not provably canonical — rerun
+// through the stdlib decoder", never an error of its own; err reports a
+// semantic rejection (unknown type, missing catalog_id) found on a body
+// the scanner did fully accept.
+func fastParseBatch(body []byte, s *batchScratch) (ok bool, err error) {
+	i, n := 0, len(body)
+	ws := func() {
+		for i < n {
+			if ch := body[i]; ch != ' ' && ch != '\t' && ch != '\r' && ch != '\n' {
+				return
+			}
+			i++
+		}
+	}
+	ws()
+	if i >= n || body[i] != '[' {
+		return false, nil
+	}
+	i++
+	ws()
+	if i < n && body[i] == ']' {
+		i++
+		ws()
+		return i == n, nil
+	}
+	for {
+		ws()
+		if i >= n || body[i] != '{' {
+			return false, nil
+		}
+		start := i
+		// Find the element's closing brace: canonical objects are flat
+		// with escape-free strings, so a string flag is enough state —
+		// nesting or escapes mean "not canonical", bail to the stdlib.
+		i++
+		inStr := false
+		for i < n {
+			switch ch := body[i]; {
+			case inStr:
+				if ch == '\\' {
+					return false, nil
+				}
+				inStr = ch != '"'
+			case ch == '"':
+				inStr = true
+			case ch == '{' || ch == '[':
+				return false, nil
+			case ch == '}':
+				goto closed
+			}
+			i++
+		}
+		return false, nil
+	closed:
+		i++
+		req, elemOK := fastParseEvent(body[start:i])
+		if !elemOK {
+			return false, nil
+		}
+		if err := appendBatchEvent(s, req.Type, req.Stream, req.User, req.Install, req.CatalogID); err != nil {
+			return true, err
+		}
+		ws()
+		if i < n && body[i] == ',' {
+			i++
+			continue
+		}
+		if i < n && body[i] == ']' {
+			i++
+			ws()
+			return i == n, nil
+		}
+		return false, nil
+	}
+}
+
+// appendBatchResponse appends one event's eventResponse object exactly
+// as the stdlib would encode it (field order, omitempty semantics), so
+// decoded responses stay identical to the pre-pooling handler's — the
+// batch parity test pins this against the single-event endpoint.
+func appendBatchResponse(buf []byte, typ string, res videodist.EventResult) []byte {
+	buf = append(buf, `{"type":`...)
+	buf = appendJSONString(buf, typ)
+	switch {
+	case res.CatalogID != "":
+		buf = append(buf, `,"catalog":`...)
+		buf = appendCatalogResult(buf, res.Catalog)
+	case res.Type == videodist.ClusterStreamArrival:
+		buf = append(buf, `,"offer":{"Accepted":`...)
+		buf = strconv.AppendBool(buf, res.Offer.Accepted)
+		buf = append(buf, `,"Subscribers":`...)
+		buf = appendIntSlice(buf, res.Offer.Subscribers)
+		buf = append(buf, `,"Utility":`...)
+		buf = appendFloat(buf, res.Offer.Utility)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterStreamDeparture:
+		buf = append(buf, `,"depart":{"Removed":`...)
+		buf = strconv.AppendBool(buf, res.Depart.Removed)
+		buf = append(buf, `,"Subscribers":`...)
+		buf = appendIntSlice(buf, res.Depart.Subscribers)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterUserLeave, res.Type == videodist.ClusterUserJoin:
+		buf = append(buf, `,"churn":{"Changed":`...)
+		buf = strconv.AppendBool(buf, res.Churn.Changed)
+		buf = append(buf, `,"Streams":`...)
+		buf = appendIntSlice(buf, res.Churn.Streams)
+		buf = append(buf, '}')
+	case res.Type == videodist.ClusterResolve:
+		buf = append(buf, `,"resolve":{"Installed":`...)
+		buf = strconv.AppendBool(buf, res.Resolve.Installed)
+		buf = append(buf, `,"OnlineValue":`...)
+		buf = appendFloat(buf, res.Resolve.OnlineValue)
+		buf = append(buf, `,"OfflineValue":`...)
+		buf = appendFloat(buf, res.Resolve.OfflineValue)
+		buf = append(buf, '}')
+	}
+	if res.Err != nil {
+		buf = append(buf, `,"error":`...)
+		buf = appendJSONString(buf, res.Err.Error())
+	}
+	return append(buf, '}')
+}
+
 // handleBatch applies a JSON array of events as one Cluster.ApplyBatch
 // call: the whole sequence crosses the tenant's shard queue as a single
 // message, so remote callers get the same arrival coalescing the
 // RunWorkload replay path enjoys. The response is one eventResponse per
 // event, positionally.
+//
+// The codec is the batch twin of the stream endpoint's: a pooled
+// scratch carries the body, the decoded events, and the hand-encoded
+// response across requests, so a warm steady state decodes and encodes
+// a canonical batch without allocating in the handler (the stdlib
+// decoder remains the fallback for exotic-but-valid JSON). Before the
+// pooling, each batch request paid a fresh decoder, three fresh slices,
+// one heap escape per result, and a reflective marshal of the whole
+// response.
 func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 	tenant, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
 		return
 	}
-	var reqs []eventRequest
-	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+	s := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(s)
+	s.body, err = readFullBody(r.Body, s.body[:0])
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
 		return
 	}
-	events := make([]videodist.ClusterEvent, len(reqs))
-	for i, req := range reqs {
-		ev, ok := batchEventTypes[req.Type]
-		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: unknown event type %q", i, req.Type))
+	s.events, s.types = s.events[:0], s.types[:0]
+	ok, perr := fastParseBatch(s.body, s)
+	if !ok && perr == nil {
+		s.events, s.types, s.reqs = s.events[:0], s.types[:0], s.reqs[:0]
+		if err := json.Unmarshal(s.body, &s.reqs); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
 			return
 		}
-		if req.Type == "catalog-offer" || req.Type == "catalog-depart" {
-			if req.CatalogID == "" {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("batch event %d: %s needs catalog_id", i, req.Type))
-				return
+		for _, req := range s.reqs {
+			if perr = appendBatchEvent(s, req.Type, req.Stream, req.User, req.Install, req.CatalogID); perr != nil {
+				break
 			}
-			ev.CatalogID = videodist.CatalogID(req.CatalogID)
 		}
-		ev.Stream, ev.User, ev.Install = req.Stream, req.User, req.Install
-		events[i] = ev
 	}
-	results, err := c.ApplyBatch(r.Context(), tenant, events)
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, perr)
+		return
+	}
+	results, err := c.ApplyBatch(r.Context(), tenant, s.events)
 	if err != nil {
 		writeTransportError(w, err)
 		return
 	}
-	resps := make([]eventResponse, len(results))
+	out := append(s.out[:0], '[')
 	for i, res := range results {
-		resps[i] = eventResponse{Type: reqs[i].Type}
-		switch {
-		case res.CatalogID != "":
-			cat := res.Catalog
-			resps[i].Catalog = &cat
-		case res.Type == videodist.ClusterStreamArrival:
-			offer := res.Offer
-			resps[i].Offer = &offer
-		case res.Type == videodist.ClusterStreamDeparture:
-			depart := res.Depart
-			resps[i].Depart = &depart
-		case res.Type == videodist.ClusterUserLeave, res.Type == videodist.ClusterUserJoin:
-			churn := res.Churn
-			resps[i].Churn = &churn
-		case res.Type == videodist.ClusterResolve:
-			resolve := res.Resolve
-			resps[i].Resolve = &resolve
+		if i > 0 {
+			out = append(out, ',')
 		}
-		if res.Err != nil {
-			resps[i].Error = res.Err.Error()
-		}
+		out = appendBatchResponse(out, s.types[i], res)
 	}
-	writeJSON(w, http.StatusOK, resps)
+	out = append(out, ']', '\n')
+	s.out = out
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
 }
 
 // readLine returns the next newline-terminated line (newline and any
@@ -608,6 +796,15 @@ func appendJSONString(buf []byte, s string) []byte {
 	return append(buf, '"')
 }
 
+// streamWindow is the /v1/stream in-flight window. It is deliberately
+// much deeper than the StreamOptions default: under the WAL's group
+// commit the window is what amortizes the fsync — every event applied
+// while the committer's previous fsync was in flight rides the next
+// one, so the window must cover more events than one disk-sync latency
+// admits (~1.3k at measured rates) or the pipeline stalls on the disk
+// instead of the CPU. Memory cost is two pointer slots per entry.
+const streamWindow = 16384
+
 // handleStream is the serving API v4 endpoint: a persistent NDJSON
 // session over one HTTP request. The request body is read line by line
 // and pipelined onto a Cluster.OpenStream session; a writer goroutine
@@ -625,7 +822,7 @@ func appendJSONString(buf []byte, s string) []byte {
 // applies and settles on its shard worker (catalog references
 // included), so disconnects leak nothing.
 func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
-	sc, err := c.OpenStream(videodist.StreamOptions{})
+	sc, err := c.OpenStream(videodist.StreamOptions{Window: streamWindow})
 	if err != nil {
 		writeTransportError(w, err)
 		return
@@ -705,6 +902,43 @@ func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) 
 		_ = json.NewEncoder(w).Encode(streamclient.Result{Seq: -1, Error: protoErr.Error()})
 		_ = rc.Flush()
 	}
+}
+
+// reshardRequest is the wire form of POST /v1/admin/reshard.
+type reshardRequest struct {
+	Shards int `json:"shards"`
+}
+
+// reshardResponse reports the shard count the fleet actually runs
+// after the cutover (Reshard clamps to the tenant count).
+type reshardResponse struct {
+	Shards int `json:"shards"`
+}
+
+// handleReshard drives a live Cluster.Reshard: the fleet keeps serving
+// while a shadow layout replays the durability log, and the response
+// arrives only after the make-before-break cutover verified the new
+// layout's renders byte-identical to the old. 409 when the fleet has
+// no WAL (resharding replays the log, so there must be one).
+func handleReshard(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+	var req reshardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad reshard body: %w", err))
+		return
+	}
+	if req.Shards <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reshard needs a positive shard count, got %d", req.Shards))
+		return
+	}
+	if err := c.Reshard(req.Shards); err != nil {
+		if errors.Is(err, videodist.ErrNoWAL) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeTransportError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reshardResponse{Shards: c.NumShards()})
 }
 
 // handleCatalog serves the fleet catalog snapshot; 404 when the fleet

@@ -25,6 +25,7 @@ type fleetConfig struct {
 	tenants, shards, channels, gateways int
 	seed                                int64
 	costModel                           videodist.CatalogCostModel // nil = no catalog
+	walDir                              string                     // "" = no WAL
 }
 
 func defaultFleetConfig() fleetConfig {
@@ -48,6 +49,9 @@ func buildFleet(t *testing.T, cfg fleetConfig) *videodist.Cluster {
 		tenants[i] = videodist.ClusterTenant{Instance: in}
 	}
 	opts := videodist.ClusterOptions{Shards: cfg.shards, BatchSize: 4}
+	if cfg.walDir != "" {
+		opts.WAL = &videodist.WALOptions{Dir: cfg.walDir}
+	}
 	if cfg.costModel != nil {
 		opts.Catalog = &videodist.CatalogOptions{
 			Streams:   videodist.IdentityCatalogBindings(cfg.tenants, cfg.channels, channelID),
@@ -332,6 +336,99 @@ func TestHTTPBatchParity(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("bad batch %q: status %d", bad, resp.StatusCode)
 		}
+	}
+}
+
+// TestHTTPReshard drives a live shard-count change over the admin
+// endpoint: traffic before and after the cutover, with the final state
+// pinned against a fixed-layout reference fleet (the shard-count
+// invariance the cluster differential tests guarantee, observed
+// through the wire).
+func TestHTTPReshard(t *testing.T) {
+	cfg := defaultFleetConfig()
+	ref := buildFleet(t, cfg)
+	cfg.walDir = t.TempDir()
+	c := buildFleet(t, cfg)
+	ts := httptest.NewServer(NewHandler(c))
+	defer ts.Close()
+	refTS := httptest.NewServer(NewHandler(ref))
+	defer refTS.Close()
+
+	drive := func(phase int) {
+		for tn := 0; tn < cfg.tenants; tn++ {
+			for s := 0; s < cfg.channels/2; s++ {
+				ev := eventRequest{Type: "offer", Stream: (phase*cfg.channels/2 + s) % cfg.channels}
+				if s%3 == 2 {
+					ev = eventRequest{Type: "catalog-offer", CatalogID: string(channelID(s))}
+				}
+				for _, srv := range []*httptest.Server{ts, refTS} {
+					if code := postEvent(t, srv, tn, ev, nil); code != http.StatusOK {
+						t.Fatalf("phase %d tenant %d %+v: status %d", phase, tn, ev, code)
+					}
+				}
+			}
+		}
+	}
+	reshard := func(body string) (int, reshardResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/admin/reshard", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out reshardResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+
+	drive(0)
+	if code, out := reshard(`{"shards":4}`); code != http.StatusOK || out.Shards != 4 {
+		t.Fatalf("reshard to 4: status %d, %+v", code, out)
+	}
+	drive(1)
+	// Clamped: more shards than tenants runs one worker per tenant.
+	if code, out := reshard(`{"shards":64}`); code != http.StatusOK || out.Shards != cfg.tenants {
+		t.Fatalf("reshard to 64: status %d, %+v (want clamp to %d)", code, out, cfg.tenants)
+	}
+	drive(2)
+
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfs, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.RenderTenants() != rfs.RenderTenants() {
+		t.Fatalf("post-reshard tables diverge from fixed-layout reference:\n--- resharded\n%s\n--- reference\n%s",
+			fs.RenderTenants(), rfs.RenderTenants())
+	}
+	if fs.Catalog == nil || rfs.Catalog == nil || fs.Catalog.Render() != rfs.Catalog.Render() {
+		t.Fatal("post-reshard catalog diverges from fixed-layout reference")
+	}
+
+	// Error taxonomy: zero and malformed bodies are 400s; a fleet with
+	// no log to replay is a 409.
+	if code, _ := reshard(`{"shards":0}`); code != http.StatusBadRequest {
+		t.Fatalf("reshard to 0: status %d, want 400", code)
+	}
+	if code, _ := reshard(`{nope`); code != http.StatusBadRequest {
+		t.Fatalf("malformed reshard: status %d, want 400", code)
+	}
+	resp, err := http.Post(refTS.URL+"/v1/admin/reshard", "application/json",
+		strings.NewReader(`{"shards":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reshard without WAL: status %d, want 409", resp.StatusCode)
 	}
 }
 

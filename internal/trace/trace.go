@@ -1,35 +1,47 @@
-// Package trace records and replays head-end event traces as JSON Lines:
-// stream arrivals and departures, admission decisions, and user churn.
-// Traces make simulation runs auditable and let experiments replay the
-// exact same arrival sequence against different policies.
+// Package trace records and replays head-end event traces as JSON
+// Lines: stream arrivals and departures, admission decisions, and user
+// churn. Traces make simulation runs auditable and let experiments
+// replay the exact same arrival sequence against different policies.
+//
+// Since the durability subsystem landed, the wire format is not
+// trace's own: an Event is a view over internal/wal's Record — the one
+// JSON-Lines event codec in the repository — and Writer/ReadAll
+// delegate to wal.AppendRecord/wal.DecodeRecord. Existing trace files
+// parse unchanged (the field set and spellings are identical); new
+// files simply omit zero-valued fields the way the WAL does. Validate
+// keeps trace's stricter semantics: monotone timestamps and the
+// classic five-event vocabulary only.
 package trace
 
 import (
 	"bufio"
-	"encoding/json"
-	"errors"
+	"bytes"
 	"fmt"
 	"io"
+
+	"repro/internal/wal"
 )
 
 // EventType classifies a trace event.
 type EventType string
 
-// Event types emitted by the head-end scenario.
+// Event types emitted by the head-end scenario. The spellings are
+// shared with the WAL record vocabulary (wal.TypeStreamArrival etc.).
 const (
 	// EventStreamArrival marks a stream becoming available.
-	EventStreamArrival EventType = "stream_arrival"
+	EventStreamArrival EventType = wal.TypeStreamArrival
 	// EventStreamDeparture marks a stream leaving the catalog.
-	EventStreamDeparture EventType = "stream_departure"
+	EventStreamDeparture EventType = wal.TypeStreamDeparture
 	// EventDecision records an admission decision (Users empty when the
 	// stream was rejected).
-	EventDecision EventType = "decision"
+	EventDecision EventType = wal.TypeDecision
 	// EventUserJoin and EventUserLeave record gateway churn.
-	EventUserJoin  EventType = "user_join"
-	EventUserLeave EventType = "user_leave"
+	EventUserJoin  EventType = wal.TypeUserJoin
+	EventUserLeave EventType = wal.TypeUserLeave
 )
 
-// Event is one trace record.
+// Event is one trace record: the simulation-facing view of a
+// wal.Record (the shared codec's trace-plane fields).
 type Event struct {
 	// Time is the virtual time in seconds.
 	Time float64 `json:"time"`
@@ -45,21 +57,46 @@ type Event struct {
 	Note string `json:"note,omitempty"`
 }
 
-// Writer appends events as JSON Lines.
+// record converts to the shared codec.
+func (e Event) record() wal.Record {
+	return wal.Record{
+		Type:   string(e.Type),
+		Time:   e.Time,
+		Stream: e.Stream,
+		Users:  e.Users,
+		Value:  e.Value,
+		Note:   e.Note,
+	}
+}
+
+// fromRecord converts from the shared codec.
+func fromRecord(r wal.Record) Event {
+	return Event{
+		Time:   r.Time,
+		Type:   EventType(r.Type),
+		Stream: r.Stream,
+		Users:  r.Users,
+		Value:  r.Value,
+		Note:   r.Note,
+	}
+}
+
+// Writer appends events as JSON Lines (the shared WAL codec).
 type Writer struct {
 	w   *bufio.Writer
-	enc *json.Encoder
+	buf []byte
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
-	bw := bufio.NewWriter(w)
-	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+	return &Writer{w: bufio.NewWriter(w)}
 }
 
 // Append writes one event.
 func (t *Writer) Append(e Event) error {
-	if err := t.enc.Encode(e); err != nil {
+	rec := e.record()
+	t.buf = wal.AppendRecord(t.buf[:0], &rec)
+	if _, err := t.w.Write(t.buf); err != nil {
 		return fmt.Errorf("trace: append: %w", err)
 	}
 	return nil
@@ -76,17 +113,23 @@ func (t *Writer) Flush() error {
 // ReadAll parses every event from r.
 func ReadAll(r io.Reader) ([]Event, error) {
 	var out []Event
-	dec := json.NewDecoder(r)
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if errors.Is(err, io.EOF) {
-				return out, nil
-			}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, err := wal.DecodeRecord(line)
+		if err != nil {
 			return nil, fmt.Errorf("trace: read event %d: %w", len(out), err)
 		}
-		out = append(out, e)
+		out = append(out, fromRecord(rec))
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read event %d: %w", len(out), err)
+	}
+	return out, nil
 }
 
 // Validate checks monotone timestamps and known event types.

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync(2) is
+// unavailable; durability is identical, only the per-commit journal
+// cost differs.
+func datasync(f *os.File) error { return f.Sync() }
+
+// deviceFlush degrades to a full fsync per file without
+// sync_file_range(2): correct, just without the shared-round saving.
+func deviceFlush(files []*os.File) error {
+	for _, f := range files {
+		if err := datasync(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

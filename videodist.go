@@ -69,6 +69,7 @@ import (
 	"repro/internal/headend"
 	"repro/internal/mmd"
 	"repro/internal/online"
+	"repro/internal/wal"
 )
 
 // Core problem types (see internal/mmd for full documentation).
@@ -214,6 +215,59 @@ type (
 	// (per-stream reference counts, origin-cost savings).
 	CatalogSnapshot = catalog.Snapshot
 )
+
+// Durability (serving API v5): per-shard write-ahead logging,
+// checkpointed recovery, and live resharding (see internal/wal for the
+// record format and internal/cluster's wal.go for the recovery
+// contract). Enable by setting ClusterOptions.WAL; reopen a crashed
+// fleet's log with RecoverCluster; change the shard count of a live
+// WAL-backed fleet with Cluster.Reshard.
+type (
+	// WALOptions configures the durability log on ClusterOptions
+	// (directory, sync policy, checkpoint cadence).
+	WALOptions = cluster.WALOptions
+	// WALSyncPolicy selects when appended records are fsynced.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALManifest is a checkpoint: the fleet's rendered state sealed
+	// into the log as a recovery verification fence.
+	WALManifest = wal.Manifest
+	// RecoveryReport summarizes what RecoverCluster replayed, repaired,
+	// and verified.
+	RecoveryReport = cluster.RecoveryReport
+)
+
+// Sync policies for WALOptions.Sync.
+const (
+	// WALSyncNone never fsyncs on the hot path (bounded loss on crash).
+	WALSyncNone = wal.SyncNone
+	// WALSyncInterval fsyncs on a background cadence.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncBatch is group commit: every acked event is durable (the
+	// default).
+	WALSyncBatch = wal.SyncBatch
+)
+
+// ErrNoWAL reports a durability operation (Checkpoint, Reshard,
+// RecoverCluster) on a cluster built without WALOptions.
+var ErrNoWAL = cluster.ErrNoWAL
+
+// ParseWALSyncPolicy maps the mmdserve flag spelling ("none",
+// "interval", "batch", or empty for the default) to a policy.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) {
+	return wal.ParseSyncPolicy(s)
+}
+
+// RecoverCluster reopens the write-ahead log named by opts.WAL.Dir,
+// replays it into a fresh fleet built from tenants (which must
+// regenerate the same instances the crashed process served), verifies
+// the replayed state against the last checkpoint manifest, repairs
+// catalog references the crash tore, and goes live. The recovered
+// fleet is bit-identical to one that never crashed: every event whose
+// ack was delivered is replayed, per-tenant tables and catalog renders
+// match exactly.
+func RecoverCluster(tenants []ClusterTenant, opts ClusterOptions) (*Cluster, *RecoveryReport, error) {
+	return cluster.Recover(tenants, opts)
+}
 
 // Event types for ClusterEvent (the ApplyBatch element type).
 const (
