@@ -266,9 +266,9 @@ func reportRecovery(log io.Writer, rep *videodist.RecoveryReport) {
 	if rep == nil {
 		return
 	}
-	fmt.Fprintf(log, "mmdserve: recovered WAL gen %d: %d events + %d catalog ops replayed (max seq %d), checkpoint gen %d verified=%v, %d torn segments truncated, %d dangling refs released, %d reconciled\n",
+	fmt.Fprintf(log, "mmdserve: recovered WAL gen %d: %d events + %d catalog ops replayed (max seq %d), %d fences verified (newest gen %d, verified=%v), %d torn segments truncated, %d dangling refs released, %d reconciled\n",
 		rep.Gen, rep.Events, rep.CatalogOps, rep.MaxSeq,
-		rep.CheckpointGen, rep.CheckpointVerified,
+		rep.FencesVerified, rep.CheckpointGen, rep.CheckpointVerified,
 		len(rep.TruncatedSegments), rep.DanglingReleased, rep.Reconciled)
 }
 

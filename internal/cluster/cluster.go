@@ -405,16 +405,21 @@ type Cluster struct {
 
 	// Durability plane (wlog nil when Options.WAL is nil); see wal.go.
 	// walSeq is the shared global sequence counter — a pointer so a
-	// resharding shadow cluster stamps from the same sequence. walLive
-	// marks a cluster whose WAL is actively logging (false during
-	// recovery/reshard replay); it is written only while workers are
-	// quiesced. cfgs retains the tenant configs for Reshard's shadow
+	// resharding shadow cluster stamps from the same sequence. walCatApp
+	// is the catalog plane's active appender, a shared atomic pointer
+	// for the same reason: after a reshard the live workers belong to
+	// the shadow's struct, and a later checkpoint rotation on the
+	// primary must repoint them too — a per-struct field would leave
+	// the workers committing a sealed appender (a silent no-op).
+	// walLive marks a cluster whose WAL is actively logging (false
+	// during recovery/reshard replay); it is written only while workers
+	// are quiesced. cfgs retains the tenant configs for Reshard's shadow
 	// rebuild. ckptKick/ckptQuit/ckptDone drive the automatic
 	// checkpoint goroutine; ckptEvery is Options.WAL.CheckpointEvery as
 	// the worker-side modulus. reshardMu serializes Reshard calls.
 	wlog      *wal.Log
 	walSeq    *atomic.Uint64
-	walCatApp *wal.Appender
+	walCatApp *atomic.Pointer[wal.Appender]
 	walLive   bool
 	cfgs      []TenantConfig
 	ckptKick  chan struct{}
@@ -494,12 +499,13 @@ func newCluster(tenants []TenantConfig, opts Options, replay bool) (*Cluster, er
 	}
 	opts = opts.withDefaults(len(tenants))
 	c := &Cluster{
-		opts:    opts,
-		tenants: make([]*headend.Tenant, len(tenants)),
-		shardOf: make([]int, len(tenants)),
-		shards:  make([]*shard, opts.Shards),
-		cfgs:    append([]TenantConfig(nil), tenants...),
-		walSeq:  new(atomic.Uint64),
+		opts:      opts,
+		tenants:   make([]*headend.Tenant, len(tenants)),
+		shardOf:   make([]int, len(tenants)),
+		shards:    make([]*shard, opts.Shards),
+		cfgs:      append([]TenantConfig(nil), tenants...),
+		walSeq:    new(atomic.Uint64),
+		walCatApp: new(atomic.Pointer[wal.Appender]),
 	}
 	if opts.WAL != nil {
 		c.ckptEvery = uint64(max(opts.WAL.CheckpointEvery, 0))
@@ -913,7 +919,7 @@ func (c *Cluster) releaseAcks(sh *shard) {
 	if !sh.deferAcks || (len(sh.pendAcks) == 0 && len(sh.pendBatch) == 0) {
 		return
 	}
-	g := commitGroup{wal: sh.wal, cat: c.walCatApp, acks: sh.pendAcks, batches: sh.pendBatch}
+	g := commitGroup{wal: sh.wal, cat: c.walCatApp.Load(), acks: sh.pendAcks, batches: sh.pendBatch}
 	// Swap in a recycled slice, or start one with real capacity: the
 	// freelist is empty exactly when every slice is in flight behind an
 	// fsync, and growing from nil there puts the doubling copies on the

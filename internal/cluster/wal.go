@@ -97,11 +97,14 @@ type RecoveryReport struct {
 	CatalogOps int `json:"catalog_ops"`
 	// MaxSeq is the highest sequence number replayed.
 	MaxSeq uint64 `json:"max_seq"`
-	// CheckpointGen is the checkpoint generation whose manifest render
-	// the replayed state was verified against (0 when the log had no
-	// checkpoint); CheckpointVerified reports the byte-compare passed.
+	// CheckpointGen is the newest checkpoint generation whose manifest
+	// render the replayed state was verified against (0 when the log
+	// had no checkpoint); CheckpointVerified reports the byte-compare
+	// passed. Replay pauses at every fence in order and verifies each
+	// one — FencesVerified counts them.
 	CheckpointGen      int  `json:"checkpoint_gen,omitempty"`
 	CheckpointVerified bool `json:"checkpoint_verified"`
+	FencesVerified     int  `json:"fences_verified,omitempty"`
 	// TruncatedSegments lists segment files whose torn final line was
 	// truncated away (sorted).
 	TruncatedSegments []string `json:"truncated_segments,omitempty"`
@@ -149,14 +152,17 @@ func (c *Cluster) walLogOptions() wal.Options {
 // at the active generation's appenders. Called only while the workers
 // are provably idle: at construction before any traffic, and at
 // checkpoint/reshard rotation under the write lock after the barrier
-// drained — the next channel receive publishes the new pointers.
+// drained — the next channel receive publishes the new pointers. The
+// catalog appender goes through the shared atomic pointer, so the
+// rotation repoints the live workers even when they belong to the
+// other struct of a primary/shadow pair (see Cluster.walCatApp).
 func (c *Cluster) attachAppenders() error {
 	for _, sh := range c.shards {
 		sh.wal = c.wlog.Appender(wal.ShardWriter(sh.id))
 	}
 	if c.catalog != nil {
-		c.walCatApp = c.wlog.Appender(wal.CatalogWriter)
-		if err := c.catalog.SetLogger(&catalogWALLogger{c: c, app: c.walCatApp}); err != nil {
+		c.walCatApp.Store(c.wlog.Appender(wal.CatalogWriter))
+		if err := c.catalog.SetLogger(&catalogWALLogger{c: c}); err != nil {
 			return err
 		}
 	}
@@ -315,10 +321,11 @@ func settleOpFromToken(s string) (catalog.SettleOp, error) {
 
 // catalogWALLogger is the registry-plane appender: installed on the
 // registry owner goroutine, it stamps each registry operation with the
-// shared sequence counter and appends it to the "catalog" segment.
+// shared sequence counter and appends it to the "catalog" segment. It
+// loads the appender from the shared pointer per append, so a rotation
+// by either struct of a primary/shadow pair takes effect immediately.
 type catalogWALLogger struct {
-	c   *Cluster
-	app *wal.Appender
+	c *Cluster
 }
 
 func (l *catalogWALLogger) LogAcquire(tenant int, id catalog.ID, scale float64, origin bool) {
@@ -330,7 +337,7 @@ func (l *catalogWALLogger) LogAcquire(tenant int, id catalog.ID, scale float64, 
 		Scale:   scale,
 		Origin:  origin,
 	}
-	_ = l.app.Append(&rec) // latched; surfaced at commit/rotate/close
+	_ = l.c.walCatApp.Load().Append(&rec) // latched; surfaced at commit/rotate/close
 	l.c.kickCheckpoint(rec.Seq)
 }
 
@@ -345,7 +352,7 @@ func (l *catalogWALLogger) LogSettle(s catalog.Settlement) {
 		Charged: s.Charged,
 		Origin:  s.Origin,
 	}
-	_ = l.app.Append(&rec)
+	_ = l.c.walCatApp.Load().Append(&rec)
 	l.c.kickCheckpoint(rec.Seq)
 }
 
@@ -397,8 +404,9 @@ func (c *Cluster) Checkpoint(reason string) (*wal.Manifest, error) {
 // Recover rebuilds a fleet from a durability log directory: it loads
 // every segment (truncating torn final lines — the crash signature),
 // replays the event plane through the normal worker ingest path and
-// the registry plane through the owner, verifies the rebuilt state
-// against the newest checkpoint manifest's renders, repairs the torn
+// the registry plane through the owner, pauses at every checkpoint
+// fence to verify the rebuilt state against its manifest's renders
+// (so a divergence is caught at the first fence after it), repairs the torn
 // window between the two planes, and goes live on a fresh segment
 // generation opened by a "recovered" checkpoint. tenants must be the
 // same configs (same instances, same policy construction) the crashed
@@ -434,38 +442,34 @@ func Recover(tenants []TenantConfig, opts Options) (*Cluster, *RecoveryReport, e
 		c.Close()
 		return nil, nil, err
 	}
-	last := replay.LastManifest()
-	if last != nil && last.Seq > replay.MaxSeq {
-		return fail(fmt.Errorf("cluster: recover: log ends at seq %d, before checkpoint fence %d (segments missing)",
-			replay.MaxSeq, last.Seq))
-	}
+	// Replay from genesis, pausing at every checkpoint fence to
+	// byte-compare the rebuilt renders against its manifest — each
+	// fence is a verification waypoint, so corruption in any window is
+	// caught at the first fence after it, not only if it survives to
+	// the final render.
 	fence := uint64(0)
-	if last != nil && last.Seq < replay.MaxSeq {
-		// The log continues past the newest checkpoint (a crash):
-		// replay the prefix, pause at the fence, verify the renders.
-		ev, cat, err := c.feedReplay(replay.Records, 0, last.Seq)
+	for i := range replay.Manifests {
+		m := &replay.Manifests[i]
+		if m.Seq > replay.MaxSeq {
+			return fail(fmt.Errorf("cluster: recover: log ends at seq %d, before checkpoint fence %d (segments missing)",
+				replay.MaxSeq, m.Seq))
+		}
+		ev, cat, err := c.feedReplay(replay.Records, fence, m.Seq)
 		rep.Events, rep.CatalogOps = rep.Events+ev, rep.CatalogOps+cat
 		if err != nil {
 			return fail(err)
 		}
-		if err := c.verifyManifest(last); err != nil {
+		if err := c.verifyManifest(m); err != nil {
 			return fail(err)
 		}
-		rep.CheckpointGen, rep.CheckpointVerified = last.Gen, true
-		fence = last.Seq
+		rep.CheckpointGen, rep.CheckpointVerified = m.Gen, true
+		rep.FencesVerified++
+		fence = m.Seq
 	}
 	ev, cat, err := c.feedReplay(replay.Records, fence, ^uint64(0))
 	rep.Events, rep.CatalogOps = rep.Events+ev, rep.CatalogOps+cat
 	if err != nil {
 		return fail(err)
-	}
-	if last != nil && last.Seq == replay.MaxSeq {
-		// The log ends exactly at a quiesced checkpoint (a clean
-		// close): verify the full replay against it.
-		if err := c.verifyManifest(last); err != nil {
-			return fail(err)
-		}
-		rep.CheckpointGen, rep.CheckpointVerified = last.Gen, true
 	}
 
 	c.walSeq.Store(replay.MaxSeq)
@@ -589,17 +593,20 @@ func (c *Cluster) feedReplay(recs []wal.Record, from, to uint64) (events, catOps
 
 // contiguousSeqPrefix returns the highest seq S such that every
 // sequence number from the first record's up to S is present in recs
-// (which are sorted by Seq). Records past the first gap are left for a
-// later quiesced read. Historical gaps (sequence numbers lost to a
-// crash and never re-issued) end the prefix early — conservative but
-// correct: the quiesced tail read replays the remainder.
-func contiguousSeqPrefix(recs []wal.Record) uint64 {
+// (which are sorted by Seq) or permanently absent. Records past the
+// first live gap are left for a later quiesced read — writers flush
+// independently, so a missing seq above the fence may still be
+// buffered in a writer. A gap entirely at or below fence (the newest
+// checkpoint's quiesced barrier) can never be filled — every seq the
+// fence covers was already durable when it was written — so the scan
+// continues past it instead of stranding the prefix behind history.
+func contiguousSeqPrefix(recs []wal.Record, fence uint64) uint64 {
 	if len(recs) == 0 {
 		return 0
 	}
 	s := recs[0].Seq
 	for _, r := range recs[1:] {
-		if r.Seq != s+1 {
+		if r.Seq != s+1 && r.Seq-1 > fence {
 			break
 		}
 		s = r.Seq
@@ -700,8 +707,10 @@ func (c *Cluster) Reshard(newShards int) error {
 
 	// Phase 1 — bulk: replay everything logged so far into a shadow
 	// cluster with the new layout, while the old one keeps serving.
-	// The shadow shares the log, the sequence counter, and the
-	// checkpoint kick channel; it gets appenders only at cutover.
+	// The shadow shares the log, the sequence counter, the catalog
+	// appender pointer (so post-cutover rotations by either struct
+	// repoint the live workers), and the checkpoint kick channel; it
+	// gets appenders only at cutover.
 	opts := c.opts
 	opts.Shards = newShards
 	shadow, err := newCluster(c.cfgs, opts, true)
@@ -710,6 +719,7 @@ func (c *Cluster) Reshard(newShards int) error {
 	}
 	shadow.wlog = c.wlog
 	shadow.walSeq = c.walSeq
+	shadow.walCatApp = c.walCatApp
 	shadow.ckptKick = c.ckptKick
 	discard := func(err error) error {
 		for _, sh := range shadow.shards {
@@ -735,7 +745,17 @@ func (c *Cluster) Reshard(newShards int) error {
 	// buffered in another writer — feeding past the first gap and then
 	// cutting the tail at MaxSeq would lose the gap forever. Everything
 	// after the prefix is replayed by the quiesced tail read below.
-	fed := contiguousSeqPrefix(bulk.Records)
+	// Gaps at or below the newest checkpoint fence are permanent (every
+	// seq the fence covers was durable at its quiesced barrier, so a
+	// missing one can never be filled in — e.g. a torn record a prior
+	// recovery truncated whose seq was never re-issued) and must not end
+	// the prefix: stalling on one would push the whole replay into the
+	// write-locked tail phase.
+	fence := uint64(0)
+	if lm := bulk.LastManifest(); lm != nil {
+		fence = lm.Seq
+	}
+	fed := contiguousSeqPrefix(bulk.Records, fence)
 	if _, _, err := shadow.feedReplay(bulk.Records, 0, fed); err != nil {
 		return discard(err)
 	}
@@ -805,7 +825,6 @@ func (c *Cluster) Reshard(newShards int) error {
 	c.catalogLocals = shadow.catalogLocals
 	c.catalogByLocal = shadow.catalogByLocal
 	c.heldCatalog = shadow.heldCatalog
-	c.walCatApp = shadow.walCatApp
 	for _, sh := range oldShards {
 		close(sh.ch)
 	}

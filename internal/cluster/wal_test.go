@@ -673,6 +673,91 @@ func TestReshardPreservesState(t *testing.T) {
 	}
 }
 
+// TestReshardThenCheckpointCatalogDurability pins the commit-group
+// plumbing across a reshard: after the cutover the live workers belong
+// to the shadow cluster's struct, but checkpoint rotation runs on the
+// primary — the catalog-plane appender the committers fsync must be
+// the one the rotation opened (the shared pointer), not a stale
+// per-struct capture of the sealed generation's. A stale capture makes
+// Commit a silent no-op, so every catalog settlement acknowledged
+// after a post-reshard checkpoint would evaporate in a crash. So:
+// reshard, checkpoint, drive acknowledged catalog traffic, crash, and
+// require recovery to land exactly on the last quiesced state with no
+// cross-plane repair.
+func TestReshardThenCheckpointCatalogDurability(t *testing.T) {
+	const tenants, channels, gateways, seed = 4, 12, 5, 10200
+	model := catalog.SharedOrigin{ReplicationFraction: 0.25}
+	steps := catalogScheduleFor(tenants, channels, 43)
+	half := len(steps) / 2
+	dir := t.TempDir()
+	c := walCatalogFleet(t, tenants, channels, gateways, seed, 2, model,
+		&WALOptions{Dir: dir, Sync: wal.SyncBatch})
+	driveCatalogSchedule(t, c, steps[:half], 0)
+	if err := c.Reshard(4); err != nil {
+		t.Fatalf("Reshard(4): %v", err)
+	}
+	if _, err := c.Checkpoint("post-reshard"); err != nil {
+		t.Fatalf("Checkpoint after reshard: %v", err)
+	}
+	// Every event past here is acknowledged under SyncBatch, so it must
+	// be durable — on both planes — before its call returns.
+	driveCatalogSchedule(t, c, steps[half:], 1)
+	wantTen, wantCat := fleetRenders(t, c)
+	// Crash (abandon without Close).
+	rec, rep, err := Recover(walTenantConfigs(t, tenants, channels, gateways, seed),
+		walFleetOptions(tenants, channels, 3, model, &WALOptions{Dir: dir, Sync: wal.SyncBatch}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rep.DanglingReleased != 0 || rep.Reconciled != 0 {
+		t.Fatalf("acknowledged post-checkpoint traffic needed repair (a plane lost records): %+v", rep)
+	}
+	if rep.FencesVerified != 2 {
+		t.Fatalf("FencesVerified = %d, want 2 (reshard manifest + post-reshard checkpoint): %+v",
+			rep.FencesVerified, rep)
+	}
+	gotTen, gotCat := fleetRenders(t, rec)
+	if gotTen != wantTen || gotCat != wantCat {
+		t.Fatalf("state acknowledged after a post-reshard checkpoint was lost:\n--- want\n%s%s\n--- got\n%s%s",
+			wantTen, wantCat, gotTen, gotCat)
+	}
+}
+
+// TestContiguousSeqPrefix pins the resharding bulk-phase scan: a live
+// gap (possibly still buffered in a writer) ends the prefix, while a
+// gap at or below the checkpoint fence is permanent and is skipped —
+// otherwise a single historical hole would push the whole replay into
+// the write-locked cutover phase.
+func TestContiguousSeqPrefix(t *testing.T) {
+	recs := func(seqs ...uint64) []wal.Record {
+		out := make([]wal.Record, len(seqs))
+		for i, s := range seqs {
+			out[i] = wal.Record{Seq: s}
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		recs  []wal.Record
+		fence uint64
+		want  uint64
+	}{
+		{"empty", nil, 0, 0},
+		{"contiguous", recs(1, 2, 3, 4), 0, 4},
+		{"live gap ends prefix", recs(1, 2, 4, 5), 0, 2},
+		{"gap below fence skipped", recs(1, 2, 4, 5), 3, 5},
+		{"gap ending at fence skipped", recs(1, 2, 5, 6), 4, 6},
+		{"gap past fence ends prefix", recs(1, 2, 5, 6), 3, 2},
+		{"second gap above fence ends prefix", recs(1, 3, 4, 7, 8), 2, 4},
+	}
+	for _, tc := range cases {
+		if got := contiguousSeqPrefix(tc.recs, tc.fence); got != tc.want {
+			t.Errorf("%s: contiguousSeqPrefix(fence=%d) = %d, want %d", tc.name, tc.fence, got, tc.want)
+		}
+	}
+}
+
 // TestReshardConcurrentTraffic reshards while sessions are actively
 // submitting (run under -race in CI): no call may fail, and the final
 // state must match a control fleet that saw the same schedule.

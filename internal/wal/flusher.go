@@ -6,27 +6,29 @@ import (
 )
 
 // A flusher coalesces group commits across a log's writers into shared
-// device-flush rounds. Every segment of a log lives on one block
-// device, and the expensive half of fdatasync(2) — the device cache
-// FLUSH — is device-global, not per-file. So instead of each shard's
-// committer paying a full fdatasync, a committer registers its file
-// with the flusher and waits for the next round: the round leader
-// writes back every registered file's dirty pages (sync_file_range on
-// Linux), then issues one fdatasync to push the device cache. Eight
-// shards committing concurrently pay one flush, not eight.
+// flush rounds: a committer registers its file and waits for the next
+// round, whose leader starts async writeback on every registered file
+// (sync_file_range on Linux) and then fdatasyncs each one. The round's
+// saving is pipelining — every file's pages are in flight before the
+// first fdatasync blocks, so N committers pay overlapped I/O instead
+// of N serial writebacks — not a skipped sync: durability rests on the
+// per-file fdatasyncs alone. (sync_file_range carries no integrity
+// guarantee, and a single fdatasync cannot stand in for the others —
+// some filesystems, XFS notably, elide the device-cache FLUSH when the
+// file has no dirty data or log state of its own.)
 //
 // Rounds self-batch exactly like the ack groups one level up: while a
 // round is in flight, arriving commits gather into the next one, so a
 // saturated log converges on back-to-back rounds each covering every
 // writer with pending data. No timers, no tuning knob.
 //
-// Correctness: a round returns only after (1) each registered file's
-// pages are written back to the device and (2) the device cache is
-// flushed. Segment sizes are durable independently of rounds — the
-// appender syncs each preallocation chunk when it is claimed — so data
-// within the preallocated region is readable after a crash once (1)
-// and (2) hold. On platforms without sync_file_range the round
-// degrades to fdatasync per file, which is the uncoalesced behavior.
+// Correctness: a round returns only after every registered file is
+// fdatasync-durable. Segment sizes are durable independently of rounds
+// — the appender syncs each preallocation chunk when it is claimed —
+// so data within the preallocated region is readable after a crash
+// once the round's fdatasyncs hold. On platforms without
+// sync_file_range the round is fdatasync per file with no writeback
+// overlap.
 type flusher struct {
 	mu    sync.Mutex
 	files []*os.File

@@ -21,34 +21,28 @@ func datasync(f *os.File) error {
 	}
 }
 
-// deviceFlush is one coalesced flush round: write back every file's
-// dirty pages, then push the device cache once via a single fdatasync.
-// sync_file_range(2) moves data to the device without the device-cache
-// FLUSH fdatasync would issue per file; the FLUSH is device-global, so
-// the final fdatasync covers every file in the round. A filesystem
-// that rejects sync_file_range falls back to fdatasync per file.
+// deviceFlush is one coalesced flush round: start writeback on every
+// file in the round, then fdatasync each one. Durability rests
+// entirely on the per-file fdatasync calls — sync_file_range(2)
+// carries no integrity guarantee (per its man page), and a lone
+// fdatasync of one already-written-back file may legally elide the
+// device-cache FLUSH on filesystems that gate it on dirty data or log
+// state (XFS, notably), so it cannot stand in for the others. The
+// async SYNC_FILE_RANGE_WRITE pass is purely a pipelining hint: it
+// puts every file's pages in flight before the first fdatasync blocks,
+// so the round pays overlapped I/O instead of serial writebacks; any
+// failure there just loses the overlap.
 func deviceFlush(files []*os.File) error {
-	const wbFlags = 0x1 | 0x2 | 0x4 // WAIT_BEFORE | WRITE | WAIT_AFTER
+	const wbAsync = 0x2 // SYNC_FILE_RANGE_WRITE: start writeback, don't wait
 	for _, f := range files {
 		for {
-			err := syscall.SyncFileRange(int(f.Fd()), 0, 0, wbFlags)
-			if err == syscall.EINTR {
-				continue
+			err := syscall.SyncFileRange(int(f.Fd()), 0, 0, wbAsync)
+			if err != syscall.EINTR {
+				break
 			}
-			if err == syscall.EOPNOTSUPP || err == syscall.ENOSYS {
-				// No range writeback here: fdatasync everything.
-				return flushEach(files)
-			}
-			if err != nil {
-				return err
-			}
-			break
 		}
 	}
-	if len(files) == 0 {
-		return nil
-	}
-	return datasync(files[0])
+	return flushEach(files)
 }
 
 func flushEach(files []*os.File) error {

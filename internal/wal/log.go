@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -185,9 +186,20 @@ func (l *Log) scan() ([]segFile, []manFile, error) {
 	return segs, mans, nil
 }
 
+// parseGen parses a segment/manifest generation token: digits only,
+// fully consumed, positive. (A scanf width would silently truncate a
+// 7-digit generation to its first 6, colliding with an earlier one.)
 func parseGen(s string) (int, error) {
-	var g int
-	if _, err := fmt.Sscanf(s, "%06d", &g); err != nil || g <= 0 {
+	if s == "" {
+		return 0, fmt.Errorf("wal: bad generation %q", s)
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("wal: bad generation %q", s)
+		}
+	}
+	g, err := strconv.Atoi(s)
+	if err != nil || g <= 0 {
 		return 0, fmt.Errorf("wal: bad generation %q", s)
 	}
 	return g, nil

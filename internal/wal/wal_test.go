@@ -423,3 +423,27 @@ func FuzzWALReplay(f *testing.F) {
 		}
 	})
 }
+
+// TestParseGen pins full-consumption parsing: a 7-digit generation
+// must parse whole (a scanf-style 6-digit width would silently
+// truncate 1000000 to 100000, colliding with an earlier generation),
+// and any non-digit or non-positive token fails loudly.
+func TestParseGen(t *testing.T) {
+	good := map[string]int{
+		"000001":  1,
+		"000042":  42,
+		"999999":  999999,
+		"1000000": 1000000,
+	}
+	for s, want := range good {
+		got, err := parseGen(s)
+		if err != nil || got != want {
+			t.Errorf("parseGen(%q) = %d, %v; want %d, nil", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "000000", "-00001", "+00001", "00001x", "1e3", " 1", "0000010x"} {
+		if g, err := parseGen(s); err == nil {
+			t.Errorf("parseGen(%q) = %d, want error", s, g)
+		}
+	}
+}
