@@ -11,6 +11,7 @@
 //	         [-depart-every 3] [-churn-every 0] [-resolve-every 0]
 //	         [-cost-model isolated|shared|off] [-share-fraction 0.25]
 //	         [-wal-dir dir] [-wal-sync none|interval|batch] [-checkpoint-every n]
+//	         [-shed-p99 dur] [-shed-retry-after dur] [-stream-write-timeout dur]
 //	         [-http addr | -stream url [-via stream|batch|single]]
 //
 // Without -http or -stream the deterministic report (fleet summary,
@@ -43,6 +44,14 @@
 // recovered fleet is bit-identical to one that never crashed. The
 // shard count on restart is free — recovery replays into whatever
 // -shards says, and /v1/admin/reshard changes it live.
+//
+// Serving is resilient by default (see internal/httpserve): /v1/stream
+// connections may claim a resumable session (X-Stream-Session) whose
+// seq watermark — recovered from the WAL across restarts — keeps
+// client replays exactly-once; -stream-write-timeout disconnects
+// consumers that stop reading instead of pinning handler goroutines;
+// and -shed-p99 turns saturation into fast 503 + Retry-After responses
+// instead of unbounded queueing.
 //
 // With -stream it is the load client instead: the synthetic workload
 // schedule the local mode's RunWorkload phase would submit (arrivals,
@@ -93,6 +102,9 @@ func main() {
 	flag.StringVar(&cfg.walDir, "wal-dir", "", "write-ahead log directory; reopening a directory that already holds a log recovers the fleet from it (empty = no durability)")
 	flag.StringVar(&cfg.walSync, "wal-sync", "batch", "WAL sync policy: none, interval, or batch (group commit; every acked event durable)")
 	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "log records between automatic checkpoints (0 = checkpoint only on clean close)")
+	flag.DurationVar(&cfg.shedP99, "shed-p99", 0, "overload threshold: shed load (fast 503 + Retry-After) while the rolling ack p99 is above this (0 = never shed)")
+	flag.DurationVar(&cfg.shedRetryAfter, "shed-retry-after", time.Second, "Retry-After hint sent while shedding, and the cool-off before probing again")
+	flag.DurationVar(&cfg.streamWriteTimeout, "stream-write-timeout", time.Minute, "per-write deadline on /v1/stream responses; a consumer stalled past it is disconnected (0 = wait forever)")
 	flag.StringVar(&httpAddr, "http", "", "serve the fleet over HTTP on this address instead of running the synthetic workload")
 	flag.StringVar(&streamURL, "stream", "", "drive the synthetic workload against a remote mmdserve -http fleet at this base URL")
 	flag.StringVar(&via, "via", "stream", "remote submission path for -stream: stream, batch, or single")
@@ -126,6 +138,8 @@ type config struct {
 	shareFraction                         float64
 	walDir, walSync                       string
 	checkpointEvery                       int
+	shedP99, shedRetryAfter               time.Duration
+	streamWriteTimeout                    time.Duration
 }
 
 // catalogOptions builds the fleet catalog config: every channel index s
@@ -255,9 +269,19 @@ func serve(cfg config, addr string, log io.Writer) error {
 	}
 	defer c.Close()
 	reportRecovery(log, rep)
+	opts := httpserve.Options{
+		ShedP99:            cfg.shedP99,
+		RetryAfter:         cfg.shedRetryAfter,
+		StreamWriteTimeout: cfg.streamWriteTimeout,
+	}
+	if rep != nil {
+		// Recovered fleets carry their resume watermarks forward, so a
+		// client replaying into the restarted server stays exactly-once.
+		opts.Sessions = rep.SessionWatermarks
+	}
 	fmt.Fprintf(log, "mmdserve: %d tenants on %d shards, policy=%s, listening on %s\n",
 		c.NumTenants(), c.NumShards(), cfg.policy, addr)
-	return http.ListenAndServe(addr, httpserve.NewHandler(c))
+	return http.ListenAndServe(addr, httpserve.NewHandlerOpts(c, opts))
 }
 
 // reportRecovery summarizes a WAL recovery on the timing stream (rep

@@ -1,0 +1,37 @@
+// Package chaos is the deterministic fault-injection layer: seeded,
+// scripted faults threaded through the serving stack's existing seams
+// so robustness tests replay the exact same failure schedule every
+// run, under -race, with no sleeps-and-hope.
+//
+// Three seams, one per layer:
+//
+//   - Network: ConnScript faults on a net.Conn (scripted disconnects,
+//     read/write stalls, partial writes followed by a cut). WrapListener
+//     injects them under an httpserve test server; Dialer injects them
+//     under a streamclient.
+//   - Disk: FileFault faults behind the internal/wal FS seam (latched
+//     fsync errors on the Nth sync, short writes, torn tails at chosen
+//     byte offsets) so crash-edge tests stop hand-crafting corrupt
+//     segment files.
+//   - Cluster: PlanStorm / PlanConnScripts derive seeded storm
+//     schedules (queue-full bursts, stalled consumers, disconnect
+//     storms) that experiment E15 drives against a live fleet. The
+//     schedules live here so every consumer replays the same storm;
+//     the driving stays in the caller — chaos never imports
+//     internal/cluster.
+//
+// Every fault is triggered by an operation count, never by wall-clock
+// time, so a schedule is a pure function of its seed. Injected errors
+// wrap ErrInjected so tests can tell scripted faults from real ones.
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// ErrInjected is the root of every scripted fault's error chain.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// rng returns the deterministic source all seeded plans draw from.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

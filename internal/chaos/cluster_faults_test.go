@@ -1,0 +1,195 @@
+// Cluster-level fault drills live in an external test package: chaos
+// itself must stay importable from wal and cluster test code, so it
+// never imports them — but its faults are only meaningful threaded
+// under a real fleet, which is what these tests do.
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/generator"
+	"repro/internal/wal"
+)
+
+func faultFleet(t *testing.T, shards int, fs wal.FS) (*cluster.Cluster, string) {
+	t.Helper()
+	const tenants, channels = 4, 8
+	cfgs := make([]cluster.TenantConfig, tenants)
+	for i := range cfgs {
+		in, err := generator.CableTV{Channels: channels, Gateways: 3, Seed: 900 + int64(i), EgressFraction: 0.25}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = cluster.TenantConfig{Instance: in}
+	}
+	dir := t.TempDir()
+	c, err := cluster.New(cfgs, cluster.Options{
+		Shards: shards, BatchSize: 4,
+		Catalog: &cluster.CatalogOptions{
+			Streams: catalog.IdentityBindings(tenants, channels, func(s int) catalog.ID {
+				return catalog.ID(fmt.Sprintf("ch-%03d", s))
+			}),
+			CostModel: catalog.Isolated{},
+		},
+		WAL: &cluster.WALOptions{Dir: dir, Sync: wal.SyncBatch, FS: fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, dir
+}
+
+// TestLatchedFsyncFailsFast pins the appender's latched-error contract
+// end to end: after one injected fsync failure under group commit, the
+// in-flight submission is refused with ErrNotDurable (no ack rides past
+// a failed sync), every subsequent submission fails fast, and recovery
+// from the abandoned log renders bit-identical to a control fleet that
+// applied only what the doomed fleet acked — give or take the one
+// in-flight event whose bytes reached the file before its sync lied.
+func TestLatchedFsyncFailsFast(t *testing.T) {
+	// FailSyncAt counts from file open, and the open-time preallocation
+	// syncs once — so 8 means the 7th commit-path sync fails.
+	const failAt = 8
+	doomed, dir := faultFleet(t, 1,
+		chaos.NewFS(nil, chaos.FileFault{Match: "-s0.", FailSyncAt: failAt}))
+
+	ctx := context.Background()
+	acked := 0
+	var firstErr error
+	for i := 0; i < 256; i++ {
+		_, err := doomed.OfferStream(ctx, i%4, i%8)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		acked++
+	}
+	if firstErr == nil {
+		t.Fatalf("fsync fault never fired over 256 events")
+	}
+	if !errors.Is(firstErr, cluster.ErrNotDurable) {
+		t.Fatalf("first failure = %v, want ErrNotDurable", firstErr)
+	}
+
+	// Fail fast: the latch must refuse everything after the first
+	// failure — an ack here would be a durability lie.
+	for i := 0; i < 8; i++ {
+		if _, err := doomed.OfferStream(ctx, i%4, i%8); err == nil {
+			t.Fatalf("submission %d after latched fsync error was acked", i)
+		} else if !errors.Is(err, cluster.ErrNotDurable) {
+			t.Fatalf("post-latch failure = %v, want ErrNotDurable", err)
+		}
+	}
+	// Abandoned: the latched fleet has no clean shutdown story.
+
+	// Control applies exactly the acked prefix on a clean fleet.
+	control, _ := faultFleet(t, 2, nil)
+	for i := 0; i < acked; i++ {
+		if _, err := control.OfferStream(ctx, i%4, i%8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantK := renderAll(t, control)
+	if _, err := control.OfferStream(ctx, acked%4, acked%8); err != nil {
+		t.Fatal(err)
+	}
+	wantK1 := renderAll(t, control)
+	if err := control.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, rep, err := cluster.Recover(tenantsLike(t), cluster.Options{
+		Shards: 2, BatchSize: 4,
+		Catalog: &cluster.CatalogOptions{
+			Streams: catalog.IdentityBindings(4, 8, func(s int) catalog.ID {
+				return catalog.ID(fmt.Sprintf("ch-%03d", s))
+			}),
+			CostModel: catalog.Isolated{},
+		},
+		WAL: &cluster.WALOptions{Dir: dir, Sync: wal.SyncBatch}, // clean FS: recovery must not re-fault
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if rep.Events < acked {
+		t.Fatalf("recovery replayed %d events, acked %d — an acked event is missing", rep.Events, acked)
+	}
+	got := renderAll(t, recovered)
+	if got != wantK && got != wantK1 {
+		t.Fatalf("recovered state matches neither the acked prefix nor prefix+1:\n%s", got)
+	}
+}
+
+func tenantsLike(t *testing.T) []cluster.TenantConfig {
+	t.Helper()
+	cfgs := make([]cluster.TenantConfig, 4)
+	for i := range cfgs {
+		in, err := generator.CableTV{Channels: 8, Gateways: 3, Seed: 900 + int64(i), EgressFraction: 0.25}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = cluster.TenantConfig{Instance: in}
+	}
+	return cfgs
+}
+
+func renderAll(t *testing.T, c *cluster.Cluster) string {
+	t.Helper()
+	fs, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fs.RenderTenants()
+	if fs.Catalog != nil {
+		out += fs.Catalog.Render()
+	}
+	return out
+}
+
+// TestTornTailTruncatedOnRecovery drives a chaos torn-tail through the
+// full cluster recovery path (the wal-level test covers the reader; this
+// pins that a fleet still comes back from a torn final record). The
+// fault models lying hardware: every ack succeeds, but no byte past the
+// tear offset reaches the platter.
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	doomed, dir := faultFleet(t, 1,
+		chaos.NewFS(nil, chaos.FileFault{Match: "-s0.", TornTailAt: 1501}))
+	ctx := context.Background()
+	for i := 0; i < 32; i++ {
+		if _, err := doomed.OfferStream(ctx, i%4, i%8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon mid-flight: the swallowed tail models the crash.
+
+	recovered, rep, err := cluster.Recover(tenantsLike(t), cluster.Options{
+		Shards: 4, BatchSize: 4,
+		Catalog: &cluster.CatalogOptions{
+			Streams: catalog.IdentityBindings(4, 8, func(s int) catalog.ID {
+				return catalog.ID(fmt.Sprintf("ch-%03d", s))
+			}),
+			CostModel: catalog.Isolated{},
+		},
+		WAL: &cluster.WALOptions{Dir: dir, Sync: wal.SyncBatch},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if len(rep.TruncatedSegments) == 0 {
+		t.Fatalf("torn tail was not detected: %+v", rep)
+	}
+	if rep.Events == 0 {
+		t.Fatalf("recovery lost the whole log to one torn record")
+	}
+	if rep.Events >= 32 {
+		t.Fatalf("replayed %d events past a tail torn at byte 1501 — the tear swallowed nothing", rep.Events)
+	}
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnScript scripts deterministic faults onto one connection. All
+// triggers are operation counts (1-based; 0 disables), so a script's
+// behavior depends only on the traffic pattern, never on timing.
+type ConnScript struct {
+	// CutAfterWrites cuts the connection once that many Write calls
+	// have completed. The cut is abortive where the transport allows
+	// (TCP RST via SO_LINGER 0), so the peer sees a reset promptly
+	// instead of a half-open connection.
+	CutAfterWrites int
+	// CutAfterReads cuts the connection once that many Read calls have
+	// completed.
+	CutAfterReads int
+	// PartialWriteAt makes the Nth Write a torn frame: half the bytes
+	// reach the wire, then the connection is cut and the write returns
+	// an error wrapping ErrInjected. (A partial write that "succeeds"
+	// would violate the io.Writer contract; a torn-then-dead frame is
+	// what a mid-write crash actually looks like to the peer.)
+	PartialWriteAt int
+	// StallEvery sleeps Stall before every Nth Write and Read — a
+	// scripted latency spike / stalled peer. The stall is the only
+	// time-based fault, and it only delays; it never reorders.
+	StallEvery int
+	// Stall is the StallEvery delay (default 10ms when StallEvery > 0).
+	Stall time.Duration
+}
+
+// zero reports whether the script injects nothing.
+func (s ConnScript) zero() bool {
+	return s.CutAfterWrites == 0 && s.CutAfterReads == 0 && s.PartialWriteAt == 0 && s.StallEvery == 0
+}
+
+// WrapConn applies a script to a connection. A zero script returns the
+// connection unwrapped.
+func WrapConn(c net.Conn, s ConnScript) net.Conn {
+	if s.zero() {
+		return c
+	}
+	if s.StallEvery > 0 && s.Stall <= 0 {
+		s.Stall = 10 * time.Millisecond
+	}
+	return &faultConn{Conn: c, script: s}
+}
+
+// faultConn is a net.Conn with a ConnScript applied. Counters are
+// locked: net/http reads and writes a connection from different
+// goroutines.
+type faultConn struct {
+	net.Conn
+	script ConnScript
+
+	mu     sync.Mutex
+	writes int
+	reads  int
+	cut    bool
+}
+
+// abort cuts the connection abortively: RST on TCP (so the peer's next
+// read fails fast with a reset, not a timeout), plain Close elsewhere.
+func (c *faultConn) abort() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Conn.Close()
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("chaos: connection cut: %w", ErrInjected)
+	}
+	c.reads++
+	n := c.reads
+	stall := c.script.StallEvery > 0 && n%c.script.StallEvery == 0
+	c.mu.Unlock()
+	if stall {
+		time.Sleep(c.script.Stall)
+	}
+	rn, err := c.Conn.Read(p)
+	if c.script.CutAfterReads > 0 && n >= c.script.CutAfterReads {
+		c.mu.Lock()
+		if !c.cut {
+			c.cut = true
+			c.mu.Unlock()
+			c.abort()
+		} else {
+			c.mu.Unlock()
+		}
+	}
+	return rn, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("chaos: connection cut: %w", ErrInjected)
+	}
+	c.writes++
+	n := c.writes
+	stall := c.script.StallEvery > 0 && n%c.script.StallEvery == 0
+	partial := c.script.PartialWriteAt > 0 && n == c.script.PartialWriteAt
+	cutAfter := c.script.CutAfterWrites > 0 && n >= c.script.CutAfterWrites
+	if partial || cutAfter {
+		c.cut = true
+	}
+	c.mu.Unlock()
+	if stall {
+		time.Sleep(c.script.Stall)
+	}
+	if partial {
+		half := p[:len(p)/2]
+		if len(half) > 0 {
+			_, _ = c.Conn.Write(half)
+		}
+		c.abort()
+		return len(half), fmt.Errorf("chaos: torn write after %d bytes: %w", len(half), ErrInjected)
+	}
+	wn, err := c.Conn.Write(p)
+	if cutAfter {
+		c.abort()
+	}
+	return wn, err
+}
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	c.cut = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// WrapListener scripts every accepted connection: the i-th accept
+// (0-based) gets plan(i). A nil plan or zero script passes the
+// connection through untouched.
+func WrapListener(ln net.Listener, plan func(i int) ConnScript) net.Listener {
+	return &faultListener{Listener: ln, plan: plan}
+}
+
+type faultListener struct {
+	net.Listener
+	plan func(i int) ConnScript
+
+	mu sync.Mutex
+	n  int
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	if l.plan == nil {
+		return c, nil
+	}
+	return WrapConn(c, l.plan(i)), nil
+}
+
+// Dialer wraps a dial function so the i-th dialed connection (0-based)
+// gets plan(i) — the client-side twin of WrapListener, shaped to drop
+// into streamclient.DialOptions.Dial. A nil next uses net.Dial.
+func Dialer(plan func(i int) ConnScript, next func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
+	if next == nil {
+		next = net.Dial
+	}
+	var mu sync.Mutex
+	n := 0
+	return func(network, addr string) (net.Conn, error) {
+		c, err := next(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		i := n
+		n++
+		mu.Unlock()
+		if plan == nil {
+			return c, nil
+		}
+		return WrapConn(c, plan(i)), nil
+	}
+}

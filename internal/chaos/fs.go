@@ -1,0 +1,146 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// FileFault scripts disk faults onto the segment files a wal.Log opens
+// through FS. Triggers are operation counts or byte offsets (1-based;
+// 0 disables), so a fault schedule is deterministic for a given append
+// pattern. The first fault whose Match hits a segment path is applied
+// to that file; each opened file runs its own counters.
+type FileFault struct {
+	// Match selects files by path substring (e.g. a writer name like
+	// "s0", or "catalog"). Empty matches every segment.
+	Match string
+	// FailSyncAt fails the Nth sync (Datasync or Sync) on the file
+	// with an error wrapping ErrInjected, and latches: every later
+	// sync fails too. This is the disk that "went read-only" — the
+	// appender must latch its own error and never ack past it. The
+	// count includes the preallocation sync the appender pays at
+	// segment open, so FailSyncAt: 1 fails the open itself and
+	// FailSyncAt: 2 fails the first group commit.
+	FailSyncAt int
+	// TornTailAt tears the append stream at a byte offset: the write
+	// that crosses it persists only the bytes up to the offset, and
+	// every byte after — that write's remainder and all later writes —
+	// is silently dropped while still reporting success. Abandoning
+	// the log then models a crash whose tail never reached the platter:
+	// recovery must classify the torn line and truncate it. (Syncs
+	// keep "succeeding": this fault models lying hardware, so tests
+	// using it assert recovery behavior, not ack durability.)
+	// Preallocation zero-fills go through WriteAt and are never torn.
+	TornTailAt int64
+	// ShortWriteAt makes the Nth Write persist only its first half and
+	// return an error wrapping ErrInjected — a kernel-level short
+	// write. The appender latches; recovery sees a torn tail.
+	ShortWriteAt int
+}
+
+// NewFS wraps inner (nil = the real filesystem) so segment files it
+// opens carry the scripted faults. Directory scans, manifests, and
+// recovery reads are untouched — faults live on the append path only.
+func NewFS(inner wal.FS, faults ...FileFault) wal.FS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &faultFS{inner: inner, faults: faults}
+}
+
+type faultFS struct {
+	inner  wal.FS
+	faults []FileFault
+}
+
+func (fs *faultFS) OpenSegment(path string) (wal.File, error) {
+	f, err := fs.inner.OpenSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, fault := range fs.faults {
+		if strings.Contains(path, fault.Match) {
+			return &file{File: f, fault: fault}, nil
+		}
+	}
+	return f, nil
+}
+
+// file applies one FileFault to one opened segment. The mutex mirrors
+// the appender's usage (commit goroutines sync while the worker
+// appends) — counters must not race.
+type file struct {
+	wal.File
+	fault FileFault
+
+	mu       sync.Mutex
+	writes   int
+	syncs    int
+	appended int64 // data bytes offered to Write so far
+	torn     bool  // TornTailAt crossed: swallow every later write
+	syncErr  error // latched FailSyncAt error
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	short := f.fault.ShortWriteAt > 0 && f.writes == f.fault.ShortWriteAt
+	keep := int64(len(p))
+	if short {
+		keep = int64(len(p) / 2)
+	}
+	// The tear dominates every other fault: bytes past TornTailAt never
+	// reach the platter, even the surviving half of a short write —
+	// otherwise the file would grow real data beyond a swallowed tail,
+	// a mid-log hole no crash can produce.
+	if f.fault.TornTailAt > 0 {
+		if f.torn {
+			keep = 0
+		} else if f.appended+keep > f.fault.TornTailAt {
+			keep = f.fault.TornTailAt - f.appended
+			f.torn = true
+		}
+	}
+	f.appended += int64(len(p))
+	f.mu.Unlock()
+	if keep > 0 {
+		if _, err := f.File.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+	}
+	if short {
+		return int(keep), fmt.Errorf("chaos: short write (%d of %d bytes): %w", keep, len(p), ErrInjected)
+	}
+	return len(p), nil // anything past keep is swallowed: reported durable, never written
+}
+
+func (f *file) syncFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	f.syncs++
+	if f.fault.FailSyncAt > 0 && f.syncs >= f.fault.FailSyncAt {
+		f.syncErr = fmt.Errorf("chaos: fsync fault (sync %d): %w", f.syncs, ErrInjected)
+		return f.syncErr
+	}
+	return nil
+}
+
+func (f *file) Datasync() error {
+	if err := f.syncFault(); err != nil {
+		return err
+	}
+	return f.File.Datasync()
+}
+
+func (f *file) Sync() error {
+	if err := f.syncFault(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,67 @@
+package chaos
+
+import "time"
+
+// Burst is one step of a cluster-layer storm schedule: a pulse of
+// concurrent submitters pushed at a deliberately undersized shard
+// queue, optionally with the streaming consumer stalled so the
+// in-flight window fills too. The driver (experiment E15) owns what a
+// "submitter" is; chaos owns the numbers, so every run of a seed
+// replays the same storm.
+type Burst struct {
+	// Submitters is how many goroutines submit concurrently.
+	Submitters int
+	// EventsPer is how many events each submitter pushes.
+	EventsPer int
+	// StallConsumer stalls the stream consumer for the burst's
+	// duration: nothing is Recv'd until every submit has returned, so
+	// the in-flight window — not just the shard queue — takes the
+	// pressure.
+	StallConsumer bool
+}
+
+// PlanStorm derives a seeded schedule of n bursts. Submitter counts,
+// burst sizes, and stall flags are drawn deterministically from the
+// seed.
+func PlanStorm(seed int64, n int) []Burst {
+	r := rng(seed)
+	out := make([]Burst, n)
+	for i := range out {
+		out[i] = Burst{
+			Submitters:    2 + r.Intn(4),  // 2..5
+			EventsPer:     8 + r.Intn(25), // 8..32
+			StallConsumer: r.Intn(3) == 0, // one burst in three
+		}
+	}
+	return out
+}
+
+// PlanConnScripts derives n per-connection fault scripts for a
+// disconnect storm: most connections are cut after a seeded number of
+// reads or writes, some get latency spikes, and every few survive
+// untouched so the storm always makes forward progress. Script i
+// applies to the i-th connection a WrapListener or Dialer hands out.
+func PlanConnScripts(seed int64, n int) []ConnScript {
+	r := rng(seed)
+	out := make([]ConnScript, n)
+	for i := range out {
+		if i%4 == 3 {
+			continue // every fourth connection survives
+		}
+		s := ConnScript{}
+		switch r.Intn(3) {
+		case 0:
+			s.CutAfterWrites = 2 + r.Intn(12)
+		case 1:
+			s.CutAfterReads = 1 + r.Intn(8)
+		case 2:
+			s.PartialWriteAt = 1 + r.Intn(6)
+		}
+		if r.Intn(4) == 0 {
+			s.StallEvery = 2 + r.Intn(4)
+			s.Stall = time.Duration(1+r.Intn(5)) * time.Millisecond
+		}
+		out[i] = s
+	}
+	return out
+}

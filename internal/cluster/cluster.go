@@ -157,6 +157,16 @@ type Event struct {
 	// settlement that balances it must say so. Set only by the acquire
 	// paths inside this package (never caller-visible).
 	originPayer bool
+	// Session and SessionSeq tie the event to a resumable ingestion
+	// session: the client-chosen session id and the client-assigned
+	// per-session sequence number (1-based; 0 = not session-tracked).
+	// They never affect how the event applies — they are stamped into
+	// the WAL record so recovery can rebuild each session's dedup
+	// watermark (RecoveryReport.SessionWatermarks) and a resuming
+	// client's replayed events are applied at most once. Set by the
+	// serving layer's stream handler.
+	Session    string
+	SessionSeq uint64
 }
 
 // scale returns the arrival's effective server-cost scale.
@@ -971,26 +981,50 @@ func (c *Cluster) committer(sh *shard) {
 		// only change the pointers across a drain barrier, so a window
 		// almost always holds exactly one of each).
 		var prevWAL, prevCat *wal.Appender
+		var windowErr error
 		for _, g := range window {
 			if g.wal != nil && g.wal != prevWAL {
 				prevWAL = g.wal
 				if err := g.wal.Commit(); err != nil {
 					c.latchCommitErr(sh, err)
+					if windowErr == nil {
+						windowErr = err
+					}
 				}
 			}
 			if g.cat != nil && g.cat != prevCat {
 				prevCat = g.cat
 				if err := g.cat.Commit(); err != nil {
 					c.latchCommitErr(sh, err)
+					if windowErr == nil {
+						windowErr = err
+					}
 				}
 			}
 		}
+		// Acks are truthful: a window whose commit failed delivers
+		// ErrNotDurable to every caller instead of a success the disk
+		// never backed. The appender error is latched, so every later
+		// window fails the same way until the cluster is torn down and
+		// recovered.
+		var notDurable error
+		if windowErr != nil {
+			notDurable = fmt.Errorf("%w: %v", ErrNotDurable, windowErr)
+		}
 		for _, g := range window {
 			for i := range g.acks {
+				if notDurable != nil {
+					g.acks[i].res.err = notDurable
+				}
 				g.acks[i].ch <- g.acks[i].res
 				g.acks[i] = pendAck{}
 			}
 			for i := range g.batches {
+				if notDurable != nil {
+					for j := range g.batches[i].res {
+						g.batches[i].res[j].Err = notDurable
+					}
+				}
 				g.batches[i].ch <- g.batches[i].res
 				g.batches[i] = pendBatchAck{}
 			}

@@ -33,6 +33,15 @@ var (
 	// or waiting for a result. It wraps ctx.Err(), so errors.Is also
 	// matches context.Canceled / context.DeadlineExceeded.
 	ErrCanceled = errors.New("cluster: canceled")
+	// ErrNotDurable reports that an event was applied but its group
+	// commit failed: the log record backing the result never reached
+	// the disk, so the acknowledgement would have been a lie. Under
+	// SyncBatch every result in the failed group (and every later one
+	// — the appender error is latched) carries this error; after a
+	// restart, recovery resumes from the last durable watermark and
+	// the event may or may not survive. Callers treat it like a crash:
+	// re-submit after recovery and let seq-level dedup sort it out.
+	ErrNotDurable = errors.New("cluster: event not durable")
 )
 
 // Backpressure selects what happens when a shard queue is full.

@@ -83,6 +83,11 @@ type WALOptions struct {
 	// every N logged records (0 disables automatic checkpoints;
 	// explicit Checkpoint calls always work).
 	CheckpointEvery int
+	// FS opens segment files. Nil means the real filesystem; chaos
+	// tests inject fault-scripted filesystems (internal/chaos) to
+	// exercise latched fsync errors and torn tails without
+	// hand-crafting corrupt segments.
+	FS wal.FS
 }
 
 // ErrNoWAL reports a durability operation (Checkpoint, Reshard,
@@ -117,6 +122,13 @@ type RecoveryReport struct {
 	// Gen is the active segment generation after recovery (the
 	// "recovered" checkpoint opens it).
 	Gen int `json:"gen"`
+	// SessionWatermarks maps each resumable ingestion session id found
+	// in the log to its highest replayed client sequence number (see
+	// Event.Session). The serving layer seeds its dedup table from
+	// this map, so a client resuming across a server crash replays its
+	// unacked events and every one the log already holds is applied at
+	// most once.
+	SessionWatermarks map[string]uint64 `json:"session_watermarks,omitempty"`
 }
 
 // walStart opens a fresh durability log for a newly built cluster
@@ -145,7 +157,7 @@ func (c *Cluster) walStart() error {
 
 func (c *Cluster) walLogOptions() wal.Options {
 	w := c.opts.WAL
-	return wal.Options{Dir: w.Dir, Sync: w.Sync, SyncInterval: w.SyncInterval}
+	return wal.Options{Dir: w.Dir, Sync: w.Sync, SyncInterval: w.SyncInterval, FS: w.FS}
 }
 
 // attachAppenders points every shard worker (and the registry logger)
@@ -193,6 +205,8 @@ func (c *Cluster) logEvent(sh *shard, ev *Event) {
 		Catalog: string(ev.CatalogID),
 		Scale:   ev.CostScale,
 		Origin:  ev.originPayer,
+		Sess:    ev.Session,
+		CSeq:    ev.SessionSeq,
 	}
 	if err := sh.wal.Append(&rec); err != nil && sh.err == nil {
 		sh.err = err
@@ -437,6 +451,17 @@ func Recover(tenants []TenantConfig, opts Options) (*Cluster, *RecoveryReport, e
 		rep.TruncatedSegments = append(rep.TruncatedSegments, f)
 	}
 	sort.Strings(rep.TruncatedSegments)
+	for i := range replay.Records {
+		r := &replay.Records[i]
+		if r.Sess != "" && r.CSeq > 0 {
+			if rep.SessionWatermarks == nil {
+				rep.SessionWatermarks = make(map[string]uint64)
+			}
+			if r.CSeq > rep.SessionWatermarks[r.Sess] {
+				rep.SessionWatermarks[r.Sess] = r.CSeq
+			}
+		}
+	}
 
 	fail := func(err error) (*Cluster, *RecoveryReport, error) {
 		c.Close()

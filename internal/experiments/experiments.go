@@ -22,6 +22,7 @@
 //	E12 fleet scale: sharded multi-tenant cluster, shard-count invariance
 //	E13 fleet catalog: shared-origin pricing vs isolated tenants
 //	E14 durability: crash recovery from the per-shard WAL, layout-free
+//	E15 chaos: seeded fault drills — disconnects, fsync faults, flash crowds
 //	A1  ablation: paper-faithful lift vs greedy-merging lift
 //	A2  ablation: raw greedy vs fixed greedy on the blocking family
 //	A3  ablation: online allocator sensitivity to mu
@@ -110,6 +111,7 @@ func All() ([]*Table, error) {
 		{"E12", func() (*Table, error) { return E12Cluster(DefaultE12()) }},
 		{"E13", func() (*Table, error) { return E13SharedCatalog(DefaultE13()) }},
 		{"E14", func() (*Table, error) { return E14CrashRecovery(DefaultE14()) }},
+		{"E15", func() (*Table, error) { return E15ChaosDrills(DefaultE15()) }},
 		{"A1", func() (*Table, error) { return A1LiftAblation(DefaultA1()) }},
 		{"A2", func() (*Table, error) { return A2BlockingFamily(DefaultA2()) }},
 		{"A3", func() (*Table, error) { return A3MuSensitivity(DefaultA3()) }},

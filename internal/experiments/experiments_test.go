@@ -124,6 +124,32 @@ func TestE14HoldsOnDefaultConfig(t *testing.T) {
 	}
 }
 
+func TestE15HoldsOnDefaultConfig(t *testing.T) {
+	cfg := DefaultE15()
+	if testing.Short() {
+		// The chaos smoke keeps one representative layout per drill.
+		cfg.ShardCounts = []int{2, 4}
+	}
+	tab, err := E15ChaosDrills(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E15 verdict = %s", tab.Verdict)
+	}
+	// Disconnect runs shard counts x both models; fsync and flash-crowd
+	// run once per shard count.
+	want := len(cfg.ShardCounts)*len(e15Models) + 2*len(cfg.ShardCounts)
+	if len(tab.Rows) != want || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("E15 table malformed (%d rows, want %d): %v", len(tab.Rows), want, tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "true" || row[7] != "true" {
+			t.Fatalf("E15 row failed: %v", row)
+		}
+	}
+}
+
 func TestE13HoldsOnDefaultConfig(t *testing.T) {
 	tab, err := E13SharedCatalog(DefaultE13())
 	if err != nil {

@@ -60,11 +60,11 @@ func TestFastParseMatchesStdlib(t *testing.T) {
 		}
 	}
 	// And through parseStreamEvent the valid ones still decode.
-	ev, err := parseStreamEvent([]byte(`{"tenant":0,"type":"of\u0066er","stream":3}`))
+	ev, _, err := parseStreamEvent([]byte(`{"tenant":0,"type":"of\u0066er","stream":3}`))
 	if err != nil || ev.Type != videodist.ClusterStreamArrival || ev.Stream != 3 {
 		t.Fatalf("fallback parse = %+v, %v", ev, err)
 	}
-	if _, err := parseStreamEvent([]byte(`{not json`)); err == nil {
+	if _, _, err := parseStreamEvent([]byte(`{not json`)); err == nil {
 		t.Fatal("malformed line accepted")
 	}
 }

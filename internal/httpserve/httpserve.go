@@ -17,6 +17,13 @@
 // stream's bounded in-flight window as the flow-control point (see
 // repro/streamclient for the wire structs and the Go client).
 //
+// NewHandlerOpts adds the resilience layer (v6): exactly-once resume
+// for streams that claim an X-Stream-Session identity (a WAL-backed
+// seq watermark dedups replays after reconnects and crashes), a write
+// deadline that sheds stalled stream consumers, and an overload
+// governor that converts block-backpressure into fast 503 +
+// Retry-After when the rolling ack p99 crosses a threshold.
+//
 // It lives in internal/ so cmd/mmdserve, the benchmarks
 // (internal/benchkit), and the tests share one handler; cmd/mmdserve
 // is the thin main around it.
@@ -25,6 +32,7 @@ package httpserve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -32,6 +40,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	videodist "repro"
 	"repro/streamclient"
@@ -72,31 +81,18 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the HTTP/JSON ingestion front end over a cluster.
+// NewHandler returns the HTTP/JSON ingestion front end over a cluster
+// with default resilience options (no shedding, no stream write
+// deadline, no recovered session watermarks); see NewHandlerOpts.
 func NewHandler(c *videodist.Cluster) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/tenants/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		handleEvent(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/tenants/{id}/events:batch", func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/stream", func(w http.ResponseWriter, r *http.Request) {
-		handleStream(c, w, r)
-	})
-	mux.HandleFunc("POST /v1/admin/reshard", func(w http.ResponseWriter, r *http.Request) {
-		handleReshard(c, w, r)
-	})
-	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		handleSnapshot(c, w)
-	})
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
-		handleCatalog(c, w)
-	})
-	return mux
+	return NewHandlerOpts(c, Options{})
 }
 
-func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
+	c := s.c
 	tenant, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
@@ -108,6 +104,7 @@ func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	start := time.Now()
 	resp := eventResponse{Type: req.Type}
 	switch req.Type {
 	case "offer":
@@ -163,6 +160,7 @@ func handleEvent(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown event type %q", req.Type))
 		return
 	}
+	s.observe(start)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -379,29 +377,33 @@ func appendBatchResponse(buf []byte, typ string, res videodist.EventResult) []by
 // pooling, each batch request paid a fresh decoder, three fresh slices,
 // one heap escape per result, and a reflective marshal of the whole
 // response.
-func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shed(w) {
+		return
+	}
+	c := s.c
 	tenant, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tenant id %q", r.PathValue("id")))
 		return
 	}
-	s := batchPool.Get().(*batchScratch)
-	defer batchPool.Put(s)
-	s.body, err = readFullBody(r.Body, s.body[:0])
+	bs := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(bs)
+	bs.body, err = readFullBody(r.Body, bs.body[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
 		return
 	}
-	s.events, s.types = s.events[:0], s.types[:0]
-	ok, perr := fastParseBatch(s.body, s)
+	bs.events, bs.types = bs.events[:0], bs.types[:0]
+	ok, perr := fastParseBatch(bs.body, bs)
 	if !ok && perr == nil {
-		s.events, s.types, s.reqs = s.events[:0], s.types[:0], s.reqs[:0]
-		if err := json.Unmarshal(s.body, &s.reqs); err != nil {
+		bs.events, bs.types, bs.reqs = bs.events[:0], bs.types[:0], bs.reqs[:0]
+		if err := json.Unmarshal(bs.body, &bs.reqs); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
 			return
 		}
-		for _, req := range s.reqs {
-			if perr = appendBatchEvent(s, req.Type, req.Stream, req.User, req.Install, req.CatalogID); perr != nil {
+		for _, req := range bs.reqs {
+			if perr = appendBatchEvent(bs, req.Type, req.Stream, req.User, req.Install, req.CatalogID); perr != nil {
 				break
 			}
 		}
@@ -410,20 +412,22 @@ func handleBatch(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, perr)
 		return
 	}
-	results, err := c.ApplyBatch(r.Context(), tenant, s.events)
+	start := time.Now()
+	results, err := c.ApplyBatch(r.Context(), tenant, bs.events)
 	if err != nil {
 		writeTransportError(w, err)
 		return
 	}
-	out := append(s.out[:0], '[')
+	s.observe(start)
+	out := append(bs.out[:0], '[')
 	for i, res := range results {
 		if i > 0 {
 			out = append(out, ',')
 		}
-		out = appendBatchResponse(out, s.types[i], res)
+		out = appendBatchResponse(out, bs.types[i], res)
 	}
 	out = append(out, ']', '\n')
-	s.out = out
+	bs.out = out
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
@@ -455,15 +459,17 @@ func readLine(br *bufio.Reader, scratch *[]byte) ([]byte, error) {
 // it cannot prove canonical falls back to the stdlib decoder — exotic
 // but valid JSON still works, invalid JSON still fails with the
 // stdlib's message.
-func parseStreamEvent(line []byte) (videodist.ClusterEvent, error) {
+func parseStreamEvent(line []byte) (videodist.ClusterEvent, uint64, error) {
 	if req, ok := fastParseEvent(line); ok {
-		return streamEvent(req)
+		ev, err := streamEvent(req)
+		return ev, req.Seq, err
 	}
 	var req streamclient.Event
 	if err := json.Unmarshal(line, &req); err != nil {
-		return videodist.ClusterEvent{}, fmt.Errorf("bad stream line: %w", err)
+		return videodist.ClusterEvent{}, 0, fmt.Errorf("bad stream line: %w", err)
 	}
-	return streamEvent(req)
+	ev, err := streamEvent(req)
+	return ev, req.Seq, err
 }
 
 // fastParseEvent scans a canonical wire line (a flat JSON object of
@@ -514,6 +520,19 @@ func fastParseEvent(line []byte) (streamclient.Event, bool) {
 		skip()
 		// Value, typed by key.
 		switch string(key) {
+		case "seq":
+			v, ds := uint64(0), i
+			for i < n && line[i] >= '0' && line[i] <= '9' {
+				v = v*10 + uint64(line[i]-'0')
+				i++
+			}
+			if i == ds || i-ds > 18 {
+				return ev, false // empty, or large enough to overflow
+			}
+			if line[ds] == '0' && i-ds > 1 {
+				return ev, false // leading zero: invalid JSON, let the stdlib reject it
+			}
+			ev.Seq = v
 		case "tenant", "stream", "user":
 			neg := false
 			if i < n && line[i] == '-' {
@@ -821,8 +840,47 @@ const streamWindow = 16384
 // cancels the request context; every event already submitted still
 // applies and settles on its shard worker (catalog references
 // included), so disconnects leak nothing.
-func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) {
-	sc, err := c.OpenStream(videodist.StreamOptions{Window: streamWindow})
+//
+// With an X-Stream-Session header the connection claims a resumable
+// identity (exactly-once resume): every line must then carry a
+// client-assigned contiguous 1-based seq, result seqs come back in the
+// client's numbering, and the session's watermark — the highest seq
+// applied — dedups replays after a reconnect. A replayed line at or
+// below the watermark is acknowledged with a {"seq":N,"dup":true}
+// line instead of being re-applied; a gap past watermark+1 is a
+// protocol error (the client lost events it never sent). Connections
+// claiming the same session serialize: a resume waits until the
+// previous handler has drained every settled result, because the drain
+// is what completes the watermark. For the same reason the
+// session-mode writer keeps draining (writes disabled) after the
+// client dies — an applied event must advance the watermark before the
+// next resume reads it, or the replay would double-apply.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.gov != nil && s.gov.shedding() {
+		// A shed stream refuses the connection outright. Connection:
+		// close (plus an eager flush) is what actually gets the 503 on
+		// the wire: the chunked request body is never consumed, and
+		// net/http holds the buffered response while it waits to drain
+		// the body for connection reuse — a wait that would deadlock
+		// against a client which won't close its send side before it
+		// has seen a status line.
+		w.Header().Set("Connection", "close")
+		s.writeShed(w)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		return
+	}
+	sid := r.Header.Get("X-Stream-Session")
+	var sess *session
+	var base uint64 // client seq of the first event this conn may submit
+	if sid != "" {
+		sess = s.sessions.get(sid)
+		sess.connMu.Lock()
+		defer sess.connMu.Unlock()
+		base = sess.watermark.Load() + 1
+	}
+	sc, err := s.c.OpenStream(videodist.StreamOptions{Window: streamWindow})
 	if err != nil {
 		writeTransportError(w, err)
 		return
@@ -837,13 +895,31 @@ func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) 
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 
-	ctx := r.Context()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	// Session mode drains to completion regardless of the client: the
+	// watermark must cover every applied event before the handler exits
+	// (and the next resume's dedup reads it). The drain is bounded — the
+	// reader stops submitting once ctx dies, so at most the in-flight
+	// window settles.
+	recvCtx := ctx
+	if sess != nil {
+		recvCtx = context.Background()
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		defer func() {
+			// Writing is over (clean EOF, dead client, or write timeout):
+			// unblock a reader parked in readLine or Submit so the
+			// handler can finish.
+			cancel()
+			_ = rc.SetReadDeadline(time.Now())
+		}()
 		var buf []byte
+		writeOK := true
 		for {
-			res, err := sc.Recv(ctx)
+			res, err := sc.Recv(recvCtx)
 			if err != nil {
 				// io.EOF after CloseSend, or the client went away.
 				return
@@ -854,19 +930,35 @@ func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) 
 			// ready, because then a client may be blocked on the lines
 			// written so far. The burst is bounded by the stream's
 			// in-flight window.
+			if sess != nil {
+				res.Seq = int(base + uint64(res.Seq))
+				sess.watermark.Store(uint64(res.Seq))
+			}
 			buf = appendResultLine(buf[:0], res)
 			for {
 				res, ok := sc.TryRecv()
 				if !ok {
 					break
 				}
+				if sess != nil {
+					res.Seq = int(base + uint64(res.Seq))
+					sess.watermark.Store(uint64(res.Seq))
+				}
 				buf = appendResultLine(buf, res)
 			}
-			if _, err := w.Write(buf); err != nil {
-				return
+			if !writeOK {
+				continue
 			}
-			if err := rc.Flush(); err != nil {
-				return
+			if !s.writeStream(w, rc, buf) {
+				if sess == nil {
+					return
+				}
+				// Keep draining with writes disabled — every settled
+				// result still advances the watermark above — but stop
+				// the reader now: no new events ride a dead response.
+				writeOK = false
+				cancel()
+				_ = rc.SetReadDeadline(time.Now())
 			}
 		}
 	}()
@@ -874,15 +966,46 @@ func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) 
 	var protoErr error
 	body := bufio.NewReaderSize(r.Body, 32<<10)
 	var scratch []byte
+	var dupBuf []byte
+	lastSeq := uint64(0) // last wire seq read on this conn (session mode)
 	for {
 		line, err := readLine(body, &scratch)
 		if len(line) > 0 {
-			ev, perr := parseStreamEvent(line)
+			ev, seq, perr := parseStreamEvent(line)
 			if perr != nil {
 				protoErr = perr
 				break
 			}
-			if serr := sc.Submit(ctx, ev); serr != nil {
+			dup := false
+			if sess != nil {
+				switch {
+				case seq == 0:
+					perr = fmt.Errorf("session stream: line missing seq")
+				case lastSeq == 0 && seq > base:
+					perr = fmt.Errorf("session stream: seq %d skips past watermark %d", seq, base-1)
+				case lastSeq != 0 && seq != lastSeq+1:
+					perr = fmt.Errorf("session stream: seq %d after %d breaks contiguity", seq, lastSeq)
+				}
+				if perr != nil {
+					protoErr = perr
+					break
+				}
+				lastSeq = seq
+				dup = seq < base
+				ev.Session, ev.SessionSeq = sid, seq
+			}
+			if dup {
+				// Replay of an already-applied event: acknowledge without
+				// re-applying. Dups are a contiguous preamble (contiguity
+				// forces them before the first submit), so the writer
+				// goroutine has nothing in flight yet and the response is
+				// ours to write. A failed write means the client is dying;
+				// the body read below will notice.
+				dupBuf = append(dupBuf[:0], `{"seq":`...)
+				dupBuf = strconv.AppendUint(dupBuf, seq, 10)
+				dupBuf = append(dupBuf, `,"dup":true}`+"\n"...)
+				_ = s.writeStream(w, rc, dupBuf)
+			} else if serr := sc.Submit(ctx, ev); serr != nil {
 				// Window reservation failed (client gone or cluster
 				// closed); the in-flight results still drain below.
 				break
@@ -902,6 +1025,19 @@ func handleStream(c *videodist.Cluster, w http.ResponseWriter, r *http.Request) 
 		_ = json.NewEncoder(w).Encode(streamclient.Result{Seq: -1, Error: protoErr.Error()})
 		_ = rc.Flush()
 	}
+}
+
+// writeStream writes one burst of response lines under the configured
+// write deadline. False means the client is gone or stopped reading
+// past the deadline — the transport is done for.
+func (s *server) writeStream(w http.ResponseWriter, rc *http.ResponseController, buf []byte) bool {
+	if s.opts.StreamWriteTimeout > 0 {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.opts.StreamWriteTimeout))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return false
+	}
+	return rc.Flush() == nil
 }
 
 // reshardRequest is the wire form of POST /v1/admin/reshard.
@@ -972,7 +1108,8 @@ func writeTransportError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, videodist.ErrQueueFull):
 		code = http.StatusTooManyRequests
-	case errors.Is(err, videodist.ErrClosed):
+	case errors.Is(err, videodist.ErrClosed),
+		errors.Is(err, videodist.ErrNotDurable):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, videodist.ErrCanceled):
 		code = http.StatusRequestTimeout

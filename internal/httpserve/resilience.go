@@ -1,0 +1,191 @@
+package httpserve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	videodist "repro"
+	"repro/internal/metrics"
+)
+
+// Options configures the resilience behaviors of the handler. The zero
+// value is the pre-chaos handler: no shedding, no stream write
+// deadline, no recovered session watermarks.
+type Options struct {
+	// ShedP99 is the overload threshold: when the rolling p99 of ack
+	// latency on the event and batch endpoints crosses it, the server
+	// sheds — event, batch, and new stream requests get a fast 503 with
+	// a Retry-After instead of queueing behind a saturated fleet. Block
+	// backpressure keeps per-connection flow control; shedding is the
+	// fleet-wide analog (shed, don't collapse). 0 disables.
+	ShedP99 time.Duration
+	// RetryAfter is the hint sent while shedding and the cool-off
+	// before traffic is admitted again to probe (default 1s).
+	RetryAfter time.Duration
+	// StreamWriteTimeout bounds each write on a /v1/stream response. A
+	// consumer that stops reading parks the response write; without a
+	// deadline that pins the handler goroutine and its whole in-flight
+	// window forever. On timeout the connection is severed and every
+	// submitted event still settles through the worker-FIFO path
+	// (references included). 0 disables.
+	StreamWriteTimeout time.Duration
+	// Sessions seeds the exactly-once resume watermarks from a
+	// RecoveryReport.SessionWatermarks, so a client replaying into a
+	// recovered server still cannot double-apply an event.
+	Sessions map[string]uint64
+}
+
+// server is the handler state behind NewHandlerOpts: the cluster, the
+// overload governor, and the resume-session table. The data plane
+// still lives in the cluster session — this state is only about the
+// transport (who may reconnect as whom, and when to say "not now").
+type server struct {
+	c        *videodist.Cluster
+	opts     Options
+	gov      *governor // nil when shedding is disabled
+	sessions sessionTable
+}
+
+// NewHandlerOpts returns the ingestion front end with resilience
+// options; NewHandler(c) is NewHandlerOpts(c, Options{}).
+func NewHandlerOpts(c *videodist.Cluster, opts Options) http.Handler {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	s := &server{c: c, opts: opts}
+	s.sessions.seed = opts.Sessions
+	if opts.ShedP99 > 0 {
+		s.gov = newGovernor(opts.ShedP99, opts.RetryAfter)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants/{id}/events", s.handleEvent)
+	mux.HandleFunc("POST /v1/tenants/{id}/events:batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/admin/reshard", func(w http.ResponseWriter, r *http.Request) {
+		handleReshard(c, w, r)
+	})
+	mux.HandleFunc("GET /v1/fleet/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(c, w)
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		handleCatalog(c, w)
+	})
+	return mux
+}
+
+// shed writes the fast 503 + Retry-After and reports true when the
+// governor is tripped. Callers return immediately on true — the point
+// of shedding is to not touch the saturated data plane at all.
+func (s *server) shed(w http.ResponseWriter) bool {
+	if s.gov == nil || !s.gov.shedding() {
+		return false
+	}
+	s.writeShed(w)
+	return true
+}
+
+// writeShed writes the shed 503 unconditionally.
+func (s *server) writeShed(w http.ResponseWriter) {
+	secs := int(math.Ceil(s.opts.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("overloaded: ack p99 over %v, shedding; retry after %ds", s.opts.ShedP99, secs))
+}
+
+// observe feeds one successful ack latency to the governor.
+func (s *server) observe(start time.Time) {
+	if s.gov != nil {
+		s.gov.observe(time.Since(start))
+	}
+}
+
+// govRecompute is how many observations ride between p99 recomputes —
+// the quantile sorts its window, so it runs at a sampled cadence.
+const govRecompute = 32
+
+// governor trips load shedding from a rolling ack-latency quantile.
+// While tripped, requests are rejected before reaching the cluster, so
+// no new observations arrive; once RetryAfter passes, traffic is
+// admitted again and the next recompute decides whether the overload
+// has actually drained (fresh fast acks push the old tail out of the
+// window) or shedding re-trips.
+type governor struct {
+	threshold  time.Duration
+	retryAfter time.Duration
+	window     *metrics.Rolling
+	now        func() time.Time // test hook
+
+	mu        sync.Mutex
+	obs       int
+	shedUntil time.Time
+}
+
+func newGovernor(threshold, retryAfter time.Duration) *governor {
+	return &governor{
+		threshold:  threshold,
+		retryAfter: retryAfter,
+		window:     metrics.NewRolling(256),
+		now:        time.Now,
+	}
+}
+
+func (g *governor) observe(d time.Duration) {
+	g.window.Observe(d.Seconds())
+	g.mu.Lock()
+	g.obs++
+	if g.obs%govRecompute == 0 && g.window.Quantile(0.99) >= g.threshold.Seconds() {
+		g.shedUntil = g.now().Add(g.retryAfter)
+	}
+	g.mu.Unlock()
+}
+
+func (g *governor) shedding() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.now().Before(g.shedUntil)
+}
+
+// session is one resumable stream identity. connMu serializes the
+// connections claiming the identity: a resumed connection cannot
+// proceed until the previous handler has fully drained its results,
+// which is exactly the point where the watermark covers every applied
+// event — the lock is the happens-before edge that makes the
+// ack-time watermark safe to read.
+type session struct {
+	connMu    sync.Mutex
+	watermark atomic.Uint64 // highest client seq applied (and acked or drained)
+}
+
+// sessionTable lazily materializes sessions by ID, seeding watermarks
+// from recovery. Entries are never evicted: a watermark is the proof an
+// event was applied, and forgetting it would re-admit a replay. The
+// cost is one uint64 + mutex per session identity ever seen, which is
+// fine for fleets of long-lived ingest clients (the intended shape).
+type sessionTable struct {
+	mu   sync.Mutex
+	m    map[string]*session
+	seed map[string]uint64
+}
+
+func (t *sessionTable) get(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sess, ok := t.m[id]
+	if !ok {
+		if t.m == nil {
+			t.m = make(map[string]*session)
+		}
+		sess = &session{}
+		sess.watermark.Store(t.seed[id])
+		t.m[id] = sess
+	}
+	return sess
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+)
+
+// Rolling is a sliding-window quantile estimator: a ring buffer of the
+// last N observations. Unlike Histogram — cumulative since birth, for
+// end-of-run reports — Rolling answers "what is the p99 right now",
+// which is what an overload governor needs: observations age out, so
+// the estimate recovers when the overload does. Quantile copies and
+// sorts the window (O(N log N)), so keep windows modest (the default
+// 256 is enough for a stable tail estimate) and call it at a sampled
+// cadence, not per observation.
+type Rolling struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewRolling returns a Rolling over a window of the given size
+// (default 256 when <= 0).
+func NewRolling(window int) *Rolling {
+	if window <= 0 {
+		window = 256
+	}
+	return &Rolling{buf: make([]float64, window)}
+}
+
+// Observe records one value, evicting the oldest once the window is
+// full.
+func (r *Rolling) Observe(v float64) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Count returns how many observations the window currently holds.
+func (r *Rolling) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1, nearest-rank) of
+// the window, or 0 when empty.
+func (r *Rolling) Quantile(q float64) float64 {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	if n == 0 {
+		r.mu.Unlock()
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, r.buf[:n])
+	r.mu.Unlock()
+	sort.Float64s(tmp)
+	idx := int(q*float64(n-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return tmp[idx]
+}

@@ -1,9 +1,6 @@
 package wal
 
-import (
-	"os"
-	"sync"
-)
+import "sync"
 
 // A flusher coalesces group commits across a log's writers into shared
 // flush rounds: a committer registers its file and waits for the next
@@ -31,7 +28,7 @@ import (
 // overlap.
 type flusher struct {
 	mu    sync.Mutex
-	files []*os.File
+	files []File
 	round *flushRound
 
 	kick chan struct{}
@@ -56,7 +53,7 @@ func newFlusher() *flusher {
 
 // Flush makes everything written to f so far durable. It blocks until
 // a flush round covering the registration completes.
-func (fl *flusher) Flush(f *os.File) error {
+func (fl *flusher) Flush(f File) error {
 	fl.mu.Lock()
 	if fl.round == nil {
 		fl.round = &flushRound{done: make(chan struct{})}

@@ -1,0 +1,76 @@
+package wal
+
+import "os"
+
+// File is the slice of *os.File behavior a segment appender needs. The
+// log writes through this interface so tests can inject disk faults —
+// short writes, latched fsync errors, torn tails — at exact byte
+// offsets instead of hand-crafting corrupt segment files (see
+// internal/chaos). Implementations must be comparable with ==: the
+// commit flusher dedups registered files by identity.
+type File interface {
+	Write(p []byte) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	// Sync is a full fsync: data plus all metadata, including a
+	// truncated size. Sealing uses it; the hot path never does.
+	Sync() error
+	// Datasync flushes file data and the metadata needed to read it
+	// back (fdatasync(2) where available, full fsync elsewhere).
+	Datasync() error
+	Close() error
+}
+
+// FS opens the log's segment files. Only segment data goes through it:
+// directory scans, manifest tmp+rename fences, and recovery reads stay
+// on the real filesystem, because the faults worth injecting are the
+// ones on the append/commit path — a manifest rename either happened
+// or it didn't, which crash tests already cover by deleting it.
+type FS interface {
+	// OpenSegment creates path exclusively (O_CREATE|O_EXCL|O_WRONLY)
+	// for a new segment. Exclusive creation is load-bearing: two
+	// writers claiming one segment name is a bug this surfaces.
+	OpenSegment(path string) (File, error)
+}
+
+// OSFS is the real filesystem — the default when Options.FS is nil.
+type OSFS struct{}
+
+// OpenSegment implements FS on the host filesystem.
+func (OSFS) OpenSegment(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File to File. Datasync and the writeback hint are
+// per-platform (fs_linux.go, fs_other.go).
+type osFile struct{ *os.File }
+
+// fileWriteback is the optional async-writeback hint a flush round
+// starts before its fdatasyncs (sync_file_range on Linux). Injected
+// files that don't implement it just lose the I/O overlap, never
+// durability — deviceFlush treats the hint as best-effort.
+type fileWriteback interface {
+	writeback()
+}
+
+// deviceFlush is one coalesced flush round: start async writeback on
+// every file that supports the hint, then Datasync each one.
+// Durability rests entirely on the per-file Datasync calls — the
+// writeback pass only overlaps the I/O (see flusher).
+func deviceFlush(files []File) error {
+	for _, f := range files {
+		if wb, ok := f.(fileWriteback); ok {
+			wb.writeback()
+		}
+	}
+	for _, f := range files {
+		if err := f.Datasync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

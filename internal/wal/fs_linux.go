@@ -21,35 +21,22 @@ func datasync(f *os.File) error {
 	}
 }
 
-// deviceFlush is one coalesced flush round: start writeback on every
-// file in the round, then fdatasync each one. Durability rests
-// entirely on the per-file fdatasync calls — sync_file_range(2)
-// carries no integrity guarantee (per its man page), and a lone
-// fdatasync of one already-written-back file may legally elide the
-// device-cache FLUSH on filesystems that gate it on dirty data or log
-// state (XFS, notably), so it cannot stand in for the others. The
-// async SYNC_FILE_RANGE_WRITE pass is purely a pipelining hint: it
-// puts every file's pages in flight before the first fdatasync blocks,
-// so the round pays overlapped I/O instead of serial writebacks; any
-// failure there just loses the overlap.
-func deviceFlush(files []*os.File) error {
-	const wbAsync = 0x2 // SYNC_FILE_RANGE_WRITE: start writeback, don't wait
-	for _, f := range files {
-		for {
-			err := syscall.SyncFileRange(int(f.Fd()), 0, 0, wbAsync)
-			if err != syscall.EINTR {
-				break
-			}
-		}
-	}
-	return flushEach(files)
-}
+// Datasync implements File via fdatasync(2).
+func (f osFile) Datasync() error { return datasync(f.File) }
 
-func flushEach(files []*os.File) error {
-	for _, f := range files {
-		if err := datasync(f); err != nil {
-			return err
+// writeback starts async writeback of f's dirty pages
+// (SYNC_FILE_RANGE_WRITE) without waiting. Purely a pipelining hint
+// for coalesced flush rounds: it puts every file's pages in flight
+// before the first fdatasync blocks, so the round pays overlapped I/O
+// instead of serial writebacks. sync_file_range(2) carries no
+// integrity guarantee (per its man page), so any failure here just
+// loses the overlap — durability rests on the fdatasyncs that follow.
+func (f osFile) writeback() {
+	const wbAsync = 0x2 // SYNC_FILE_RANGE_WRITE: start writeback, don't wait
+	for {
+		err := syscall.SyncFileRange(int(f.Fd()), 0, 0, wbAsync)
+		if err != syscall.EINTR {
+			return
 		}
 	}
-	return nil
 }

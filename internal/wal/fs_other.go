@@ -9,13 +9,5 @@ import "os"
 // cost differs.
 func datasync(f *os.File) error { return f.Sync() }
 
-// deviceFlush degrades to a full fsync per file without
-// sync_file_range(2): correct, just without the shared-round saving.
-func deviceFlush(files []*os.File) error {
-	for _, f := range files {
-		if err := datasync(f); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Datasync implements File; full fsync fallback (see datasync).
+func (f osFile) Datasync() error { return datasync(f.File) }

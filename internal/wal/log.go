@@ -21,6 +21,9 @@ type Options struct {
 	// SyncInterval is the background fsync cadence under SyncInterval
 	// (default 50ms).
 	SyncInterval time.Duration
+	// FS opens segment files. Nil means the real filesystem (OSFS);
+	// tests inject fault-scripted filesystems here (internal/chaos).
+	FS FS
 }
 
 // Manifest is one checkpoint: written at a quiesced barrier, it fences
@@ -102,6 +105,9 @@ func Open(opts Options) (*Log, error) {
 	}
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = 50 * time.Millisecond
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS{}
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -288,7 +294,7 @@ func (l *Log) beginLocked(names []string) error {
 	}
 	for _, name := range names {
 		path := filepath.Join(l.opts.Dir, fmt.Sprintf("seg-%06d-%s.ndjson", gen, name))
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		f, err := l.opts.FS.OpenSegment(path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}

@@ -88,6 +88,13 @@ type Record struct {
 	Catalog string  `json:"catalog,omitempty"`
 	Scale   float64 `json:"scale,omitempty"`
 	Origin  bool    `json:"origin,omitempty"`
+	// Sess and CSeq tie a routed event to a resumable ingestion
+	// session: the client-chosen session id and the client-assigned
+	// per-session sequence number (exactly-once resume — recovery
+	// rebuilds each session's dedup watermark as max CSeq per Sess).
+	// They never affect how the event applies.
+	Sess    string  `json:"sess,omitempty"`
+	CSeq    uint64  `json:"cseq,omitempty"`
 	Op      string  `json:"op,omitempty"`
 	Full    float64 `json:"full,omitempty"`
 	Charged float64 `json:"charged,omitempty"`
@@ -136,6 +143,14 @@ func AppendRecord(b []byte, r *Record) []byte {
 	}
 	if r.Origin {
 		b = append(b, `,"origin":true`...)
+	}
+	if r.Sess != "" {
+		b = append(b, `,"sess":`...)
+		b = appendJSONString(b, r.Sess)
+	}
+	if r.CSeq != 0 {
+		b = append(b, `,"cseq":`...)
+		b = strconv.AppendUint(b, r.CSeq, 10)
 	}
 	if r.Op != "" {
 		b = append(b, `,"op":`...)

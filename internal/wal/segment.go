@@ -3,7 +3,6 @@ package wal
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -92,7 +91,7 @@ type Appender struct {
 	name string
 
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	fl       *flusher // shared commit flusher (SyncBatch only)
 	buf      []byte
 	flushed  uint64 // bytes handed to the kernel
@@ -150,7 +149,7 @@ func (a *Appender) Commit() error {
 	if fl != nil {
 		serr = fl.Flush(f)
 	} else {
-		serr = datasync(f)
+		serr = f.Datasync()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -221,7 +220,7 @@ func (a *Appender) preallocLocked(want uint64) {
 		}
 		off += chunk
 	}
-	if err := datasync(a.f); err != nil {
+	if err := a.f.Datasync(); err != nil {
 		a.err = fmt.Errorf("wal: %s: preallocate sync: %w", a.name, err)
 		return
 	}
@@ -232,7 +231,7 @@ func (a *Appender) syncLocked() {
 	if a.err != nil || a.flushed == a.synced {
 		return
 	}
-	if err := datasync(a.f); err != nil {
+	if err := a.f.Datasync(); err != nil {
 		a.err = fmt.Errorf("wal: %s: fsync: %w", a.name, err)
 		return
 	}

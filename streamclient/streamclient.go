@@ -27,6 +27,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -36,13 +37,62 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	videodist "repro"
 )
 
+// ErrOverloaded matches (via errors.Is) a StatusError for a 503 the
+// server sent while shedding load: the request was refused fast, with
+// a Retry-After hint, instead of queueing into a latency collapse. A
+// resumable Session backs off and retries it automatically; plain
+// Conn callers decide for themselves.
+var ErrOverloaded = errors.New("streamclient: server overloaded")
+
+// StatusError is a non-200 response to the stream request. It latches
+// the Conn (the protocol has no mid-stream recovery on one
+// connection); a Session reacts by backing off and redialing when the
+// status is retryable.
+type StatusError struct {
+	// Code and Status are the HTTP status ("503 Service Unavailable").
+	Code   int
+	Status string
+	// Message is the server's error body, if any.
+	Message string
+	// RetryAfter is the parsed Retry-After delay (0 when absent) — the
+	// server's shed-backoff hint on a 503.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("streamclient: server status %s", e.Status)
+	}
+	return fmt.Sprintf("streamclient: server status %s: %s", e.Status, e.Message)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for a 503.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrOverloaded && e.Code == http.StatusServiceUnavailable
+}
+
+// Retryable reports whether redialing can succeed: overload (503),
+// queue-full (429), request-timeout (408), and other 5xx are
+// transient; everything else (bad request, unknown tenant) is not.
+func (e *StatusError) Retryable() bool {
+	return e.Code == http.StatusTooManyRequests ||
+		e.Code == http.StatusRequestTimeout ||
+		e.Code >= 500
+}
+
 // Event is the NDJSON wire form of one fleet event (one line of the
 // request body).
 type Event struct {
+	// Seq is the client-assigned per-session sequence number (1-based),
+	// set only on resumable sessions (see Session): the server dedups
+	// replayed seqs against its watermark so a retried event is applied
+	// at most once. 0 (omitted) on plain connections.
+	Seq uint64 `json:"seq,omitempty"`
 	// Tenant is the target tenant index.
 	Tenant int `json:"tenant"`
 	// Type selects the operation: "offer", "depart", "leave", "join",
@@ -79,6 +129,12 @@ type Result struct {
 	// Error is the per-event (or, on the final line, stream-fatal)
 	// failure.
 	Error string `json:"error,omitempty"`
+	// Dup marks a dedup acknowledgement on a resumed session: the
+	// event with this Seq was already applied before the reconnect, so
+	// the server skipped it instead of applying it twice. No typed
+	// result accompanies it (the original was delivered on the
+	// connection that died).
+	Dup bool `json:"dup,omitempty"`
 }
 
 // Conn is one persistent streaming ingestion connection.
@@ -99,10 +155,26 @@ type Conn struct {
 	lineBuf []byte        // reused long-line scratch
 }
 
+// DialOptions tune how a Conn reaches the server. The zero value is
+// Dial's behavior.
+type DialOptions struct {
+	// Dial replaces net.Dial for the underlying TCP connection — the
+	// seam chaos tests and instrumented clients hook (see
+	// internal/chaos.Dialer). Nil uses net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+	// Header adds extra request headers (canonical-cased keys), e.g.
+	// the X-Stream-Session id a resumable session announces itself
+	// with. Values must be header-safe; they are written verbatim.
+	Header map[string]string
+}
+
 // Dial opens a streaming session against an mmdserve base URL (e.g.
 // "http://localhost:8080"): it connects, sends the request headers for
 // POST /v1/stream, and returns a Conn ready to Send and Recv.
-func Dial(baseURL string) (*Conn, error) {
+func Dial(baseURL string) (*Conn, error) { return DialWith(baseURL, DialOptions{}) }
+
+// DialWith is Dial with explicit options.
+func DialWith(baseURL string, opts DialOptions) (*Conn, error) {
 	raw := baseURL
 	if !strings.Contains(raw, "://") {
 		// Tolerate a bare "host:port".
@@ -119,7 +191,11 @@ func Dial(baseURL string) (*Conn, error) {
 	if host == "" {
 		return nil, fmt.Errorf("streamclient: no host in %q", baseURL)
 	}
-	conn, err := net.Dial("tcp", host)
+	dial := opts.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", host)
 	if err != nil {
 		return nil, fmt.Errorf("streamclient: %w", err)
 	}
@@ -135,7 +211,11 @@ func Dial(baseURL string) (*Conn, error) {
 	bw := bufio.NewWriter(conn)
 	fmt.Fprintf(bw, "POST /v1/stream HTTP/1.1\r\nHost: %s\r\n"+
 		"Content-Type: application/x-ndjson\r\nAccept: application/x-ndjson\r\n"+
-		"Transfer-Encoding: chunked\r\n\r\n", host)
+		"Transfer-Encoding: chunked\r\n", host)
+	for k, v := range opts.Header {
+		fmt.Fprintf(bw, "%s: %s\r\n", k, v)
+	}
+	bw.WriteString("\r\n")
 	if err := bw.Flush(); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("streamclient: %w", err)
@@ -168,7 +248,13 @@ func (c *Conn) Send(ev Event) error {
 // AppendJSON appends the event's wire line (without the trailing
 // newline) to buf — the allocation-free encoder Send uses.
 func (ev *Event) AppendJSON(buf []byte) []byte {
-	buf = append(buf, `{"tenant":`...)
+	if ev.Seq != 0 {
+		buf = append(buf, `{"seq":`...)
+		buf = strconv.AppendUint(buf, ev.Seq, 10)
+		buf = append(buf, `,"tenant":`...)
+	} else {
+		buf = append(buf, `{"tenant":`...)
+	}
 	buf = strconv.AppendInt(buf, int64(ev.Tenant), 10)
 	buf = append(buf, `,"type":`...)
 	buf = appendJSONString(buf, ev.Type)
@@ -282,8 +368,17 @@ func (c *Conn) RecvRaw() ([]byte, error) {
 		if resp.StatusCode != http.StatusOK {
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			c.recvErr = fmt.Errorf("streamclient: server status %s: %s",
-				resp.Status, bytes.TrimSpace(body))
+			se := &StatusError{
+				Code:    resp.StatusCode,
+				Status:  resp.Status,
+				Message: string(bytes.TrimSpace(body)),
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					se.RetryAfter = time.Duration(secs) * time.Second
+				}
+			}
+			c.recvErr = se
 			return nil, c.recvErr
 		}
 		c.bodyr = bufio.NewReader(resp.Body)

@@ -234,6 +234,11 @@ type (
 	// RecoveryReport summarizes what RecoverCluster replayed, repaired,
 	// and verified.
 	RecoveryReport = cluster.RecoveryReport
+	// WALFS is the filesystem seam the log writes segments through;
+	// WALOptions.FS overrides it (fault injection — see internal/chaos).
+	WALFS = wal.FS
+	// WALFile is one open segment handle behind WALFS.
+	WALFile = wal.File
 )
 
 // Sync policies for WALOptions.Sync.
@@ -309,6 +314,11 @@ var (
 	// ErrUnknownCatalogStream reports a CatalogID the fleet does not
 	// know, or one the tenant has no binding for.
 	ErrUnknownCatalogStream = cluster.ErrUnknownCatalogStream
+	// ErrNotDurable reports an event that was applied but whose WAL
+	// group commit failed: the ack is withheld and this error delivered
+	// instead. Treat it like a crash — recover, then re-submit and let
+	// seq-level dedup keep the replay exactly-once.
+	ErrNotDurable = cluster.ErrNotDurable
 )
 
 // IdentityCatalogBindings builds the fully overlapping catalog shape
