@@ -12,7 +12,8 @@
 //	         [-cost-model isolated|shared|off] [-share-fraction 0.25]
 //	         [-wal-dir dir] [-wal-sync none|interval|batch] [-checkpoint-every n]
 //	         [-shed-p99 dur] [-shed-retry-after dur] [-stream-write-timeout dur]
-//	         [-http addr | -stream url [-via stream|batch|single]]
+//	         [-http addr [-role node|catalog|router] [-nodes urls] [-catalog-url url]
+//	          | -stream url [-via stream|batch|single]]
 //
 // Without -http or -stream the deterministic report (fleet summary,
 // per-shard stats, per-tenant table, catalog table) goes to stdout: two
@@ -53,6 +54,26 @@
 // and -shed-p99 turns saturation into fast 503 + Retry-After responses
 // instead of unbounded queueing.
 //
+// With -role the same binary becomes one process of a distributed
+// fleet (serving API v7, see internal/fleet): "catalog" serves the
+// fleet catalog registry on its NDJSON wire protocol, "node" serves a
+// cluster whose registry is a wire client against -catalog-url, and
+// "router" fans /v1/stream sessions out across -nodes (comma-separated
+// node URLs, routing tenant → shard → node), merging per-node
+// snapshots into one fleet view. All processes must share the tenant
+// flags; a 3-process quickstart:
+//
+//	mmdserve -http :9101 -role catalog
+//	mmdserve -http :9102 -role node -catalog-url http://127.0.0.1:9101
+//	mmdserve -http :9103 -role node -catalog-url http://127.0.0.1:9101
+//	mmdserve -http :9100 -role router -nodes http://127.0.0.1:9102,http://127.0.0.1:9103 \
+//	         -catalog-url http://127.0.0.1:9101
+//	mmdserve -stream http://127.0.0.1:9100
+//
+// The driven fleet's per-tenant table is byte-identical to a
+// 1-process run's — node-count invariance, the fleet tier's pinned
+// property.
+//
 // With -stream it is the load client instead: the synthetic workload
 // schedule the local mode's RunWorkload phase would submit (arrivals,
 // departures, churn; the local report's closing catalog retune phase is
@@ -77,6 +98,9 @@ import (
 	"time"
 
 	videodist "repro"
+	"repro/internal/catalog"
+	"repro/internal/catalog/remote"
+	"repro/internal/fleet"
 	"repro/internal/generator"
 	"repro/internal/httpserve"
 	"repro/internal/loaddrive"
@@ -86,6 +110,7 @@ import (
 func main() {
 	var cfg config
 	var httpAddr, streamURL, via string
+	var role, nodesCSV, catalogURL string
 	flag.IntVar(&cfg.tenants, "tenants", 8, "number of tenant head-ends")
 	flag.IntVar(&cfg.shards, "shards", 0, "shard workers (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.channels, "channels", 40, "channels per tenant")
@@ -108,10 +133,26 @@ func main() {
 	flag.StringVar(&httpAddr, "http", "", "serve the fleet over HTTP on this address instead of running the synthetic workload")
 	flag.StringVar(&streamURL, "stream", "", "drive the synthetic workload against a remote mmdserve -http fleet at this base URL")
 	flag.StringVar(&via, "via", "stream", "remote submission path for -stream: stream, batch, or single")
+	flag.StringVar(&role, "role", "", "fleet role for -http (serving API v7): node (cluster against a remote catalog service), catalog (the registry service), router (stream fan-out tier); empty serves the whole fleet in one process")
+	flag.StringVar(&nodesCSV, "nodes", "", "comma-separated node base URLs in node-index order (-role router)")
+	flag.StringVar(&catalogURL, "catalog-url", "", "catalog service base URL (-role node; optional for -role router's merged snapshot)")
 	flag.Parse()
 	switch {
 	case httpAddr != "":
-		if err := serve(cfg, httpAddr, os.Stderr); err != nil {
+		var err error
+		switch role {
+		case "":
+			err = serve(cfg, httpAddr, os.Stderr)
+		case "node":
+			err = serveNode(cfg, httpAddr, catalogURL, os.Stderr)
+		case "catalog":
+			err = serveCatalog(cfg, httpAddr, os.Stderr)
+		case "router":
+			err = serveRouter(cfg, httpAddr, nodesCSV, catalogURL, os.Stderr)
+		default:
+			err = fmt.Errorf("unknown -role %q (want node, catalog, or router)", role)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mmdserve:", err)
 			os.Exit(1)
 		}
@@ -140,6 +181,9 @@ type config struct {
 	checkpointEvery                       int
 	shedP99, shedRetryAfter               time.Duration
 	streamWriteTimeout                    time.Duration
+	// catalogRemote, when set (-role node), replaces the in-process
+	// registry with a wire client against the catalog service.
+	catalogRemote catalog.Service
 }
 
 // catalogOptions builds the fleet catalog config: every channel index s
@@ -221,6 +265,12 @@ func buildCluster(cfg config) (*videodist.Cluster, *videodist.RecoveryReport, er
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.catalogRemote != nil {
+		if cat == nil {
+			return nil, nil, fmt.Errorf("-role node needs a catalog (-cost-model %q disables it)", cfg.costModel)
+		}
+		cat.Remote = cfg.catalogRemote
+	}
 	opts := videodist.ClusterOptions{
 		Shards:       cfg.shards,
 		BatchSize:    cfg.batch,
@@ -282,6 +332,81 @@ func serve(cfg config, addr string, log io.Writer) error {
 	fmt.Fprintf(log, "mmdserve: %d tenants on %d shards, policy=%s, listening on %s\n",
 		c.NumTenants(), c.NumShards(), cfg.policy, addr)
 	return http.ListenAndServe(addr, httpserve.NewHandlerOpts(c, opts))
+}
+
+// serveNode is -role node: the same cluster as serve, but its catalog
+// registry is a wire client against the catalog service — this process
+// owns its tenants' assignment state while cross-node refcounts settle
+// with the remote owner. The router in front sends it only the events
+// of the tenants it owns.
+func serveNode(cfg config, addr, catalogURL string, log io.Writer) error {
+	if catalogURL == "" {
+		return fmt.Errorf("-role node needs -catalog-url")
+	}
+	if cfg.walDir != "" {
+		return fmt.Errorf("-role node cannot take -wal-dir (the registry's durability plane lives with the catalog service)")
+	}
+	rc, err := remote.Dial(catalogURL, remote.Options{})
+	if err != nil {
+		return err
+	}
+	cfg.catalogRemote = rc
+	fmt.Fprintf(log, "mmdserve: node against catalog %s\n", catalogURL)
+	return serve(cfg, addr, log)
+}
+
+// serveCatalog is -role catalog: the fleet catalog registry in its own
+// process, serving the NDJSON wire protocol nodes settle against (see
+// internal/catalog/remote) plus GET /v1/catalog.
+func serveCatalog(cfg config, addr string, log io.Writer) error {
+	cat, err := catalogOptions(cfg)
+	if err != nil {
+		return err
+	}
+	if cat == nil {
+		return fmt.Errorf("-role catalog needs a catalog (-cost-model %q disables it)", cfg.costModel)
+	}
+	reg, err := catalog.NewRegistry(cat.Streams, cat.CostModel)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	fmt.Fprintf(log, "mmdserve: catalog service (%s, %d streams), listening on %s\n",
+		cat.CostModel.Name(), cfg.channels, addr)
+	return http.ListenAndServe(addr, remote.NewHandler(reg))
+}
+
+// serveRouter is -role router: the stream fan-out tier. -shards is the
+// plan's routing modulus (0 uses -tenants, one logical shard per
+// tenant); it is pinned for the router's lifetime and independent of
+// the nodes' internal shard counts.
+func serveRouter(cfg config, addr, nodesCSV, catalogURL string, log io.Writer) error {
+	if nodesCSV == "" {
+		return fmt.Errorf("-role router needs -nodes")
+	}
+	var urls []string
+	for _, u := range strings.Split(nodesCSV, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = cfg.tenants
+	}
+	rt, err := fleet.NewRouter(fleet.Options{
+		Plan:       fleet.Plan{Nodes: len(urls), Shards: shards},
+		Nodes:      urls,
+		CatalogURL: catalogURL,
+		ID:         fmt.Sprintf("router-%d-%d", os.Getpid(), time.Now().UnixNano()),
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	fmt.Fprintf(log, "mmdserve: router over %d nodes (%d logical shards), listening on %s\n",
+		len(urls), shards, addr)
+	return http.ListenAndServe(addr, rt.Handler())
 }
 
 // reportRecovery summarizes a WAL recovery on the timing stream (rep

@@ -1,0 +1,302 @@
+// Package remote lifts the catalog registry's single-owner mutation
+// channel onto the serving API v4 NDJSON wire (serving API v7): a
+// Client implements catalog.Service against a registry owned by
+// another process, and NewHandler serves a registry to such clients.
+//
+// The lift is a transport change, not a protocol change. In-process,
+// every registry mutation is already a message to the owner goroutine
+// (catalog.Registry.do); here the same messages travel as one JSON
+// line per request over a persistent chunked connection (the transport
+// streamclient speaks), answered by one JSON line per reply, in
+// request order. A node keeps one connection; its shard workers'
+// settlement batches serialize through it in submission order, so the
+// worker-FIFO settlement contract survives the wire unchanged, and the
+// registry owner serializes across nodes exactly as it serializes
+// across shards in-process.
+//
+// Errors cross the wire as a sentinel code plus the original message;
+// the client rebuilds an error chain that errors.Is-matches the
+// catalog package's sentinels, so the cluster's wrapCatalogErr — and
+// every caller matching catalog.ErrUnknownID / ErrNotBound /
+// ErrClosed — behaves identically against a remote registry.
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/streamclient"
+)
+
+// WirePath is the catalog service's NDJSON endpoint.
+const WirePath = "/v1/catalog/wire"
+
+// wireReq is one registry request line (client → service). Op selects
+// the operation; exactly the fields that operation reads are set.
+type wireReq struct {
+	Op     string `json:"op"`
+	ID     string `json:"id,omitempty"`
+	Tenant int    `json:"tenant,omitempty"`
+	// Acquire-batch payload.
+	IDs []string `json:"ids,omitempty"`
+	// Release flags (held selects confirmed vs provisional; origin
+	// echoes Ticket.OriginPayer) — origin doubles as the replay-acquire
+	// origin-payer flag.
+	Held   bool `json:"held,omitempty"`
+	Origin bool `json:"origin,omitempty"`
+	// Settle-batch payload; WantResults asks for per-op outcomes.
+	Settles     []catalog.Settlement `json:"settles,omitempty"`
+	WantResults bool                 `json:"want_results,omitempty"`
+	// Replay-acquire quote.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// wireResp is one registry reply line (service → client). Exactly the
+// field matching the request's op is set; Error/Code report a failure.
+type wireResp struct {
+	Ticket   *catalog.Ticket        `json:"ticket,omitempty"`
+	Tickets  []catalog.Ticket       `json:"tickets,omitempty"`
+	Local    int                    `json:"local,omitempty"`
+	Refs     int                    `json:"refs,omitempty"`
+	Evicted  bool                   `json:"evicted,omitempty"`
+	Results  []catalog.SettleResult `json:"results,omitempty"`
+	Snapshot *catalog.Snapshot      `json:"snapshot,omitempty"`
+	Settles  []catalog.Settlement   `json:"settles,omitempty"`
+	Error    string                 `json:"error,omitempty"`
+	Code     string                 `json:"code,omitempty"`
+}
+
+// Sentinel codes carried on the wire, mapped back to the catalog
+// package's error chain client-side.
+const (
+	codeUnknownID = "unknown-id"
+	codeNotBound  = "not-bound"
+	codeClosed    = "closed"
+)
+
+// encodeErr maps a registry error onto its wire code.
+func encodeErr(err error) (code, msg string) {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownID):
+		code = codeUnknownID
+	case errors.Is(err, catalog.ErrNotBound):
+		code = codeNotBound
+	case errors.Is(err, catalog.ErrClosed):
+		code = codeClosed
+	}
+	return code, err.Error()
+}
+
+// decodeErr rebuilds the client-side error chain from a wire code.
+func decodeErr(code, msg string) error {
+	switch code {
+	case codeUnknownID:
+		return fmt.Errorf("%w: remote: %s", catalog.ErrUnknownID, msg)
+	case codeNotBound:
+		return fmt.Errorf("%w: remote: %s", catalog.ErrNotBound, msg)
+	case codeClosed:
+		return fmt.Errorf("%w: remote: %s", catalog.ErrClosed, msg)
+	}
+	return fmt.Errorf("catalog/remote: server error: %s", msg)
+}
+
+// Options configures a Client.
+type Options struct {
+	// Dial replaces net.Dial for the underlying connection (the chaos
+	// seam, like streamclient.DialOptions.Dial).
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// Client is a catalog.Service against a remote registry: one
+// persistent NDJSON connection, one request line per registry
+// operation, strictly serialized (request, then its reply — exactly
+// the owner-channel round trip the in-process registry already makes,
+// with the wire in the middle). Safe for concurrent use; concurrent
+// callers serialize on the connection the way in-process callers
+// serialize on the owner channel.
+type Client struct {
+	mu     sync.Mutex
+	conn   *streamclient.Conn
+	closed bool
+	buf    []byte // request-encoding scratch
+}
+
+var _ catalog.Service = (*Client)(nil)
+
+// Dial connects a Client to a catalog service at an mmdserve base URL
+// (e.g. "http://127.0.0.1:9101").
+func Dial(baseURL string, opts Options) (*Client, error) {
+	conn, err := streamclient.DialWith(baseURL, streamclient.DialOptions{
+		Dial: opts.Dial,
+		Path: WirePath,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("catalog/remote: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// roundTrip sends one request line and decodes its reply. Serialized:
+// the reply to the i-th request is the i-th response line.
+func (c *Client) roundTrip(req wireReq, resp *wireResp) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("%w: remote: client closed", catalog.ErrClosed)
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("catalog/remote: encode %s: %w", req.Op, err)
+	}
+	c.buf = append(c.buf[:0], line...)
+	if err := c.conn.SendRaw(c.buf); err != nil {
+		return fmt.Errorf("%w: remote: %v", catalog.ErrClosed, err)
+	}
+	if err := c.conn.Flush(); err != nil {
+		return fmt.Errorf("%w: remote: %v", catalog.ErrClosed, err)
+	}
+	raw, err := c.conn.RecvRaw()
+	if err != nil {
+		return fmt.Errorf("%w: remote: %v", catalog.ErrClosed, err)
+	}
+	*resp = wireResp{}
+	if err := json.Unmarshal(raw, resp); err != nil {
+		return fmt.Errorf("catalog/remote: bad reply to %s: %w", req.Op, err)
+	}
+	if resp.Error != "" {
+		return decodeErr(resp.Code, resp.Error)
+	}
+	return nil
+}
+
+// Acquire implements catalog.Service.
+func (c *Client) Acquire(id catalog.ID, tenant int) (catalog.Ticket, error) {
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "acquire", ID: string(id), Tenant: tenant}, &resp); err != nil {
+		return catalog.Ticket{}, err
+	}
+	if resp.Ticket == nil {
+		return catalog.Ticket{}, fmt.Errorf("catalog/remote: acquire reply without ticket")
+	}
+	return *resp.Ticket, nil
+}
+
+// AcquireBatch implements catalog.Service.
+func (c *Client) AcquireBatch(tenant int, ids []catalog.ID, out []catalog.Ticket) error {
+	if len(out) != len(ids) {
+		return fmt.Errorf("catalog: AcquireBatch: %d ids but %d ticket slots", len(ids), len(out))
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	wids := make([]string, len(ids))
+	for i, id := range ids {
+		wids[i] = string(id)
+	}
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "acquire-batch", Tenant: tenant, IDs: wids}, &resp); err != nil {
+		return err
+	}
+	if len(resp.Tickets) != len(ids) {
+		return fmt.Errorf("catalog/remote: acquire-batch: %d ids but %d tickets in reply", len(ids), len(resp.Tickets))
+	}
+	copy(out, resp.Tickets)
+	return nil
+}
+
+// Lookup implements catalog.Service.
+func (c *Client) Lookup(id catalog.ID, tenant int) (int, error) {
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "lookup", ID: string(id), Tenant: tenant}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Local, nil
+}
+
+// Release implements catalog.Service. Matching Registry.Release, a
+// transport failure reports zero values (the settlement may or may not
+// have reached the owner; recovery of a torn connection is the node
+// process's lifecycle problem, not the hot path's).
+func (c *Client) Release(id catalog.ID, tenant int, held, origin bool) (refs int, evicted bool) {
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "release", ID: string(id), Tenant: tenant, Held: held, Origin: origin}, &resp); err != nil {
+		return 0, false
+	}
+	return resp.Refs, resp.Evicted
+}
+
+// SettleBatch implements catalog.Service: the shard worker's ordered
+// settlement run crosses the wire as one line and applies in one owner
+// round trip, in order — worker-FIFO settlement, remote edition.
+func (c *Client) SettleBatch(ops []catalog.Settlement, out []catalog.SettleResult) error {
+	if out != nil && len(out) != len(ops) {
+		return fmt.Errorf("catalog: SettleBatch: %d ops but %d result slots", len(ops), len(out))
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "settle-batch", Settles: ops, WantResults: out != nil}, &resp); err != nil {
+		return err
+	}
+	if out != nil {
+		if len(resp.Results) != len(ops) {
+			return fmt.Errorf("catalog/remote: settle-batch: %d ops but %d results in reply", len(ops), len(resp.Results))
+		}
+		copy(out, resp.Results)
+	}
+	return nil
+}
+
+// Snapshot implements catalog.Service. Nil on transport failure,
+// matching the closed-registry behavior.
+func (c *Client) Snapshot() *catalog.Snapshot {
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "snapshot"}, &resp); err != nil {
+		return nil
+	}
+	return resp.Snapshot
+}
+
+// Close implements catalog.Service: it closes this client's
+// connection. The remote registry keeps serving its other nodes.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		_ = c.conn.Close()
+	}
+}
+
+// SetLogger implements catalog.Service by refusing: the remote
+// registry's durability plane lives in its own process.
+func (c *Client) SetLogger(catalog.Logger) error {
+	return fmt.Errorf("catalog/remote: a remote registry has no local durability plane")
+}
+
+// ReplayAcquire implements catalog.Service, forwarding the replayed
+// quote for the remote owner to verify.
+func (c *Client) ReplayAcquire(id catalog.ID, tenant int, scale float64, origin bool) error {
+	var resp wireResp
+	return c.roundTrip(wireReq{Op: "replay-acquire", ID: string(id), Tenant: tenant, Scale: scale, Origin: origin}, &resp)
+}
+
+// ReplaySettle implements catalog.Service.
+func (c *Client) ReplaySettle(s catalog.Settlement) error {
+	var resp wireResp
+	return c.roundTrip(wireReq{Op: "replay-settle", Settles: []catalog.Settlement{s}}, &resp)
+}
+
+// DanglingPending implements catalog.Service.
+func (c *Client) DanglingPending() ([]catalog.Settlement, error) {
+	var resp wireResp
+	if err := c.roundTrip(wireReq{Op: "dangling"}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Settles, nil
+}

@@ -1,0 +1,146 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/catalog"
+)
+
+// NewHandler serves reg on the catalog wire: POST /v1/catalog/wire is
+// the full-duplex NDJSON request/response channel (one reply line per
+// request line, flushed per reply, in request order), and
+// GET /v1/catalog returns the registry snapshot as JSON — the same
+// shape a single-process mmdserve serves, so fleet tooling reads the
+// catalog service and a node interchangeably.
+//
+// Each wire connection serializes its own requests (a node's single
+// Client guarantees that already); requests from different connections
+// interleave at the registry's owner goroutine, exactly as different
+// shard workers interleave in-process.
+func NewHandler(reg catalog.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+WirePath, func(w http.ResponseWriter, r *http.Request) {
+		serveWire(reg, w, r)
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if snap == nil {
+			http.Error(w, `{"error":"catalog closed"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+	return mux
+}
+
+// serveWire drives one wire connection: request line in, reply line
+// out, flush, repeat until the client closes its send side.
+func serveWire(reg catalog.Service, w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	// HTTP/1 servers half-close by default; the wire reads request lines
+	// while writing reply lines (errors mean the transport is already
+	// duplex or cannot be — either way we proceed).
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	enc := json.NewEncoder(w)
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 || (err != nil && err != io.EOF) {
+			return
+		}
+		var req wireReq
+		if uerr := json.Unmarshal(line, &req); uerr != nil {
+			_ = enc.Encode(wireResp{Error: fmt.Sprintf("bad request line: %v", uerr)})
+			_ = rc.Flush()
+			return
+		}
+		resp := dispatch(reg, &req)
+		if eerr := enc.Encode(resp); eerr != nil {
+			return
+		}
+		_ = rc.Flush()
+		if err == io.EOF {
+			return
+		}
+	}
+}
+
+// dispatch applies one wire request to the registry.
+func dispatch(reg catalog.Service, req *wireReq) wireResp {
+	switch req.Op {
+	case "acquire":
+		tk, err := reg.Acquire(catalog.ID(req.ID), req.Tenant)
+		if err != nil {
+			return errResp(err)
+		}
+		return wireResp{Ticket: &tk}
+	case "acquire-batch":
+		ids := make([]catalog.ID, len(req.IDs))
+		for i, s := range req.IDs {
+			ids[i] = catalog.ID(s)
+		}
+		tickets := make([]catalog.Ticket, len(ids))
+		if err := reg.AcquireBatch(req.Tenant, ids, tickets); err != nil {
+			return errResp(err)
+		}
+		return wireResp{Tickets: tickets}
+	case "lookup":
+		local, err := reg.Lookup(catalog.ID(req.ID), req.Tenant)
+		if err != nil {
+			return errResp(err)
+		}
+		return wireResp{Local: local}
+	case "release":
+		refs, evicted := reg.Release(catalog.ID(req.ID), req.Tenant, req.Held, req.Origin)
+		return wireResp{Refs: refs, Evicted: evicted}
+	case "settle-batch":
+		var out []catalog.SettleResult
+		if req.WantResults {
+			out = make([]catalog.SettleResult, len(req.Settles))
+		}
+		if err := reg.SettleBatch(req.Settles, out); err != nil {
+			return errResp(err)
+		}
+		return wireResp{Results: out}
+	case "snapshot":
+		snap := reg.Snapshot()
+		if snap == nil {
+			return errResp(fmt.Errorf("%w: snapshot after close", catalog.ErrClosed))
+		}
+		return wireResp{Snapshot: snap}
+	case "replay-acquire":
+		if err := reg.ReplayAcquire(catalog.ID(req.ID), req.Tenant, req.Scale, req.Origin); err != nil {
+			return errResp(err)
+		}
+		return wireResp{}
+	case "replay-settle":
+		if len(req.Settles) != 1 {
+			return wireResp{Error: fmt.Sprintf("replay-settle wants exactly 1 settlement, got %d", len(req.Settles))}
+		}
+		if err := reg.ReplaySettle(req.Settles[0]); err != nil {
+			return errResp(err)
+		}
+		return wireResp{}
+	case "dangling":
+		settles, err := reg.DanglingPending()
+		if err != nil {
+			return errResp(err)
+		}
+		return wireResp{Settles: settles}
+	}
+	return wireResp{Error: fmt.Sprintf("unknown op %q", strings.TrimSpace(req.Op))}
+}
+
+func errResp(err error) wireResp {
+	code, msg := encodeErr(err)
+	return wireResp{Error: msg, Code: code}
+}

@@ -229,7 +229,7 @@ type catalogLocal struct {
 }
 
 // catalogFor validates the tenant index and the presence of a catalog.
-func (c *Cluster) catalogFor(tenant int) (*catalog.Registry, error) {
+func (c *Cluster) catalogFor(tenant int) (catalog.Service, error) {
 	if tenant < 0 || tenant >= len(c.tenants) {
 		return nil, fmt.Errorf("%w: tenant %d out of range [0,%d)", ErrUnknownTenant, tenant, len(c.tenants))
 	}

@@ -232,8 +232,19 @@ type CatalogOptions struct {
 	Streams []catalog.Binding
 	// CostModel prices admissions from the current reference count; nil
 	// means catalog.Isolated (full price everywhere — bit-identical to
-	// the pre-catalog serving path).
+	// the pre-catalog serving path). Ignored when Remote is set — the
+	// remote registry prices with its own model.
 	CostModel catalog.CostModel
+	// Remote injects an already-connected catalog service client
+	// (serving API v7, see internal/catalog/remote) instead of building
+	// an in-process registry: refcounts and pricing live with the
+	// remote owner, shared by every node of a multi-process fleet.
+	// Streams is still required — the cluster keeps its own binding
+	// tables for worker-side settlement classification — and must match
+	// the bindings the remote registry was built with. Remote cannot be
+	// combined with Options.WAL: the registry's durability plane
+	// belongs to the process that owns the refcounts.
+	Remote catalog.Service
 }
 
 func (o Options) withDefaults(tenants int) Options {
@@ -376,8 +387,11 @@ type Cluster struct {
 	shardOf []int
 	shards  []*shard
 	// catalog is the fleet-level shared-stream registry (nil when
-	// Options.Catalog is nil); see OfferCatalogStream.
-	catalog *catalog.Registry
+	// Options.Catalog is nil); see OfferCatalogStream. It is the
+	// in-process *catalog.Registry unless Options.Catalog.Remote
+	// injected a wire client against a registry owned by another
+	// process (the fleet catalog service, serving API v7).
+	catalog catalog.Service
 	// catalogLocals[tenant] lists the tenant's catalog bindings in
 	// Options.Catalog.Streams order — the worker walks it after an
 	// installing re-solve to find fleet streams the new lineup dropped,
@@ -563,11 +577,18 @@ func newCluster(tenants []TenantConfig, opts Options, replay bool) (*Cluster, er
 				bound[key] = b.ID
 			}
 		}
-		reg, err := catalog.NewRegistry(opts.Catalog.Streams, opts.Catalog.CostModel)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
+		if opts.Catalog.Remote != nil {
+			if opts.WAL != nil {
+				return nil, fmt.Errorf("cluster: a remote catalog registry cannot be combined with a WAL (the registry's durability plane lives with the remote owner)")
+			}
+			c.catalog = opts.Catalog.Remote
+		} else {
+			reg, err := catalog.NewRegistry(opts.Catalog.Streams, opts.Catalog.CostModel)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+			c.catalog = reg
 		}
-		c.catalog = reg
 		c.catalogLocals = make([][]catalogLocal, len(c.tenants))
 		c.catalogByLocal = make([]map[int]catalog.ID, len(c.tenants))
 		c.heldCatalog = make([]map[catalog.ID]bool, len(c.tenants))

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,8 +14,10 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/catalog/remote"
 	"repro/internal/chaos"
 	"repro/internal/cluster"
+	"repro/internal/fleet"
 	"repro/internal/httpserve"
 	"repro/internal/wal"
 	"repro/streamclient"
@@ -576,15 +579,220 @@ func e15FlashCrowd(cfg E15Config, shards, recoverShards int, mi int) ([]string, 
 	return row, ok, nil
 }
 
+// e15MultiNode is the fleet drill: a catalog service, two node
+// processes, and a router (serving API v7) serve the schedule while a
+// chaos dialer cuts the router's first node connections mid-stream.
+// The router's upstream sessions redial and replay their unacked
+// window; the nodes' watermarks turn replays into dup acknowledgements,
+// so no event is double-applied even though the fault hits after a node
+// may have applied the in-flight event. The merged fleet snapshot must
+// render bit-identical to a 1-process control, and the registry must
+// drain to zero references through the router.
+func e15MultiNode(cfg E15Config, nodes, shards, mi int) ([]string, bool, error) {
+	m := e15Models[mi]
+	schedule := e15Schedule(cfg)
+
+	control, err := e15Control(cfg, shards, m.model, schedule)
+	if err != nil {
+		return nil, false, err
+	}
+	wantTables, wantCat, err := e14Renders(control)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := control.Close(); err != nil {
+		return nil, false, err
+	}
+
+	// The catalog service: one registry process owning every settlement.
+	reg, err := catalog.NewRegistry(catalog.IdentityBindings(cfg.Tenants, cfg.Channels, e14ChannelID), m.model)
+	if err != nil {
+		return nil, false, err
+	}
+	defer reg.Close()
+	catLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, false, err
+	}
+	catSrv := &http.Server{Handler: remote.NewHandler(reg)}
+	go func() { _ = catSrv.Serve(catLn) }()
+	defer catSrv.Close()
+	catURL := "http://" + catLn.Addr().String()
+
+	// The node processes: full clusters settling against the service.
+	urls := make([]string, nodes)
+	for k := 0; k < nodes; k++ {
+		rc, err := remote.Dial(catURL, remote.Options{})
+		if err != nil {
+			return nil, false, err
+		}
+		tenants, err := e15Tenants(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		opts := e15Options(cfg, shards, m.model)
+		opts.Catalog.Remote = rc
+		node, err := cluster.New(tenants, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		defer node.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, false, err
+		}
+		srv := &http.Server{Handler: httpserve.NewHandler(node)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		urls[k] = "http://" + ln.Addr().String()
+	}
+
+	// The router, with the chaos seam on its node dials: the first two
+	// router→node connections die after 9 writes; replacements are
+	// clean. The plan callback fires once per dial, so the count is the
+	// redial evidence (first contact costs one dial per node touched).
+	var dials atomic.Int64
+	dial := chaos.Dialer(func(i int) chaos.ConnScript {
+		dials.Add(1)
+		if i < 2 {
+			return chaos.ConnScript{CutAfterWrites: 9}
+		}
+		return chaos.ConnScript{}
+	}, nil)
+	rt, err := fleet.NewRouter(fleet.Options{
+		Plan:       fleet.Plan{Nodes: nodes, Shards: shards},
+		Nodes:      urls,
+		CatalogURL: catURL,
+		ID:         fmt.Sprintf("e15-mn-%d-%s", shards, m.name),
+		Dial:       dial,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	defer rt.Close()
+	rtLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, false, err
+	}
+	rtSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = rtSrv.Serve(rtLn) }()
+	defer rtSrv.Close()
+	rtURL := "http://" + rtLn.Addr().String()
+
+	drive := func(sid string, evs []streamclient.Event) (int, error) {
+		sess, err := streamclient.NewSession(rtURL, streamclient.SessionOptions{
+			ID: sid, Seed: cfg.Seed,
+			MaxAttempts: 16,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer sess.Close()
+		for i, ev := range evs {
+			if err := sess.Send(ev); err != nil {
+				return 0, fmt.Errorf("%s send %d: %w", sid, i, err)
+			}
+			for budget := 0; ; budget++ {
+				res, rerr := sess.Recv()
+				if rerr != nil {
+					return 0, fmt.Errorf("%s recv %d: %w", sid, i, rerr)
+				}
+				if res.Error != "" {
+					return 0, fmt.Errorf("%s event %d: server error %q", sid, i, res.Error)
+				}
+				if res.Seq == i+1 {
+					break
+				}
+				if budget > len(evs) {
+					return 0, fmt.Errorf("%s event %d: ack never arrived (last seq %d)", sid, i, res.Seq)
+				}
+			}
+		}
+		if err := sess.CloseSend(); err != nil {
+			return 0, err
+		}
+		for {
+			if _, err := sess.Recv(); err == io.EOF {
+				break
+			} else if err != nil {
+				return 0, fmt.Errorf("%s drain: %w", sid, err)
+			}
+		}
+		return sess.Dups(), nil
+	}
+	dups, err := drive("e15-mn-client", schedule)
+	if err != nil {
+		return nil, false, err
+	}
+	baseline := dials.Load() // dials spent serving the schedule, cuts included
+
+	// The merged fleet snapshot against the 1-process control.
+	resp, err := http.Get(rtURL + "/v1/fleet/snapshot")
+	if err != nil {
+		return nil, false, err
+	}
+	var fs cluster.FleetSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&fs)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, false, fmt.Errorf("merged snapshot: %w", err)
+	}
+	gotTables, gotCat := fs.RenderTenants(), ""
+	if fs.Catalog != nil {
+		gotCat = fs.Catalog.Render()
+	}
+	identical := gotTables == wantTables && gotCat == wantCat
+
+	// The reference audit, through the router: depart every confirmed
+	// holder and require the registry to settle at zero.
+	snap := reg.Snapshot()
+	if snap == nil {
+		return nil, false, fmt.Errorf("registry snapshot unavailable")
+	}
+	var drains []streamclient.Event
+	for _, e := range snap.Entries {
+		for _, t := range e.Holders {
+			drains = append(drains, streamclient.Event{Tenant: t, Type: "catalog-depart", CatalogID: string(e.ID)})
+		}
+	}
+	if _, err := drive("e15-mn-drain", drains); err != nil {
+		return nil, false, err
+	}
+	refsZero := true
+	if snap = reg.Snapshot(); snap == nil {
+		return nil, false, fmt.Errorf("registry snapshot unavailable after drain")
+	}
+	for _, e := range snap.Entries {
+		if e.Refs != 0 {
+			refsZero = false
+		}
+	}
+
+	// nodes dials reach the fleet fault-free; the two cut connections
+	// force at least two more.
+	redialed := baseline >= int64(nodes)+2
+	ok := identical && refsZero && redialed
+	row := []string{
+		"multi-node", d(shards), fmt.Sprintf("%d-node fleet", nodes), m.name, d(len(schedule)),
+		fmt.Sprintf("node-dials=%d dups=%d", baseline, dups),
+		fmt.Sprintf("%v", identical),
+		fmt.Sprintf("%v", refsZero),
+	}
+	return row, ok, nil
+}
+
 // E15ChaosDrills drills the chaos layer end to end: seeded disconnect
 // storms against the HTTP front end with a reconnecting exactly-once
 // client, latched fsync faults under group commit, and flash-crowd
 // queue storms under fail-fast backpressure — each followed by a crash
-// and a recovery into a different shard count. The claim holds when
-// every recovery renders bit-identical to its control, no event is
-// ever double-applied (watermark dedup + reference audit), and
-// post-fault submissions fail fast instead of acking non-durable
-// state.
+// and a recovery into a different shard count — plus a multi-node
+// fleet cell that cuts the router→node hop instead of the client hop.
+// The claim holds when every recovery (and the merged fleet) renders
+// bit-identical to its control, no event is ever double-applied
+// (watermark dedup + reference audit), and post-fault submissions fail
+// fast instead of acking non-durable state.
 func E15ChaosDrills(cfg E15Config) (*Table, error) {
 	t := &Table{
 		ID:    "E15",
@@ -627,6 +835,12 @@ func E15ChaosDrills(cfg E15Config) (*Table, error) {
 		if err := run(e15FlashCrowd(cfg, shards, recoverShards, (si+1)%len(e15Models))); err != nil {
 			return nil, fmt.Errorf("E15 flash-crowd: %w", err)
 		}
+	}
+	// One fleet cell: the disconnect storm's exactly-once claim, but
+	// with the cut on the router→node hop of a real multi-process fleet
+	// (serving API v7) instead of the client→server hop.
+	if err := run(e15MultiNode(cfg, 2, cfg.ShardCounts[len(cfg.ShardCounts)-1], 1)); err != nil {
+		return nil, fmt.Errorf("E15 multi-node: %w", err)
 	}
 	t.Verdict = verdict(allHold)
 	t.Notes = "Every drill is seeded and replayable: connection scripts, fsync " +

@@ -138,8 +138,8 @@ func TestE15HoldsOnDefaultConfig(t *testing.T) {
 		t.Fatalf("E15 verdict = %s", tab.Verdict)
 	}
 	// Disconnect runs shard counts x both models; fsync and flash-crowd
-	// run once per shard count.
-	want := len(cfg.ShardCounts)*len(e15Models) + 2*len(cfg.ShardCounts)
+	// run once per shard count; the multi-node fleet cell runs once.
+	want := len(cfg.ShardCounts)*len(e15Models) + 2*len(cfg.ShardCounts) + 1
 	if len(tab.Rows) != want || len(tab.Rows[0]) != len(tab.Columns) {
 		t.Fatalf("E15 table malformed (%d rows, want %d): %v", len(tab.Rows), want, tab.Rows)
 	}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+)
+
+// MergeSnapshots folds per-node snapshots into one fleet view. Every
+// node runs a full cluster, so each snapshot has a row for every
+// tenant; the merge takes each tenant's row from its owning node
+// (the only node that received its events), recomputes the fleet-wide
+// sums from the merged rows exactly as the cluster's barrier does, and
+// concatenates the nodes' shard tables with globally renumbered shard
+// indexes. cat, when non-nil, is the fleet catalog state read from the
+// catalog service (the nodes' own snapshots carry no registry — it
+// lives in its own process).
+//
+// The merged per-tenant section is the node-count-invariance artifact:
+// for a deterministic submission sequence it is bit-identical to the
+// 1-process cluster's, whatever the node count.
+func MergeSnapshots(plan Plan, snaps []*cluster.FleetSnapshot, cat *catalog.Snapshot) (*cluster.FleetSnapshot, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(snaps) != plan.Nodes {
+		return nil, fmt.Errorf("fleet: merge got %d snapshots for a %d-node plan", len(snaps), plan.Nodes)
+	}
+	tenants := -1
+	for n, s := range snaps {
+		if s == nil {
+			return nil, fmt.Errorf("fleet: merge: node %d snapshot missing", n)
+		}
+		if tenants == -1 {
+			tenants = len(s.Tenants)
+		} else if len(s.Tenants) != tenants {
+			return nil, fmt.Errorf("fleet: merge: node %d has %d tenants, node 0 has %d (fleet nodes must share options)", n, len(s.Tenants), tenants)
+		}
+	}
+	fs := &cluster.FleetSnapshot{
+		Tenants:     make([]cluster.TenantSnapshot, tenants),
+		AllFeasible: true,
+		Catalog:     cat,
+	}
+	for t := 0; t < tenants; t++ {
+		fs.Tenants[t] = snaps[plan.NodeOfTenant(t)].Tenants[t]
+	}
+	for _, snap := range fs.Tenants {
+		fs.Utility += snap.Utility
+		fs.Offered += snap.StreamsOffered
+		fs.Admitted += snap.StreamsAdmitted
+		fs.Departed += snap.StreamsDeparted
+		fs.Leaves += snap.UserLeaves
+		fs.Joins += snap.UserJoins
+		fs.Resolves += snap.Resolves
+		fs.Installs += snap.Installs
+		fs.ActiveStreams += snap.ActiveStreams
+		fs.Pairs += snap.Pairs
+		if !snap.Feasible {
+			fs.AllFeasible = false
+		}
+	}
+	for _, s := range snaps {
+		offset := fs.Shards
+		for _, st := range s.ShardStats {
+			st.Shard += offset
+			fs.ShardStats = append(fs.ShardStats, st)
+		}
+		fs.Shards += s.Shards
+	}
+	return fs, nil
+}

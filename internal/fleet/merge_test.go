@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// mergeSnap builds a synthetic node snapshot: every node reports a row
+// for every tenant (fleet nodes run full clusters), but only the rows
+// of owned tenants carry that node's real counters — the merge must
+// pick exactly those. mark disambiguates which node a row came from.
+func mergeSnap(tenants, shards int, mark float64) *cluster.FleetSnapshot {
+	fs := &cluster.FleetSnapshot{Shards: shards, AllFeasible: true}
+	for t := 0; t < tenants; t++ {
+		fs.Tenants = append(fs.Tenants, cluster.TenantSnapshot{
+			Policy:  "test",
+			Utility: mark + float64(t), StreamsOffered: t, StreamsAdmitted: t,
+			ActiveStreams: 1, Pairs: 2, Feasible: true,
+		})
+	}
+	for s := 0; s < shards; s++ {
+		fs.ShardStats = append(fs.ShardStats, cluster.ShardStats{Shard: s, Events: int(mark)})
+	}
+	return fs
+}
+
+// TestMergeSnapshotsPicksOwners pins row selection and the recomputed
+// sums: each tenant's row comes from its owning node, the fleet-wide
+// sums are sums over the merged rows, and shard tables concatenate
+// with globally renumbered indexes.
+func TestMergeSnapshotsPicksOwners(t *testing.T) {
+	plan := Plan{Nodes: 2, Shards: 4}
+	const tenants = 6
+	snaps := []*cluster.FleetSnapshot{
+		mergeSnap(tenants, 4, 100),
+		mergeSnap(tenants, 4, 200),
+	}
+	got, err := MergeSnapshots(plan, snaps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUtility := 0.0
+	for tn := 0; tn < tenants; tn++ {
+		mark := 100.0
+		if plan.NodeOfTenant(tn) == 1 {
+			mark = 200.0
+		}
+		if got.Tenants[tn].Utility != mark+float64(tn) {
+			t.Errorf("tenant %d row from wrong node: utility %v, want %v",
+				tn, got.Tenants[tn].Utility, mark+float64(tn))
+		}
+		wantUtility += mark + float64(tn)
+	}
+	if got.Utility != wantUtility {
+		t.Errorf("merged utility %v, want %v", got.Utility, wantUtility)
+	}
+	if got.ActiveStreams != tenants || got.Pairs != 2*tenants || !got.AllFeasible {
+		t.Errorf("merged sums wrong: %+v", got)
+	}
+	if got.Shards != 8 || len(got.ShardStats) != 8 {
+		t.Fatalf("merged shard table: %d shards, %d stats", got.Shards, len(got.ShardStats))
+	}
+	for i, st := range got.ShardStats {
+		if st.Shard != i {
+			t.Errorf("shard stat %d renumbered to %d", i, st.Shard)
+		}
+	}
+	if got.ShardStats[0].Events != 100 || got.ShardStats[4].Events != 200 {
+		t.Errorf("shard tables not concatenated in node order: %+v", got.ShardStats)
+	}
+}
+
+// TestMergeSnapshotsRejects pins the validation errors: wrong snapshot
+// count, a missing node snapshot, and nodes that disagree on the
+// tenant count (fleet nodes must share options).
+func TestMergeSnapshotsRejects(t *testing.T) {
+	plan := Plan{Nodes: 2, Shards: 2}
+	ok := mergeSnap(4, 2, 0)
+	cases := []struct {
+		name  string
+		snaps []*cluster.FleetSnapshot
+		want  string
+	}{
+		{"count", []*cluster.FleetSnapshot{ok}, "2-node plan"},
+		{"nil", []*cluster.FleetSnapshot{ok, nil}, "node 1 snapshot missing"},
+		{"tenants", []*cluster.FleetSnapshot{ok, mergeSnap(3, 2, 0)}, "must share options"},
+	}
+	for _, tc := range cases {
+		if _, err := MergeSnapshots(plan, tc.snaps, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := MergeSnapshots(Plan{}, nil, nil); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

@@ -1,0 +1,421 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/streamclient"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Plan maps tenants to nodes; Plan.Nodes must equal len(Nodes).
+	Plan Plan
+	// Nodes are the node base URLs in node-index order.
+	Nodes []string
+	// CatalogURL is the catalog service base URL, used for the merged
+	// snapshot's registry section and the /v1/catalog proxy. Empty
+	// falls back to the registry section the nodes themselves report
+	// (each node's snapshot reads it through its remote client).
+	CatalogURL string
+	// ID prefixes the router's upstream session IDs. Distinct routers
+	// sharing nodes must use distinct IDs; a restarted router reusing
+	// its ID resumes its upstream watermarks. Default "router".
+	ID string
+	// Dial replaces net.Dial for router→node stream connections (the
+	// chaos seam, see internal/chaos.Dialer).
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// Router fans streaming ingestion out across the fleet's nodes. It
+// holds transport state only — client watermarks and upstream
+// sessions — never assignment state; killing a router loses no fleet
+// state (clients resume through any router with the same upstream ID).
+//
+// Forwarding is serial per client connection: one event in flight at a
+// time, its result written back before the next line is read. That
+// serialization is what pins node-count invariance — the fleet-wide
+// event order equals the client submission order, so every node and
+// the catalog service observe exactly the order a 1-process cluster
+// would.
+type Router struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*routerSession
+	connSeq  atomic.Uint64
+
+	httpc *http.Client
+}
+
+// routerSession is the router-side state of one resumable client
+// session: the dedup watermark and the persistent upstream sessions.
+// Entries are never evicted (mirroring the node-side session table):
+// dropping one would reset the watermark and break the exactly-once
+// promise to a client that resumes later.
+type routerSession struct {
+	connMu    sync.Mutex // serializes connections claiming this session
+	watermark uint64     // highest client seq answered (guarded by connMu)
+	upstream  string     // upstream session ID prefix
+	nodes     []*streamclient.Session
+	nodeSeq   []uint64 // last upstream seq assigned per node
+}
+
+// NewRouter builds a router over the fleet's nodes.
+func NewRouter(opts Options) (*Router, error) {
+	if err := opts.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Nodes) != opts.Plan.Nodes {
+		return nil, fmt.Errorf("fleet: plan has %d nodes but %d node URLs given", opts.Plan.Nodes, len(opts.Nodes))
+	}
+	if opts.ID == "" {
+		opts.ID = "router"
+	}
+	return &Router{
+		opts:     opts,
+		sessions: make(map[string]*routerSession),
+		httpc:    &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// Handler returns the router's HTTP surface: the v4 stream endpoint,
+// the merged fleet snapshot, the catalog proxy, and the reshard
+// fan-out.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/stream", rt.handleStream)
+	mux.HandleFunc("GET /v1/fleet/snapshot", rt.handleSnapshot)
+	mux.HandleFunc("GET /v1/catalog", rt.handleCatalog)
+	mux.HandleFunc("POST /v1/admin/reshard", rt.handleReshard)
+	return mux
+}
+
+// Close tears down the persistent upstream sessions. In-flight client
+// connections fail over their own error paths.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, rs := range rt.sessions {
+		for _, s := range rs.nodes {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+	}
+	rt.sessions = make(map[string]*routerSession)
+}
+
+// session returns (creating if needed) the state of client session id.
+func (rt *Router) session(id string) *routerSession {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rs, ok := rt.sessions[id]
+	if !ok {
+		rs = rt.newSession(rt.opts.ID + "/" + id)
+		rt.sessions[id] = rs
+	}
+	return rs
+}
+
+// newSession builds session state with the given upstream ID prefix.
+func (rt *Router) newSession(upstream string) *routerSession {
+	return &routerSession{
+		upstream: upstream,
+		nodes:    make([]*streamclient.Session, rt.opts.Plan.Nodes),
+		nodeSeq:  make([]uint64, rt.opts.Plan.Nodes),
+	}
+}
+
+// node returns (dialing lazily) the upstream session for node n.
+// Called with rs.connMu held.
+func (rt *Router) node(rs *routerSession, n int) (*streamclient.Session, error) {
+	if rs.nodes[n] != nil {
+		return rs.nodes[n], nil
+	}
+	s, err := streamclient.NewSession(rt.opts.Nodes[n], streamclient.SessionOptions{
+		ID:   fmt.Sprintf("%s/n%d", rs.upstream, n),
+		Dial: rt.opts.Dial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs.nodes[n] = s
+	return s, nil
+}
+
+// forward routes one event to its owning node and waits for its
+// result. Serial per session: the upstream session has exactly one
+// event unacked, so the next result (dup acknowledgements included —
+// the exactly-once handoff when a node died after applying but before
+// answering) is this event's.
+func (rt *Router) forward(rs *routerSession, ev streamclient.Event) (streamclient.Result, error) {
+	n := rt.opts.Plan.NodeOfTenant(ev.Tenant)
+	sess, err := rt.node(rs, n)
+	if err != nil {
+		return streamclient.Result{}, err
+	}
+	ev.Seq = 0 // the upstream session assigns its own seqs
+	if err := sess.Send(ev); err != nil {
+		return streamclient.Result{}, err
+	}
+	rs.nodeSeq[n]++
+	want := rs.nodeSeq[n]
+	for {
+		res, err := sess.Recv()
+		if err != nil {
+			return streamclient.Result{}, err
+		}
+		if uint64(res.Seq) >= want {
+			return res, nil
+		}
+		// A stale dup acknowledgement for an already-answered seq
+		// (replayed window on a redial); the wanted result follows.
+	}
+}
+
+// handleStream proxies one client stream session: Event lines in,
+// Result lines out, in submission order, each event forwarded to its
+// owning node before the next is read. The client-facing protocol is
+// exactly the node's own /v1/stream — plain connections get 0-based
+// response seqs, X-Stream-Session connections get client-seq echoes,
+// contiguity checks, dup acknowledgements below the watermark, and an
+// Error-only Seq -1 line on a protocol violation.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	sid := r.Header.Get("X-Stream-Session")
+	var rs *routerSession
+	var base uint64
+	ephemeral := sid == ""
+	if ephemeral {
+		rs = rt.newSession(fmt.Sprintf("%s/conn-%d", rt.opts.ID, rt.connSeq.Add(1)))
+	} else {
+		rs = rt.session(sid)
+		rs.connMu.Lock()
+		defer rs.connMu.Unlock()
+		base = rs.watermark + 1
+	}
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	var protoErr error
+	body := bufio.NewReaderSize(r.Body, 32<<10)
+	outSeq := 0          // plain-mode response seq
+	lastSeq := uint64(0) // last client seq read (session mode)
+	var line []byte
+	var out []byte
+	for {
+		var err error
+		line, err = readStreamLine(body, line[:0])
+		if len(line) > 0 {
+			var ev streamclient.Event
+			if uerr := json.Unmarshal(line, &ev); uerr != nil {
+				protoErr = fmt.Errorf("bad event line: %w", uerr)
+				break
+			}
+			dup := false
+			if !ephemeral {
+				var perr error
+				switch {
+				case ev.Seq == 0:
+					perr = fmt.Errorf("session stream: line missing seq")
+				case lastSeq == 0 && ev.Seq > base:
+					perr = fmt.Errorf("session stream: seq %d skips past watermark %d", ev.Seq, base-1)
+				case lastSeq != 0 && ev.Seq != lastSeq+1:
+					perr = fmt.Errorf("session stream: seq %d after %d breaks contiguity", ev.Seq, lastSeq)
+				}
+				if perr != nil {
+					protoErr = perr
+					break
+				}
+				lastSeq = ev.Seq
+				dup = ev.Seq < base
+			}
+			if dup {
+				out = append(out[:0], `{"seq":`...)
+				out = strconv.AppendUint(out, ev.Seq, 10)
+				out = append(out, `,"dup":true}`+"\n"...)
+			} else {
+				res, ferr := rt.forward(rs, ev)
+				if ferr != nil {
+					protoErr = fmt.Errorf("node %d unreachable: %v", rt.opts.Plan.NodeOfTenant(ev.Tenant), ferr)
+					break
+				}
+				if ephemeral {
+					res.Seq = outSeq
+					outSeq++
+				} else {
+					res.Seq = int(ev.Seq)
+					rs.watermark = ev.Seq
+				}
+				out, _ = json.Marshal(res)
+				out = append(out, '\n')
+			}
+			if _, werr := w.Write(out); werr != nil {
+				break
+			}
+			if rc.Flush() != nil {
+				break
+			}
+		}
+		if err != nil {
+			break // io.EOF is the client's CloseSend; else a dead conn
+		}
+	}
+	if ephemeral {
+		// Nothing is in flight (serial), so the upstream sessions can
+		// close immediately; their node-side watermarks are garbage
+		// after this (the conn ID is never reused).
+		for _, s := range rs.nodes {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+	}
+	if protoErr != nil {
+		_ = json.NewEncoder(w).Encode(streamclient.Result{Seq: -1, Error: protoErr.Error()})
+		_ = rc.Flush()
+	}
+}
+
+// readStreamLine reads one NDJSON line into buf, tolerating a final
+// unterminated line.
+func readStreamLine(br *bufio.Reader, buf []byte) ([]byte, error) {
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if n := len(buf); n > 0 && buf[n-1] == '\n' {
+			buf = buf[:n-1]
+		}
+		return buf, err
+	}
+}
+
+// handleSnapshot merges the nodes' barrier snapshots into the fleet
+// view (see MergeSnapshots).
+func (rt *Router) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snaps := make([]*cluster.FleetSnapshot, len(rt.opts.Nodes))
+	for n, base := range rt.opts.Nodes {
+		var fs cluster.FleetSnapshot
+		if err := rt.getJSON(base+"/v1/fleet/snapshot", &fs); err != nil {
+			writeRouterError(w, http.StatusBadGateway, fmt.Errorf("node %d snapshot: %w", n, err))
+			return
+		}
+		snaps[n] = &fs
+	}
+	var cat *catalog.Snapshot
+	if rt.opts.CatalogURL != "" {
+		cat = new(catalog.Snapshot)
+		if err := rt.getJSON(rt.opts.CatalogURL+"/v1/catalog", cat); err != nil {
+			writeRouterError(w, http.StatusBadGateway, fmt.Errorf("catalog service: %w", err))
+			return
+		}
+	} else {
+		for _, s := range snaps {
+			if s.Catalog != nil {
+				cat = s.Catalog
+				break
+			}
+		}
+	}
+	merged, err := MergeSnapshots(rt.opts.Plan, snaps, cat)
+	if err != nil {
+		writeRouterError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(merged)
+}
+
+// handleCatalog proxies the registry snapshot from the catalog service
+// (or node 0 when the fleet runs an in-process catalog).
+func (rt *Router) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	base := rt.opts.CatalogURL
+	if base == "" {
+		base = rt.opts.Nodes[0]
+	}
+	resp, err := rt.httpc.Get(base + "/v1/catalog")
+	if err != nil {
+		writeRouterError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleReshard fans the shard-count change out to every node and
+// reports the summed post-cutover shard count. Any node refusing
+// (409: no WAL to replay) fails the whole call — the fan-out is not
+// atomic, so operators reshard one fleet configuration at a time.
+func (rt *Router) handleReshard(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, err)
+		return
+	}
+	total := 0
+	for n, base := range rt.opts.Nodes {
+		resp, err := rt.httpc.Post(base+"/v1/admin/reshard", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			writeRouterError(w, http.StatusBadGateway, fmt.Errorf("node %d reshard: %w", n, err))
+			return
+		}
+		bodyBytes, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(bodyBytes)
+			return
+		}
+		var out struct {
+			Shards int `json:"shards"`
+		}
+		if err := json.Unmarshal(bodyBytes, &out); err != nil {
+			writeRouterError(w, http.StatusBadGateway, fmt.Errorf("node %d reshard reply: %w", n, err))
+			return
+		}
+		total += out.Shards
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"shards\":%d}\n", total)
+}
+
+// getJSON fetches url and decodes its JSON body into v.
+func (rt *Router) getJSON(url string, v any) error {
+	resp, err := rt.httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("status %s: %s", resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// writeRouterError writes a JSON error body.
+func writeRouterError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

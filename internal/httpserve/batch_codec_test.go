@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"reflect"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -229,5 +231,63 @@ func TestBatchCodecAllocationFree(t *testing.T) {
 	encode() // warm the output buffer
 	if avg := testing.AllocsPerRun(200, encode); avg != 0 {
 		t.Fatalf("warm batch encode allocates %.2f per batch, want 0", avg)
+	}
+}
+
+// TestBatchFallbackDecodeStreams pins the stdlib half of the batch
+// codec: decodeBatchFallback walks the array with a json.Decoder into
+// the scratch's single reused eventRequest, so a non-canonical batch
+// never materializes an []eventRequest. The residual cost is one
+// string per element (the decoded type name — the stdlib always copies
+// strings out of its buffer) plus a small constant for the decoder
+// itself. The byte bound is the teeth: whole-array decoding costs
+// ~130 B/event here (backing array plus growth copies) versus ~15 for
+// the streaming walk, so reintroducing it blows straight past 48·n.
+func TestBatchFallbackDecodeStreams(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counters are unreliable under -race")
+	}
+	const n = 256
+	// Stream ids past the fast scanner's integer range keep the body
+	// off the canonical path, so this exercises exactly the route a
+	// non-canonical batch takes in serving.
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"type":"offer","stream":` + strconv.Itoa(1234567890123456+i) + `}`)
+	}
+	sb.WriteString("]")
+	s := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(s)
+	s.body = append(s.body[:0], sb.String()...)
+
+	s.events, s.types = s.events[:0], s.types[:0]
+	if ok, _ := fastParseBatch(s.body, s); ok {
+		t.Fatal("fast path accepted the oversized stream ids; fallback not exercised")
+	}
+
+	decode := func() {
+		s.events, s.types = s.events[:0], s.types[:0]
+		if badJSON, semantic := decodeBatchFallback(s); badJSON != nil || semantic != nil {
+			t.Fatalf("fallback decode: %v / %v", badJSON, semantic)
+		}
+	}
+	decode() // warm the event and type slices
+	if len(s.events) != n || s.events[0].Type != videodist.ClusterStreamArrival {
+		t.Fatalf("fallback decoded %d events (first %+v), want %d offers", len(s.events), s.events[0], n)
+	}
+	if avg := testing.AllocsPerRun(100, decode); avg > n+24 {
+		t.Fatalf("warm fallback decode allocates %.1f per %d-event batch, want <= %d (one string per element plus decoder overhead)", avg, n, n+24)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	decode()
+	runtime.ReadMemStats(&after)
+	if got, max := after.TotalAlloc-before.TotalAlloc, uint64(48*n); got > max {
+		t.Fatalf("warm fallback decode allocates %d bytes per %d-event batch, want <= %d (whole-array decode would materialize the batch)", got, n, max)
 	}
 }

@@ -192,7 +192,8 @@ type batchScratch struct {
 	body   []byte
 	events []videodist.ClusterEvent
 	types  []string
-	reqs   []eventRequest
+	req    eventRequest // fallback decode target, reused per element
+	rd     bytes.Reader // fallback decoder source, reset onto body
 	out    []byte
 }
 
@@ -316,6 +317,44 @@ func fastParseBatch(body []byte, s *batchScratch) (ok bool, err error) {
 	}
 }
 
+// decodeBatchFallback is the stdlib half of the batch codec, for
+// exotic-but-valid JSON the canonical scanner bailed on: a
+// json.Decoder walks the array token by token, decoding each element
+// into the scratch's single reused eventRequest and appending it
+// immediately — the batch is never materialized as an []eventRequest,
+// so a 10k-event body costs one decode target, not 10k. badJSON
+// reports malformed JSON (the stdlib's message, like the old
+// whole-array Unmarshal); semantic reports a body that parsed but was
+// rejected (unknown type, missing catalog_id).
+func decodeBatchFallback(bs *batchScratch) (badJSON, semantic error) {
+	bs.rd.Reset(bs.body)
+	dec := json.NewDecoder(&bs.rd)
+	tok, err := dec.Token()
+	if err != nil {
+		return err, nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("json: cannot unmarshal %v into batch array", tok), nil
+	}
+	for dec.More() {
+		bs.req = eventRequest{}
+		if err := dec.Decode(&bs.req); err != nil {
+			return err, nil
+		}
+		if err := appendBatchEvent(bs, bs.req.Type, bs.req.Stream, bs.req.User, bs.req.Install, bs.req.CatalogID); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // the closing ']'
+		return err, nil
+	}
+	// Unmarshal rejected trailing data; so does the streaming decoder.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("json: trailing data after batch array"), nil
+	}
+	return nil, nil
+}
+
 // appendBatchResponse appends one event's eventResponse object exactly
 // as the stdlib would encode it (field order, omitempty semantics), so
 // decoded responses stay identical to the pre-pooling handler's — the
@@ -397,15 +436,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	bs.events, bs.types = bs.events[:0], bs.types[:0]
 	ok, perr := fastParseBatch(bs.body, bs)
 	if !ok && perr == nil {
-		bs.events, bs.types, bs.reqs = bs.events[:0], bs.types[:0], bs.reqs[:0]
-		if err := json.Unmarshal(bs.body, &bs.reqs); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		bs.events, bs.types = bs.events[:0], bs.types[:0]
+		var badJSON error
+		badJSON, perr = decodeBatchFallback(bs)
+		if badJSON != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", badJSON))
 			return
-		}
-		for _, req := range bs.reqs {
-			if perr = appendBatchEvent(bs, req.Type, req.Stream, req.User, req.Install, req.CatalogID); perr != nil {
-				break
-			}
 		}
 	}
 	if perr != nil {

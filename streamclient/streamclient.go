@@ -166,6 +166,12 @@ type DialOptions struct {
 	// the X-Stream-Session id a resumable session announces itself
 	// with. Values must be header-safe; they are written verbatim.
 	Header map[string]string
+	// Path overrides the request path (default "/v1/stream"). Other
+	// full-duplex NDJSON endpoints — the fleet catalog service's wire
+	// protocol among them — ride the same chunked transport by pointing
+	// a Conn at their path and exchanging raw lines via SendRaw /
+	// RecvRaw.
+	Path string
 }
 
 // Dial opens a streaming session against an mmdserve base URL (e.g.
@@ -208,10 +214,14 @@ func DialWith(baseURL string, opts DialOptions) (*Conn, error) {
 		// kernel caps it).
 		_ = tc.SetReadBuffer(4 << 20)
 	}
+	path := opts.Path
+	if path == "" {
+		path = "/v1/stream"
+	}
 	bw := bufio.NewWriter(conn)
-	fmt.Fprintf(bw, "POST /v1/stream HTTP/1.1\r\nHost: %s\r\n"+
+	fmt.Fprintf(bw, "POST %s HTTP/1.1\r\nHost: %s\r\n"+
 		"Content-Type: application/x-ndjson\r\nAccept: application/x-ndjson\r\n"+
-		"Transfer-Encoding: chunked\r\n", host)
+		"Transfer-Encoding: chunked\r\n", path, host)
 	for k, v := range opts.Header {
 		fmt.Fprintf(bw, "%s: %s\r\n", k, v)
 	}
@@ -239,6 +249,24 @@ func (c *Conn) Send(ev Event) error {
 	c.sendBuf = append(c.sendBuf, '\n')
 	// Lines accumulate and leave as one chunk per flush — large chunks
 	// amortize the chunked-transfer framing as well as the syscall.
+	if len(c.sendBuf) >= 16<<10 {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// SendRaw pipelines one preformatted wire line (without a trailing
+// newline) — the generic-protocol twin of Send for Conns pointed at
+// other NDJSON endpoints via DialOptions.Path. The buffering and flush
+// policy match Send's.
+func (c *Conn) SendRaw(line []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.sendClosed {
+		return fmt.Errorf("streamclient: send side closed")
+	}
+	c.sendBuf = append(c.sendBuf, line...)
+	c.sendBuf = append(c.sendBuf, '\n')
 	if len(c.sendBuf) >= 16<<10 {
 		return c.flushLocked()
 	}

@@ -214,6 +214,11 @@ type (
 	// CatalogSnapshot is the registry state embedded in FleetSnapshot
 	// (per-stream reference counts, origin-cost savings).
 	CatalogSnapshot = catalog.Snapshot
+	// CatalogService is the registry seam CatalogOptions.Remote takes
+	// (serving API v7): a fleet node plugs in a wire client dialed
+	// against a catalog service process (internal/catalog/remote) in
+	// place of its in-process registry.
+	CatalogService = catalog.Service
 )
 
 // Durability (serving API v5): per-shard write-ahead logging,
