@@ -29,6 +29,14 @@ type benchBaseline struct {
 		EventsPerOp  float64 `json:"events_per_op"`
 		EventsPerSec float64 `json:"events_per_sec"`
 	} `json:"benchmarks"`
+	Workloads map[string]struct {
+		Iterations   int     `json:"iterations"`
+		NsPerOp      float64 `json:"ns_per_op"`
+		AllocsPerOp  int64   `json:"allocs_per_op"`
+		BytesPerOp   int64   `json:"bytes_per_op"`
+		EventsPerOp  float64 `json:"events_per_op"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"workloads"`
 	Durability *struct {
 		WALOffEventsPerSec float64 `json:"wal_off_events_per_sec"`
 		SyncPolicies       []struct {
@@ -41,6 +49,7 @@ type benchBaseline struct {
 		Note string `json:"note"`
 	} `json:"durability"`
 	Saturation []struct {
+		Workload     string  `json:"workload"`
 		Shards       int     `json:"shards"`
 		GoMaxProcs   int     `json:"gomaxprocs"`
 		Submitters   int     `json:"submitters"`
@@ -102,6 +111,20 @@ func TestBenchServingBaselineSchema(t *testing.T) {
 	for _, name := range []string{"StreamIngest/stream", "StreamIngest/batch16", "StreamIngest/single"} {
 		if rec := base.Benchmarks[name]; rec.EventsPerSec <= 0 {
 			t.Fatalf("benchmark %q: events_per_sec=%v", name, rec.EventsPerSec)
+		}
+	}
+
+	// The generator-workload section: both skewed ingestion runs must be
+	// present with real measurements, so the baseline always records how
+	// the serving path handles non-uniform traffic.
+	for _, name := range []string{"zipf-flash", "diurnal"} {
+		rec, ok := base.Workloads[name]
+		if !ok {
+			t.Fatalf("workload %q missing from baseline", name)
+		}
+		if rec.Iterations < 1 || rec.NsPerOp <= 0 || rec.EventsPerSec <= 0 {
+			t.Fatalf("workload %q: iterations=%d ns_per_op=%v events_per_sec=%v",
+				name, rec.Iterations, rec.NsPerOp, rec.EventsPerSec)
 		}
 	}
 

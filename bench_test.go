@@ -502,6 +502,18 @@ func BenchmarkSaturation(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkloadIngest measures ingestion of the generator
+// subsystem's skewed traffic — Zipf popularity with a flash crowd, and
+// diurnal churn — over one persistent /v1/stream connection against a
+// catalog-enabled fleet. The gap to BenchmarkStreamIngest/stream is
+// what skew, catalog admission, and gateway churn together cost on the
+// same wire path; recorded in BENCH_serving.json's workloads section.
+func BenchmarkWorkloadIngest(b *testing.B) {
+	for _, kind := range benchkit.WorkloadKinds() {
+		b.Run(kind, func(b *testing.B) { benchkit.WorkloadIngest(b, kind) })
+	}
+}
+
 // BenchmarkExperimentSuite runs the entire mmdbench table suite once
 // per iteration — the one-stop reproduction benchmark.
 func BenchmarkExperimentSuite(b *testing.B) {

@@ -11,10 +11,13 @@
 // The baseline's "saturation" section is the scaling curve: the
 // concurrent-submitter harness swept over a shards x GOMAXPROCS grid,
 // each cell reporting acked events/sec and p50/p99 ack latency
-// (-sat-shards, -sat-procs, -sat-rounds tune the sweep). The
+// (-sat-shards, -sat-procs, -sat-rounds tune the sweep; -sat-workload
+// swaps the uniform session workload for a generator schedule). The
 // "durability" section prices the WAL: StreamIngest/stream rerun with
 // each sync policy journaling before the ack, each as a ratio of the
-// WAL-off reference.
+// WAL-off reference. The "workloads" section records the
+// generator-driven ingestion runs (Zipf flash crowd, diurnal churn)
+// against a catalog-enabled fleet.
 //
 // Usage:
 //
@@ -22,6 +25,7 @@
 //	mmdbench -only E5               # run one experiment
 //	mmdbench -json BENCH_serving.json  # write the serving perf baseline
 //	mmdbench -json out.json -sat-shards 1,8 -sat-procs 2 -sat-rounds 1
+//	mmdbench -json out.json -sat-workload zipf-flash
 package main
 
 import (
@@ -45,9 +49,10 @@ func main() {
 	satShards := flag.String("sat-shards", "1,2,4,8", "comma-separated shard counts for the saturation sweep")
 	satProcs := flag.String("sat-procs", "1,2,4,8", "comma-separated GOMAXPROCS values for the saturation sweep")
 	satRounds := flag.Int("sat-rounds", 2, "workload rounds per saturation cell")
+	satWorkload := flag.String("sat-workload", "", "generator workload for the saturation sweep (zipf-flash, diurnal; empty = uniform sessions)")
 	flag.Parse()
 	if *jsonPath != "" {
-		if err := writeServingBaseline(*jsonPath, *satShards, *satProcs, *satRounds); err != nil {
+		if err := writeServingBaseline(*jsonPath, *satShards, *satProcs, *satRounds, *satWorkload); err != nil {
 			fmt.Fprintln(os.Stderr, "mmdbench:", err)
 			os.Exit(1)
 		}
@@ -96,6 +101,9 @@ type benchRecord struct {
 // concurrent-submitter session workload measured at one
 // (shards, GOMAXPROCS) setting.
 type saturationRecord struct {
+	// Workload names the generator schedule driven through the cell;
+	// empty means the uniform session workload.
+	Workload     string  `json:"workload,omitempty"`
 	Shards       int     `json:"shards"`
 	GoMaxProcs   int     `json:"gomaxprocs"`
 	Submitters   int     `json:"submitters"`
@@ -139,6 +147,9 @@ type servingBaseline struct {
 	// GOMAXPROCS axis should be read against.
 	NumCPU     int                    `json:"num_cpu"`
 	Benchmarks map[string]benchRecord `json:"benchmarks"`
+	// Workloads snapshots the generator-driven ingestion benchmarks
+	// (WorkloadIngest/*), keyed by workload kind.
+	Workloads  map[string]benchRecord `json:"workloads"`
 	Durability *durabilitySection     `json:"durability"`
 	Saturation []saturationRecord     `json:"saturation"`
 }
@@ -156,7 +167,7 @@ func parseGrid(flagName, s string) ([]int, error) {
 	return out, nil
 }
 
-func writeServingBaseline(path, satShards, satProcs string, satRounds int) error {
+func writeServingBaseline(path, satShards, satProcs string, satRounds int, satWorkload string) error {
 	shardGrid, err := parseGrid("sat-shards", satShards)
 	if err != nil {
 		return err
@@ -171,6 +182,7 @@ func writeServingBaseline(path, satShards, satProcs string, satRounds int) error
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: map[string]benchRecord{},
+		Workloads:  map[string]benchRecord{},
 	}
 	for _, bench := range benchkit.ServingBenchmarks() {
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", bench.Name)
@@ -191,6 +203,26 @@ func writeServingBaseline(path, satShards, satProcs string, satRounds int) error
 			rec.EventsPerSec = v
 		}
 		base.Benchmarks[bench.Name] = rec
+	}
+	for _, bench := range benchkit.WorkloadBenchmarks() {
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", bench.Name)
+		res := testing.Benchmark(bench.F)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (failed inside testing.Benchmark)", bench.Name)
+		}
+		rec := benchRecord{
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if v, ok := res.Extra["events/op"]; ok {
+			rec.EventsPerOp = v
+		}
+		if v, ok := res.Extra["events/sec"]; ok {
+			rec.EventsPerSec = v
+		}
+		base.Workloads[strings.TrimPrefix(bench.Name, "WorkloadIngest/")] = rec
 	}
 	walOff := base.Benchmarks["StreamIngest/stream"].EventsPerSec
 	base.Durability = &durabilitySection{
@@ -226,11 +258,12 @@ func writeServingBaseline(path, satShards, satProcs string, satRounds int) error
 	for _, s := range shardGrid {
 		for _, p := range procGrid {
 			fmt.Fprintf(os.Stderr, "saturating shards=%d gomaxprocs=%d...\n", s, p)
-			pt, err := benchkit.Saturate(s, p, satRounds)
+			pt, err := benchkit.SaturateWorkload(s, p, satRounds, satWorkload)
 			if err != nil {
 				return fmt.Errorf("saturation shards=%d procs=%d: %w", s, p, err)
 			}
 			base.Saturation = append(base.Saturation, saturationRecord{
+				Workload:     satWorkload,
 				Shards:       pt.Shards,
 				GoMaxProcs:   pt.GoMaxProcs,
 				Submitters:   pt.Submitters,

@@ -91,6 +91,86 @@ func TestBoundsHandCheck(t *testing.T) {
 	}
 }
 
+// TestBoundsSingleSaturatingStream: one stream costing exactly the
+// budget — the fractional relaxation has nothing to split, so every
+// bound is tight against OPT.
+func TestBoundsSingleSaturatingStream(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{{Name: "big", Costs: []float64{1}}},
+		Users: []mmd.User{{
+			Utility: []float64{6}, Loads: [][]float64{{6}}, Capacities: []float64{10},
+		}},
+		Budgets: []float64{1},
+	}
+	opt, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Value != 6 {
+		t.Fatalf("OPT = %v, want 6", opt.Value)
+	}
+	for name, got := range map[string]float64{
+		"ServerBound": bounds.ServerBound(in),
+		"UserBound":   bounds.UserBound(in),
+		"UpperBound":  bounds.UpperBound(in),
+	} {
+		if math.Abs(got-6) > 1e-12 {
+			t.Fatalf("%s = %v, want 6 (tight)", name, got)
+		}
+	}
+}
+
+// TestBoundsEmptyTenants: no interest anywhere (and then no users at
+// all) must give zero bounds, not NaN or a spurious positive value.
+func TestBoundsEmptyTenants(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{{Name: "a", Costs: []float64{1}}},
+		Users: []mmd.User{
+			{Utility: []float64{0}, Loads: [][]float64{{0}}, Capacities: []float64{1}},
+		},
+		Budgets: []float64{10},
+	}
+	for name, got := range map[string]float64{
+		"ServerBound": bounds.ServerBound(in),
+		"UserBound":   bounds.UserBound(in),
+		"UpperBound":  bounds.UpperBound(in),
+	} {
+		if got != 0 {
+			t.Fatalf("zero-interest %s = %v, want 0", name, got)
+		}
+	}
+	bare := &mmd.Instance{Budgets: []float64{1}}
+	if got := bounds.UpperBound(bare); got != 0 {
+		t.Fatalf("userless UpperBound = %v, want 0", got)
+	}
+}
+
+// TestUpperBoundDominatesLargeStreamsOPT sweeps the adversarial
+// generator across the small-streams boundary — including streams that
+// saturate the budget outright — and requires every bound to dominate
+// the exact optimum on instances E17 actually measures.
+func TestUpperBoundDominatesLargeStreamsOPT(t *testing.T) {
+	const tol = 1e-9
+	for _, fraction := range []float64{0.05, 0.3, 0.6, 0.95, 1} {
+		in, err := generator.LargeStreams{
+			Streams: 8, Users: 3, Seed: 72, SizeFraction: fraction,
+		}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in, exact.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounds.ServerBound(in) < opt.Value-tol ||
+			bounds.UserBound(in) < opt.Value-tol ||
+			bounds.UpperBound(in) < opt.Value-tol {
+			t.Fatalf("fraction %v: a bound fell below OPT %v (server %v, user %v, upper %v)",
+				fraction, opt.Value, bounds.ServerBound(in), bounds.UserBound(in), bounds.UpperBound(in))
+		}
+	}
+}
+
 func TestUserBoundZeroCapacity(t *testing.T) {
 	in := &mmd.Instance{
 		Streams: []mmd.Stream{{Name: "a", Costs: []float64{1}}},

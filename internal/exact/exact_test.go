@@ -232,3 +232,81 @@ func TestSolveEmptyInstance(t *testing.T) {
 		t.Fatalf("empty instance OPT = %v, want 0", res.Value)
 	}
 }
+
+// TestSolveBudgetSaturatingStream pins the boundary the adversarial
+// generator lives on: a stream costing exactly the budget is the
+// largest legal stream — admissible, and OPT takes it — while any
+// overshoot is an invalid instance the model rejects outright rather
+// than a stream the solver silently drops.
+func TestSolveBudgetSaturatingStream(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{{Name: "big", Costs: []float64{1}}},
+		Users: []mmd.User{{
+			Utility: []float64{3}, Loads: [][]float64{{3}}, Capacities: []float64{10},
+		}},
+		Budgets: []float64{1},
+	}
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 || !res.Assignment.Has(0, 0) {
+		t.Fatalf("cost==budget: Value = %v (assignment %v), want 3 with the stream carried",
+			res.Value, res.Assignment.Range())
+	}
+	in.Streams[0].Costs[0] = 1.5
+	if _, err := exact.Solve(in, exact.Options{}); err == nil {
+		t.Fatal("cost>budget: Solve accepted an instance the model forbids")
+	}
+}
+
+// TestSolveZeroInterestUsers: users exist but want nothing — the
+// degenerate tenant shape the fleet generators can emit for tenants
+// whose seed draws no interest in a channel.
+func TestSolveZeroInterestUsers(t *testing.T) {
+	in := &mmd.Instance{
+		Streams: []mmd.Stream{
+			{Name: "a", Costs: []float64{1}},
+			{Name: "b", Costs: []float64{2}},
+		},
+		Users: []mmd.User{
+			{Utility: []float64{0, 0}, Loads: [][]float64{{0, 0}}, Capacities: []float64{1}},
+			{Utility: []float64{0, 0}, Loads: [][]float64{{0, 0}}, Capacities: []float64{1}},
+		},
+		Budgets: []float64{10},
+	}
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("zero-interest OPT = %v, want 0", res.Value)
+	}
+}
+
+// TestSolveLargeStreamsAtFractionOne: when every stream costs about
+// the whole budget, OPT can carry exactly one of them — the extreme
+// point of E17's sweep, checked here directly against the solver.
+func TestSolveLargeStreamsAtFractionOne(t *testing.T) {
+	in, err := generator.LargeStreams{
+		Streams: 8, Users: 3, Seed: 63, SizeFraction: 1,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exact.Solve(in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default jitter keeps every cost >= 0.9 of the budget, so any two
+	// streams together overshoot: the optimum is a single stream.
+	if got := len(res.Assignment.Range()); got != 1 {
+		t.Fatalf("carried %d streams, want exactly 1: %v", got, res.Assignment.Range())
+	}
+	if err := res.Assignment.CheckFeasible(in); err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0 {
+		t.Fatalf("Value = %v, want > 0", res.Value)
+	}
+}

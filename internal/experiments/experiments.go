@@ -23,6 +23,8 @@
 //	E13 fleet catalog: shared-origin pricing vs isolated tenants
 //	E14 durability: crash recovery from the per-shard WAL, layout-free
 //	E15 chaos: seeded fault drills — disconnects, fsync faults, flash crowds
+//	E16 workload: Zipf flash crowd + diurnal churn through the serving stack
+//	E17 adversarial: competitive ratio vs stream size, in/out of regime
 //	A1  ablation: paper-faithful lift vs greedy-merging lift
 //	A2  ablation: raw greedy vs fixed greedy on the blocking family
 //	A3  ablation: online allocator sensitivity to mu
@@ -112,6 +114,8 @@ func All() ([]*Table, error) {
 		{"E13", func() (*Table, error) { return E13SharedCatalog(DefaultE13()) }},
 		{"E14", func() (*Table, error) { return E14CrashRecovery(DefaultE14()) }},
 		{"E15", func() (*Table, error) { return E15ChaosDrills(DefaultE15()) }},
+		{"E16", func() (*Table, error) { return E16FlashCrowd(DefaultE16()) }},
+		{"E17", func() (*Table, error) { return E17CompetitiveStress(DefaultE17()) }},
 		{"A1", func() (*Table, error) { return A1LiftAblation(DefaultA1()) }},
 		{"A2", func() (*Table, error) { return A2BlockingFamily(DefaultA2()) }},
 		{"A3", func() (*Table, error) { return A3MuSensitivity(DefaultA3()) }},

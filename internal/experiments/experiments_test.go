@@ -150,6 +150,60 @@ func TestE15HoldsOnDefaultConfig(t *testing.T) {
 	}
 }
 
+func TestE16HoldsOnDefaultConfig(t *testing.T) {
+	cfg := DefaultE16()
+	if testing.Short() {
+		// The workload smoke keeps two shard counts so shard-count
+		// invariance is still compared, not vacuous.
+		cfg.ShardCounts = []int{1, 2}
+	}
+	tab, err := E16FlashCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E16 verdict = %s", tab.Verdict)
+	}
+	want := len(cfg.ShardCounts) * len(e15Models)
+	if len(tab.Rows) != want || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("E16 table malformed (%d rows, want %d): %v", len(tab.Rows), want, tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "true" || row[7] != "true" {
+			t.Fatalf("E16 row failed: %v", row)
+		}
+	}
+}
+
+func TestE17HoldsOnDefaultConfig(t *testing.T) {
+	cfg := DefaultE17()
+	if testing.Short() {
+		// Keep both regimes represented with fewer sweep points.
+		cfg.Fractions = []float64{0.05, 0.45, 0.95}
+		cfg.Orders = 2
+	}
+	tab, err := E17CompetitiveStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Verdict != "HOLDS" {
+		t.Fatalf("E17 verdict = %s", tab.Verdict)
+	}
+	if len(tab.Rows) != len(cfg.Fractions) || len(tab.Rows[0]) != len(tab.Columns) {
+		t.Fatalf("E17 table malformed: %v", tab.Rows)
+	}
+	if tab.Figure == "" {
+		t.Fatal("E17 degradation figure missing")
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		seen[row[1]] = true
+	}
+	if !seen["in"] || !seen["OUT"] {
+		t.Fatalf("E17 sweep did not cross the regime boundary: %v", tab.Rows)
+	}
+}
+
 func TestE13HoldsOnDefaultConfig(t *testing.T) {
 	tab, err := E13SharedCatalog(DefaultE13())
 	if err != nil {

@@ -1,0 +1,115 @@
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mmd"
+)
+
+// LargeStreams generates adversarial MMD instances whose streams are
+// sized as a controlled fraction of the server budget — the knob the
+// Section 5 small-streams assumption turns on. The instance has one
+// server measure with budget 1 and every stream costs about
+// SizeFraction, with the first stream pinned to exactly SizeFraction so
+// the largest cost-to-budget ratio is known. online.Normalize scales
+// each cost row and its budget by the same ratio, so that ratio is
+// scale-invariant: the instance is in-regime iff
+// SizeFraction <= 1/log2(mu). Sweeping SizeFraction from small to near
+// 1 walks the allocator from well inside the proven guarantee to an
+// outright violation of its hypothesis, which is exactly the sweep E17
+// measures. User capacities are kept ample so only the server-side
+// hypothesis is ever at stake.
+type LargeStreams struct {
+	// Streams and Users are the instance dimensions.
+	Streams, Users int
+	// Seed drives all randomness.
+	Seed int64
+	// SizeFraction in (0, 1] is the cost of the largest stream as a
+	// fraction of the server budget.
+	SizeFraction float64
+	// Jitter in [0, 1) shrinks the other streams by up to this factor
+	// below SizeFraction (default 0.1), keeping every stream "large".
+	Jitter float64
+	// Density is the probability a user wants a stream (default 0.8).
+	Density float64
+	// CapacityFactor scales per-user capacity above the user's total
+	// possible load (default 4), so user measures never bind.
+	CapacityFactor float64
+}
+
+func (c LargeStreams) withDefaults() LargeStreams {
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.Density == 0 {
+		c.Density = 0.8
+	}
+	if c.CapacityFactor == 0 {
+		c.CapacityFactor = 4
+	}
+	return c
+}
+
+// Generate builds the instance. Same seed ⇒ identical instance.
+func (c LargeStreams) Generate() (*mmd.Instance, error) {
+	c = c.withDefaults()
+	if c.Streams < 1 || c.Users < 1 {
+		return nil, fmt.Errorf("generator: large streams needs >= 1 stream and user; got %d, %d", c.Streams, c.Users)
+	}
+	if c.SizeFraction <= 0 || c.SizeFraction > 1 {
+		return nil, fmt.Errorf("generator: size fraction %v outside (0, 1]", c.SizeFraction)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return nil, fmt.Errorf("generator: jitter %v outside [0, 1)", c.Jitter)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	in := &mmd.Instance{Budgets: []float64{1}}
+	for s := 0; s < c.Streams; s++ {
+		cost := c.SizeFraction
+		if s > 0 {
+			// Jitter strictly downward: SizeFraction stays the max.
+			cost *= 1 - c.Jitter*rng.Float64()
+		}
+		in.Streams = append(in.Streams, mmd.Stream{
+			Name:  fmt.Sprintf("big-%02d", s),
+			Costs: []float64{cost},
+		})
+	}
+	for u := 0; u < c.Users; u++ {
+		user := mmd.User{
+			Name:    fmt.Sprintf("gw-%02d", u),
+			Utility: make([]float64, c.Streams),
+			Loads:   [][]float64{make([]float64, c.Streams)},
+		}
+		total := 0.0
+		for s := 0; s < c.Streams; s++ {
+			w := 1 + rng.Float64()
+			keep := rng.Float64() < c.Density
+			// The first user always wants the first (largest) stream,
+			// so the instance is never vacuously empty and the pinned
+			// maximum cost always matters.
+			if u == 0 && s == 0 {
+				keep = true
+			}
+			if !keep {
+				continue
+			}
+			user.Utility[s] = w
+			user.Loads[0][s] = w // unit skew: load mirrors utility
+			total += w
+		}
+		capacity := c.CapacityFactor * total
+		if capacity == 0 {
+			capacity = 1
+		}
+		user.Capacities = []float64{capacity}
+		in.Users = append(in.Users, user)
+	}
+	in.ZeroOverloadedUtilities()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: large streams produced invalid instance: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,146 @@
+package generator_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/generator"
+)
+
+// FuzzGeneratorDeterminism derives workload-generator configs from fuzz
+// bytes and asserts the subsystem's core contract twice over: every
+// generator is a pure function of its seed (generating twice yields
+// DeepEqual schedules/instances), and every schedule honors its shape
+// invariants — non-decreasing virtual time, indices in range, the crowd
+// CatalogID absent from background traffic, and presence-consistent
+// leave/join churn. The seeded-twin structure mirrors
+// FuzzFaultSchedule in internal/chaos.
+func FuzzGeneratorDeterminism(f *testing.F) {
+	f.Add([]byte{3, 10, 4, 7, 2, 1, 50})  // small fleet, mid fraction
+	f.Add([]byte{8, 40, 10, 0, 5, 2, 5})  // benchmark-shaped fleet
+	f.Add([]byte{1, 2, 1, 255, 0, 0, 99}) // minimal dims, near-budget streams
+	f.Add([]byte{6, 12, 4, 33, 3, 1, 20}) // E16-shaped fleet
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 7 {
+			return
+		}
+		tenants := int(data[0])%8 + 1
+		channels := int(data[1])%24 + 2
+		gateways := int(data[2])%6 + 1
+		seed := int64(data[3]) + int64(data[6])<<8
+		rounds := int(data[4])%6 + 1
+		days := int(data[5])%2 + 1
+		fraction := (float64(data[6]) + 1) / 256 // in (0, 1]
+
+		zcfg := generator.ZipfFlashCrowd{
+			Tenants: tenants, Channels: channels, Gateways: gateways,
+			Seed: seed, Rounds: rounds,
+		}
+		z1, err := zcfg.Generate()
+		if err != nil {
+			t.Fatalf("zipf generate: %v", err)
+		}
+		z2, err := zcfg.Generate()
+		if err != nil {
+			t.Fatalf("zipf regenerate: %v", err)
+		}
+		if !reflect.DeepEqual(z1, z2) {
+			t.Fatal("zipf flash crowd is not a pure function of its seed")
+		}
+		crowd := zcfg.CrowdID()
+		crowdSeen := 0
+		for i, ev := range z1 {
+			if i > 0 && ev.At < z1[i-1].At {
+				t.Fatalf("zipf time went backwards at event %d", i)
+			}
+			if ev.Tenant < 0 || ev.Tenant >= tenants {
+				t.Fatalf("zipf tenant %d out of range", ev.Tenant)
+			}
+			switch ev.Type {
+			case generator.EventOffer, generator.EventDepart:
+				if ev.Stream < 0 || ev.Stream >= channels {
+					t.Fatalf("zipf stream %d out of range", ev.Stream)
+				}
+			case generator.EventCatalogOffer:
+				if ev.CatalogID == crowd {
+					crowdSeen++
+				}
+			case generator.EventCatalogDepart:
+			default:
+				t.Fatalf("zipf emitted churn event %q", ev.Type)
+			}
+		}
+		wantCrowd := (tenants*9 + 9) / 10
+		if wantCrowd < 2 && tenants >= 2 {
+			wantCrowd = 2
+		}
+		if crowdSeen != wantCrowd {
+			t.Fatalf("crowd ID offered %d times, want %d (background traffic must exclude it)", crowdSeen, wantCrowd)
+		}
+
+		dcfg := generator.Diurnal{
+			Tenants: tenants, Channels: channels, Gateways: gateways,
+			Seed: seed + 1, Days: days,
+		}
+		d1, err := dcfg.Generate()
+		if err != nil {
+			t.Fatalf("diurnal generate: %v", err)
+		}
+		d2, err := dcfg.Generate()
+		if err != nil {
+			t.Fatalf("diurnal regenerate: %v", err)
+		}
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatal("diurnal is not a pure function of its seed")
+		}
+		away := make(map[[2]int]bool)
+		for i, ev := range d1 {
+			if i > 0 && ev.At < d1[i-1].At {
+				t.Fatalf("diurnal time went backwards at event %d", i)
+			}
+			switch ev.Type {
+			case generator.EventLeave:
+				key := [2]int{ev.Tenant, ev.User}
+				if away[key] {
+					t.Fatalf("leave of already-absent gateway %v", key)
+				}
+				away[key] = true
+			case generator.EventJoin:
+				key := [2]int{ev.Tenant, ev.User}
+				if !away[key] {
+					t.Fatalf("join of already-present gateway %v", key)
+				}
+				away[key] = false
+			}
+		}
+		for key, a := range away {
+			if a {
+				t.Fatalf("gateway %v left absent at end of schedule", key)
+			}
+		}
+
+		lcfg := generator.LargeStreams{
+			Streams: channels%10 + 1, Users: tenants,
+			Seed: seed + 2, SizeFraction: fraction,
+		}
+		in1, err := lcfg.Generate()
+		if err != nil {
+			t.Fatalf("large streams generate: %v", err)
+		}
+		in2, err := lcfg.Generate()
+		if err != nil {
+			t.Fatalf("large streams regenerate: %v", err)
+		}
+		if !reflect.DeepEqual(in1, in2) {
+			t.Fatal("large streams is not a pure function of its seed")
+		}
+		if err := in1.Validate(); err != nil {
+			t.Fatalf("large streams produced invalid instance: %v", err)
+		}
+		for s, st := range in1.Streams {
+			if st.Costs[0] > fraction*in1.Budgets[0]+1e-12 {
+				t.Fatalf("stream %d cost %v exceeds the size-fraction ceiling %v", s, st.Costs[0], fraction)
+			}
+		}
+	})
+}
